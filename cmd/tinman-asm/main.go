@@ -1,0 +1,139 @@
+// Command tinman-asm is the developer tool for the VM's assembly language:
+// assemble-and-verify, disassemble (round-trip check), hash (the dex hash
+// the trusted node binds policies to) and run.
+//
+// Usage:
+//
+//	tinman-asm verify  app.tasm
+//	tinman-asm hash    app.tasm
+//	tinman-asm dis     app.tasm
+//	tinman-asm run     app.tasm Class.method [int args...]
+//	tinman-asm run -policy full app.tasm Class.method 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "tinman-asm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: tinman-asm {verify|hash|dis|run} [flags] file [Class.method args...]")
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usage()
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	policyName := fs.String("policy", "off", "taint policy for run: off|full|asymmetric")
+	stats := fs.Bool("stats", false, "print instruction/propagation statistics after run")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	rest = fs.Args()
+	if len(rest) < 1 {
+		return usage()
+	}
+	src, err := os.ReadFile(rest[0])
+	if err != nil {
+		return err
+	}
+	prog, err := asm.Assemble(strings.TrimSuffix(rest[0], ".tasm"), string(src))
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "verify":
+		fmt.Printf("%s: %d classes, %d instructions, verified OK\n",
+			rest[0], len(prog.Classes()), prog.CodeSize())
+		return nil
+	case "hash":
+		fmt.Println(prog.Hash())
+		return nil
+	case "dis":
+		fmt.Print(prog.Disassemble())
+		return nil
+	case "run":
+		if len(rest) < 2 {
+			return fmt.Errorf("run needs Class.method")
+		}
+		return runProgram(prog, rest[1], rest[2:], *policyName, *stats)
+	default:
+		return usage()
+	}
+}
+
+func runProgram(prog *vm.Program, target string, argStrs []string, policyName string, stats bool) error {
+	dot := strings.LastIndexByte(target, '.')
+	if dot <= 0 {
+		return fmt.Errorf("target %q is not Class.method", target)
+	}
+	m := prog.Method(target[:dot], target[dot+1:])
+	if m == nil {
+		return fmt.Errorf("no method %s", target)
+	}
+	pol, err := taint.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	machine := vm.New(vm.Config{
+		Program:      prog,
+		Heap:         vm.NewHeap(1, 2),
+		Policy:       pol,
+		CollectStats: stats,
+	})
+	args := make([]vm.Value, len(argStrs))
+	for i, s := range argStrs {
+		if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+			args[i] = vm.IntVal(n)
+		} else {
+			args[i] = vm.RefVal(machine.NewString(s))
+		}
+	}
+	th, err := machine.NewThread(m, args...)
+	if err != nil {
+		return err
+	}
+	stop, err := th.Run()
+	if err != nil {
+		return err
+	}
+	if stop != vm.StopDone {
+		return fmt.Errorf("thread stopped with %v", stop)
+	}
+	res := th.Result
+	switch res.Kind {
+	case vm.KindRef:
+		if res.Ref == nil {
+			fmt.Println("null")
+		} else if res.Ref.IsStr {
+			fmt.Printf("%q\n", res.Ref.Str)
+		} else {
+			fmt.Println(res.String())
+		}
+	default:
+		fmt.Println(res.String())
+	}
+	if stats {
+		fmt.Printf("instructions: %d, method calls: %d\n", machine.Instrs, machine.Calls)
+		fmt.Printf("taint propagation: %s\n", machine.Counters.String())
+	}
+	return nil
+}

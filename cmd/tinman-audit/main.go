@@ -1,0 +1,104 @@
+// Command tinman-audit inspects a persisted trusted-node audit log (the
+// JSON-lines file written by tinman-node -audit): filtering, summarizing,
+// and anomaly scanning — the "reported to the user" side of §3.4.
+//
+// Usage:
+//
+//	tinman-audit audit.jsonl                    # list everything
+//	tinman-audit -cor bank-pw audit.jsonl       # one cor's history
+//	tinman-audit -device nexus-1 audit.jsonl    # one device's history
+//	tinman-audit -denied audit.jsonl            # denials only
+//	tinman-audit -summary audit.jsonl           # per-cor/per-device totals
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tinman/internal/audit"
+)
+
+func main() {
+	var (
+		corID   = flag.String("cor", "", "filter by cor ID")
+		device  = flag.String("device", "", "filter by device ID")
+		denied  = flag.Bool("denied", false, "show denials only")
+		summary = flag.Bool("summary", false, "print per-cor and per-device totals")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tinman-audit [flags] audit.jsonl")
+		os.Exit(2)
+	}
+
+	log := audit.NewLog(nil)
+	if err := log.LoadFile(flag.Arg(0)); err != nil {
+		fmt.Fprintf(os.Stderr, "tinman-audit: %v\n", err)
+		os.Exit(1)
+	}
+
+	q := audit.Query{CorID: *corID, DeviceID: *device}
+	if *denied {
+		d := audit.OutcomeDenied
+		q.Outcome = &d
+	}
+	entries := log.Find(q)
+
+	if *summary {
+		printSummary(entries)
+		return
+	}
+	for _, e := range entries {
+		fmt.Println(e.String())
+	}
+	fmt.Fprintf(os.Stderr, "%d entries", len(entries))
+	if an := log.Anomalies(); len(an) > 0 {
+		fmt.Fprintf(os.Stderr, ", %d anomalies:\n", len(an))
+		for _, a := range an {
+			fmt.Fprintln(os.Stderr, "  "+a.String())
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, ", no anomalies")
+	}
+}
+
+// printSummary aggregates outcomes per cor and per device.
+func printSummary(entries []audit.Entry) {
+	type tally struct{ allowed, denied int }
+	perCor := map[string]*tally{}
+	perDev := map[string]*tally{}
+	bump := func(m map[string]*tally, k string, e audit.Entry) {
+		if k == "" {
+			k = "(none)"
+		}
+		t := m[k]
+		if t == nil {
+			t = &tally{}
+			m[k] = t
+		}
+		if e.Outcome == audit.OutcomeAllowed {
+			t.allowed++
+		} else {
+			t.denied++
+		}
+	}
+	for _, e := range entries {
+		bump(perCor, e.CorID, e)
+		bump(perDev, e.DeviceID, e)
+	}
+	printTally := func(title string, m map[string]*tally) {
+		fmt.Printf("%s\n", title)
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-32s allowed %5d  denied %5d\n", k, m[k].allowed, m[k].denied)
+		}
+	}
+	printTally("by cor:", perCor)
+	printTally("by device:", perDev)
+}

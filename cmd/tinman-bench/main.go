@@ -1,0 +1,113 @@
+// Command tinman-bench regenerates every table and figure of the TinMan
+// evaluation (§6) on stdout.
+//
+// Usage:
+//
+//	tinman-bench                  # everything
+//	tinman-bench -fig 13          # one figure (13, 14, 15, 16, 17)
+//	tinman-bench -table 3         # Table 3
+//	tinman-bench -short           # shortened battery runs
+//	tinman-bench -seed 7 -rounds 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tinman/internal/bench"
+	"tinman/internal/netsim"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", 0, "reproduce only this figure (13/14/15/16/17)")
+		table    = flag.Int("table", 0, "reproduce only this table (3)")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		rounds   = flag.Int("rounds", 7, "measurement rounds for Caffeinemark")
+		short    = flag.Bool("short", false, "shorten the battery experiments")
+		ablation = flag.Bool("ablation", false, "also run the design-choice ablations")
+	)
+	flag.Parse()
+
+	all := *fig == 0 && *table == 0
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "tinman-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if all || *fig == 13 {
+		bench.Separator(out, "Figure 13 — Caffeinemark under tainting configurations")
+		rows, err := bench.Caffeinemark(*rounds)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintFig13(out, rows)
+	}
+
+	if all || *fig == 14 {
+		bench.Separator(out, "Figure 14 — login latency, Wi-Fi")
+		rows, err := bench.LoginLatency(netsim.WiFi, *seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintLogin(out, "Figure 14 (paper: 4.0s -> 5.95s avg; DSM 0.8s; SSL/TCP 1.2s)", rows)
+	}
+
+	if all || *fig == 15 {
+		bench.Separator(out, "Figure 15 — login latency, 3G")
+		rows, err := bench.LoginLatency(netsim.ThreeG, *seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintLogin(out, "Figure 15 (paper: 5.4s -> 8.2s avg; DSM 1.2s; other 1.6s)", rows)
+	}
+
+	if all || *table == 3 {
+		bench.Separator(out, "Table 3 — offload accounting")
+		rows, err := bench.Table3(*seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintTable3(out, rows)
+		fmt.Fprintln(out, "paper:    paypal 10274 (4.7%) 2 syncs 768.5KB/24.3KB; ebay 2835 (2.4%) 4 759.8/16.6;")
+		fmt.Fprintln(out, "          github 1672 (2.0%) 3 603.0/4.9; askfm 1791 (1.7%) 4 716.6/18.7")
+	}
+
+	if all || *fig == 16 {
+		total := 30 * time.Minute
+		if *short {
+			total = 5 * time.Minute
+		}
+		bench.Separator(out, fmt.Sprintf("Figure 16 — battery, %v PayPal login stress", total))
+		curves, err := bench.LoginStress(total, 10*time.Second, *seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintBattery(out, "Figure 16 (paper after 30min: Android 93%, TinMan 91%)", curves)
+	}
+
+	if *ablation {
+		bench.Separator(out, "Ablations")
+		rows, err := bench.Ablations(*seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintAblations(out, rows)
+	}
+
+	if all || *fig == 17 {
+		phase := 10 * time.Minute
+		if *short {
+			phase = 2 * time.Minute
+		}
+		bench.Separator(out, fmt.Sprintf("Figure 17 — battery, 3 x %v workloads, tainting only", phase))
+		curves, err := bench.TaintingBattery(phase, 10*time.Second, *seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintBattery(out, "Figure 17 (paper: curves nearly coincide)", curves)
+	}
+}

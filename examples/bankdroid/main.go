@@ -1,0 +1,147 @@
+// BankDroid: the paper's §4.1 case study — a bank-account manager holding
+// credentials for several banks, each stored as a cor on the trusted node.
+// The app fetches balances from every bank; some banks require hash-based
+// login (the hash of the password is itself a derived cor).
+//
+//	go run ./examples/bankdroid
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"tinman/internal/apps"
+	"tinman/internal/core"
+	"tinman/internal/netsim"
+	"tinman/internal/vm"
+)
+
+// bankDroidSource manages multiple accounts: one login per bank, each
+// hashing its own cor placeholder (which triggers offloading per bank).
+const bankDroidSource = `
+class BankDroid
+  ; sync(account, pw1, host1, pw2, host2) -> number of successful logins
+  method syncAll 5 16
+    invoke r5, BankDroid.loginOne, r0, r1, r2
+    invoke r6, BankDroid.loginOne, r0, r3, r4
+    add r7, r5, r6
+    return r7
+  end
+  method loginOne 3 12
+    invoke r3, BankDroid.buildRequest, r0, r1
+    native r4, https_request, r2, r3
+    conststr r5, "200 OK"
+    indexof r6, r4, r5
+    const r7, 0
+    iflt r6, r7, fail
+    const r8, 1
+    return r8
+  fail:
+    const r8, 0
+    return r8
+  end
+  method buildRequest 2 10
+    hash r2, r1              ; per-bank offload trigger (fig 5)
+    conststr r3, "POST /login HTTP/1.1\nuser="
+    strcat r4, r3, r0
+    conststr r5, "&hash="
+    strcat r6, r4, r5
+    strcat r7, r6, r2
+    return r7
+  end
+end`
+
+func main() {
+	world, err := core.NewWorld(core.Config{Seed: 2, Profile: netsim.WiFi, TinManEnabled: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two banks with different passwords for the same user.
+	banks := []struct {
+		domain, addr, corID, password string
+	}{
+		{"citi.example", "198.51.100.21", "citi-pw", "citi-secret-9137"},
+		{"chase.example", "198.51.100.22", "chase-pw", "chase-secret-4242"},
+	}
+	servers := make(map[string]*apps.OriginServer)
+	for _, b := range banks {
+		srv, err := apps.NewOriginServer(world, b.domain, b.addr, map[string]string{"carol": b.password})
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers[b.domain] = srv
+		// Each password is whitelisted only for its own bank.
+		if _, err := world.Node.RegisterCor(b.corID, b.password, "password for "+b.domain, b.domain); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := world.Device.RefreshCatalog(); err != nil {
+		log.Fatal(err)
+	}
+
+	app, err := world.Device.InstallApp("bankdroid", bankDroidSource, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range banks {
+		world.Node.BindApp(b.corID, app.Hash())
+	}
+
+	// The selection widget shows descriptions, never secrets (§4.1).
+	fmt.Println("password selection widget:")
+	for _, v := range world.Device.Catalog() {
+		fmt.Printf("  [%s] %s\n", v.ID, v.Description)
+	}
+
+	pw1, err := world.Device.CorArg(app, "citi-pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pw2, err := world.Device.CorArg(app, "chase-pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := app.Run("BankDroid", "syncAll",
+		world.Device.StringArg(app, "carol"),
+		pw1, world.Device.StringArg(app, "citi.example"),
+		pw2, world.Device.StringArg(app, "chase.example"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbanks synced successfully: %d/2\n", res.Int)
+	fmt.Printf("virtual time: %v; offload round trips: %d; syncs: %d\n",
+		app.Report.Total, app.Report.Migrations, app.Report.Syncs)
+
+	// Both banks authenticated with the real hashes...
+	for _, b := range banks {
+		got := servers[b.domain].SawSubstring(apps.PasswordHash(b.password))
+		fmt.Printf("%s verified the real credential: %v\n", b.domain, got)
+	}
+	// ...while the device heap holds neither password.
+	for _, b := range banks {
+		for _, o := range app.VM().Heap.Objects() {
+			if o.IsStr && strings.Contains(o.Str, b.password) {
+				log.Fatalf("SECURITY: %s plaintext on device heap", b.corID)
+			}
+		}
+	}
+	fmt.Println("device heap verified clean of both passwords")
+
+	// Cross-bank protection: even the legitimate app cannot send citi's
+	// password to chase (the cor<->domain binding, §3.4).
+	_, err = app.Run("BankDroid", "loginOne",
+		world.Device.StringArg(app, "carol"),
+		mustCor(world, app, "citi-pw"),
+		world.Device.StringArg(app, "chase.example"))
+	fmt.Printf("\nsending citi password to chase.example: %v\n", err)
+}
+
+func mustCor(world *core.World, app *core.App, id string) vm.Value {
+	val, err := world.Device.CorArg(app, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return val
+}

@@ -1,0 +1,3 @@
+module tinman
+
+go 1.22

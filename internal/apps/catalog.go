@@ -1,0 +1,314 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"tinman/internal/core"
+	"tinman/internal/netsim"
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+// Spec parameterizes one evaluation app. The knobs reproduce the per-app
+// differences in Table 3: how much code runs where, how large the initial
+// DSM sync is, and how many synchronizations a login needs.
+type Spec struct {
+	// Name is the app name; ClassName the main class in its program.
+	Name      string
+	ClassName string
+	// Domain/Addr locate its origin server.
+	Domain string
+	Addr   string
+	// Account and Password are the test credentials; CorID names the stored
+	// password cor.
+	Account  string
+	Password string
+	CorID    string
+	// DeviceCalls and NodeCalls size the device-resident UI work and the
+	// offloaded work (method invocations ≈ these counts).
+	DeviceCalls int
+	NodeCalls   int
+	// HeapKB sizes the framework heap (Table 3 "Off. Init").
+	HeapKB int
+	// NodeScratch is the number of temporary strings the offloaded code
+	// allocates (Table 3 "Off. Dirty").
+	NodeScratch int
+	// TwoPhase logins authenticate twice (a session fetch then the login),
+	// doubling the DSM round trips.
+	TwoPhase bool
+	// UseLock guards the request build with a monitor whose home is the
+	// device, forcing an extra happens-before migration (the github case).
+	UseLock bool
+}
+
+// LoginApps are the four Table 3 workloads. Call counts are scaled to the
+// paper's offloaded-fraction column (4.7%, 2.4%, 2.0%, 1.7%).
+var LoginApps = []Spec{
+	{
+		// Paper: 10274 offloaded invocations = 4.7%, 2 syncs, 768.5 KB
+		// init, 24.3 KB dirty.
+		Name: "paypal", ClassName: "PayPalApp",
+		Domain: "paypal.com", Addr: "64.4.250.36",
+		Account: "alice", Password: "correct horse battery", CorID: "paypal-pw",
+		DeviceCalls: 208000, NodeCalls: 10200,
+		HeapKB: 756, NodeScratch: 94,
+	},
+	{
+		// Paper: 2835 = 2.4%, 4 syncs, 759.8 KB init, 16.6 KB dirty.
+		Name: "ebay", ClassName: "EbayApp",
+		Domain: "ebay.com", Addr: "66.135.195.175",
+		Account: "bob", Password: "tr0ub4dor&3", CorID: "ebay-pw",
+		DeviceCalls: 115000, NodeCalls: 1400,
+		HeapKB: 748, NodeScratch: 31, TwoPhase: true,
+	},
+	{
+		// Paper: 1672 = 2.0%, 3 syncs, 603.0 KB init, 4.9 KB dirty.
+		Name: "github", ClassName: "GithubApp",
+		Domain: "github.com", Addr: "140.82.112.3",
+		Account: "carol", Password: "octocat-hunter2", CorID: "github-pw",
+		DeviceCalls: 82000, NodeCalls: 1650,
+		HeapKB: 594, NodeScratch: 16, UseLock: true,
+	},
+	{
+		// Paper: 1791 = 1.7%, 4 syncs, 716.6 KB init, 18.7 KB dirty.
+		Name: "askfm", ClassName: "AskfmApp",
+		Domain: "ask.fm", Addr: "104.16.124.96",
+		Account: "dave", Password: "whyask-9137", CorID: "askfm-pw",
+		DeviceCalls: 103000, NodeCalls: 880,
+		HeapKB: 706, NodeScratch: 35, TwoPhase: true,
+	},
+}
+
+// SpecByName finds a login app spec.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range LoginApps {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// dirtyFiller is a 232-byte literal; with object headers each allocation
+// costs ~256 wire bytes.
+var dirtyFiller = strings.Repeat("tinman-scratch-", 15) + "pad4567"
+
+// Source generates the app's program in VM assembly.
+func (s Spec) Source() string {
+	var b strings.Builder
+
+	// Work: the shared busy-loop helpers standing in for UI rendering,
+	// JSON parsing and the rest of an app's non-cor logic.
+	b.WriteString(`
+class Work
+  method tiny 1 5
+    const r1, 3
+    add r2, r0, r1
+    mul r3, r2, r2
+    xor r4, r3, r1
+    return r4
+  end
+  method workLoop 1 6
+    const r1, 0
+  loop:
+    ifge r1, r0, done
+    invoke r2, Work.tiny, r1
+    const r3, 1
+    add r1, r1, r3
+    goto loop
+  done:
+    return r1
+  end
+  method scratchLoop 1 6
+    const r1, 0
+  loop:
+    ifge r1, r0, done
+    conststr r2, "` + dirtyFiller + `"
+    const r3, 1
+    add r1, r1, r3
+    goto loop
+  done:
+    return r1
+  end
+end
+`)
+
+	fmt.Fprintf(&b, "\nclass %s\n", s.ClassName)
+
+	// login(account, passwd, host) -> 1 on success.
+	fmt.Fprintf(&b, "  method login 3 16\n")
+	fmt.Fprintf(&b, "    new r3, %s\n", s.ClassName)   // lock object
+	b.WriteString("    monenter r3\n    monexit r3\n") // lock home: device
+	fmt.Fprintf(&b, "    const r4, %d\n", s.DeviceCalls)
+	b.WriteString("    invoke r5, Work.workLoop, r4\n")
+	fmt.Fprintf(&b, "    invoke r6, %s.buildRequest, r0, r1, r3\n", s.ClassName)
+	b.WriteString("    native r7, https_request, r2, r6\n")
+	if s.TwoPhase {
+		fmt.Fprintf(&b, "    invoke r8, %s.buildRequest, r0, r1, r3\n", s.ClassName)
+		b.WriteString("    native r9, https_request, r2, r8\n")
+		b.WriteString("    move r7, r9\n")
+	}
+	fmt.Fprintf(&b, "    invoke r10, %s.parse, r7\n", s.ClassName)
+	b.WriteString("    return r10\n  end\n")
+
+	// buildRequest(account, passwd, lock) -> derived-cor request string.
+	// The hash of the tainted placeholder is the offload trigger (fig 5).
+	fmt.Fprintf(&b, "  method buildRequest 3 16\n")
+	b.WriteString("    hash r3, r1\n") // OFFLOAD TRIGGER
+	fmt.Fprintf(&b, "    const r4, %d\n", s.NodeCalls)
+	b.WriteString("    invoke r5, Work.workLoop, r4\n")
+	fmt.Fprintf(&b, "    const r6, %d\n", s.NodeScratch)
+	b.WriteString("    invoke r7, Work.scratchLoop, r6\n")
+	if s.UseLock {
+		// Entering a device-homed monitor on the node forces a
+		// happens-before migration (the github row of Table 3).
+		b.WriteString("    monenter r2\n")
+	}
+	fmt.Fprintf(&b, "    conststr r8, \"POST /login HTTP/1.1\\nhost=%s\\nuser=\"\n", s.Domain)
+	b.WriteString("    strcat r9, r8, r0\n")
+	b.WriteString("    conststr r10, \"&hash=\"\n")
+	b.WriteString("    strcat r11, r9, r10\n")
+	b.WriteString("    strcat r12, r11, r3\n") // tainted concat: derived cor
+	if s.UseLock {
+		b.WriteString("    monexit r2\n")
+	}
+	b.WriteString("    return r12\n  end\n")
+
+	// parse(resp) -> 1 if the response is a 200.
+	b.WriteString(`  method parse 1 8
+    conststr r1, "200 OK"
+    indexof r2, r0, r1
+    const r3, 0
+    iflt r2, r3, fail
+    const r4, 1
+    return r4
+  fail:
+    const r4, 0
+    return r4
+  end
+`)
+	b.WriteString("end\n")
+	return b.String()
+}
+
+// Env is a ready-to-measure world: servers up, cors registered, apps
+// installed and bound.
+type Env struct {
+	World   *core.World
+	Servers map[string]*OriginServer
+	Apps    map[string]*core.App
+	Specs   []Spec
+}
+
+// EnvConfig configures NewLoginEnv.
+type EnvConfig struct {
+	Profile netsim.Profile
+	TinMan  bool
+	Seed    int64
+	// DevicePolicy overrides the device taint policy (defaults to
+	// Asymmetric when TinMan is on, Off when off).
+	DevicePolicy taint.Policy
+	// Specs defaults to LoginApps.
+	Specs []Spec
+}
+
+// NewLoginEnv builds the standard evaluation environment.
+func NewLoginEnv(cfg EnvConfig) (*Env, error) {
+	specs := cfg.Specs
+	if specs == nil {
+		specs = LoginApps
+	}
+	pol := cfg.DevicePolicy
+	if pol.Name() == "" {
+		if cfg.TinMan {
+			pol = taint.Asymmetric
+		} else {
+			pol = taint.Off
+		}
+	}
+	baseline := make(map[string]string, len(specs))
+	for _, s := range specs {
+		baseline[s.CorID] = s.Password
+	}
+	w, err := core.NewWorld(core.Config{
+		Seed:               cfg.Seed,
+		Profile:            cfg.Profile,
+		DevicePolicy:       pol,
+		TinManEnabled:      cfg.TinMan,
+		BaselinePlaintexts: baseline,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		World:   w,
+		Servers: make(map[string]*OriginServer, len(specs)),
+		Apps:    make(map[string]*core.App, len(specs)),
+		Specs:   specs,
+	}
+	for _, s := range specs {
+		srv, err := NewOriginServer(w, s.Domain, s.Addr, map[string]string{s.Account: s.Password})
+		if err != nil {
+			return nil, fmt.Errorf("apps: server %s: %v", s.Name, err)
+		}
+		env.Servers[s.Name] = srv
+		if cfg.TinMan {
+			if _, err := w.Node.RegisterCor(s.CorID, s.Password, s.Name+" password", s.Domain); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.TinMan {
+		if err := w.Device.RefreshCatalog(); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range specs {
+		app, err := w.Device.InstallApp(s.Name, s.Source(), s.HeapKB)
+		if err != nil {
+			return nil, fmt.Errorf("apps: installing %s: %v", s.Name, err)
+		}
+		env.Apps[s.Name] = app
+		if cfg.TinMan {
+			w.Node.BindApp(s.CorID, app.Hash())
+		}
+	}
+	return env, nil
+}
+
+// Login runs one app's login flow end to end and verifies it succeeded
+// against the origin server.
+func (e *Env) Login(name string) (*core.Report, error) {
+	spec, ok := SpecByName(name)
+	if !ok {
+		for _, s := range e.Specs {
+			if s.Name == name {
+				spec, ok = s, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown app %q", name)
+	}
+	app := e.Apps[name]
+	if app == nil {
+		return nil, fmt.Errorf("apps: app %q not installed", name)
+	}
+	d := e.World.Device
+	pw, err := d.CorArg(app, spec.CorID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := app.Run(spec.ClassName, "login",
+		d.StringArg(app, spec.Account), pw, d.StringArg(app, spec.Domain))
+	if err != nil {
+		return nil, err
+	}
+	if res.Kind != vm.KindInt || res.Int != 1 {
+		return nil, fmt.Errorf("apps: %s login failed (result %v); server saw %d requests",
+			name, res, len(e.Servers[name].Requests))
+	}
+	return &app.Report, nil
+}

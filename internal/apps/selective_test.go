@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"testing"
+
+	"tinman/internal/core"
+	"tinman/internal/netsim"
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+// gameSource is a non-critical app that never touches a cor.
+const gameSource = `
+class Game
+  method frame 1 6
+    const r1, 0
+    const r2, 0
+  loop:
+    ifge r2, r0, done
+    add r1, r1, r2
+    const r3, 1
+    add r2, r2, r3
+    goto loop
+  done:
+    return r1
+  end
+end`
+
+// TestSelectiveTaintingPerApp exercises §3.5's selective tainting at the
+// per-app granularity: the security-critical app runs under asymmetric
+// tainting (and can use cors), the game opts out (and pays nothing), both
+// on the same device.
+func TestSelectiveTaintingPerApp(t *testing.T) {
+	env, err := NewLoginEnv(EnvConfig{Profile: netsim.WiFi, TinMan: true, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := env.World.Device
+
+	off := taint.Off
+	game, err := d.InstallAppOpts("game", gameSource, core.InstallOpts{FrameworkHeapKB: 8, Policy: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if game.VM().Tracking() {
+		t.Fatal("opted-out app is tracking")
+	}
+	res, err := game.Run("Game", "frame", vm.IntVal(1000))
+	if err != nil || res.Int != 499500 {
+		t.Fatalf("game: %v %v", res, err)
+	}
+	if game.Report.Migrations != 0 {
+		t.Fatal("game migrated")
+	}
+
+	// The critical app on the same device still protects its cor.
+	if _, err := env.Login("paypal"); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Apps["paypal"].VM().Tracking() {
+		t.Fatal("critical app lost tracking")
+	}
+}

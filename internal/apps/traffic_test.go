@@ -1,0 +1,175 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"tinman/internal/core"
+	"tinman/internal/netsim"
+)
+
+// TestMarkedRecordTakesTheDetour uses the network tracer to verify fig 8's
+// routing: during a TinMan login, the cor-bearing record reaches the origin
+// server from the trusted node's forwarding (spoofed device source), having
+// been redirected device -> node first.
+func TestMarkedRecordTakesTheDetour(t *testing.T) {
+	env, err := NewLoginEnv(EnvConfig{Profile: netsim.WiFi, TinMan: true, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &netsim.Tracer{}
+	env.World.Net.Trace(tr)
+
+	if _, err := env.Login("paypal"); err != nil {
+		t.Fatal(err)
+	}
+
+	spec, _ := SpecByName("paypal")
+	// Traffic device -> node exists (control plane + the redirected packet).
+	if tr.CountBetween(core.DeviceAddr, core.NodeAddr) == 0 {
+		t.Fatal("no device->node traffic recorded")
+	}
+	// Traffic node -> server exists: the reframed packet left the node for
+	// the origin (its Src is spoofed to the device, but the link it crossed
+	// is the node-server link; the tracer records the packet's addresses,
+	// so look for device-addressed packets arriving at the server in excess
+	// of the direct path by checking the node-server link was used at all).
+	nodeServer := env.World.Net.Host(core.NodeAddr).Link(spec.Addr)
+	if nodeServer == nil {
+		t.Fatal("no node-server link")
+	}
+	if nodeServer.Delivered[0]+nodeServer.Delivered[1] == 0 {
+		t.Fatal("the node-server link carried no packets: payload replacement did not take the detour")
+	}
+	// And the server received packets bearing the device's source address.
+	if tr.CountBetween(core.DeviceAddr, spec.Addr) == 0 {
+		t.Fatal("no device-sourced packets reached the server")
+	}
+}
+
+// TestBaselineNeverTalksToNode: with TinMan disabled there is no
+// device->node traffic at all.
+func TestBaselineNeverTalksToNode(t *testing.T) {
+	env, err := NewLoginEnv(EnvConfig{Profile: netsim.WiFi, TinMan: false, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &netsim.Tracer{}
+	env.World.Net.Trace(tr)
+	if _, err := env.Login("github"); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.CountBetween(core.DeviceAddr, core.NodeAddr); n != 0 {
+		t.Fatalf("baseline sent %d packets to the trusted node", n)
+	}
+}
+
+// tokenAppSource models the §5.4 "attack time window" discussion: after the
+// first cor-protected login, the app holds a plain session token and reuses
+// it without touching the cor again.
+const tokenAppSource = `
+class TokenApp
+  ; login(account, passwd, host) -> token string (from the response)
+  method login 3 14
+    invoke r3, TokenApp.buildRequest, r0, r1
+    native r4, https_request, r2, r3
+    conststr r5, "token="
+    indexof r6, r4, r5
+    const r7, 0
+    iflt r6, r7, fail
+    const r8, 6
+    add r9, r6, r8
+    substr r10, r4, r9, -1
+    return r10
+  fail:
+    conststr r10, ""
+    return r10
+  end
+  method buildRequest 2 10
+    hash r2, r1
+    conststr r3, "POST /login HTTP/1.1\nuser="
+    strcat r4, r3, r0
+    conststr r5, "&hash="
+    strcat r6, r4, r5
+    strcat r7, r6, r2
+    return r7
+  end
+  ; reuse(token, host) -> response using only the token (no cor access)
+  method reuse 2 10
+    conststr r2, "GET /feed HTTP/1.1\ntoken="
+    strcat r3, r2, r0
+    native r4, https_request, r1, r3
+    return r4
+  end
+end`
+
+func TestTokenReuseAttackWindow(t *testing.T) {
+	env, err := NewLoginEnv(EnvConfig{Profile: netsim.WiFi, TinMan: true, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := env.World
+	srv, err := NewOriginServer(w, "token.example", "203.0.113.77", map[string]string{"erin": "tok-secret-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The server hands out a token at login and accepts it afterwards.
+	issued := ""
+	srv.Handler = func(req string) string {
+		if strings.Contains(req, "hash="+PasswordHash("tok-secret-1")) {
+			issued = "TKN123456"
+			return "HTTP/1.1 200 OK\ntoken=" + issued
+		}
+		if issued != "" && strings.Contains(req, "token="+issued) {
+			return "HTTP/1.1 200 OK\nfeed=cat pictures"
+		}
+		return "HTTP/1.1 403 Forbidden"
+	}
+	if _, err := w.Node.RegisterCor("tok-pw", "tok-secret-1", "", "token.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Device.RefreshCatalog(); err != nil {
+		t.Fatal(err)
+	}
+	app, err := w.Device.InstallApp("tokenapp", tokenAppSource, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Node.BindApp("tok-pw", app.Hash())
+
+	pw, _ := w.Device.CorArg(app, "tok-pw")
+	tok, err := app.Run("TokenApp", "login",
+		w.Device.StringArg(app, "erin"), pw, w.Device.StringArg(app, "token.example"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.Ref == nil || tok.Ref.Str == "" {
+		t.Fatal("no token returned")
+	}
+	// The token is NOT tainted: it came from the server, not from the cor
+	// (§5.4: "since the token is not visible to the trusted node, it is not
+	// tainted or tracked").
+	if !tok.Ref.Tag.Empty() {
+		t.Fatal("token unexpectedly tainted")
+	}
+	migrationsAfterLogin := app.Report.Migrations
+
+	// Token reuse runs entirely on the device: the attack time window the
+	// paper discusses — but the cor itself stays protected throughout.
+	resp, err := app.Run("TokenApp", "reuse", tok, w.Device.StringArg(app, "token.example"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Ref.Str, "cat pictures") {
+		t.Fatalf("token reuse failed: %q", resp.Ref.Str)
+	}
+	if app.Report.Migrations != migrationsAfterLogin {
+		t.Fatal("token reuse should not offload")
+	}
+	// The password still never touched the device.
+	for _, o := range app.VM().Heap.Objects() {
+		if o.IsStr && strings.Contains(o.Str, "tok-secret-1") {
+			t.Fatal("SECURITY: password on device heap")
+		}
+	}
+}

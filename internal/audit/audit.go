@@ -1,0 +1,192 @@
+// Package audit implements the trusted node's append-only cor access log
+// (§3.4): "Each record includes timestamp, application hash, cor ID and
+// network domain. Any abnormal activity will be reported to the user."
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Outcome records whether an access was served.
+type Outcome uint8
+
+const (
+	// OutcomeAllowed means the access passed policy.
+	OutcomeAllowed Outcome = iota
+	// OutcomeDenied means policy refused it.
+	OutcomeDenied
+)
+
+func (o Outcome) String() string {
+	if o == OutcomeAllowed {
+		return "allowed"
+	}
+	return "denied"
+}
+
+// Entry is one immutable log record.
+type Entry struct {
+	Seq      uint64
+	Time     time.Time
+	AppHash  string
+	CorID    string
+	DeviceID string
+	Domain   string
+	Outcome  Outcome
+	Detail   string
+}
+
+// String renders an entry as a single log line.
+func (e Entry) String() string {
+	return fmt.Sprintf("#%d %s app=%s cor=%s dev=%s domain=%s %s %s",
+		e.Seq, e.Time.Format(time.RFC3339), short(e.AppHash), e.CorID, e.DeviceID, e.Domain, e.Outcome, e.Detail)
+}
+
+// Log is the append-only audit trail. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry
+	seq     uint64
+	now     func() time.Time
+	// subscribers receive every appended entry (the "reported to the user"
+	// channel).
+	subscribers []func(Entry)
+	// AnomalyThreshold is the per-(device,cor) denial count within
+	// AnomalyWindow that flags an anomaly.
+	AnomalyThreshold int
+	AnomalyWindow    time.Duration
+	anomalies        []Anomaly
+}
+
+// Anomaly is a detected abnormal pattern.
+type Anomaly struct {
+	Time     time.Time
+	DeviceID string
+	CorID    string
+	Denials  int
+	Window   time.Duration
+}
+
+func (a Anomaly) String() string {
+	return fmt.Sprintf("ANOMALY %s: %d denials for cor %s from device %s within %v",
+		a.Time.Format(time.RFC3339), a.Denials, a.CorID, a.DeviceID, a.Window)
+}
+
+// NewLog creates a log reading time from now (nil means time.Now).
+func NewLog(now func() time.Time) *Log {
+	if now == nil {
+		now = time.Now
+	}
+	return &Log{now: now, AnomalyThreshold: 3, AnomalyWindow: time.Hour}
+}
+
+// Append records an access.
+func (l *Log) Append(appHash, corID, deviceID, domain string, outcome Outcome, detail string) Entry {
+	l.mu.Lock()
+	l.seq++
+	e := Entry{
+		Seq: l.seq, Time: l.now(), AppHash: appHash, CorID: corID,
+		DeviceID: deviceID, Domain: domain, Outcome: outcome, Detail: detail,
+	}
+	l.entries = append(l.entries, e)
+	subs := make([]func(Entry), len(l.subscribers))
+	copy(subs, l.subscribers)
+	l.detectAnomalyLocked(e)
+	l.mu.Unlock()
+	for _, s := range subs {
+		s(e)
+	}
+	return e
+}
+
+// detectAnomalyLocked flags repeated denials for the same device+cor.
+func (l *Log) detectAnomalyLocked(e Entry) {
+	if e.Outcome != OutcomeDenied || l.AnomalyThreshold <= 0 {
+		return
+	}
+	cutoff := e.Time.Add(-l.AnomalyWindow)
+	count := 0
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		ent := l.entries[i]
+		if ent.Time.Before(cutoff) {
+			break
+		}
+		if ent.Outcome == OutcomeDenied && ent.DeviceID == e.DeviceID && ent.CorID == e.CorID {
+			count++
+		}
+	}
+	if count >= l.AnomalyThreshold {
+		l.anomalies = append(l.anomalies, Anomaly{
+			Time: e.Time, DeviceID: e.DeviceID, CorID: e.CorID,
+			Denials: count, Window: l.AnomalyWindow,
+		})
+	}
+}
+
+// Subscribe registers a callback invoked for every appended entry.
+func (l *Log) Subscribe(fn func(Entry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subscribers = append(l.subscribers, fn)
+}
+
+// Len returns the number of entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of all entries.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Entry(nil), l.entries...)
+}
+
+// Query filters entries; zero-valued fields match everything.
+type Query struct {
+	CorID    string
+	DeviceID string
+	Outcome  *Outcome
+	Since    time.Time
+}
+
+// Find returns entries matching the query.
+func (l *Log) Find(q Query) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if q.CorID != "" && e.CorID != q.CorID {
+			continue
+		}
+		if q.DeviceID != "" && e.DeviceID != q.DeviceID {
+			continue
+		}
+		if q.Outcome != nil && e.Outcome != *q.Outcome {
+			continue
+		}
+		if !q.Since.IsZero() && e.Time.Before(q.Since) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Anomalies returns detected anomalies.
+func (l *Log) Anomalies() []Anomaly {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Anomaly(nil), l.anomalies...)
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

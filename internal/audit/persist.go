@@ -1,0 +1,126 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// wireEntry is the JSON-lines form of an Entry.
+type wireEntry struct {
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	AppHash  string    `json:"app_hash"`
+	CorID    string    `json:"cor_id"`
+	DeviceID string    `json:"device_id"`
+	Domain   string    `json:"domain"`
+	Outcome  uint8     `json:"outcome"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// WriteTo streams the log as JSON lines (one entry per line) — the durable
+// form the trusted node keeps for §3.4's "logged for auditing".
+func (l *Log) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	enc := json.NewEncoder(bw)
+	for _, e := range l.Entries() {
+		we := wireEntry{
+			Seq: e.Seq, Time: e.Time, AppHash: e.AppHash, CorID: e.CorID,
+			DeviceID: e.DeviceID, Domain: e.Domain, Outcome: uint8(e.Outcome), Detail: e.Detail,
+		}
+		if err := enc.Encode(&we); err != nil {
+			return n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadFrom replaces the log's entries with the JSON-lines stream from r.
+// The sequence counter resumes after the highest loaded sequence.
+func (l *Log) ReadFrom(r io.Reader) (int64, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var entries []Entry
+	var maxSeq uint64
+	for {
+		var we wireEntry
+		if err := dec.Decode(&we); err == io.EOF {
+			break
+		} else if err != nil {
+			return 0, fmt.Errorf("audit: loading entry %d: %v", len(entries), err)
+		}
+		if we.Outcome > uint8(OutcomeDenied) {
+			return 0, fmt.Errorf("audit: entry %d has invalid outcome %d", we.Seq, we.Outcome)
+		}
+		entries = append(entries, Entry{
+			Seq: we.Seq, Time: we.Time, AppHash: we.AppHash, CorID: we.CorID,
+			DeviceID: we.DeviceID, Domain: we.Domain, Outcome: Outcome(we.Outcome), Detail: we.Detail,
+		})
+		if we.Seq > maxSeq {
+			maxSeq = we.Seq
+		}
+	}
+	l.mu.Lock()
+	l.entries = entries
+	l.seq = maxSeq
+	l.mu.Unlock()
+	l.RescanAnomalies()
+	return int64(len(entries)), nil
+}
+
+// RescanAnomalies replays anomaly detection over the current entries —
+// needed after loading a persisted log, where detection did not run at
+// append time.
+func (l *Log) RescanAnomalies() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.anomalies = nil
+	all := l.entries
+	for i := range all {
+		// detectAnomalyLocked scans backwards from the entry, so feed it
+		// prefixes in order.
+		l.entries = all[:i+1]
+		l.detectAnomalyLocked(all[i])
+	}
+	l.entries = all
+}
+
+// SaveFile persists the log to path (atomically via a temp file).
+func (l *Log) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := l.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores the log from path; a missing file leaves the log empty
+// and is not an error (first boot).
+func (l *Log) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = l.ReadFrom(f)
+	return err
+}

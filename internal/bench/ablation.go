@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tinman/internal/apps"
+	"tinman/internal/netsim"
+	"tinman/internal/taint"
+)
+
+// AblationRow is one design-choice comparison.
+type AblationRow struct {
+	Name     string
+	Variant  string
+	Metric   string
+	Value    float64
+	Baseline float64
+}
+
+// Ablations runs the design-choice experiments DESIGN.md §5 calls out:
+//
+//  1. client policy: asymmetric vs full tainting end to end (login time);
+//  2. selective tainting: a non-critical app with tainting off vs on
+//     (device compute time);
+//  3. dirty-vs-full DSM sync is covered by the dsm ablation test/benchmark
+//     (wire bytes).
+func Ablations(seed int64) ([]AblationRow, error) {
+	var rows []AblationRow
+
+	// 1. Client policy: end-to-end login time, asymmetric vs full.
+	loginWith := func(pol taint.Policy) (time.Duration, error) {
+		env, err := apps.NewLoginEnv(apps.EnvConfig{
+			Profile: netsim.WiFi, TinMan: true, Seed: seed, DevicePolicy: pol,
+		})
+		if err != nil {
+			return 0, err
+		}
+		rep, err := env.Login("paypal")
+		if err != nil {
+			return 0, err
+		}
+		return rep.Total, nil
+	}
+	asymT, err := loginWith(taint.Asymmetric)
+	if err != nil {
+		return nil, err
+	}
+	fullT, err := loginWith(taint.Full)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name: "client-policy", Variant: "full vs asymmetric",
+		Metric: "login-seconds", Value: fullT.Seconds(), Baseline: asymT.Seconds(),
+	})
+
+	// 2. Selective tainting: device compute of a cor-free workload with the
+	// client tainting on vs off (the §3.5 suggestion for non-critical
+	// apps). The String kernel is the mix where even asymmetric tainting
+	// costs (heap→stack instrumentation), so opting a non-critical app out
+	// is measurable.
+	kernel := Kernel{Name: "app", Method: "string", Arg: 6000}
+	off, err := kernelTime(taint.Off, kernel)
+	if err != nil {
+		return nil, err
+	}
+	asym, err := kernelTime(taint.Asymmetric, kernel)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name: "selective-tainting", Variant: "always-on vs opted-out",
+		Metric: "kernel-ms", Value: float64(asym.Microseconds()) / 1000, Baseline: float64(off.Microseconds()) / 1000,
+	})
+	return rows, nil
+}
+
+// PrintAblations renders the rows.
+func PrintAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations (design choices from DESIGN.md §5)")
+	fmt.Fprintf(w, "%-20s %-26s %-14s %10s %10s %8s\n", "ablation", "variant", "metric", "value", "baseline", "ratio")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.Baseline != 0 {
+			ratio = r.Value / r.Baseline
+		}
+		fmt.Fprintf(w, "%-20s %-26s %-14s %10.3f %10.3f %7.2fx\n",
+			r.Name, r.Variant, r.Metric, r.Value, r.Baseline, ratio)
+	}
+}

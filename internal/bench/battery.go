@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tinman/internal/apps"
+	"tinman/internal/netsim"
+	"tinman/internal/power"
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+// BatterySample is one point of a Fig 16/17 curve.
+type BatterySample struct {
+	At      time.Duration
+	Percent float64
+}
+
+// BatteryCurve is a labeled series.
+type BatteryCurve struct {
+	Label   string
+	Samples []BatterySample
+}
+
+// Final returns the last sample's percentage.
+func (c BatteryCurve) Final() float64 {
+	if len(c.Samples) == 0 {
+		return 100
+	}
+	return c.Samples[len(c.Samples)-1].Percent
+}
+
+// LoginStress reproduces Fig 16: PayPal login repeated for `total` of
+// virtual time (the paper uses 30 minutes) on Android and on TinMan, with
+// the display on and the battery sampled every `sample` (paper: 10 s).
+// Returns the two curves (baseline first).
+func LoginStress(total, sample time.Duration, seed int64) ([]BatteryCurve, error) {
+	curves := make([]BatteryCurve, 0, 2)
+	for _, tinman := range []bool{false, true} {
+		label := "android"
+		if tinman {
+			label = "tinman"
+		}
+		env, err := apps.NewLoginEnv(apps.EnvConfig{Profile: netsim.WiFi, TinMan: tinman, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		w := env.World
+		// The screen stays on for the whole stress test.
+		w.Display.NoteActive(0, total)
+
+		curve := BatteryCurve{Label: label}
+		record := func() {
+			curve.Samples = append(curve.Samples, BatterySample{At: w.Net.Now(), Percent: w.Battery.PercentAt(w.Net.Now())})
+		}
+		record()
+		lastSample := time.Duration(0)
+		for w.Net.Now() < total {
+			if _, err := env.Login("paypal"); err != nil {
+				return nil, fmt.Errorf("bench: login stress (%s): %v", label, err)
+			}
+			// Catch up on the sampling grid.
+			for lastSample+sample <= w.Net.Now() {
+				lastSample += sample
+				curve.Samples = append(curve.Samples, BatterySample{At: lastSample, Percent: w.Battery.PercentAt(lastSample)})
+			}
+		}
+		record()
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// Fig17Workload is one phase of the tainting-only battery test.
+type Fig17Workload struct {
+	Name string
+	// CPUDuty is the fraction of time the CPU is busy running the app.
+	CPUDuty float64
+	// Kernel drives the actual VM work during busy time (so client-side
+	// tainting has its real effect on how long the work takes).
+	Kernel Kernel
+	// NetEveryPage, when positive, models periodic radio transfers (web
+	// browsing); the duration is per transfer.
+	NetEvery    time.Duration
+	NetDuration time.Duration
+	// ExtraDraw adds a constant component (video decoder).
+	ExtraDraw float64
+}
+
+// Fig17Workloads are the paper's three 10-minute phases: a game
+// (CPU-bound), Wikipedia browsing (network + render), and local 720p video
+// (decoder + display).
+var Fig17Workloads = []Fig17Workload{
+	{Name: "AngryBird", CPUDuty: 0.85, Kernel: Kernel{Name: "game", Method: "loop", Arg: 20000}},
+	{Name: "Wikipedia", CPUDuty: 0.30, Kernel: Kernel{Name: "render", Method: "string", Arg: 1500},
+		NetEvery: 8 * time.Second, NetDuration: 900 * time.Millisecond},
+	{Name: "Video", CPUDuty: 0.10, Kernel: Kernel{Name: "decode", Method: "loop", Arg: 4000},
+		ExtraDraw: power.VideoDecodeW},
+}
+
+// TaintingBattery reproduces Fig 17: three consecutive phases of `phase`
+// each (paper: 10 minutes), with no cor access at all, on a plain device
+// versus one with client-side (asymmetric) tainting always on. The only
+// difference is the tainting slowdown of the CPU-bound work, so the curves
+// should nearly coincide.
+func TaintingBattery(phase, sample time.Duration, seed int64) ([]BatteryCurve, error) {
+	curves := make([]BatteryCurve, 0, 2)
+	for _, pol := range []taint.Policy{taint.Off, taint.Asymmetric} {
+		label := "android"
+		if pol.Name() != taint.Off.Name() {
+			label = "tinman-tainting"
+		}
+
+		// Measure the tainting slowdown of each phase's kernel; the phase
+		// then takes proportionally more CPU-busy time. The untainted
+		// configuration is by definition the baseline (ratio 1); measuring
+		// it against itself would only add timer noise.
+		slow := make([]float64, len(Fig17Workloads))
+		for i, wl := range Fig17Workloads {
+			slow[i] = 1
+			if pol.Name() == taint.Off.Name() {
+				continue
+			}
+			base, err := kernelTime(taint.Off, wl.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			mine, err := kernelTime(pol, wl.Kernel)
+			if err != nil {
+				return nil, err
+			}
+			slow[i] = float64(mine) / float64(base)
+			if slow[i] < 1 {
+				slow[i] = 1
+			}
+		}
+
+		bat := power.NewBattery(power.GalaxyNexusCapacityJ)
+		bat.Attach(power.NewConstant("base", power.BaseIdleW))
+		cpu := power.NewActivity("cpu", power.CPUActiveW, 0)
+		bat.Attach(cpu)
+		radio := power.NewWiFiRadio()
+		bat.Attach(radio)
+		display := power.NewActivity("display", power.DisplayOnW, 0)
+		bat.Attach(display)
+
+		total := phase * time.Duration(len(Fig17Workloads))
+		display.NoteActive(0, total)
+
+		for i, wl := range Fig17Workloads {
+			start := phase * time.Duration(i)
+			busy := time.Duration(float64(phase) * wl.CPUDuty * slow[i])
+			if busy > phase {
+				busy = phase
+			}
+			cpu.NoteActive(start, busy)
+			if wl.NetEvery > 0 {
+				for at := start; at < start+phase; at += wl.NetEvery {
+					radio.NoteTransfer(at, wl.NetDuration)
+				}
+			}
+			if wl.ExtraDraw > 0 {
+				extra := power.NewActivity("decoder-"+wl.Name, wl.ExtraDraw, 0)
+				extra.NoteActive(start, phase)
+				bat.Attach(extra)
+			}
+		}
+
+		curve := BatteryCurve{Label: label}
+		for at := time.Duration(0); at <= total; at += sample {
+			curve.Samples = append(curve.Samples, BatterySample{At: at, Percent: bat.PercentAt(at)})
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}
+
+// kernelTime measures one kernel run under a policy (median-free quick
+// estimate: best of 3).
+func kernelTime(pol taint.Policy, k Kernel) (time.Duration, error) {
+	machine, err := NewCaffeineVM(pol)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := RunKernel(machine, k); err != nil {
+		return 0, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if _, err := RunKernel(machine, k); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// ensure vm import is used even if kernels change.
+var _ vm.Value

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tinman/internal/taint"
+)
+
+// seconds formats a duration like the paper's figures (one decimal).
+func seconds(d time.Duration) string { return fmt.Sprintf("%.2fs", d.Seconds()) }
+
+// PrintFig13 renders the Caffeinemark comparison.
+func PrintFig13(w io.Writer, rows []CaffeineRow) {
+	fmt.Fprintln(w, "Figure 13: Caffeinemark scores (higher is better) and overhead vs original")
+	fmt.Fprintf(w, "%-8s  %12s  %12s %8s  %12s %8s\n", "kernel", "original", "full-taint", "ovh", "asym-taint", "ovh")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s  %12.0f  %12.0f %7.1f%%  %12.0f %7.1f%%\n",
+			r.Kernel, r.Score["off"],
+			r.Score["full"], 100*r.Overhead(taint.Full),
+			r.Score["asymmetric"], 100*r.Overhead(taint.Asymmetric))
+	}
+	full, asym := AverageOverheads(rows)
+	fmt.Fprintf(w, "average overhead: full tainting %.1f%% (paper: 20.1%%), asymmetric %.1f%% (paper: 9.6%%)\n",
+		100*full, 100*asym)
+}
+
+// PrintLogin renders Fig 14 or Fig 15.
+func PrintLogin(w io.Writer, figure string, rows []LoginRow) {
+	fmt.Fprintf(w, "%s: application login latency, after warm-up\n", figure)
+	fmt.Fprintf(w, "%-8s  %10s  %10s  %24s  %8s\n", "app", "original", "tinman", "breakdown (dsm/ssl+tcp/rest)", "overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s  %10s  %10s  %8s %8s %8s  %7.2fx\n",
+			r.App, seconds(r.Baseline), seconds(r.TinMan),
+			seconds(r.DSM), seconds(r.SSLTCP), seconds(r.Rest), r.Overhead())
+	}
+	b, t, d, s := AverageLogin(rows)
+	fmt.Fprintf(w, "average: %s -> %s (dsm %s, ssl/tcp %s)\n", seconds(b), seconds(t), seconds(d), seconds(s))
+}
+
+// PrintTable3 renders the offload-accounting table.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: offloaded code, synchronizations and network consumption per login")
+	fmt.Fprintf(w, "%-8s  %18s  %6s  %12s  %12s\n", "app", "off. code", "syncs", "off. init", "off. dirty")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s  %10d (%4.1f%%)  %6d  %10.1fKB  %10.1fKB\n",
+			r.App, r.OffCalls, 100*r.OffFraction, r.SyncTimes, r.InitKB, r.DirtyKB)
+	}
+}
+
+// PrintBattery renders a Fig 16/17 curve set, sampling the printout to at
+// most 16 points per curve.
+func PrintBattery(w io.Writer, figure string, curves []BatteryCurve) {
+	fmt.Fprintf(w, "%s: battery level over time\n", figure)
+	for _, c := range curves {
+		fmt.Fprintf(w, "%-16s", c.Label)
+		step := len(c.Samples)/16 + 1
+		for i := 0; i < len(c.Samples); i += step {
+			fmt.Fprintf(w, " %5.1f", c.Samples[i].Percent)
+		}
+		fmt.Fprintf(w, "  (final %.1f%%)\n", c.Final())
+	}
+}
+
+// Separator prints a section divider.
+func Separator(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

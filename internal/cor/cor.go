@@ -1,0 +1,224 @@
+// Package cor implements TinMan's Confidential Record abstraction (Table 1
+// of the paper). A cor is a secret — password, bank account, credit card
+// number — whose plaintext exists exclusively on the trusted node. The
+// device holds only a same-sized placeholder tainted with the cor's ID.
+package cor
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"tinman/internal/taint"
+)
+
+// Record is one cor with the five metadata fields of Table 1. The Plaintext
+// field is only ever populated inside the trusted node's Store; Registry
+// entries shared with devices never carry it.
+type Record struct {
+	// ID uniquely names the cor ("citibank-password").
+	ID string
+	// Plaintext is the secret; stored exclusively on the trusted node.
+	Plaintext string
+	// Placeholder is the dummy value stored on devices; it has the same
+	// length as the plaintext (the paper notes the length is therefore not
+	// protected, §5.1).
+	Placeholder string
+	// Description is shown to the user in the selection widget ("My Citi
+	// password").
+	Description string
+	// Whitelist is the set of domains the cor may be sent to; empty means
+	// the cor may never leave the trusted node (e.g. a bitcoin private key,
+	// §3.4).
+	Whitelist []string
+	// Bit is the taint bit assigned at registration.
+	Bit int
+}
+
+// Tag returns the record's taint tag.
+func (r *Record) Tag() taint.Tag { return taint.Bit(r.Bit) }
+
+// Store is the trusted node's cor database: plaintexts, placeholders and
+// taint-bit assignment. It is safe for concurrent use (the standalone
+// tinman-node binary serves multiple device connections).
+type Store struct {
+	mu      sync.RWMutex
+	byID    map[string]*Record
+	byBit   [64]*Record
+	nextBit int
+}
+
+// NewStore creates an empty cor store.
+func NewStore() *Store {
+	return &Store{byID: make(map[string]*Record)}
+}
+
+// Register initializes a cor in a safe environment (§2.3: a one-time
+// effort). The placeholder is generated automatically with the same length
+// as the plaintext. Register fails on duplicate IDs, empty plaintext, or
+// taint-bit exhaustion.
+func (s *Store) Register(id, plaintext, description string, whitelist ...string) (*Record, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cor: empty ID")
+	}
+	if plaintext == "" {
+		return nil, fmt.Errorf("cor: %s: empty plaintext", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byID[id]; dup {
+		return nil, fmt.Errorf("cor: %s already registered", id)
+	}
+	if s.nextBit >= 64 {
+		return nil, fmt.Errorf("cor: taint bits exhausted (max 64 cors per store)")
+	}
+	r := &Record{
+		ID:          id,
+		Plaintext:   plaintext,
+		Placeholder: makePlaceholder(id, len(plaintext)),
+		Description: description,
+		Whitelist:   append([]string(nil), whitelist...),
+		Bit:         s.nextBit,
+	}
+	s.nextBit++
+	s.byID[id] = r
+	s.byBit[r.Bit] = r
+	return r, nil
+}
+
+// GenerateNew mints a fresh random password of length n and registers it —
+// the "Generate New Password" menu entry of §5.4.
+func (s *Store) GenerateNew(id, description string, n int, whitelist ...string) (*Record, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cor: generated password length must be positive")
+	}
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789!#%+:=?@"
+	buf := make([]byte, n)
+	if _, err := rand.Read(buf); err != nil {
+		return nil, fmt.Errorf("cor: generating password: %v", err)
+	}
+	for i, b := range buf {
+		buf[i] = alphabet[int(b)%len(alphabet)]
+	}
+	return s.Register(id, string(buf), description, whitelist...)
+}
+
+// Get returns the record by ID, or nil.
+func (s *Store) Get(id string) *Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byID[id]
+}
+
+// ByBit returns the record assigned the given taint bit, or nil.
+func (s *Store) ByBit(bit int) *Record {
+	if bit < 0 || bit > 63 {
+		return nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.byBit[bit]
+}
+
+// ByTag returns every record whose bit is set in the tag.
+func (s *Store) ByTag(tag taint.Tag) []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Record
+	for _, b := range tag.Bits() {
+		if r := s.byBit[b]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Derive registers a derived cor: a new secret computed on the trusted node
+// from an existing one (e.g. the hash of account/password in §4.1). The
+// derived record inherits the parent's whitelist and taint bit — it is the
+// same secret lineage, observable under the same tag.
+func (s *Store) Derive(parentID, newID, plaintext string) (*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent := s.byID[parentID]
+	if parent == nil {
+		return nil, fmt.Errorf("cor: derive: unknown parent %s", parentID)
+	}
+	if _, dup := s.byID[newID]; dup {
+		return nil, fmt.Errorf("cor: derive: %s already registered", newID)
+	}
+	r := &Record{
+		ID:          newID,
+		Plaintext:   plaintext,
+		Placeholder: makePlaceholder(newID, len(plaintext)),
+		Description: "derived from " + parent.ID,
+		Whitelist:   append([]string(nil), parent.Whitelist...),
+		Bit:         parent.Bit,
+	}
+	s.byID[newID] = r
+	return r, nil
+}
+
+// List returns all records sorted by ID (descriptions feed the device's
+// selection widget).
+func (s *Store) List() []*Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Record, 0, len(s.byID))
+	for _, r := range s.byID {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of registered cors.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// DeviceView is the metadata a device is allowed to see: everything except
+// plaintext. The device uses it to materialize tainted placeholders and to
+// show the selection list.
+type DeviceView struct {
+	ID          string
+	Placeholder string
+	Description string
+	Bit         int
+}
+
+// DeviceViews exports the device-visible catalog.
+func (s *Store) DeviceViews() []DeviceView {
+	recs := s.List()
+	out := make([]DeviceView, len(recs))
+	for i, r := range recs {
+		out[i] = DeviceView{ID: r.ID, Placeholder: r.Placeholder, Description: r.Description, Bit: r.Bit}
+	}
+	return out
+}
+
+// Placeholder derives a deterministic dummy value of length n from the cor
+// ID. Deterministic generation keeps device and node placeholder values
+// identical without shipping secrets: both sides can compute it. Devices use
+// it directly to materialize placeholders for derived cors minted on the
+// trusted node.
+func Placeholder(id string, n int) string { return makePlaceholder(id, n) }
+
+// makePlaceholder is the implementation behind Placeholder.
+func makePlaceholder(id string, n int) string {
+	const marker = "TINMAN-PLACEHOLDER-"
+	var b []byte
+	b = append(b, marker...)
+	seed := []byte(id)
+	for len(b) < n {
+		sum := sha256.Sum256(seed)
+		b = append(b, hex.EncodeToString(sum[:])...)
+		seed = sum[:]
+	}
+	return string(b[:n])
+}

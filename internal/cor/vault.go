@@ -1,0 +1,181 @@
+package cor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The vault is the trusted node's at-rest cor storage: all records,
+// plaintexts included, sealed with AES-256-GCM under a passphrase-derived
+// key. The paper assumes the node's storage is professionally administered
+// (§2.3); encrypting at rest narrows even that trust.
+
+// vaultMagic identifies vault files.
+var vaultMagic = []byte("TINMANVAULT1")
+
+const (
+	vaultSaltLen  = 16
+	vaultNonceLen = 12
+	// kdfIterations hardens the passphrase with iterated hashing. (A
+	// stdlib-only stand-in for a memory-hard KDF; swap for argon2/scrypt
+	// when external dependencies are acceptable.)
+	kdfIterations = 64 * 1024
+)
+
+// vaultRecord is the serialized form of one cor.
+type vaultRecord struct {
+	ID          string   `json:"id"`
+	Plaintext   string   `json:"plaintext"`
+	Description string   `json:"description"`
+	Whitelist   []string `json:"whitelist,omitempty"`
+	Bit         int      `json:"bit"`
+}
+
+// deriveKey stretches a passphrase into an AES-256 key.
+func deriveKey(passphrase string, salt []byte) []byte {
+	key := sha256.Sum256(append([]byte(passphrase), salt...))
+	for i := 0; i < kdfIterations; i++ {
+		key = sha256.Sum256(append(key[:], salt...))
+	}
+	return key[:]
+}
+
+// sealVault encrypts the serialized records.
+func sealVault(plaintext []byte, passphrase string) ([]byte, error) {
+	salt := make([]byte, vaultSaltLen)
+	if _, err := io.ReadFull(rand.Reader, salt); err != nil {
+		return nil, err
+	}
+	block, err := aes.NewCipher(deriveKey(passphrase, salt))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, vaultNonceLen)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	out := append([]byte(nil), vaultMagic...)
+	out = append(out, salt...)
+	out = append(out, nonce...)
+	out = append(out, gcm.Seal(nil, nonce, plaintext, vaultMagic)...)
+	return out, nil
+}
+
+// openVault decrypts a vault blob.
+func openVault(blob []byte, passphrase string) ([]byte, error) {
+	min := len(vaultMagic) + vaultSaltLen + vaultNonceLen
+	if len(blob) < min || string(blob[:len(vaultMagic)]) != string(vaultMagic) {
+		return nil, fmt.Errorf("cor: not a vault file")
+	}
+	blob = blob[len(vaultMagic):]
+	salt, blob := blob[:vaultSaltLen], blob[vaultSaltLen:]
+	nonce, ct := blob[:vaultNonceLen], blob[vaultNonceLen:]
+	block, err := aes.NewCipher(deriveKey(passphrase, salt))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := gcm.Open(nil, nonce, ct, vaultMagic)
+	if err != nil {
+		return nil, fmt.Errorf("cor: vault authentication failed (wrong passphrase or corrupted file)")
+	}
+	return pt, nil
+}
+
+// SaveVault persists every record — plaintexts included — encrypted under
+// the passphrase, atomically.
+func (s *Store) SaveVault(path, passphrase string) error {
+	if passphrase == "" {
+		return fmt.Errorf("cor: vault passphrase must not be empty")
+	}
+	recs := s.List()
+	out := make([]vaultRecord, len(recs))
+	for i, r := range recs {
+		out[i] = vaultRecord{
+			ID: r.ID, Plaintext: r.Plaintext, Description: r.Description,
+			Whitelist: r.Whitelist, Bit: r.Bit,
+		}
+	}
+	plain, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	blob, err := sealVault(plain, passphrase)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o600); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadVault restores records into an empty store. Bits are reassigned in
+// record order; derived records (which share a parent's bit) are re-derived
+// by registering parents first.
+func (s *Store) LoadVault(path, passphrase string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plain, err := openVault(blob, passphrase)
+	if err != nil {
+		return err
+	}
+	var recs []vaultRecord
+	if err := json.Unmarshal(plain, &recs); err != nil {
+		return fmt.Errorf("cor: vault contents corrupt: %v", err)
+	}
+	s.mu.Lock()
+	if len(s.byID) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("cor: LoadVault requires an empty store (have %d records)", len(s.byID))
+	}
+	s.mu.Unlock()
+
+	// Primary records (unique bits) first, in ascending bit order so
+	// sequential re-registration reproduces the original bit assignment —
+	// device placeholders in the field are tainted with those bits.
+	seen := map[int]bool{}
+	var primaries []vaultRecord
+	for _, r := range recs {
+		if !seen[r.Bit] {
+			seen[r.Bit] = true
+			primaries = append(primaries, r)
+		}
+	}
+	sort.Slice(primaries, func(i, j int) bool { return primaries[i].Bit < primaries[j].Bit })
+	for _, r := range primaries {
+		if _, err := s.Register(r.ID, r.Plaintext, r.Description, r.Whitelist...); err != nil {
+			return fmt.Errorf("cor: restoring %s: %v", r.ID, err)
+		}
+	}
+	for _, r := range recs {
+		if s.Get(r.ID) != nil {
+			continue // already registered as a primary
+		}
+		parent := s.ByBit(r.Bit)
+		if parent == nil {
+			return fmt.Errorf("cor: restoring derived %s: no parent with bit %d", r.ID, r.Bit)
+		}
+		if _, err := s.Derive(parent.ID, r.ID, r.Plaintext); err != nil {
+			return fmt.Errorf("cor: restoring derived %s: %v", r.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package cor
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVaultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vault.bin")
+
+	s := NewStore()
+	s.Register("citi-pw", "hunter2!", "citi", "citi.com")
+	s.Register("visa-cc", "4111111111111111", "visa", "shop.com")
+	s.Derive("citi-pw", "citi-pw-hash", "deadbeefcafe")
+
+	if err := s.SaveVault(path, "correct horse"); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore()
+	if err := s2.LoadVault(path, "correct horse"); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("restored %d records", s2.Len())
+	}
+	for _, id := range []string{"citi-pw", "visa-cc", "citi-pw-hash"} {
+		a, b := s.Get(id), s2.Get(id)
+		if b == nil {
+			t.Fatalf("%s missing after restore", id)
+		}
+		if a.Plaintext != b.Plaintext || a.Bit != b.Bit || a.Placeholder != b.Placeholder {
+			t.Fatalf("%s diverged: %+v vs %+v", id, a, b)
+		}
+		if len(a.Whitelist) != len(b.Whitelist) {
+			t.Fatalf("%s whitelist diverged", id)
+		}
+	}
+	// Derived record still shares its parent's bit.
+	if s2.Get("citi-pw-hash").Bit != s2.Get("citi-pw").Bit {
+		t.Fatal("derived bit lost")
+	}
+}
+
+func TestVaultCiphertextHidesSecrets(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vault.bin")
+	s := NewStore()
+	s.Register("pw", "super-secret-password", "")
+	if err := s.SaveVault(path, "key"); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("super-secret-password")) {
+		t.Fatal("plaintext visible in vault file")
+	}
+	if bytes.Contains(blob, []byte(`"id"`)) {
+		t.Fatal("JSON structure visible in vault file")
+	}
+}
+
+func TestVaultWrongPassphrase(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vault.bin")
+	s := NewStore()
+	s.Register("pw", "secret", "")
+	if err := s.SaveVault(path, "right"); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	err := s2.LoadVault(path, "wrong")
+	if err == nil || !strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVaultTamperDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vault.bin")
+	s := NewStore()
+	s.Register("pw", "secret", "")
+	s.SaveVault(path, "key")
+	blob, _ := os.ReadFile(path)
+	blob[len(blob)-1] ^= 0x01
+	os.WriteFile(path, blob, 0o600)
+	if err := NewStore().LoadVault(path, "key"); err == nil {
+		t.Fatal("tampered vault accepted")
+	}
+}
+
+func TestVaultValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.SaveVault(filepath.Join(t.TempDir(), "v"), ""); err == nil {
+		t.Fatal("empty passphrase accepted")
+	}
+	// Not-a-vault file.
+	path := filepath.Join(t.TempDir(), "junk")
+	os.WriteFile(path, []byte("junkjunkjunk"), 0o600)
+	if err := NewStore().LoadVault(path, "k"); err == nil {
+		t.Fatal("junk accepted")
+	}
+	// Non-empty store refuses to load.
+	path2 := filepath.Join(t.TempDir(), "v2")
+	s2 := NewStore()
+	s2.Register("a", "b", "")
+	s2.SaveVault(path2, "k")
+	if err := s2.LoadVault(path2, "k"); err == nil {
+		t.Fatal("load into non-empty store accepted")
+	}
+	// Missing file errors.
+	if err := NewStore().LoadVault(filepath.Join(t.TempDir(), "absent"), "k"); err == nil {
+		t.Fatal("missing vault accepted")
+	}
+}

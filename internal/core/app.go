@@ -1,0 +1,433 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"tinman/internal/cor"
+	"tinman/internal/dsm"
+	"tinman/internal/taint"
+	"tinman/internal/tlssim"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+// deviceNativeNames lists the native methods every app VM provides; the
+// node registers the same names as non-offloadable stubs so its gate can
+// bounce them home (§3.1 case 2).
+var deviceNativeNames = []string{"https_request", "ui_notify"}
+
+// Report accumulates one app's offloading metrics — the raw material for
+// Table 3 and the latency breakdowns of Figs 14/15.
+type Report struct {
+	// Migrations counts device<->node thread round trips.
+	Migrations int
+	// Syncs counts DSM synchronizations in both directions (Table 3
+	// "Sync. Times").
+	Syncs int
+	// InitBytes and DirtyBytes are the initial and subsequent DSM sync
+	// volumes (Table 3 "Off. Init"/"Off. Dirty").
+	InitBytes  int
+	DirtyBytes int
+	// DeviceInstrs/NodeInstrs and DeviceCalls/NodeCalls split execution
+	// between endpoints (Table 3 "Off. Code" = NodeCalls fraction).
+	DeviceInstrs uint64
+	NodeInstrs   uint64
+	DeviceCalls  uint64
+	NodeCalls    uint64
+	// DSMTime is virtual time spent in DSM migration round trips; SSLTime
+	// is virtual time in SSL session injection + TCP payload replacement
+	// signaling; Total is end-to-end for the last Run.
+	DSMTime time.Duration
+	SSLTime time.Duration
+	Total   time.Duration
+}
+
+// OffloadedFraction returns NodeCalls / (NodeCalls + DeviceCalls).
+func (r *Report) OffloadedFraction() float64 {
+	total := r.NodeCalls + r.DeviceCalls
+	if total == 0 {
+		return 0
+	}
+	return float64(r.NodeCalls) / float64(total)
+}
+
+// App is one installed application: a device VM half plus (when TinMan is
+// enabled) a trusted-node VM half behind the control plane.
+type App struct {
+	Name string
+	dev  *Device
+
+	prog    *vm.Program
+	hash    string
+	machine *vm.VM
+	ep      *dsm.Endpoint
+	locks   *dsm.LockTable
+
+	lastTrigger taint.Tag
+	Report      Report
+}
+
+// Hash returns the app's dex hash.
+func (a *App) Hash() string { return a.hash }
+
+// Program returns the device-side program.
+func (a *App) Program() *vm.Program { return a.prog }
+
+// VM returns the device-side VM (examples use it to inspect the heap).
+func (a *App) VM() *vm.VM { return a.machine }
+
+// InstallOpts tunes one app's installation.
+type InstallOpts struct {
+	// FrameworkHeapKB sizes the preallocated framework state, which governs
+	// the initial DSM sync volume.
+	FrameworkHeapKB int
+	// Policy overrides the device-wide taint policy for this app — the
+	// selective-tainting optimization of §3.5 ("enables tainting only for
+	// certain security critical apps"). nil inherits the device policy.
+	// An app running Off cannot use cors (its placeholder accesses would go
+	// unnoticed), so only non-critical apps should opt out.
+	Policy *taint.Policy
+}
+
+// InstallApp assembles the app on the device and, when TinMan is enabled,
+// ships its source to the trusted node (the warm-up dex transfer of §6.2).
+// frameworkHeapKB sizes the preallocated framework state, which governs the
+// initial DSM sync volume.
+func (d *Device) InstallApp(name, source string, frameworkHeapKB int) (*App, error) {
+	return d.InstallAppOpts(name, source, InstallOpts{FrameworkHeapKB: frameworkHeapKB})
+}
+
+// InstallAppOpts is InstallApp with per-app options.
+func (d *Device) InstallAppOpts(name, source string, opts InstallOpts) (*App, error) {
+	if _, dup := d.apps[name]; dup {
+		return nil, fmt.Errorf("core: app %q already installed", name)
+	}
+	prog, err := asm.Assemble(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("core: installing %s: %v", name, err)
+	}
+	pol := d.policy
+	if opts.Policy != nil {
+		pol = *opts.Policy
+	}
+	frameworkHeapKB := opts.FrameworkHeapKB
+	machine := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: pol})
+	app := &App{Name: name, dev: d, prog: prog, hash: prog.Hash(), machine: machine}
+	app.ep = dsm.NewEndpoint(dsm.DeviceSide, machine, &deviceResolver{dev: d})
+	app.locks = dsm.NewLockTable()
+	registerDeviceNatives(app)
+
+	machine.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool {
+		app.lastTrigger = tag
+		return d.w.enabled
+	}
+	machine.Hooks.OnMonitorEnter = func(o *vm.Object) bool {
+		return !app.locks.Acquire(o.ID, dsm.DeviceSide)
+	}
+	machine.Hooks.OnMonitorExit = func(o *vm.Object) { app.locks.Release(o.ID) }
+
+	// Framework heap: the app/framework state that the first offload must
+	// ship wholesale (Table 3 "Off. Init").
+	const chunk = 256
+	for i := 0; i < frameworkHeapKB*1024/chunk; i++ {
+		machine.NewString(strings.Repeat("f", chunk-24))
+	}
+
+	if d.w.enabled {
+		payload, err := json.Marshal(installRequest{Name: name, Source: source, DeviceID: d.ID})
+		if err != nil {
+			return nil, err
+		}
+		reply, err := d.request(frame{Type: msgInstall, Payload: payload})
+		if err != nil {
+			return nil, err
+		}
+		if reply.Type == msgDenied {
+			return nil, fmt.Errorf("core: node rejected %s: %s", name, reply.Payload)
+		}
+		if reply.Type != msgInstallOK || string(reply.Payload) != app.hash {
+			return nil, fmt.Errorf("core: dex hash mismatch installing %s", name)
+		}
+		d.w.Node.SetAppLocks(name, app.locks)
+	}
+	d.apps[name] = app
+	return app, nil
+}
+
+// CorArg materializes a cor argument for an app invocation — the user
+// picking an entry from the selection widget (§4.1). With TinMan enabled it
+// returns a tainted placeholder; with TinMan disabled (the baseline) it
+// returns the plaintext from Config.BaselinePlaintexts, which is what an
+// unprotected phone would hold.
+func (d *Device) CorArg(a *App, corID string) (vm.Value, error) {
+	if !d.w.enabled {
+		pt, ok := d.baseline[corID]
+		if !ok {
+			return vm.Value{}, fmt.Errorf("core: baseline plaintext for %q not provided", corID)
+		}
+		return vm.RefVal(a.machine.NewString(pt)), nil
+	}
+	view, ok := d.catalog[corID]
+	if !ok {
+		return vm.Value{}, fmt.Errorf("core: cor %q not in catalog", corID)
+	}
+	obj := a.machine.NewTaintedString(view.Placeholder, taint.Bit(view.Bit))
+	obj.CorID = view.ID
+	return vm.RefVal(obj), nil
+}
+
+// StringArg materializes an ordinary (untainted) string argument.
+func (d *Device) StringArg(a *App, s string) vm.Value {
+	return vm.RefVal(a.machine.NewString(s))
+}
+
+// Run executes Class.method with the given arguments, driving the on-demand
+// offloading loop until the thread completes.
+func (a *App) Run(class, method string, args ...vm.Value) (vm.Value, error) {
+	m := a.prog.Method(class, method)
+	if m == nil {
+		return vm.Value{}, fmt.Errorf("core: %s has no method %s.%s", a.Name, class, method)
+	}
+	th, err := a.machine.NewThread(m, args...)
+	if err != nil {
+		return vm.Value{}, err
+	}
+	start := a.dev.w.Net.Now()
+	defer func() { a.Report.Total = a.dev.w.Net.Now() - start }()
+
+	for {
+		before := a.machine.Instrs
+		stop, err := th.Run()
+		a.dev.w.advanceCompute(true, a.machine.Instrs-before)
+		a.Report.DeviceInstrs = a.machine.Instrs
+		a.Report.DeviceCalls = a.machine.Calls
+		if err != nil {
+			return vm.Value{}, err
+		}
+		switch stop {
+		case vm.StopDone:
+			return th.Result, nil
+		case vm.StopMigrateTaint, vm.StopMigrateLock:
+			next, result, done, err := a.offload(th, stop)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			if done {
+				return result, nil
+			}
+			th = next
+		case vm.StopLimit:
+			return vm.Value{}, fmt.Errorf("core: %s.%s exceeded the instruction budget", class, method)
+		default:
+			return vm.Value{}, fmt.Errorf("core: unexpected device stop %v", stop)
+		}
+	}
+}
+
+// offload performs one device->node->device DSM round trip. It returns the
+// continued thread, or the final result if the thread completed remotely.
+func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value, bool, error) {
+	if !a.dev.w.enabled {
+		return nil, vm.Value{}, false, fmt.Errorf("core: offload requested but TinMan is disabled")
+	}
+	w := a.dev.w
+	t0 := w.Net.Now()
+
+	mig, err := a.ep.CaptureMigration(th, reason)
+	if err != nil {
+		return nil, vm.Value{}, false, err
+	}
+	mig.TriggerTag = uint64(a.lastTrigger)
+	wire := mig.Encode()
+	// Serialization is device CPU work.
+	w.advanceDeviceWork(time.Duration(int64(len(wire)) * w.Cost.SerializeNsPerByte))
+
+	env, err := json.Marshal(migrationEnvelope{App: a.Name, Bytes: wire})
+	if err != nil {
+		return nil, vm.Value{}, false, err
+	}
+	reply, err := a.dev.request(frame{Type: msgMigration, Payload: env})
+	if err != nil {
+		return nil, vm.Value{}, false, err
+	}
+	if reply.Type == msgDenied {
+		return nil, vm.Value{}, false, fmt.Errorf("core: trusted node denied offload: %s", reply.Payload)
+	}
+	if reply.Type != msgMigration {
+		return nil, vm.Value{}, false, fmt.Errorf("core: unexpected reply type %d to migration", reply.Type)
+	}
+	var renv migrationEnvelope
+	if err := json.Unmarshal(reply.Payload, &renv); err != nil {
+		return nil, vm.Value{}, false, err
+	}
+	back, err := dsm.DecodeMigration(renv.Bytes)
+	if err != nil {
+		return nil, vm.Value{}, false, err
+	}
+	// Deserialization is device CPU work too.
+	w.advanceDeviceWork(time.Duration(int64(len(renv.Bytes)) * w.Cost.SerializeNsPerByte))
+	next, err := a.ep.ApplyMigration(back)
+	if err != nil {
+		return nil, vm.Value{}, false, err
+	}
+
+	a.Report.Migrations++
+	a.Report.Syncs = a.ep.Stats.Syncs
+	a.Report.InitBytes = a.ep.Stats.InitBytes
+	a.Report.DirtyBytes = a.ep.Stats.DirtyBytes
+	if renv.Stats != nil {
+		a.Report.NodeInstrs = renv.Stats.Instrs
+		a.Report.NodeCalls = renv.Stats.Calls
+		a.Report.Syncs += renv.Stats.Syncs
+		a.Report.InitBytes += renv.Stats.InitBytes
+		a.Report.DirtyBytes += renv.Stats.DirtyBytes
+	}
+	a.Report.DSMTime += w.Net.Now() - t0
+
+	if back.Reason == vm.StopDone {
+		result, err := a.ep.DecodeResult(back)
+		if err != nil {
+			return nil, vm.Value{}, false, err
+		}
+		return nil, result, true, nil
+	}
+	if next == nil {
+		return nil, vm.Value{}, false, fmt.Errorf("core: node returned %v without a thread", back.Reason)
+	}
+	return next, vm.Value{}, false, nil
+}
+
+// deviceResolver adapts the catalog to the DSM resolver interface.
+type deviceResolver struct {
+	dev *Device
+}
+
+// Fill returns placeholders: known cors from the catalog, derived cors via
+// the deterministic same-length generator.
+func (r *deviceResolver) Fill(id string, length int) (string, taint.Tag, bool) {
+	if v, ok := r.dev.catalog[id]; ok {
+		return v.Placeholder, taint.Bit(v.Bit), true
+	}
+	return cor.Placeholder(id, length), taint.None, true
+}
+
+// MaskID refuses: the device can never mint cor IDs, and under asymmetric
+// tainting no maskable string should ever originate here.
+func (r *deviceResolver) MaskID(o *vm.Object) string { return "" }
+
+// registerDeviceNatives installs the device-side native methods on an app's
+// VM.
+func registerDeviceNatives(a *App) {
+	a.machine.RegisterNative(&vm.NativeDef{
+		Name:        "https_request",
+		Offloadable: false,
+		Fn:          a.nativeHTTPSRequest,
+	})
+	a.machine.RegisterNative(&vm.NativeDef{
+		Name:        "ui_notify",
+		Offloadable: false,
+		Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			// Rendering a toast costs a little display work.
+			a.dev.w.Display.NoteActive(a.dev.w.Net.Now(), 50*time.Millisecond)
+			return vm.NullVal(), nil
+		},
+	})
+}
+
+// nativeHTTPSRequest implements https_request(host, request) -> response.
+// Untainted requests go straight out over the app's TLS session. Tainted
+// requests take the TinMan path: SSL session injection (§3.2) followed by a
+// marked record that the egress filter redirects for payload replacement
+// (§3.3).
+func (a *App) nativeHTTPSRequest(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+	if len(args) != 2 {
+		return vm.Value{}, fmt.Errorf("https_request takes (host, request)")
+	}
+	hostObj, reqObj := args[0].Ref, args[1].Ref
+	if hostObj == nil || reqObj == nil {
+		return vm.Value{}, fmt.Errorf("https_request with null argument")
+	}
+	d := a.dev
+	w := d.w
+	hc, err := d.httpsDial(hostObj.Str)
+	if err != nil {
+		return vm.Value{}, err
+	}
+
+	tainted := !reqObj.Tag.Empty() || reqObj.CorID != ""
+	if tainted && !w.enabled {
+		return vm.Value{}, fmt.Errorf("https_request: tainted payload without TinMan")
+	}
+
+	var rec []byte
+	if tainted {
+		t0 := w.Net.Now()
+		if reqObj.CorID == "" {
+			return vm.Value{}, fmt.Errorf("https_request: tainted request has no cor identity")
+		}
+		// Extracting session state from the SSL library and arming the
+		// filter is device work (§3.6).
+		w.advanceDeviceWork(w.Cost.SSLStateSetup)
+		// Step 1 (fig 8): ship the SSL session state to the trusted node.
+		stBytes, err := hc.sess.Export().Marshal()
+		if err != nil {
+			return vm.Value{}, err
+		}
+		inj := injectRequest{
+			App:        a.Name,
+			CorID:      reqObj.CorID,
+			Domain:     hc.domain,
+			ServerAddr: hc.addr,
+			ServerPort: hc.port,
+			ClientPort: hc.tcp.LocalPort(),
+			State:      stBytes,
+		}
+		payload, err := json.Marshal(inj)
+		if err != nil {
+			return vm.Value{}, err
+		}
+		reply, err := d.request(frame{Type: msgSSLInject, Payload: payload})
+		if err != nil {
+			return vm.Value{}, err
+		}
+		if reply.Type == msgDenied {
+			return vm.Value{}, fmt.Errorf("https_request: %s", reply.Payload)
+		}
+		if reply.Type != msgSSLInjectOK {
+			return vm.Value{}, fmt.Errorf("https_request: unexpected inject reply %d", reply.Type)
+		}
+		// Steps 2–3: seal the placeholder under the mark and let the filter
+		// redirect it.
+		if err := d.ensureFilter(); err != nil {
+			return vm.Value{}, err
+		}
+		rec, err = hc.sess.Seal(tlssim.TypeMarkedCor, []byte(reqObj.Str))
+		if err != nil {
+			return vm.Value{}, err
+		}
+		a.Report.SSLTime += w.Net.Now() - t0
+	} else {
+		rec, err = hc.sess.Seal(tlssim.TypeApplicationData, []byte(reqObj.Str))
+		if err != nil {
+			return vm.Value{}, err
+		}
+	}
+	if tainted && len(rec) > 1400 {
+		return vm.Value{}, fmt.Errorf("https_request: marked record (%dB) exceeds one segment", len(rec))
+	}
+
+	if err := hc.tcp.Write(rec); err != nil {
+		return vm.Value{}, err
+	}
+	w.noteDeviceTransfer(len(rec))
+
+	resp, err := hc.awaitRecord(w.Net)
+	if err != nil {
+		return vm.Value{}, err
+	}
+	w.noteDeviceTransfer(len(resp) + 5)
+	return vm.RefVal(a.machine.NewString(string(resp))), nil
+}

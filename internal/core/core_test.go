@@ -1,0 +1,311 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tinman/internal/netsim"
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+const tinyApp = `
+class Tiny
+  method double 1 4
+    const r1, 2
+    mul r2, r0, r1
+    return r2
+  end
+  method touch 1 4
+    const r1, 0
+    charat r2, r0, r1
+    return r2
+  end
+  method notify 0 2
+    native r0, ui_notify
+    const r1, 7
+    return r1
+  end
+end`
+
+func newTestWorld(t *testing.T, enabled bool) *World {
+	t.Helper()
+	w, err := NewWorld(Config{Seed: 1, Profile: netsim.WiFi, TinManEnabled: enabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestFrameEncoding(t *testing.T) {
+	f := EncodeFrame(msgCatalog, []byte("payload"))
+	var r FrameReader
+	r.Feed(f[:3]) // partial
+	if _, ok, _ := r.Next(); ok {
+		t.Fatal("partial frame parsed")
+	}
+	r.Feed(f[3:])
+	got, ok, err := r.Next()
+	if err != nil || !ok || got.Type != msgCatalog || string(got.Payload) != "payload" {
+		t.Fatalf("frame = %+v ok=%v err=%v", got, ok, err)
+	}
+	// Garbage length rejected.
+	var r2 FrameReader
+	r2.Feed([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	if _, _, err := r2.Next(); err == nil {
+		t.Fatal("implausible frame length accepted")
+	}
+}
+
+func TestFrameReaderRest(t *testing.T) {
+	var r FrameReader
+	f := EncodeFrame(1, []byte("a"))
+	r.Feed(append(append([]byte(nil), f...), 'X', 'Y'))
+	if _, ok, _ := r.Next(); !ok {
+		t.Fatal("frame not parsed")
+	}
+	if string(r.Rest()) != "XY" {
+		t.Fatalf("rest = %q", r.Rest())
+	}
+}
+
+func TestWorldDefaults(t *testing.T) {
+	w := newTestWorld(t, true)
+	if !w.TinManEnabled() {
+		t.Fatal("enabled flag lost")
+	}
+	if w.Profile().Name != "wifi" {
+		t.Fatalf("profile = %s", w.Profile().Name)
+	}
+	if w.Cost.DeviceNsPerInstr == 0 || w.Cost.ServerProcessing == 0 {
+		t.Fatal("cost model not defaulted")
+	}
+	if w.Device == nil || w.Node == nil || w.Battery == nil {
+		t.Fatal("world incomplete")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	w := newTestWorld(t, false)
+	w.AddServerHost("x.example", "192.0.2.1")
+	addr, err := w.Resolve("x.example")
+	if err != nil || addr != "192.0.2.1" {
+		t.Fatalf("resolve = %q, %v", addr, err)
+	}
+	if _, err := w.Resolve("nope.example"); err == nil {
+		t.Fatal("unknown domain resolved")
+	}
+	if got := w.ReverseResolve("192.0.2.1"); got != "x.example" {
+		t.Fatalf("reverse = %q", got)
+	}
+	if got := w.ReverseResolve("203.0.113.9"); got != "203.0.113.9" {
+		t.Fatalf("reverse of unknown = %q", got)
+	}
+}
+
+func TestInstallAndRunLocal(t *testing.T) {
+	// With TinMan disabled, apps run entirely on the device.
+	w := newTestWorld(t, false)
+	app, err := w.Device.InstallApp("tiny", tinyApp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := app.Run("Tiny", "double", vm.IntVal(21))
+	if err != nil || res.Int != 42 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if app.Report.Migrations != 0 {
+		t.Fatal("baseline migrated")
+	}
+	if app.Report.Total <= 0 {
+		t.Fatal("no virtual time accounted")
+	}
+}
+
+func TestInstallDuplicateFails(t *testing.T) {
+	w := newTestWorld(t, false)
+	if _, err := w.Device.InstallApp("tiny", tinyApp, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Device.InstallApp("tiny", tinyApp, 8); err == nil {
+		t.Fatal("duplicate install accepted")
+	}
+}
+
+func TestInstallBadSourceFails(t *testing.T) {
+	w := newTestWorld(t, false)
+	if _, err := w.Device.InstallApp("bad", "garbage", 8); err == nil {
+		t.Fatal("bad source installed")
+	}
+}
+
+func TestOffloadTouchingCor(t *testing.T) {
+	w := newTestWorld(t, true)
+	if _, err := w.Node.RegisterCor("pw", "secret12", "test pw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Device.RefreshCatalog(); err != nil {
+		t.Fatal(err)
+	}
+	app, err := w.Device.InstallApp("tiny", tinyApp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Node.BindApp("pw", app.Hash())
+	pw, err := w.Device.CorArg(app, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// touch reads the first character of the password: offloads, computes
+	// on the node with the plaintext, and the result (a tainted primitive)
+	// comes back masked.
+	res, err := app.Run("Tiny", "touch", pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Report.Migrations == 0 {
+		t.Fatal("no offload happened")
+	}
+	if res.Int == int64('s') && res.Tag.Empty() {
+		t.Fatal("plaintext first byte returned to device untainted")
+	}
+}
+
+func TestNativeBouncesFromNode(t *testing.T) {
+	w := newTestWorld(t, true)
+	app, err := w.Device.InstallApp("tiny", tinyApp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// notify never touches a cor: runs locally, native executes on device.
+	res, err := app.Run("Tiny", "notify")
+	if err != nil || res.Int != 7 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if app.Report.Migrations != 0 {
+		t.Fatal("untainted run should not migrate")
+	}
+}
+
+func TestCorArgRequiresCatalogOrBaseline(t *testing.T) {
+	w := newTestWorld(t, true)
+	app, _ := w.Device.InstallApp("tiny", tinyApp, 8)
+	if _, err := w.Device.CorArg(app, "nope"); err == nil {
+		t.Fatal("unknown cor materialized")
+	}
+
+	wb := newTestWorld(t, false)
+	appb, _ := wb.Device.InstallApp("tiny", tinyApp, 8)
+	if _, err := wb.Device.CorArg(appb, "pw"); err == nil {
+		t.Fatal("baseline without plaintext materialized a cor")
+	}
+}
+
+func TestBaselineCorArgIsPlaintext(t *testing.T) {
+	w, err := NewWorld(Config{
+		Seed: 2, TinManEnabled: false,
+		BaselinePlaintexts: map[string]string{"pw": "real-secret"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := w.Device.InstallApp("tiny", tinyApp, 8)
+	v, err := w.Device.CorArg(app, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Ref.Str != "real-secret" || !v.Ref.Tag.Empty() {
+		t.Fatalf("baseline cor = %v", v.Ref)
+	}
+}
+
+func TestMaliciousAppRefusedAtInstall(t *testing.T) {
+	// An app whose dex hash is in the malware DB is rejected when shipped
+	// to the node (§3.4).
+	w := newTestWorld(t, true)
+	app, err := w.Device.InstallApp("tiny", tinyApp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison the DB with this exact hash, then try installing a renamed
+	// copy (same code => same hash).
+	w.Node.Malware.Add(app.Hash(), "TestTrojan")
+	_, err = w.Device.InstallApp("tiny2", tinyApp, 8)
+	if err == nil || !strings.Contains(err.Error(), "malware") {
+		t.Fatalf("err = %v, want malware rejection", err)
+	}
+}
+
+func TestOfflineDeviceFailsClosed(t *testing.T) {
+	// §5.4 connectivity requirement: with the node unreachable, cor access
+	// fails with a clear error instead of falling back to anything unsafe.
+	w := newTestWorld(t, true)
+	if _, err := w.Node.RegisterCor("pw", "secret12", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Device.RefreshCatalog(); err != nil {
+		t.Fatal(err)
+	}
+	app, _ := w.Device.InstallApp("tiny", tinyApp, 8)
+	w.Node.BindApp("pw", app.Hash())
+	pw, _ := w.Device.CorArg(app, "pw")
+
+	// Sever the control connection ("during a flight").
+	w.Device.ctrl.Abort()
+	w.Net.RunFor(100 * time.Millisecond)
+
+	_, err := app.Run("Tiny", "touch", pw)
+	if err == nil {
+		t.Fatal("offline cor access succeeded")
+	}
+	// And the placeholder is all the device ever had.
+	if pw.Ref.Str == "secret12" || !strings.HasPrefix(pw.Ref.Str, "TINMAN-P") {
+		t.Fatalf("device holds %q, want a placeholder", pw.Ref.Str)
+	}
+}
+
+func TestSelectiveTainting(t *testing.T) {
+	// §3.5: "adopt selectively tainting, which enables tainting only for
+	// certain security critical apps". A device configured with the Off
+	// policy runs apps untainted; cors cannot be used there.
+	w, err := NewWorld(Config{Seed: 3, TinManEnabled: true, DevicePolicy: taint.Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := w.Device.InstallApp("tiny", tinyApp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := app.Run("Tiny", "double", vm.IntVal(5))
+	if err != nil || res.Int != 10 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	if app.Report.Migrations != 0 {
+		t.Fatal("untainted app migrated")
+	}
+	if !app.VM().Tracking() == false {
+		t.Fatal("device VM should not be tracking")
+	}
+}
+
+func TestReportOffloadedFraction(t *testing.T) {
+	r := Report{DeviceCalls: 90, NodeCalls: 10}
+	if f := r.OffloadedFraction(); f != 0.1 {
+		t.Fatalf("fraction = %v", f)
+	}
+	var empty Report
+	if empty.OffloadedFraction() != 0 {
+		t.Fatal("empty report fraction")
+	}
+}
+
+func TestCostModelDefaults(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.NodeNsPerInstr >= cm.DeviceNsPerInstr {
+		t.Fatal("node should be faster than device")
+	}
+	if cm.SSLStateSetup <= 0 || cm.NodeInjectSetup <= 0 {
+		t.Fatal("SSL cost knobs unset")
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"tinman/internal/cor"
+	"tinman/internal/netsim"
+	"tinman/internal/taint"
+	"tinman/internal/tcpsim"
+	"tinman/internal/tlssim"
+)
+
+// Handshake frame types for TLS-over-TCP between the device (or any client)
+// and origin servers. Exported so the apps package speaks the same
+// conventions.
+const (
+	HSClientHello uint8 = 0x21
+	HSServerHello uint8 = 0x22
+	HSKeyExchange uint8 = 0x23
+)
+
+// Device is the mobile side: per-app VMs with asymmetric tainting,
+// placeholder materialization, the control-plane client, the modified SSL
+// library (TLS ≥ 1.1 enforced) and the marked-record egress filter.
+type Device struct {
+	w      *World
+	ID     string
+	Host   *netsim.Host
+	Stack  *tcpsim.Stack
+	policy taint.Policy
+
+	ctrl       *tcpsim.Conn
+	ctrlReader frameReader
+	ctrlQueue  []frame
+
+	catalog  map[string]cor.DeviceView
+	https    map[string]*httpsConn
+	baseline map[string]string
+	apps     map[string]*App
+
+	filterInstalled bool
+}
+
+func newDevice(w *World, host *netsim.Host, id string, pol taint.Policy, baseline map[string]string) *Device {
+	return &Device{
+		w:        w,
+		ID:       id,
+		Host:     host,
+		Stack:    tcpsim.NewStack(w.Net, host),
+		policy:   pol,
+		catalog:  make(map[string]cor.DeviceView),
+		https:    make(map[string]*httpsConn),
+		baseline: baseline,
+		apps:     make(map[string]*App),
+	}
+}
+
+// connectControl dials the trusted node's control port and fetches the cor
+// catalog.
+func (d *Device) connectControl() error {
+	c, err := d.Stack.Dial(NodeAddr, ControlPort)
+	if err != nil {
+		return err
+	}
+	if !d.w.Net.RunUntil(c.Established) {
+		return fmt.Errorf("core: device: control connection never established")
+	}
+	d.ctrl = c
+	return d.RefreshCatalog()
+}
+
+// RefreshCatalog re-fetches the device-visible cor views; call after
+// registering new cors on the node.
+func (d *Device) RefreshCatalog() error {
+	reply, err := d.request(frame{Type: msgCatalog})
+	if err != nil {
+		return err
+	}
+	if reply.Type != msgCatalogReply {
+		return fmt.Errorf("core: device: unexpected catalog reply type %d", reply.Type)
+	}
+	var views []cor.DeviceView
+	if err := json.Unmarshal(reply.Payload, &views); err != nil {
+		return err
+	}
+	for _, v := range views {
+		d.catalog[v.ID] = v
+	}
+	return nil
+}
+
+// Catalog lists the cor descriptions the selection widget shows (§4.1).
+func (d *Device) Catalog() []cor.DeviceView {
+	out := make([]cor.DeviceView, 0, len(d.catalog))
+	for _, v := range d.catalog {
+		out = append(out, v)
+	}
+	return out
+}
+
+// pump drains control-connection bytes into parsed frames.
+func (d *Device) pump() error {
+	if d.ctrl == nil || d.ctrl.Readable() == 0 {
+		return nil
+	}
+	d.ctrlReader.feed(d.ctrl.Read(0))
+	for {
+		f, ok, err := d.ctrlReader.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		d.ctrlQueue = append(d.ctrlQueue, f)
+	}
+}
+
+// request performs a synchronous control round trip, stepping the
+// simulation until the node's reply arrives.
+func (d *Device) request(f frame) (frame, error) {
+	if d.ctrl == nil {
+		return frame{}, fmt.Errorf("core: device: control plane not connected (TinMan disabled?)")
+	}
+	wire := encodeFrame(f)
+	if err := d.ctrl.Write(wire); err != nil {
+		return frame{}, err
+	}
+	d.w.noteDeviceTransfer(len(wire))
+	waitStart := d.w.Net.Now()
+	var pumpErr error
+	ok := d.w.Net.RunUntil(func() bool {
+		if err := d.pump(); err != nil {
+			pumpErr = err
+			return true
+		}
+		return len(d.ctrlQueue) > 0
+	})
+	if pumpErr != nil {
+		return frame{}, pumpErr
+	}
+	if !ok || len(d.ctrlQueue) == 0 {
+		return frame{}, fmt.Errorf("core: device: control request timed out (message %d)", f.Type)
+	}
+	reply := d.ctrlQueue[0]
+	d.ctrlQueue = d.ctrlQueue[1:]
+	d.w.noteDeviceTransfer(len(reply.Payload) + 5)
+	// The COMET client does not sleep while the node works: the DSM thread
+	// polls the socket and services GC/bookkeeping, keeping the CPU at
+	// partial duty for the whole wait.
+	if wait := d.w.Net.Now() - waitStart; wait > 0 {
+		d.w.CPU.NoteActive(waitStart, wait/2)
+	}
+	return reply, nil
+}
+
+// --- HTTPS client (the "modified SSL library") ---
+
+// httpsConn is an established TLS session to an origin server.
+type httpsConn struct {
+	domain string
+	addr   string
+	port   uint16
+	tcp    *tcpsim.Conn
+	sess   *tlssim.Session
+	buf    []byte
+}
+
+// httpsDial returns a cached TLS connection to the domain, establishing TCP
+// and the TLS handshake on first use. The client config enforces TLS ≥ 1.1
+// when TinMan is enabled (§3.2).
+func (d *Device) httpsDial(domain string) (*httpsConn, error) {
+	if hc, ok := d.https[domain]; ok && hc.tcp.Established() {
+		return hc, nil
+	}
+	addr, err := d.w.Resolve(domain)
+	if err != nil {
+		return nil, err
+	}
+	const port = 443
+	tcp, err := d.Stack.Dial(addr, port)
+	if err != nil {
+		return nil, err
+	}
+	if !d.w.Net.RunUntil(tcp.Established) {
+		return nil, fmt.Errorf("core: device: TCP to %s never established", domain)
+	}
+
+	minVer := tlssim.Version(0)
+	if d.w.enabled {
+		minVer = tlssim.TLS11
+	}
+	ch, cst, err := tlssim.NewClientHello(tlssim.ClientConfig{MinVersion: minVer})
+	if err != nil {
+		return nil, err
+	}
+	hc := &httpsConn{domain: domain, addr: addr, port: port, tcp: tcp}
+	chJSON, _ := json.Marshal(ch)
+	if err := tcp.Write(EncodeFrame(HSClientHello, chJSON)); err != nil {
+		return nil, err
+	}
+	d.w.noteDeviceTransfer(len(chJSON))
+
+	shFrame, err := hc.awaitFrame(d.w.Net)
+	if err != nil {
+		return nil, fmt.Errorf("core: device: handshake with %s: %v", domain, err)
+	}
+	if shFrame.Type != HSServerHello {
+		return nil, fmt.Errorf("core: device: %s sent %d, want ServerHello", domain, shFrame.Type)
+	}
+	var sh tlssim.ServerHello
+	if err := json.Unmarshal(shFrame.Payload, &sh); err != nil {
+		return nil, err
+	}
+	cke, sess, err := tlssim.ClientFinish(cst, &sh)
+	if err != nil {
+		return nil, fmt.Errorf("core: device: handshake with %s: %v", domain, err)
+	}
+	ckeJSON, _ := json.Marshal(cke)
+	if err := tcp.Write(EncodeFrame(HSKeyExchange, ckeJSON)); err != nil {
+		return nil, err
+	}
+	d.w.noteDeviceTransfer(len(ckeJSON))
+	hc.sess = sess
+	d.https[domain] = hc
+	return hc, nil
+}
+
+// awaitFrame steps the simulation until one handshake frame arrives.
+func (hc *httpsConn) awaitFrame(n *netsim.Net) (frame, error) {
+	var r frameReader
+	r.buf = hc.buf
+	var got frame
+	var ferr error
+	ok := n.RunUntil(func() bool {
+		if hc.tcp.Readable() > 0 {
+			r.feed(hc.tcp.Read(0))
+		}
+		f, ok, err := r.next()
+		if err != nil {
+			ferr = err
+			return true
+		}
+		if ok {
+			got = f
+			return true
+		}
+		return hc.tcp.Closed()
+	})
+	hc.buf = r.buf
+	if ferr != nil {
+		return frame{}, ferr
+	}
+	if !ok || got.Type == 0 {
+		return frame{}, fmt.Errorf("handshake frame never arrived")
+	}
+	return got, nil
+}
+
+// awaitRecord steps the simulation until a complete TLS record arrives, and
+// opens it.
+func (hc *httpsConn) awaitRecord(n *netsim.Net) ([]byte, error) {
+	complete := func() bool {
+		if len(hc.buf) < 5 {
+			return false
+		}
+		need := 5 + int(uint16(hc.buf[3])<<8|uint16(hc.buf[4]))
+		return len(hc.buf) >= need
+	}
+	ok := n.RunUntil(func() bool {
+		if hc.tcp.Readable() > 0 {
+			hc.buf = append(hc.buf, hc.tcp.Read(0)...)
+		}
+		return complete() || hc.tcp.Closed()
+	})
+	if !ok && !complete() {
+		return nil, fmt.Errorf("core: device: response from %s never arrived", hc.domain)
+	}
+	if !complete() {
+		return nil, fmt.Errorf("core: device: connection to %s closed mid-record", hc.domain)
+	}
+	_, plaintext, rest, err := hc.sess.Open(hc.buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: device: opening record from %s: %v", hc.domain, err)
+	}
+	hc.buf = append([]byte(nil), rest...)
+	return plaintext, nil
+}
+
+// ensureFilter installs the marked-record redirect rule (the iptables rule
+// of §3.6).
+func (d *Device) ensureFilter() error {
+	if d.filterInstalled {
+		return nil
+	}
+	if err := d.Stack.AddEgressRule(tcpsim.MarkedRecordRule(byte(tlssim.TypeMarkedCor), NodeAddr)); err != nil {
+		return err
+	}
+	d.filterInstalled = true
+	return nil
+}

@@ -1,0 +1,101 @@
+// Package core is TinMan's orchestration layer: it wires the VM, the taint
+// policies, the DSM offloading engine, the cor store, the policy engine, the
+// simplified TLS stack and the simulated TCP/network substrate into a
+// working device + trusted-node pair, and drives the on-demand
+// security-oriented offloading loop of §3.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tinman/internal/tcpsim"
+)
+
+// Control-plane message types exchanged between the device and the trusted
+// node over their TCP control connection.
+const (
+	// msgInstall ships an app's source (the dex transfer at warm-up, §6.2).
+	msgInstall uint8 = iota + 1
+	// msgInstallOK acknowledges installation (carrying the node-computed
+	// hash for cross-checking).
+	msgInstallOK
+	// msgMigration carries a dsm.Migration in either direction.
+	msgMigration
+	// msgDenied reports a policy denial for an attempted migration or
+	// injection; payload is the denial text.
+	msgDenied
+	// msgCatalog requests the device-visible cor catalog.
+	msgCatalog
+	// msgCatalogReply returns the catalog JSON.
+	msgCatalogReply
+	// msgSSLInject ships an SSL session state + target for session
+	// injection (§3.2); the node replies msgSSLInjectOK or msgDenied.
+	msgSSLInject
+	// msgSSLInjectOK confirms the node is armed for payload replacement.
+	msgSSLInjectOK
+)
+
+// Frame is one length-prefixed control or handshake message: u32 length |
+// u8 type | payload. The same framing carries the TLS handshake between
+// clients and origin servers, so the apps package shares it.
+type Frame struct {
+	Type    uint8
+	Payload []byte
+}
+
+// frame is the package-internal shorthand.
+type frame = Frame
+
+// EncodeFrame produces the wire form of a frame.
+func EncodeFrame(t uint8, payload []byte) []byte {
+	return encodeFrame(frame{Type: t, Payload: payload})
+}
+
+func encodeFrame(f frame) []byte {
+	buf := make([]byte, 5+len(f.Payload))
+	binary.BigEndian.PutUint32(buf, uint32(1+len(f.Payload)))
+	buf[4] = f.Type
+	copy(buf[5:], f.Payload)
+	return buf
+}
+
+// FrameReader incrementally splits frames out of a TCP byte stream.
+type FrameReader struct {
+	buf []byte
+}
+
+// Feed appends newly received bytes.
+func (r *FrameReader) Feed(b []byte) { r.buf = append(r.buf, b...) }
+
+// Rest returns the unconsumed buffered bytes (used when a stream switches
+// from framed handshake messages to self-delimiting TLS records).
+func (r *FrameReader) Rest() []byte { return append([]byte(nil), r.buf...) }
+
+// Next extracts one complete frame, or returns false.
+func (r *FrameReader) Next() (Frame, bool, error) {
+	if len(r.buf) < 4 {
+		return Frame{}, false, nil
+	}
+	n := binary.BigEndian.Uint32(r.buf)
+	if n == 0 || n > 64<<20 {
+		return Frame{}, false, fmt.Errorf("core: implausible frame length %d", n)
+	}
+	if len(r.buf) < 4+int(n) {
+		return Frame{}, false, nil
+	}
+	f := Frame{Type: r.buf[4], Payload: append([]byte(nil), r.buf[5:4+n]...)}
+	r.buf = append([]byte(nil), r.buf[4+n:]...)
+	return f, true, nil
+}
+
+// lower-case aliases used by the package internals.
+type frameReader = FrameReader
+
+func (r *frameReader) feed(b []byte)              { r.Feed(b) }
+func (r *frameReader) next() (frame, bool, error) { return r.Next() }
+
+// sendFrame writes a frame to a connection.
+func sendFrame(c *tcpsim.Conn, f frame) error {
+	return c.Write(encodeFrame(f))
+}

@@ -1,0 +1,502 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tinman/internal/audit"
+	"tinman/internal/cor"
+	"tinman/internal/dsm"
+	"tinman/internal/malware"
+	"tinman/internal/monitor"
+	"tinman/internal/netsim"
+	"tinman/internal/policy"
+	"tinman/internal/taint"
+	"tinman/internal/tcpsim"
+	"tinman/internal/tlssim"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+// TrustedNode is the cor vault and offload target (§2.5): it stores cor
+// plaintexts, runs offloaded code under full tainting, enforces policy,
+// audits every access, and performs SSL session injection plus TCP payload
+// replacement on the device's behalf.
+type TrustedNode struct {
+	w     *World
+	Host  *netsim.Host
+	Stack *tcpsim.Stack
+
+	Cors    *cor.Store
+	Policy  *policy.Engine
+	Audit   *audit.Log
+	Malware *malware.DB
+
+	corIdleWindow uint64
+	apps          map[string]*nodeApp
+	injections    map[injectionKey]*pendingInjection
+	Replacer      *tcpsim.Replacer
+	derivedSeq    int
+}
+
+// nodeApp is the trusted node's half of an installed application.
+type nodeApp struct {
+	name    string
+	prog    *vm.Program
+	hash    string
+	machine *vm.VM
+	ep      *dsm.Endpoint
+	locks   *dsm.LockTable
+	// deviceID is the device that installed the app.
+	deviceID string
+	// mon is the per-app dynamic-analysis monitor (§3.4/§8 extension).
+	mon *monitor.Monitor
+}
+
+type injectionKey struct {
+	clientAddr string
+	clientPort uint16
+	serverAddr string
+	serverPort uint16
+}
+
+type pendingInjection struct {
+	app    *nodeApp
+	corID  string
+	domain string
+	state  *tlssim.State
+}
+
+// injectRequest is the msgSSLInject payload.
+type injectRequest struct {
+	App        string          `json:"app"`
+	CorID      string          `json:"cor_id"`
+	Domain     string          `json:"domain"`
+	ServerAddr string          `json:"server_addr"`
+	ServerPort uint16          `json:"server_port"`
+	ClientPort uint16          `json:"client_port"`
+	State      json.RawMessage `json:"state"`
+}
+
+// installRequest is the msgInstall payload.
+type installRequest struct {
+	Name     string `json:"name"`
+	Source   string `json:"source"`
+	DeviceID string `json:"device_id"`
+}
+
+// statsReply is the msgCatalogReply stats trailer; the device merges it into
+// Table 3 reports.
+type nodeStats struct {
+	Instrs     uint64 `json:"instrs"`
+	Calls      uint64 `json:"calls"`
+	Syncs      int    `json:"syncs"`
+	InitBytes  int    `json:"init_bytes"`
+	DirtyBytes int    `json:"dirty_bytes"`
+}
+
+func newTrustedNode(w *World, host *netsim.Host, corIdleWindow uint64) *TrustedNode {
+	n := &TrustedNode{
+		w:             w,
+		Host:          host,
+		Stack:         tcpsim.NewStack(w.Net, host),
+		Cors:          cor.NewStore(),
+		Policy:        policy.NewEngine(func() time.Time { return time.Unix(0, 0).Add(w.Net.Now()) }),
+		Audit:         audit.NewLog(func() time.Time { return time.Unix(0, 0).Add(w.Net.Now()) }),
+		Malware:       malware.NewDB(),
+		corIdleWindow: corIdleWindow,
+		apps:          make(map[string]*nodeApp),
+		injections:    make(map[injectionKey]*pendingInjection),
+	}
+	n.Malware.SeedSynthetic(1000)
+	n.Policy.SetMalwareCheck(n.Malware.Contains)
+
+	l, err := n.Stack.Listen(ControlPort)
+	if err != nil {
+		panic(err) // fresh stack; cannot happen
+	}
+	l.OnAccept = n.onControlConn
+	// The replacement engine chains in front of the control stack.
+	n.Replacer = tcpsim.NewReplacer(host, n.rewritePayload)
+	return n
+}
+
+// RegisterCor initializes a cor on the trusted node (the safe-environment
+// one-time setup of §2.3), wiring its whitelist into the policy engine.
+func (n *TrustedNode) RegisterCor(id, plaintext, description string, whitelist ...string) (*cor.Record, error) {
+	rec, err := n.Cors.Register(id, plaintext, description, whitelist...)
+	if err != nil {
+		return nil, err
+	}
+	if whitelist != nil {
+		n.Policy.SetWhitelist(id, whitelist)
+	}
+	return rec, nil
+}
+
+// BindApp restricts a cor to an app hash (§3.4 first binding).
+func (n *TrustedNode) BindApp(corID, appHash string) { n.Policy.BindApp(corID, appHash) }
+
+// --- control plane ---
+
+func (n *TrustedNode) onControlConn(c *tcpsim.Conn) {
+	reader := &frameReader{}
+	c.OnReadable = func() {
+		reader.feed(c.Read(0))
+		for {
+			f, ok, err := reader.next()
+			if err != nil {
+				c.Abort()
+				return
+			}
+			if !ok {
+				return
+			}
+			n.handleFrame(c, f)
+		}
+	}
+}
+
+// reply schedules a response after the given compute delay, modeling node
+// processing time without re-entering the event loop.
+func (n *TrustedNode) reply(c *tcpsim.Conn, delay time.Duration, f frame) {
+	n.w.Net.Schedule(delay, func() {
+		if err := sendFrame(c, f); err != nil && c.Established() {
+			// Connection races are surfaced by aborting; callers time out.
+			c.Abort()
+		}
+	})
+}
+
+func (n *TrustedNode) denied(c *tcpsim.Conn, err error) {
+	n.reply(c, time.Millisecond, frame{Type: msgDenied, Payload: []byte(err.Error())})
+}
+
+func (n *TrustedNode) handleFrame(c *tcpsim.Conn, f frame) {
+	switch f.Type {
+	case msgInstall:
+		n.handleInstall(c, f.Payload)
+	case msgMigration:
+		n.handleMigration(c, f.Payload)
+	case msgCatalog:
+		n.handleCatalog(c)
+	case msgSSLInject:
+		n.handleInject(c, f.Payload)
+	default:
+		n.denied(c, fmt.Errorf("core: node: unknown control message %d", f.Type))
+	}
+}
+
+// handleInstall assembles the app on the node (the warm-up dex transfer,
+// §6.2) and runs the malware check.
+func (n *TrustedNode) handleInstall(c *tcpsim.Conn, payload []byte) {
+	var req installRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		n.denied(c, fmt.Errorf("core: node: bad install: %v", err))
+		return
+	}
+	prog, err := asm.Assemble(req.Name, req.Source)
+	if err != nil {
+		n.denied(c, fmt.Errorf("core: node: assembling %s: %v", req.Name, err))
+		return
+	}
+	// Defense in depth: the node re-verifies the bytecode it is about to
+	// host, independent of the device's assembler.
+	if err := prog.Verify(); err != nil {
+		n.denied(c, fmt.Errorf("core: node: %s failed verification: %v", req.Name, err))
+		return
+	}
+	hash := prog.Hash()
+	if n.Malware.Contains(hash) {
+		n.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+n.Malware.Family(hash))
+		n.denied(c, &policy.Denial{Reason: policy.ReasonMalware, CorID: "", Detail: n.Malware.Family(hash)})
+		return
+	}
+
+	machine := vm.New(vm.Config{
+		Program:       prog,
+		Heap:          vm.NewHeap(2, 2), // even IDs: the node's ID space
+		Policy:        taint.Full,
+		CorIdleWindow: n.corIdleWindow,
+	})
+	registerNodeNatives(machine)
+	app := &nodeApp{
+		name:     req.Name,
+		prog:     prog,
+		hash:     hash,
+		machine:  machine,
+		deviceID: req.DeviceID,
+	}
+	app.mon = monitor.New(monitor.Config{
+		OnFinding: func(f monitor.Finding) {
+			n.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
+		},
+	})
+	app.mon.Attach(machine)
+	app.ep = dsm.NewEndpoint(dsm.NodeSide, machine, &nodeResolver{node: n})
+	n.apps[req.Name] = app
+
+	// Model the dex-assembly cost as proportional to code size.
+	delay := time.Duration(int64(prog.CodeSize()) * n.w.Cost.NodeNsPerInstr * 10)
+	n.reply(c, delay, frame{Type: msgInstallOK, Payload: []byte(hash)})
+}
+
+// SetAppLocks shares the endpoint-pair lock table with the node side (the
+// in-process World wires both halves to one table).
+func (n *TrustedNode) SetAppLocks(appName string, lt *dsm.LockTable) {
+	app := n.apps[appName]
+	if app == nil {
+		return
+	}
+	app.locks = lt
+	app.machine.Hooks.OnMonitorEnter = func(o *vm.Object) bool {
+		return !lt.Acquire(o.ID, dsm.NodeSide)
+	}
+	app.machine.Hooks.OnMonitorExit = func(o *vm.Object) { lt.Release(o.ID) }
+}
+
+// migrationEnvelope wraps a migration with its app name.
+type migrationEnvelope struct {
+	App   string `json:"app"`
+	Bytes []byte `json:"bytes"`
+	// Stats carries node-side counters on node->device envelopes.
+	Stats *nodeStats `json:"stats,omitempty"`
+}
+
+// handleMigration is the offload entry point: policy-check, apply, run,
+// reply with the thread's next hop.
+func (n *TrustedNode) handleMigration(c *tcpsim.Conn, payload []byte) {
+	var env migrationEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		n.denied(c, fmt.Errorf("core: node: bad migration envelope: %v", err))
+		return
+	}
+	app := n.apps[env.App]
+	if app == nil {
+		n.denied(c, fmt.Errorf("core: node: app %q not installed", env.App))
+		return
+	}
+	mig, err := dsm.DecodeMigration(env.Bytes)
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
+
+	// §3.4: every cor access is checked against the app binding and logged.
+	trigger := taint.Tag(mig.TriggerTag)
+	for _, rec := range n.Cors.ByTag(trigger) {
+		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: app.deviceID}
+		if err := n.Policy.Check(acc); err != nil {
+			n.Audit.Append(app.hash, rec.ID, app.deviceID, "", audit.OutcomeDenied, err.Error())
+			n.denied(c, err)
+			return
+		}
+		n.Audit.Append(app.hash, rec.ID, app.deviceID, "", audit.OutcomeAllowed, "offloaded access")
+	}
+
+	th, err := app.ep.ApplyMigration(mig)
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
+	if th == nil {
+		// Pure state sync: ack with an empty node sync.
+		n.replyMigration(c, app, nil, vm.StopDone, 0)
+		return
+	}
+
+	// Run the offloaded thread under full tainting, with the behavioral
+	// monitor watching the episode.
+	app.machine.ResetIdle()
+	app.mon.BeginEpisode()
+	before := app.machine.Instrs
+	stop, runErr := th.Run()
+	executed := app.machine.Instrs - before
+	if runErr != nil {
+		n.denied(c, fmt.Errorf("core: node: offloaded thread: %v", runErr))
+		return
+	}
+	if app.mon.CriticalRaised() {
+		n.denied(c, fmt.Errorf("core: node: dynamic analysis aborted the episode: %v", app.mon.Findings()[len(app.mon.Findings())-1]))
+		return
+	}
+	n.replyMigration(c, app, th, stop, executed)
+}
+
+// replyMigration captures the node's state (and thread, unless it completed
+// purely server-side) and schedules the response after the modeled compute
+// delay.
+func (n *TrustedNode) replyMigration(c *tcpsim.Conn, app *nodeApp, th *vm.Thread, stop vm.StopReason, executed uint64) {
+	var capTh *vm.Thread
+	if th != nil {
+		capTh = th
+	}
+	mig, err := app.ep.CaptureMigration(capTh, stop)
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
+	env := migrationEnvelope{
+		App:   app.name,
+		Stats: &nodeStats{Instrs: app.machine.Instrs, Calls: app.machine.Calls, Syncs: app.ep.Stats.Syncs, InitBytes: app.ep.Stats.InitBytes, DirtyBytes: app.ep.Stats.DirtyBytes},
+	}
+	env.Bytes = mig.Encode()
+	payload, err := json.Marshal(env)
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
+	delay := time.Duration(int64(executed)*n.w.Cost.NodeNsPerInstr +
+		int64(len(env.Bytes))*n.w.Cost.SerializeNsPerByte)
+	n.reply(c, delay, frame{Type: msgMigration, Payload: payload})
+}
+
+// handleCatalog serves the device-visible cor catalog (the selection-widget
+// content, §4.1).
+func (n *TrustedNode) handleCatalog(c *tcpsim.Conn) {
+	views := n.Cors.DeviceViews()
+	payload, err := json.Marshal(views)
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
+	n.reply(c, time.Millisecond, frame{Type: msgCatalogReply, Payload: payload})
+}
+
+// handleInject arms payload replacement for an imminent marked record
+// (fig 8 steps 1–2), enforcing the send-time policy (§3.4 second binding).
+func (n *TrustedNode) handleInject(c *tcpsim.Conn, payload []byte) {
+	var req injectRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		n.denied(c, fmt.Errorf("core: node: bad inject request: %v", err))
+		return
+	}
+	app := n.apps[req.App]
+	if app == nil {
+		n.denied(c, fmt.Errorf("core: node: app %q not installed", req.App))
+		return
+	}
+	rec := n.Cors.Get(req.CorID)
+	if rec == nil {
+		n.denied(c, fmt.Errorf("core: node: unknown cor %q", req.CorID))
+		return
+	}
+	// Policy applies to the cor lineage: a derived cor (the concatenated
+	// request) carries its parent's bit; the binding and whitelist rules
+	// are registered under the parent ID.
+	parent := n.Cors.ByBit(rec.Bit)
+	checkID := rec.ID
+	if parent != nil {
+		checkID = parent.ID
+	}
+	acc := policy.Access{
+		CorID:    checkID,
+		AppHash:  app.hash,
+		DeviceID: app.deviceID,
+		Send:     true,
+		Domain:   req.Domain,
+		IP:       req.ServerAddr,
+	}
+	if err := n.Policy.Check(acc); err != nil {
+		n.Audit.Append(app.hash, checkID, app.deviceID, req.Domain, audit.OutcomeDenied, err.Error())
+		n.denied(c, err)
+		return
+	}
+	st, err := tlssim.UnmarshalState(req.State)
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
+	// The modified client library refuses TLS 1.0 before ever reaching
+	// this point; the node double-checks (defense in depth, §3.2).
+	if st.Version <= tlssim.TLS10 {
+		err := fmt.Errorf("core: node: refusing session injection for %v (implicit-IV leak, fig 7)", st.Version)
+		n.Audit.Append(app.hash, checkID, app.deviceID, req.Domain, audit.OutcomeDenied, err.Error())
+		n.denied(c, err)
+		return
+	}
+	key := injectionKey{
+		clientAddr: DeviceAddr,
+		clientPort: req.ClientPort,
+		serverAddr: req.ServerAddr,
+		serverPort: req.ServerPort,
+	}
+	n.injections[key] = &pendingInjection{app: app, corID: req.CorID, domain: req.Domain, state: st}
+	n.Audit.Append(app.hash, checkID, app.deviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
+	n.reply(c, n.w.Cost.NodeInjectSetup, frame{Type: msgSSLInjectOK})
+}
+
+// rewritePayload is the payload-replacement hook (fig 8 step 4): swap the
+// placeholder-bearing marked record for the cor-bearing one.
+func (n *TrustedNode) rewritePayload(origSrc, origDst string, seg *tcpsim.Segment) ([]byte, error) {
+	key := injectionKey{clientAddr: origSrc, clientPort: seg.SrcPort, serverAddr: origDst, serverPort: seg.DstPort}
+	inj := n.injections[key]
+	if inj == nil {
+		return nil, fmt.Errorf("core: node: no armed injection for %s:%d -> %s:%d", origSrc, seg.SrcPort, origDst, seg.DstPort)
+	}
+	delete(n.injections, key) // one-shot
+	rec := n.Cors.Get(inj.corID)
+	if rec == nil {
+		return nil, fmt.Errorf("core: node: cor %q vanished", inj.corID)
+	}
+	sess, err := tlssim.Resume(inj.state, nil)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(seg.Payload) {
+		return nil, fmt.Errorf("core: node: resealed record %dB != placeholder record %dB", len(out), len(seg.Payload))
+	}
+	n.Audit.Append(inj.app.hash, inj.corID, inj.app.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced")
+	return out, nil
+}
+
+// nodeResolver adapts the cor store to the DSM resolver interface.
+type nodeResolver struct {
+	node *TrustedNode
+}
+
+// Fill returns plaintext for the cor.
+func (r *nodeResolver) Fill(id string, length int) (string, taint.Tag, bool) {
+	rec := r.node.Cors.Get(id)
+	if rec == nil {
+		return "", taint.None, false
+	}
+	return rec.Plaintext, rec.Tag(), true
+}
+
+// MaskID mints a derived cor for a freshly tainted string (the concatenated
+// request of fig 11 is "a new cor").
+func (r *nodeResolver) MaskID(o *vm.Object) string {
+	parents := r.node.Cors.ByTag(o.Tag)
+	if len(parents) == 0 {
+		return ""
+	}
+	r.node.derivedSeq++
+	id := fmt.Sprintf("derived-%s-%d", parents[0].ID, r.node.derivedSeq)
+	if _, err := r.node.Cors.Derive(parents[0].ID, id, o.Str); err != nil {
+		return ""
+	}
+	return id
+}
+
+// registerNodeNatives installs non-offloadable stubs: the gate stops the
+// thread before any of these would execute on the node, forcing a migration
+// back to the device (§3.1 case 2).
+func registerNodeNatives(machine *vm.VM) {
+	for _, name := range deviceNativeNames {
+		name := name
+		machine.RegisterNative(&vm.NativeDef{
+			Name:        name,
+			Offloadable: false,
+			Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+				return vm.Value{}, fmt.Errorf("core: native %s must not execute on the trusted node", name)
+			},
+		})
+	}
+	machine.Hooks.NativeGate = func(def *vm.NativeDef) bool { return !def.Offloadable }
+}

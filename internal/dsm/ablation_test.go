@@ -1,0 +1,61 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"tinman/internal/vm"
+)
+
+// TestDirtySyncBeatsFullSync quantifies the design choice DESIGN.md calls
+// out: after the initial sync, dirty tracking ships orders of magnitude
+// fewer bytes than naive full-heap synchronization.
+func TestDirtySyncBeatsFullSync(t *testing.T) {
+	run := func(mode SyncMode) SyncStats {
+		p := newPair(t, bankSrc)
+		p.dev.Mode = mode
+		// A sizeable framework heap.
+		for i := 0; i < 200; i++ {
+			p.devVM.NewString(strings.Repeat("x", 200))
+		}
+		// Initial sync.
+		m, err := p.dev.CaptureMigration(nil, vm.StopMigrateTaint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.node.ApplyMigration(m); err != nil {
+			t.Fatal(err)
+		}
+		// Five later syncs, each after touching one object.
+		objs := p.devVM.Heap.Objects()
+		for i := 0; i < 5; i++ {
+			objs[i].Str = "touched"
+			p.devVM.Heap.MarkDirty(objs[i])
+			m, err := p.dev.CaptureMigration(nil, vm.StopMigrateTaint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.node.ApplyMigration(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p.dev.Stats
+	}
+
+	dirty := run(SyncDirty)
+	full := run(SyncFull)
+
+	if dirty.Syncs != full.Syncs {
+		t.Fatalf("sync counts differ: %d vs %d", dirty.Syncs, full.Syncs)
+	}
+	// Same initial cost...
+	if dirty.InitBytes == 0 || full.InitBytes == 0 {
+		t.Fatal("missing initial sync")
+	}
+	// ...but the steady-state cost differs by orders of magnitude. (In
+	// SyncFull mode, post-initial syncs are counted as dirty bytes since
+	// Initial is only true once.)
+	if full.DirtyBytes < 20*dirty.DirtyBytes {
+		t.Fatalf("full sync %dB should dwarf dirty sync %dB", full.DirtyBytes, dirty.DirtyBytes)
+	}
+}

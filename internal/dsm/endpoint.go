@@ -1,0 +1,439 @@
+package dsm
+
+import (
+	"fmt"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+// Side identifies an endpoint of the DSM pair.
+type Side uint8
+
+const (
+	// DeviceSide is the mobile device: placeholders only.
+	DeviceSide Side = iota
+	// NodeSide is the trusted node: plaintexts, full tainting.
+	NodeSide
+)
+
+func (s Side) String() string {
+	if s == DeviceSide {
+		return "device"
+	}
+	return "node"
+}
+
+// Other returns the opposite side.
+func (s Side) Other() Side {
+	if s == DeviceSide {
+		return NodeSide
+	}
+	return DeviceSide
+}
+
+// Resolver supplies each side's representation of a cor. The device resolver
+// returns placeholders; the trusted-node resolver returns plaintext and can
+// mint derived cor IDs for freshly tainted strings (fig 11's concatenated
+// request is "a new cor").
+type Resolver interface {
+	// Fill returns this side's content for the cor. length is the wire-
+	// declared content length, letting the device synthesize placeholders
+	// for derived cors it has never seen (the placeholder must have the
+	// same size as the cor, Table 1).
+	Fill(corID string, length int) (content string, tag taint.Tag, ok bool)
+	// MaskID returns the cor ID to transmit for a tainted string object
+	// that has none yet, registering a derived cor if this side may do so.
+	// An empty return means the object cannot be masked (an error: tainted
+	// content must never be serialized).
+	MaskID(o *vm.Object) string
+}
+
+// SyncStats is the Table 3 accounting: number of DSM synchronizations and
+// bytes moved in the initial full-heap sync versus later dirty syncs.
+type SyncStats struct {
+	Syncs      int
+	InitBytes  int
+	DirtyBytes int
+	// ObjectsSent counts objects serialized across all syncs.
+	ObjectsSent int
+}
+
+// SyncMode selects what each synchronization ships.
+type SyncMode uint8
+
+const (
+	// SyncDirty is COMET's (and TinMan's) mode: full heap once, then only
+	// mutated objects.
+	SyncDirty SyncMode = iota
+	// SyncFull ships the entire heap on every migration — the naive
+	// strawman the dirty tracking exists to avoid. Exposed for the
+	// ablation benchmark.
+	SyncFull
+)
+
+// Endpoint is one side of the DSM pair.
+type Endpoint struct {
+	Side     Side
+	VM       *vm.VM
+	Resolver Resolver
+	Stats    SyncStats
+	// Mode selects dirty-tracking (default) or the full-sync ablation.
+	Mode SyncMode
+
+	seq         uint64
+	initialSent bool
+}
+
+// NewEndpoint wraps a VM as a DSM endpoint.
+func NewEndpoint(side Side, machine *vm.VM, res Resolver) *Endpoint {
+	if machine == nil {
+		panic("dsm: nil VM")
+	}
+	return &Endpoint{Side: side, VM: machine, Resolver: res}
+}
+
+// ResetWarmup clears the initial-sync marker, as when a new app is loaded
+// (the dex warm-up in §6.2 happens per app).
+func (e *Endpoint) ResetWarmup() { e.initialSent = false }
+
+// InitialSent reports whether the full-heap sync has happened.
+func (e *Endpoint) InitialSent() bool { return e.initialSent }
+
+// CaptureMigration packages the thread's stack plus this side's heap delta
+// for transfer. The first capture ships the entire heap (the warm-up sync);
+// later captures ship only dirty objects. If the thread is nil (pure state
+// sync after remote completion), only heap state is shipped.
+func (e *Endpoint) CaptureMigration(t *vm.Thread, reason vm.StopReason) (*Migration, error) {
+	e.seq++
+	m := &Migration{Seq: e.seq, Reason: reason, Result: ValueState{Kind: uint8(vm.KindRef)}}
+
+	var objs []*vm.Object
+	if !e.initialSent || e.Mode == SyncFull {
+		m.Initial = !e.initialSent
+		objs = e.VM.Heap.Objects()
+		e.initialSent = true
+	} else {
+		objs = e.VM.Heap.DirtyObjects()
+	}
+	m.Objects = make([]ObjectState, 0, len(objs))
+	for _, o := range objs {
+		os, err := e.encodeObject(o)
+		if err != nil {
+			return nil, err
+		}
+		m.Objects = append(m.Objects, os)
+	}
+	e.VM.Heap.ClearDirty()
+
+	if t != nil {
+		if reason == vm.StopDone {
+			rs, err := e.encodeValue(t.Result, t.Result.Tag)
+			if err != nil {
+				return nil, err
+			}
+			m.Result = rs
+		}
+		m.Frames = make([]FrameState, len(t.Frames))
+		for i, f := range t.Frames {
+			fs := FrameState{
+				Class:  f.Method.Class.Name,
+				Method: f.Method.Name,
+				PC:     f.PC,
+				RetReg: f.RetReg,
+				Regs:   make([]ValueState, len(f.Regs)),
+			}
+			for j, r := range f.Regs {
+				vs, err := e.encodeValue(r, f.Tag(j))
+				if err != nil {
+					return nil, err
+				}
+				fs.Regs[j] = vs
+			}
+			m.Frames[i] = fs
+		}
+	}
+
+	// Accounting.
+	wire := len(m.Encode())
+	e.Stats.Syncs++
+	e.Stats.ObjectsSent += len(m.Objects)
+	if m.Initial {
+		e.Stats.InitBytes += wire
+	} else {
+		e.Stats.DirtyBytes += wire
+	}
+	return m, nil
+}
+
+// encodeValue serializes a register or slot value with its shadow tag
+// (register tags live in Frame.Tags, slot tags in the object's shadow
+// stores). Tainted primitives are masked: the datum stays home, only the
+// tag travels.
+func (e *Endpoint) encodeValue(v vm.Value, tag taint.Tag) (ValueState, error) {
+	vs := ValueState{Kind: uint8(v.Kind), Int: v.Int, Float: v.Float, Tag: uint64(tag)}
+	if v.Kind == vm.KindRef {
+		vs.Int, vs.Float = 0, 0
+		if v.Ref != nil {
+			vs.RefID = v.Ref.ID
+		}
+		return vs, nil
+	}
+	// Tainted primitives never travel by value: the trusted node masks them
+	// to keep secrets home, and the device masks them because its copies
+	// are dummies from an earlier masked sync — echoing them back would
+	// clobber the node's authoritative datum.
+	if !tag.Empty() {
+		vs.Masked = true
+		vs.Int, vs.Float = 0, 0
+	}
+	return vs, nil
+}
+
+// encodeObject serializes a heap object, replacing tainted string content
+// with a cor ID.
+func (e *Endpoint) encodeObject(o *vm.Object) (ObjectState, error) {
+	os := ObjectState{
+		ID:      o.ID,
+		Class:   o.Class.Name,
+		Tag:     uint64(o.Tag),
+		Version: o.Version,
+		IsArr:   o.IsArr,
+		IsStr:   o.IsStr,
+		CorID:   o.CorID,
+	}
+	switch {
+	case o.IsStr:
+		os.StrLen = len(o.Str)
+		if o.CorID == "" && !o.Tag.Empty() {
+			if e.Resolver == nil {
+				return os, fmt.Errorf("dsm: %s: tainted string #%d has no cor ID and no resolver", e.Side, o.ID)
+			}
+			id := e.Resolver.MaskID(o)
+			if id == "" {
+				return os, fmt.Errorf("dsm: %s: tainted string #%d cannot be masked", e.Side, o.ID)
+			}
+			o.CorID = id
+			os.CorID = id
+		}
+		if os.CorID == "" {
+			os.Str = o.Str
+		}
+	case o.IsArr:
+		os.Elems = make([]ValueState, len(o.Elems))
+		for i, el := range o.Elems {
+			vs, err := e.encodeValue(el, o.ElemTag(i))
+			if err != nil {
+				return os, err
+			}
+			os.Elems[i] = vs
+		}
+	default:
+		os.Fields = make([]ValueState, len(o.Fields))
+		for i, fv := range o.Fields {
+			vs, err := e.encodeValue(fv, o.FieldTag(i))
+			if err != nil {
+				return os, err
+			}
+			os.Fields[i] = vs
+		}
+	}
+	return os, nil
+}
+
+// ApplyMigration merges the peer's heap delta into the local heap and, if
+// the migration carries frames, rebuilds the thread against the local VM.
+// The returned thread is nil for pure state syncs.
+func (e *Endpoint) ApplyMigration(m *Migration) (*vm.Thread, error) {
+	// Pass 1: materialize or update objects so references resolve.
+	for i := range m.Objects {
+		if err := e.adoptObject(&m.Objects[i]); err != nil {
+			return nil, err
+		}
+	}
+	// Pass 2: fill slots (needs all objects present).
+	for i := range m.Objects {
+		if err := e.fillObject(&m.Objects[i]); err != nil {
+			return nil, err
+		}
+	}
+	// The peer's state is not "dirty" locally: syncing it back would echo.
+	e.VM.Heap.ClearDirty()
+	e.initialSent = true // receiving an initial sync also warms this side
+
+	if len(m.Frames) == 0 {
+		return nil, nil
+	}
+	th := &vm.Thread{VM: e.VM, Frames: make([]*vm.Frame, len(m.Frames))}
+	for i := range m.Frames {
+		fs := &m.Frames[i]
+		method := e.VM.Program.Method(fs.Class, fs.Method)
+		if method == nil {
+			return nil, fmt.Errorf("dsm: %s: unknown method %s.%s in migration", e.Side, fs.Class, fs.Method)
+		}
+		if fs.PC < 0 || fs.PC > len(method.Code) {
+			return nil, fmt.Errorf("dsm: %s: frame pc %d out of range for %s.%s", e.Side, fs.PC, fs.Class, fs.Method)
+		}
+		f := &vm.Frame{Method: method, PC: fs.PC, RetReg: fs.RetReg, Regs: make([]vm.Value, len(fs.Regs))}
+		if e.VM.Tracking() {
+			f.Tags = make([]taint.Tag, len(fs.Regs))
+		}
+		for j := range fs.Regs {
+			val, err := e.decodeValue(&fs.Regs[j], vm.Value{})
+			if err != nil {
+				return nil, err
+			}
+			f.Regs[j] = val
+			if f.Tags != nil {
+				f.Tags[j] = val.Tag
+			}
+			f.Regs[j].Tag = 0 // tags live in the shadow store inside frames
+		}
+		th.Frames[i] = f
+	}
+	return th, nil
+}
+
+// DecodeResult converts a migration's result slot to a local value.
+func (e *Endpoint) DecodeResult(m *Migration) (vm.Value, error) {
+	return e.decodeValue(&m.Result, vm.Value{})
+}
+
+// decodeValue converts a wire value; prev is the current local value, kept
+// when the wire value is masked.
+func (e *Endpoint) decodeValue(vs *ValueState, prev vm.Value) (vm.Value, error) {
+	if vs.Masked {
+		// The datum stayed on the trusted node; locally we keep whatever we
+		// had (usually a stale placeholder or zero) but adopt the tag so
+		// re-touching it re-triggers offload.
+		prev.Tag = taint.Tag(vs.Tag)
+		if prev.Kind == vm.KindInvalid {
+			prev.Kind = vm.Kind(vs.Kind)
+		}
+		return prev, nil
+	}
+	v := vm.Value{Kind: vm.Kind(vs.Kind), Int: vs.Int, Float: vs.Float, Tag: taint.Tag(vs.Tag)}
+	if v.Kind == vm.KindRef && vs.RefID != 0 {
+		o := e.VM.Heap.Get(vs.RefID)
+		if o == nil {
+			return vm.Value{}, fmt.Errorf("dsm: %s: reference to unknown object #%d", e.Side, vs.RefID)
+		}
+		v.Ref = o
+	}
+	return v, nil
+}
+
+// adoptObject creates or refreshes the shell of an incoming object.
+func (e *Endpoint) adoptObject(os *ObjectState) error {
+	class := e.VM.ClassByName(os.Class)
+	if class == nil {
+		return fmt.Errorf("dsm: %s: migration references unknown class %s", e.Side, os.Class)
+	}
+	o := e.VM.Heap.Get(os.ID)
+	if o == nil {
+		o = &vm.Object{ID: os.ID, Class: class}
+		e.VM.Heap.Adopt(o)
+	}
+	o.Class = class
+	o.Tag = taint.Tag(os.Tag)
+	o.Version = os.Version
+	o.IsArr = os.IsArr
+	o.IsStr = os.IsStr
+	o.CorID = os.CorID
+	return nil
+}
+
+// fillObject populates payloads once all referenced objects exist.
+func (e *Endpoint) fillObject(os *ObjectState) error {
+	o := e.VM.Heap.Get(os.ID)
+	switch {
+	case os.IsStr:
+		if os.CorID != "" {
+			if e.Resolver == nil {
+				return fmt.Errorf("dsm: %s: cor %s arrived but no resolver is configured", e.Side, os.CorID)
+			}
+			content, tag, ok := e.Resolver.Fill(os.CorID, os.StrLen)
+			if !ok {
+				return fmt.Errorf("dsm: %s: unknown cor %s", e.Side, os.CorID)
+			}
+			o.Str = content
+			o.Tag = o.Tag.Union(tag)
+			if len(content) != os.StrLen {
+				return fmt.Errorf("dsm: %s: cor %s length mismatch: local %d, wire %d",
+					e.Side, os.CorID, len(content), os.StrLen)
+			}
+		} else {
+			o.Str = os.Str
+		}
+	case os.IsArr:
+		if len(o.Elems) != len(os.Elems) {
+			o.Elems = make([]vm.Value, len(os.Elems))
+		}
+		for i := range os.Elems {
+			prev := o.Elems[i]
+			prev.Tag = o.ElemTag(i)
+			val, err := e.decodeValue(&os.Elems[i], prev)
+			if err != nil {
+				return err
+			}
+			o.SetElemTag(i, val.Tag)
+			val.Tag = 0
+			o.Elems[i] = val
+		}
+	default:
+		if len(o.Fields) != len(os.Fields) {
+			o.Fields = make([]vm.Value, len(os.Fields))
+		}
+		for i := range os.Fields {
+			prev := o.Fields[i]
+			prev.Tag = o.FieldTag(i)
+			val, err := e.decodeValue(&os.Fields[i], prev)
+			if err != nil {
+				return err
+			}
+			o.SetFieldTag(i, val.Tag)
+			val.Tag = 0
+			o.Fields[i] = val
+		}
+	}
+	return nil
+}
+
+// LockTable tracks monitor ownership across the endpoint pair; the side
+// holding a lock establishes the happens-before edge, and a monenter on the
+// other side forces a migration (the github case in Table 3).
+type LockTable struct {
+	owner map[uint64]Side
+	held  map[uint64]bool
+}
+
+// NewLockTable creates an empty table.
+func NewLockTable() *LockTable {
+	return &LockTable{owner: make(map[uint64]Side), held: make(map[uint64]bool)}
+}
+
+// Acquire attempts to take the object's monitor for side s. It returns
+// false when the lock's home is the other side, which forces a migration
+// there to establish the happens-before edge.
+func (lt *LockTable) Acquire(objID uint64, s Side) bool {
+	home, known := lt.owner[objID]
+	if known && home != s {
+		return false
+	}
+	lt.owner[objID] = s
+	lt.held[objID] = true
+	return true
+}
+
+// Release drops the monitor; ownership (the lock's home side) is retained
+// until explicitly moved.
+func (lt *LockTable) Release(objID uint64) { lt.held[objID] = false }
+
+// MoveHome transfers a lock's home side (after a migration services it).
+func (lt *LockTable) MoveHome(objID uint64, s Side) { lt.owner[objID] = s }
+
+// Home returns the lock's home side and whether it is known.
+func (lt *LockTable) Home(objID uint64) (Side, bool) {
+	s, ok := lt.owner[objID]
+	return s, ok
+}

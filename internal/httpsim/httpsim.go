@@ -1,0 +1,195 @@
+// Package httpsim is a compact HTTP/1.1-flavored message layer for the
+// simulated origin servers: request/response parsing and formatting with
+// methods, paths, headers and form bodies. It exists so that the evaluation
+// servers handle requests the way a web stack would — routing on method and
+// path, reading credentials from the form body — rather than by substring
+// matching.
+package httpsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Request is a parsed HTTP-ish request.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string
+	// Form holds the parsed key=value&... body.
+	Form map[string]string
+	// Body is the raw body.
+	Body string
+}
+
+// Header returns a header value (case-insensitive name).
+func (r *Request) Header(name string) string {
+	return r.Headers[strings.ToLower(name)]
+}
+
+// FormValue returns a form field, or "".
+func (r *Request) FormValue(key string) string { return r.Form[key] }
+
+// ParseRequest parses "METHOD /path PROTO\nheader: v\n...\n\nbody" (the
+// simulator uses \n newlines; \r is tolerated).
+func ParseRequest(raw string) (*Request, error) {
+	raw = strings.ReplaceAll(raw, "\r\n", "\n")
+	head, body, _ := strings.Cut(raw, "\n\n")
+	lines := strings.Split(head, "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return nil, fmt.Errorf("httpsim: empty request")
+	}
+	parts := strings.Fields(lines[0])
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("httpsim: malformed request line %q", lines[0])
+	}
+	req := &Request{
+		Method:  parts[0],
+		Path:    parts[1],
+		Proto:   "HTTP/1.1",
+		Headers: make(map[string]string),
+	}
+	if len(parts) >= 3 {
+		req.Proto = parts[2]
+	}
+	// Headers until a non-header line (the legacy app programs put the
+	// form on the last header-looking line; tolerate both shapes).
+	var trailing []string
+	for _, ln := range lines[1:] {
+		if k, v, ok := strings.Cut(ln, ":"); ok && !strings.Contains(k, "=") {
+			req.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+			continue
+		}
+		if ln != "" {
+			trailing = append(trailing, ln)
+		}
+	}
+	if body == "" && len(trailing) > 0 {
+		body = trailing[len(trailing)-1]
+	}
+	req.Body = body
+	req.Form = ParseForm(body)
+	return req, nil
+}
+
+// ParseForm splits a "k=v&k2=v2" body.
+func ParseForm(body string) map[string]string {
+	out := make(map[string]string)
+	for _, kv := range strings.Split(body, "&") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k != "" {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// FormatRequest renders a request (used by tests and tooling; the VM app
+// programs build their requests as strings).
+func (r *Request) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s\n", r.Method, r.Path, r.Proto)
+	keys := make([]string, 0, len(r.Headers))
+	for k := range r.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\n", k, r.Headers[k])
+	}
+	b.WriteString("\n")
+	b.WriteString(r.Body)
+	return b.String()
+}
+
+// Response is an HTTP-ish response.
+type Response struct {
+	Status  int
+	Reason  string
+	Headers map[string]string
+	Body    string
+}
+
+// statusReasons covers the codes the simulation uses.
+var statusReasons = map[int]string{
+	200: "OK",
+	302: "Found",
+	400: "Bad Request",
+	402: "Payment Required",
+	403: "Forbidden",
+	404: "Not Found",
+	500: "Internal Server Error",
+}
+
+// NewResponse builds a response with the canonical reason phrase.
+func NewResponse(status int, body string) *Response {
+	return &Response{Status: status, Reason: statusReasons[status], Body: body}
+}
+
+// Set adds a header and returns the response for chaining.
+func (r *Response) Set(k, v string) *Response {
+	if r.Headers == nil {
+		r.Headers = make(map[string]string)
+	}
+	r.Headers[strings.ToLower(k)] = v
+	return r
+}
+
+// Format renders the wire form.
+func (r *Response) Format() string {
+	reason := r.Reason
+	if reason == "" {
+		reason = statusReasons[r.Status]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\n", r.Status, reason)
+	keys := make([]string, 0, len(r.Headers))
+	for k := range r.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\n", k, r.Headers[k])
+	}
+	if r.Body != "" {
+		b.WriteString(r.Body)
+	}
+	return b.String()
+}
+
+// ParseResponse parses a response's status and body.
+func ParseResponse(raw string) (*Response, error) {
+	raw = strings.ReplaceAll(raw, "\r\n", "\n")
+	lines := strings.Split(raw, "\n")
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("httpsim: empty response")
+	}
+	var status int
+	var reason string
+	if _, err := fmt.Sscanf(lines[0], "HTTP/1.1 %d", &status); err != nil {
+		return nil, fmt.Errorf("httpsim: malformed status line %q", lines[0])
+	}
+	if i := strings.IndexByte(lines[0], ' '); i >= 0 {
+		rest := lines[0][i+1:]
+		if j := strings.IndexByte(rest, ' '); j >= 0 {
+			reason = rest[j+1:]
+		}
+	}
+	resp := &Response{Status: status, Reason: reason, Headers: make(map[string]string)}
+	var bodyLines []string
+	for _, ln := range lines[1:] {
+		if k, v, ok := strings.Cut(ln, ":"); ok && !strings.Contains(k, "=") && !strings.Contains(k, " ") {
+			resp.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+			continue
+		}
+		if ln != "" {
+			bodyLines = append(bodyLines, ln)
+		}
+	}
+	resp.Body = strings.Join(bodyLines, "\n")
+	return resp, nil
+}
+
+// OK reports whether the status is 2xx.
+func (r *Response) OK() bool { return r.Status >= 200 && r.Status < 300 }

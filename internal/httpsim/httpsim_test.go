@@ -1,0 +1,124 @@
+package httpsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRequestCanonical(t *testing.T) {
+	raw := "POST /login HTTP/1.1\nhost: bank.example\ncontent-type: form\n\nuser=alice&hash=abc123"
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "POST" || req.Path != "/login" || req.Proto != "HTTP/1.1" {
+		t.Fatalf("request line: %+v", req)
+	}
+	if req.Header("Host") != "bank.example" || req.Header("CONTENT-TYPE") != "form" {
+		t.Fatalf("headers: %+v", req.Headers)
+	}
+	if req.FormValue("user") != "alice" || req.FormValue("hash") != "abc123" {
+		t.Fatalf("form: %+v", req.Form)
+	}
+}
+
+func TestParseRequestAppShape(t *testing.T) {
+	// The VM app programs emit "POST /login HTTP/1.1\nhost=x\nuser=...&hash=..."
+	// (form as the trailing line, host as k=v). The parser must still find
+	// the credentials.
+	raw := "POST /login HTTP/1.1\nhost=paypal.com\nuser=alice&hash=deadbeef"
+	req, err := ParseRequest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "POST" {
+		t.Fatalf("method = %q", req.Method)
+	}
+	if req.FormValue("user") != "alice" || req.FormValue("hash") != "deadbeef" {
+		t.Fatalf("form = %+v", req.Form)
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	for _, raw := range []string{"", "JUSTONEWORD", "\n\n"} {
+		if _, err := ParseRequest(raw); err == nil {
+			t.Fatalf("%q accepted", raw)
+		}
+	}
+}
+
+func TestRequestFormatRoundTrip(t *testing.T) {
+	req := &Request{
+		Method: "GET", Path: "/feed", Proto: "HTTP/1.1",
+		Headers: map[string]string{"host": "x.example", "token": "T1"},
+		Body:    "a=1&b=2",
+	}
+	got, err := ParseRequest(req.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Method != "GET" || got.Path != "/feed" || got.Header("host") != "x.example" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.FormValue("b") != "2" {
+		t.Fatalf("body lost: %+v", got)
+	}
+}
+
+func TestResponses(t *testing.T) {
+	resp := NewResponse(200, "token=XYZ").Set("Server", "tinman-sim")
+	raw := resp.Format()
+	if !strings.HasPrefix(raw, "HTTP/1.1 200 OK\n") {
+		t.Fatalf("format = %q", raw)
+	}
+	got, err := ParseResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK() || got.Status != 200 || got.Headers["server"] != "tinman-sim" {
+		t.Fatalf("parsed = %+v", got)
+	}
+	if ParseForm(got.Body)["token"] != "XYZ" {
+		t.Fatalf("body = %q", got.Body)
+	}
+
+	denied := NewResponse(403, "error=bad-credentials")
+	if denied.OK() || !strings.Contains(denied.Format(), "Forbidden") {
+		t.Fatalf("403 = %q", denied.Format())
+	}
+}
+
+func TestParseResponseErrors(t *testing.T) {
+	for _, raw := range []string{"", "garbage", "HTTP/1.1 abc"} {
+		if _, err := ParseResponse(raw); err == nil {
+			t.Fatalf("%q accepted", raw)
+		}
+	}
+}
+
+func TestParseFormProperty(t *testing.T) {
+	// Property: every k=v pair with non-empty k and no separators in k or v
+	// survives a format/parse cycle.
+	prop := func(k1, v1, v2 uint16) bool {
+		key1 := "k" + itoa(int(k1))
+		form := key1 + "=" + itoa(int(v1)) + "&other=" + itoa(int(v2))
+		m := ParseForm(form)
+		return m[key1] == itoa(int(v1)) && m["other"] == itoa(int(v2))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

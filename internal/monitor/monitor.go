@@ -1,0 +1,217 @@
+// Package monitor implements the trusted node's dynamic analysis of
+// offloaded code — the extension the paper sketches in §3.4 ("It is our
+// future work to deploy more dynamic analysis methods on TinMan") and §8
+// ("leverage massive knowledge and statistical analysis to detect anomaly
+// behavior").
+//
+// A Monitor attaches to the trusted node's VM and watches the offloaded
+// thread's behavior around cor accesses. It raises findings for patterns
+// that precede exfiltration attempts:
+//
+//   - excessive cor touches per offload episode (credential stuffing /
+//     brute-force style behavior);
+//   - taint-width explosions: a single episode combining many distinct cors
+//     (legitimate logins touch one secret lineage);
+//   - laundering probes: code inspecting taint tags (taintget), which
+//     honest apps never do;
+//   - oversized derived cors: derived secrets far larger than their
+//     parents, the signature of stuffing a cor into a covert channel.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+// Severity ranks findings.
+type Severity uint8
+
+const (
+	// Info findings are recorded but not alarming alone.
+	Info Severity = iota
+	// Warning findings deserve an audit entry.
+	Warning
+	// Critical findings should abort the episode.
+	Critical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("Severity(%d)", uint8(s))
+}
+
+// Finding is one detected behavior.
+type Finding struct {
+	Severity Severity
+	Rule     string
+	Detail   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s: %s", f.Severity, f.Rule, f.Detail)
+}
+
+// Config tunes the detection thresholds.
+type Config struct {
+	// MaxCorTouches is the per-episode budget of tainted accesses before a
+	// warning (default 10000 — hashing loops touch the secret repeatedly).
+	MaxCorTouches uint64
+	// MaxDistinctCors bounds how many cor lineages one episode may combine
+	// (default 4; a login touches 1-2, a browser form a few).
+	MaxDistinctCors int
+	// MaxDerivedBytes bounds a derived string's size relative to typical
+	// requests (default 16 KiB).
+	MaxDerivedBytes int
+	// OnFinding receives findings as they happen (e.g. to append audit
+	// entries); nil collects them silently.
+	OnFinding func(Finding)
+}
+
+// fill applies defaults.
+func (c *Config) fill() {
+	if c.MaxCorTouches == 0 {
+		c.MaxCorTouches = 10000
+	}
+	if c.MaxDistinctCors == 0 {
+		c.MaxDistinctCors = 4
+	}
+	if c.MaxDerivedBytes == 0 {
+		c.MaxDerivedBytes = 16 << 10
+	}
+}
+
+// Monitor watches one trusted-node VM.
+type Monitor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	findings []Finding
+
+	// episode state
+	touches  uint64
+	seenTags taint.Tag
+	critical bool
+}
+
+// New creates a monitor with the given thresholds.
+func New(cfg Config) *Monitor {
+	cfg.fill()
+	return &Monitor{cfg: cfg}
+}
+
+// Attach installs the monitor on the node VM, chaining existing hooks. The
+// monitor's OnTaintedAccess never requests migration; it only observes.
+func (m *Monitor) Attach(machine *vm.VM) {
+	prevTaint := machine.Hooks.OnTaintedAccess
+	machine.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool {
+		m.noteTaintedAccess(tag, ev)
+		if prevTaint != nil {
+			return prevTaint(tag, ev)
+		}
+		return false
+	}
+}
+
+// BeginEpisode resets per-episode state (the node calls it when a migrated
+// thread arrives).
+func (m *Monitor) BeginEpisode() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.touches = 0
+	m.seenTags = taint.None
+	m.critical = false
+}
+
+// noteTaintedAccess applies the per-access rules.
+func (m *Monitor) noteTaintedAccess(tag taint.Tag, ev taint.Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.touches++
+	if m.touches == m.cfg.MaxCorTouches+1 {
+		m.raise(Finding{
+			Severity: Warning,
+			Rule:     "cor-touch-budget",
+			Detail:   fmt.Sprintf("episode exceeded %d tainted accesses", m.cfg.MaxCorTouches),
+		})
+	}
+	before := m.seenTags.Count()
+	m.seenTags = m.seenTags.Union(tag)
+	if after := m.seenTags.Count(); after > m.cfg.MaxDistinctCors && before <= m.cfg.MaxDistinctCors {
+		m.raise(Finding{
+			Severity: Critical,
+			Rule:     "taint-width",
+			Detail:   fmt.Sprintf("episode combined %d distinct cor lineages (limit %d)", after, m.cfg.MaxDistinctCors),
+		})
+	}
+}
+
+// NoteDerived applies the derived-cor size rule (the node's resolver calls
+// it when minting a derived cor).
+func (m *Monitor) NoteDerived(corID string, size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size > m.cfg.MaxDerivedBytes {
+		m.raise(Finding{
+			Severity: Critical,
+			Rule:     "derived-size",
+			Detail:   fmt.Sprintf("derived cor %s is %d bytes (limit %d): possible covert channel", corID, size, m.cfg.MaxDerivedBytes),
+		})
+	}
+}
+
+// NoteTaintProbe flags code that inspects taint tags (OpTaintGet executed in
+// offloaded code) — honest apps have no reason to.
+func (m *Monitor) NoteTaintProbe(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.raise(Finding{
+		Severity: Warning,
+		Rule:     "taint-probe",
+		Detail:   fmt.Sprintf("offloaded code in %s inspected taint tags", method),
+	})
+}
+
+// raise records a finding (caller holds the lock).
+func (m *Monitor) raise(f Finding) {
+	m.findings = append(m.findings, f)
+	if f.Severity == Critical {
+		m.critical = true
+	}
+	if m.cfg.OnFinding != nil {
+		// The callback runs inline under the monitor's lock: it must not
+		// re-enter the monitor. Findings are rare, so the simplicity wins.
+		m.cfg.OnFinding(f)
+	}
+}
+
+// CriticalRaised reports whether the current episode hit a critical rule;
+// the node uses it to refuse the episode's results.
+func (m *Monitor) CriticalRaised() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.critical
+}
+
+// Findings returns all findings so far.
+func (m *Monitor) Findings() []Finding {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Finding(nil), m.findings...)
+}
+
+// Touches returns the episode's tainted-access count.
+func (m *Monitor) Touches() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.touches
+}

@@ -1,0 +1,156 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+func TestTouchBudget(t *testing.T) {
+	m := New(Config{MaxCorTouches: 3})
+	m.BeginEpisode()
+	for i := 0; i < 3; i++ {
+		m.noteTaintedAccess(taint.Bit(0), taint.HeapToStack)
+	}
+	if len(m.Findings()) != 0 {
+		t.Fatal("budget flagged too early")
+	}
+	m.noteTaintedAccess(taint.Bit(0), taint.HeapToStack)
+	fs := m.Findings()
+	if len(fs) != 1 || fs[0].Rule != "cor-touch-budget" || fs[0].Severity != Warning {
+		t.Fatalf("findings = %v", fs)
+	}
+	// The warning fires once per episode.
+	m.noteTaintedAccess(taint.Bit(0), taint.HeapToStack)
+	if len(m.Findings()) != 1 {
+		t.Fatal("budget finding repeated")
+	}
+	if m.Touches() != 5 {
+		t.Fatalf("touches = %d", m.Touches())
+	}
+}
+
+func TestTaintWidth(t *testing.T) {
+	m := New(Config{MaxDistinctCors: 2})
+	m.BeginEpisode()
+	m.noteTaintedAccess(taint.Bit(0).Union(taint.Bit(1)), taint.HeapToStack)
+	if m.CriticalRaised() {
+		t.Fatal("two lineages should be fine")
+	}
+	m.noteTaintedAccess(taint.Bit(2).Union(taint.Bit(3)), taint.HeapToHeap)
+	if !m.CriticalRaised() {
+		t.Fatal("four lineages should be critical")
+	}
+	fs := m.Findings()
+	if fs[0].Rule != "taint-width" || fs[0].Severity != Critical {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestEpisodeReset(t *testing.T) {
+	m := New(Config{MaxDistinctCors: 1})
+	m.BeginEpisode()
+	m.noteTaintedAccess(taint.Bit(0).Union(taint.Bit(1)), taint.HeapToStack)
+	if !m.CriticalRaised() {
+		t.Fatal("setup")
+	}
+	m.BeginEpisode()
+	if m.CriticalRaised() || m.Touches() != 0 {
+		t.Fatal("episode state not reset")
+	}
+	// Findings persist across episodes (they are the audit trail).
+	if len(m.Findings()) != 1 {
+		t.Fatal("findings lost on reset")
+	}
+}
+
+func TestDerivedSize(t *testing.T) {
+	m := New(Config{MaxDerivedBytes: 100})
+	m.NoteDerived("derived-x", 99)
+	if m.CriticalRaised() {
+		t.Fatal("small derived flagged")
+	}
+	m.NoteDerived("derived-x", 101)
+	if !m.CriticalRaised() {
+		t.Fatal("oversized derived not flagged")
+	}
+}
+
+func TestTaintProbe(t *testing.T) {
+	m := New(Config{})
+	m.NoteTaintProbe("Evil.sniff")
+	fs := m.Findings()
+	if len(fs) != 1 || fs[0].Rule != "taint-probe" || !strings.Contains(fs[0].Detail, "Evil.sniff") {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestOnFindingCallback(t *testing.T) {
+	var got []Finding
+	m := New(Config{MaxCorTouches: 1, OnFinding: func(f Finding) { got = append(got, f) }})
+	m.BeginEpisode()
+	m.noteTaintedAccess(taint.Bit(0), taint.HeapToStack)
+	m.noteTaintedAccess(taint.Bit(0), taint.HeapToStack)
+	if len(got) != 1 {
+		t.Fatalf("callback saw %d findings", len(got))
+	}
+}
+
+func TestAttachObservesVMAccesses(t *testing.T) {
+	src := `
+class A
+  method reads 2 6
+    const r2, 0
+    const r3, 0
+  loop:
+    ifge r3, r1, done
+    charat r4, r0, r2
+    const r5, 1
+    add r3, r3, r5
+    goto loop
+  done:
+    return r3
+  end
+end`
+	prog, err := asm.Assemble("a", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(2, 2), Policy: taint.Full})
+	m := New(Config{MaxCorTouches: 5})
+	m.Attach(machine)
+	m.BeginEpisode()
+
+	secret := machine.NewTaintedString("secret", taint.Bit(0))
+	th, _ := machine.NewThread(prog.Method("A", "reads"), vm.RefVal(secret), vm.IntVal(10))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Touches() != 10 {
+		t.Fatalf("monitor saw %d touches, want 10", m.Touches())
+	}
+	found := false
+	for _, f := range m.Findings() {
+		if f.Rule == "cor-touch-budget" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("budget finding missing")
+	}
+}
+
+func TestSeverityAndFindingStrings(t *testing.T) {
+	for _, s := range []Severity{Info, Warning, Critical, Severity(9)} {
+		if s.String() == "" {
+			t.Fatal("empty severity")
+		}
+	}
+	f := Finding{Severity: Critical, Rule: "r", Detail: "d"}
+	if !strings.Contains(f.String(), "critical") || !strings.Contains(f.String(), "r") {
+		t.Fatalf("finding string = %q", f.String())
+	}
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one recorded packet delivery.
+type TraceEvent struct {
+	At   time.Duration
+	Src  string
+	Dst  string
+	Size int
+	// Note annotates the event (set by taps, e.g. "redirected").
+	Note string
+}
+
+// String renders the event as one trace line.
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%12v  %-15s -> %-15s  %5dB", e.At, e.Src, e.Dst, e.Size)
+	if e.Note != "" {
+		s += "  " + e.Note
+	}
+	return s
+}
+
+// Tracer records packet deliveries network-wide. Attach with Net.Trace; it
+// is the simulator's tcpdump, used by tests asserting on traffic patterns
+// (e.g. "the marked record was delivered to the node, not the server") and
+// by debugging sessions.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	// Filter, when set, records only matching events.
+	Filter func(TraceEvent) bool
+	// Cap bounds memory; 0 means unlimited. When full, new events are
+	// dropped and Dropped counts them.
+	Cap     int
+	Dropped uint64
+}
+
+// record appends an event subject to filter and cap.
+func (tr *Tracer) record(e TraceEvent) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.Filter != nil && !tr.Filter(e) {
+		return
+	}
+	if tr.Cap > 0 && len(tr.events) >= tr.Cap {
+		tr.Dropped++
+		return
+	}
+	tr.events = append(tr.events, e)
+}
+
+// Events returns a copy of the recorded events.
+func (tr *Tracer) Events() []TraceEvent {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]TraceEvent(nil), tr.events...)
+}
+
+// Len returns the number of recorded events.
+func (tr *Tracer) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.events)
+}
+
+// Reset clears the trace.
+func (tr *Tracer) Reset() {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.events = nil
+	tr.Dropped = 0
+}
+
+// Dump writes the trace to w, one event per line.
+func (tr *Tracer) Dump(w io.Writer) {
+	for _, e := range tr.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// CountBetween tallies events from src to dst (empty matches any).
+func (tr *Tracer) CountBetween(src, dst string) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, e := range tr.events {
+		if (src == "" || e.Src == src) && (dst == "" || e.Dst == dst) {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesBetween sums delivered bytes from src to dst (empty matches any).
+func (tr *Tracer) BytesBetween(src, dst string) int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	n := 0
+	for _, e := range tr.events {
+		if (src == "" || e.Src == src) && (dst == "" || e.Dst == dst) {
+			n += e.Size
+		}
+	}
+	return n
+}
+
+// Trace attaches a tracer to the network; subsequent deliveries are
+// recorded. Passing nil detaches.
+func (n *Net) Trace(tr *Tracer) { n.tracer = tr }

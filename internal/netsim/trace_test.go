@@ -1,0 +1,113 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tracedPair(t *testing.T) (*Net, *Tracer) {
+	t.Helper()
+	n := New(1)
+	a := n.AddHost("a")
+	b := n.AddHost("b")
+	n.Connect(a, b, WiFi)
+	b.Handle(func(*Packet) {})
+	a.Handle(func(*Packet) {})
+	tr := &Tracer{}
+	n.Trace(tr)
+	return n, tr
+}
+
+func TestTracerRecordsDeliveries(t *testing.T) {
+	n, tr := tracedPair(t)
+	n.Host("a").Send(&Packet{Dst: "b", Payload: make([]byte, 100)})
+	n.Host("b").Send(&Packet{Dst: "a", Payload: make([]byte, 50)})
+	n.Run()
+	if tr.Len() != 2 {
+		t.Fatalf("events = %d", tr.Len())
+	}
+	// Arrival order between the two directions depends on jitter; find the
+	// a->b event rather than assuming it is first.
+	var ab *TraceEvent
+	for i, e := range tr.Events() {
+		if e.Src == "a" {
+			ev := tr.Events()[i]
+			ab = &ev
+		}
+	}
+	if ab == nil || ab.Dst != "b" || ab.Size != 140 {
+		t.Fatalf("a->b event = %+v", ab)
+	}
+	if ab.At <= 0 {
+		t.Fatal("event has no timestamp")
+	}
+	if tr.CountBetween("a", "b") != 1 || tr.CountBetween("", "") != 2 {
+		t.Fatal("CountBetween wrong")
+	}
+	if tr.BytesBetween("a", "b") != 140 {
+		t.Fatalf("BytesBetween = %d", tr.BytesBetween("a", "b"))
+	}
+}
+
+func TestTracerFilterAndCap(t *testing.T) {
+	n, tr := tracedPair(t)
+	tr.Filter = func(e TraceEvent) bool { return e.Dst == "b" }
+	tr.Cap = 2
+	for i := 0; i < 5; i++ {
+		n.Host("a").Send(&Packet{Dst: "b", Payload: []byte{1}})
+		n.Host("b").Send(&Packet{Dst: "a", Payload: []byte{1}})
+	}
+	n.Run()
+	if tr.Len() != 2 {
+		t.Fatalf("capped events = %d", tr.Len())
+	}
+	if tr.Dropped != 3 {
+		t.Fatalf("dropped = %d", tr.Dropped)
+	}
+	for _, e := range tr.Events() {
+		if e.Dst != "a" && e.Dst != "b" {
+			t.Fatal("filter leak")
+		}
+		if e.Dst == "a" {
+			t.Fatal("filtered event recorded")
+		}
+	}
+}
+
+func TestTracerLoopbackAndDump(t *testing.T) {
+	n, tr := tracedPair(t)
+	n.Host("a").Send(&Packet{Dst: "a", Payload: []byte("self")})
+	n.Run()
+	if tr.Len() != 1 || tr.Events()[0].Note != "loopback" {
+		t.Fatalf("events = %+v", tr.Events())
+	}
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	if !strings.Contains(buf.String(), "loopback") {
+		t.Fatal("dump missing note")
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTracerDetach(t *testing.T) {
+	n, tr := tracedPair(t)
+	n.Trace(nil)
+	n.Host("a").Send(&Packet{Dst: "b", Payload: []byte{1}})
+	n.Run()
+	if tr.Len() != 0 {
+		t.Fatal("detached tracer recorded")
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{At: time.Second, Src: "a", Dst: "b", Size: 10, Note: "x"}
+	s := e.String()
+	if !strings.Contains(s, "a") || !strings.Contains(s, "10") || !strings.Contains(s, "x") {
+		t.Fatalf("event string = %q", s)
+	}
+}

@@ -1,0 +1,142 @@
+package nodeproto
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"tinman/internal/tlssim"
+)
+
+// apps256 is the sha256-hex helper shared by server derivations.
+func apps256(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// Client talks to a trusted-node server over one TCP connection. Methods
+// are safe for concurrent use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to the node at addr.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("nodeproto: dialing %s: %v", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// do performs one round trip.
+func (c *Client) do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteMessage(c.conn, req); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadMessage(c.conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		if resp.Denial != "" {
+			return &resp, fmt.Errorf("nodeproto: denied (%s): %s", resp.Denial, resp.Error)
+		}
+		return &resp, fmt.Errorf("nodeproto: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.do(&Request{Op: OpPing})
+	return err
+}
+
+// Register initializes a cor (run from a safe environment, §2.3).
+func (c *Client) Register(id, plaintext, description string, whitelist ...string) error {
+	_, err := c.do(&Request{Op: OpRegister, CorID: id, Plaintext: plaintext, Description: description, Whitelist: whitelist})
+	return err
+}
+
+// Generate mints a fresh random cor of length n on the node ("Generate New
+// Password", §5.4); the plaintext never reaches the client.
+func (c *Client) Generate(id, description string, n int, whitelist ...string) error {
+	_, err := c.do(&Request{Op: OpGenerate, CorID: id, Description: description, Length: n, Whitelist: whitelist})
+	return err
+}
+
+// Catalog fetches the device view.
+func (c *Client) Catalog() ([]CatalogEntry, error) {
+	resp, err := c.do(&Request{Op: OpCatalog})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Catalog, nil
+}
+
+// Bind restricts a cor to an app hash.
+func (c *Client) Bind(corID, appHash string) error {
+	_, err := c.do(&Request{Op: OpBind, CorID: corID, AppHash: appHash})
+	return err
+}
+
+// Revoke cuts off a device.
+func (c *Client) Revoke(deviceID string) error {
+	_, err := c.do(&Request{Op: OpRevoke, DeviceID: deviceID})
+	return err
+}
+
+// Restore re-enables a device.
+func (c *Client) Restore(deviceID string) error {
+	_, err := c.do(&Request{Op: OpRestore, DeviceID: deviceID})
+	return err
+}
+
+// Derive registers a node-computed derivation of an existing cor (currently
+// "sha256-hex").
+func (c *Client) Derive(parentID, newID, derivation string) error {
+	_, err := c.do(&Request{Op: OpDerive, ParentID: parentID, CorID: newID, Description: derivation})
+	return err
+}
+
+// Reseal performs payload replacement: the node reseals the cor plaintext
+// under the provided session state. recordLen is the length of the
+// placeholder-bearing record the device produced (0 skips the check).
+func (c *Client) Reseal(corID string, state *tlssim.State, appHash, deviceID, domain, targetIP string, recordLen int) ([]byte, error) {
+	st, err := json.Marshal(state)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(&Request{
+		Op: OpReseal, CorID: corID, State: st,
+		AppHash: appHash, DeviceID: deviceID, Domain: domain, TargetIP: targetIP,
+		RecordLen: recordLen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Record, nil
+}
+
+// AuditLog fetches audit entries, optionally filtered.
+func (c *Client) AuditLog(corID, deviceID string) ([]AuditEntry, error) {
+	resp, err := c.do(&Request{Op: OpAudit, CorID: corID, DeviceID: deviceID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Audit, nil
+}

@@ -1,0 +1,297 @@
+package nodeproto
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tinman/internal/tlssim"
+)
+
+// testServer starts a server on a loopback listener and returns a connected
+// client plus the server for direct inspection.
+func testServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	s := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, s
+}
+
+func TestPing(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterAndCatalog(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Register("bank-pw", "hunter2!", "bank password", "bank.com"); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := c.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 1 || cat[0].ID != "bank-pw" {
+		t.Fatalf("catalog = %+v", cat)
+	}
+	if cat[0].Placeholder == "hunter2!" || len(cat[0].Placeholder) != 8 {
+		t.Fatalf("placeholder = %q", cat[0].Placeholder)
+	}
+	// Duplicate registration fails cleanly.
+	if err := c.Register("bank-pw", "x", ""); err == nil {
+		t.Fatal("duplicate register accepted")
+	}
+}
+
+func TestGenerateKeepsPlaintextOnNode(t *testing.T) {
+	c, s := testServer(t)
+	if err := c.Generate("gen-pw", "generated", 20, "site.com"); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := c.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 1 || len(cat[0].Placeholder) != 20 {
+		t.Fatalf("catalog = %+v", cat)
+	}
+	rec := s.Cors.Get("gen-pw")
+	if rec == nil || len(rec.Plaintext) != 20 || rec.Plaintext == cat[0].Placeholder {
+		t.Fatal("generated plaintext wrong on node")
+	}
+}
+
+func TestDeriveSha256(t *testing.T) {
+	c, s := testServer(t)
+	if err := c.Register("pw", "secret-password", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Derive("pw", "pw-hash", "sha256-hex"); err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Cors.Get("pw-hash")
+	if rec == nil || rec.Plaintext != apps256("secret-password") {
+		t.Fatalf("derived = %+v", rec)
+	}
+	if err := c.Derive("nope", "x", ""); err == nil {
+		t.Fatal("derive from unknown parent accepted")
+	}
+	if err := c.Derive("pw", "pw-hash2", "rot13"); err == nil {
+		t.Fatal("unknown derivation accepted")
+	}
+}
+
+// establishSession builds a client/server TLS session pair for reseal tests.
+func establishSession(t *testing.T) (*tlssim.Session, *tlssim.Session) {
+	t.Helper()
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ss, _, err := tlssim.Handshake(tlssim.ClientConfig{MinVersion: tlssim.TLS11}, tlssim.ServerConfig{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cs, ss
+}
+
+func TestResealEndToEnd(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Register("cc", "4111111111111111", "credit card", "shop.com"); err != nil {
+		t.Fatal(err)
+	}
+	device, origin := establishSession(t)
+
+	// The device computes the placeholder-bearing record only to learn its
+	// length, then asks the node for the real one. Probing on a resumed
+	// copy leaves the device's own session state untouched.
+	cat, _ := c.Catalog()
+	probe, err := tlssim.Resume(device.Export(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probeRec, err := probe.Seal(tlssim.TypeMarkedCor, []byte(cat[0].Placeholder))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := c.Reseal("cc", device.Export(), "apphash", "dev1", "shop.com", "203.0.113.5", len(probeRec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The origin opens the node-sealed record as if the device had sent it.
+	typ, plaintext, _, err := origin.Open(rec)
+	if err != nil || typ != tlssim.TypeApplicationData {
+		t.Fatalf("origin open: %v %v", err, typ)
+	}
+	if string(plaintext) != "4111111111111111" {
+		t.Fatalf("origin saw %q", plaintext)
+	}
+
+	// Audit recorded the reseal.
+	entries, err := c.AuditLog("", "dev1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Outcome != "allowed" {
+		t.Fatalf("audit = %+v", entries)
+	}
+}
+
+func TestResealPolicyDenials(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Register("pw", "secret99", "", "good.com"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Bind("pw", "official-app"); err != nil {
+		t.Fatal(err)
+	}
+	device, _ := establishSession(t)
+
+	// Wrong app hash.
+	_, err := c.Reseal("pw", device.Export(), "evil-app", "dev1", "good.com", "", 0)
+	if err == nil || !strings.Contains(err.Error(), "app not bound") {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong domain.
+	_, err = c.Reseal("pw", device.Export(), "official-app", "dev1", "evil.com", "", 0)
+	if err == nil || !strings.Contains(err.Error(), "whitelist") {
+		t.Fatalf("err = %v", err)
+	}
+	// Revoked device.
+	if err := c.Revoke("dev1"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Reseal("pw", device.Export(), "official-app", "dev1", "good.com", "", 0)
+	if err == nil || !strings.Contains(err.Error(), "revoked") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.Restore("dev1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = c.Reseal("pw", device.Export(), "official-app", "dev1", "good.com", "", 0); err != nil {
+		t.Fatalf("post-restore reseal: %v", err)
+	}
+	// Denials were audited.
+	entries, _ := c.AuditLog("pw", "")
+	denied := 0
+	for _, e := range entries {
+		if e.Outcome == "denied" {
+			denied++
+		}
+	}
+	if denied != 3 {
+		t.Fatalf("denied audit entries = %d, want 3", denied)
+	}
+}
+
+func TestResealRefusesTLS10(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Register("pw", "secret99", ""); err != nil {
+		t.Fatal(err)
+	}
+	key, _ := rsa.GenerateKey(rand.Reader, 1024)
+	dev, _, _, err := tlssim.Handshake(
+		tlssim.ClientConfig{MaxVersion: tlssim.TLS10, Suites: []tlssim.Suite{tlssim.SuiteAESCBCSHA256}},
+		tlssim.ServerConfig{MaxVersion: tlssim.TLS10, Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Reseal("pw", dev.Export(), "", "", "", "", 0)
+	if err == nil || !strings.Contains(err.Error(), "implicit-IV") {
+		t.Fatalf("err = %v, want TLS1.0 refusal", err)
+	}
+}
+
+func TestResealLengthGuard(t *testing.T) {
+	c, _ := testServer(t)
+	if err := c.Register("pw", "secret99", ""); err != nil {
+		t.Fatal(err)
+	}
+	device, _ := establishSession(t)
+	_, err := c.Reseal("pw", device.Export(), "", "", "", "", 7)
+	if err == nil || !strings.Contains(err.Error(), "desynchronize") {
+		t.Fatalf("err = %v, want length guard", err)
+	}
+}
+
+func TestUnknownOpAndCor(t *testing.T) {
+	c, _ := testServer(t)
+	device, _ := establishSession(t)
+	if _, err := c.Reseal("nope", device.Export(), "", "", "", "", 0); err == nil {
+		t.Fatal("unknown cor accepted")
+	}
+	if _, err := c.do(&Request{Op: "frobnicate"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	c, s := testServer(t)
+	_ = c
+	var addr string
+	for i := 0; i < 100 && addr == ""; i++ {
+		addr = s.Addr()
+		time.Sleep(time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("server never bound")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(addr, time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 10; j++ {
+				if err := cl.Ping(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageFraming(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		WriteMessage(a, &Request{Op: OpPing, CorID: "x"})
+	}()
+	var req Request
+	if err := ReadMessage(b, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Op != OpPing || req.CorID != "x" {
+		t.Fatalf("req = %+v", req)
+	}
+}

@@ -1,0 +1,135 @@
+// Package nodeproto implements TinMan's trusted-node service over a real
+// network: a JSON request/response protocol carrying the operations a
+// device needs from the node — cor registration and catalog, app binding,
+// policy administration, audit queries, and the heart of the SSL/TCP
+// offload path: resealing a marked record with cor plaintext under an
+// injected session state (§3.2–§3.4).
+//
+// The in-process simulation (internal/core) exercises the full system
+// including device-side tainting; this package is the deployable
+// counterpart for the trusted-node half, served by cmd/tinman-node and
+// consumed by cmd/tinman-device.
+package nodeproto
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Op names a protocol operation.
+type Op string
+
+// Protocol operations.
+const (
+	OpRegister Op = "register" // admin: initialize a cor (safe environment)
+	OpGenerate Op = "generate" // admin: mint a fresh random cor
+	OpCatalog  Op = "catalog"  // device view: descriptions + placeholders
+	OpBind     Op = "bind"     // admin: bind an app hash to a cor
+	OpRevoke   Op = "revoke"   // revoke a device (stolen phone)
+	OpRestore  Op = "restore"  // restore a device
+	OpReseal   Op = "reseal"   // payload replacement: reseal a record with cor
+	OpDerive   Op = "derive"   // register a derived cor (hash of a password)
+	OpAudit    Op = "audit"    // query the audit log
+	OpPing     Op = "ping"     // liveness
+)
+
+// Request is the envelope every client message uses. Unused fields stay
+// empty; the node validates per-op.
+type Request struct {
+	Op Op `json:"op"`
+	// Cor identity and content.
+	CorID       string   `json:"cor_id,omitempty"`
+	Plaintext   string   `json:"plaintext,omitempty"`
+	Description string   `json:"description,omitempty"`
+	Whitelist   []string `json:"whitelist,omitempty"`
+	Length      int      `json:"length,omitempty"`
+	ParentID    string   `json:"parent_id,omitempty"`
+	// Caller identity.
+	AppHash  string `json:"app_hash,omitempty"`
+	DeviceID string `json:"device_id,omitempty"`
+	// Reseal parameters.
+	State     json.RawMessage `json:"state,omitempty"`
+	Domain    string          `json:"domain,omitempty"`
+	TargetIP  string          `json:"target_ip,omitempty"`
+	RecordLen int             `json:"record_len,omitempty"`
+}
+
+// CatalogEntry is the device-visible cor metadata.
+type CatalogEntry struct {
+	ID          string `json:"id"`
+	Placeholder string `json:"placeholder"`
+	Description string `json:"description"`
+	Bit         int    `json:"bit"`
+}
+
+// AuditEntry mirrors audit.Entry for the wire.
+type AuditEntry struct {
+	Seq     uint64 `json:"seq"`
+	Time    string `json:"time"`
+	AppHash string `json:"app_hash"`
+	CorID   string `json:"cor_id"`
+	Device  string `json:"device"`
+	Domain  string `json:"domain"`
+	Outcome string `json:"outcome"`
+	Detail  string `json:"detail"`
+}
+
+// Response is the node's reply envelope.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Denial is set (with Error) when policy refused the operation; it
+	// carries the machine-readable reason.
+	Denial string `json:"denial,omitempty"`
+	// Catalog for OpCatalog.
+	Catalog []CatalogEntry `json:"catalog,omitempty"`
+	// Record is the resealed wire record for OpReseal.
+	Record []byte `json:"record,omitempty"`
+	// CorID echoes the affected cor (register/generate/derive).
+	CorID string `json:"cor_id,omitempty"`
+	// Audit entries for OpAudit.
+	Audit []AuditEntry `json:"audit,omitempty"`
+}
+
+// maxMessage bounds a single protocol message.
+const maxMessage = 16 << 20
+
+// WriteMessage frames and writes one JSON message.
+func WriteMessage(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("nodeproto: marshal: %v", err)
+	}
+	if len(body) > maxMessage {
+		return fmt.Errorf("nodeproto: message of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMessage reads one framed JSON message into v.
+func ReadMessage(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxMessage {
+		return fmt.Errorf("nodeproto: implausible message length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("nodeproto: unmarshal: %v", err)
+	}
+	return nil
+}

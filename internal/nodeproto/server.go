@@ -1,0 +1,318 @@
+package nodeproto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"tinman/internal/audit"
+	"tinman/internal/cor"
+	"tinman/internal/malware"
+	"tinman/internal/policy"
+	"tinman/internal/tlssim"
+)
+
+// Server is the trusted-node service: the cor vault, the policy engine and
+// the reseal (payload replacement) endpoint behind a real TCP listener. It
+// is safe for concurrent connections.
+type Server struct {
+	Cors    *cor.Store
+	Policy  *policy.Engine
+	Audit   *audit.Log
+	Malware *malware.DB
+
+	// Logf receives operational messages; nil silences them.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewServer assembles a trusted-node service with a seeded malware DB.
+func NewServer() *Server {
+	s := &Server{
+		Cors:    cor.NewStore(),
+		Policy:  policy.NewEngine(nil),
+		Audit:   audit.NewLog(nil),
+		Malware: malware.NewDB(),
+		closed:  make(chan struct{}),
+	}
+	s.Malware.SeedSynthetic(1000)
+	s.Policy.SetMalwareCheck(s.Malware.Contains)
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Addr returns the bound listener address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.logf("tinman-node: listening on %s", l.Addr())
+	return s.Serve(l)
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	l := s.listener
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
+		var req Request
+		if err := ReadMessage(conn, &req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.logf("tinman-node: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.handle(&req)
+		conn.SetWriteDeadline(time.Now().Add(time.Minute))
+		if err := WriteMessage(conn, resp); err != nil {
+			s.logf("tinman-node: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// handle dispatches one request.
+func (s *Server) handle(req *Request) *Response {
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpRegister:
+		return s.handleRegister(req)
+	case OpGenerate:
+		return s.handleGenerate(req)
+	case OpCatalog:
+		return s.handleCatalog(req)
+	case OpBind:
+		if req.CorID == "" || req.AppHash == "" {
+			return fail("bind requires cor_id and app_hash")
+		}
+		s.Policy.BindApp(req.CorID, req.AppHash)
+		return &Response{OK: true, CorID: req.CorID}
+	case OpRevoke:
+		if req.DeviceID == "" {
+			return fail("revoke requires device_id")
+		}
+		s.Policy.Revoke(req.DeviceID)
+		return &Response{OK: true}
+	case OpRestore:
+		if req.DeviceID == "" {
+			return fail("restore requires device_id")
+		}
+		s.Policy.Restore(req.DeviceID)
+		return &Response{OK: true}
+	case OpDerive:
+		return s.handleDerive(req)
+	case OpReseal:
+		return s.handleReseal(req)
+	case OpAudit:
+		return s.handleAudit(req)
+	default:
+		return fail("unknown op %q", string(req.Op))
+	}
+}
+
+func fail(format string, args ...any) *Response {
+	return &Response{OK: false, Error: fmt.Sprintf(format, args...)}
+}
+
+func deny(d *policy.Denial) *Response {
+	return &Response{OK: false, Error: d.Error(), Denial: d.Reason.String()}
+}
+
+func (s *Server) handleRegister(req *Request) *Response {
+	rec, err := s.Cors.Register(req.CorID, req.Plaintext, req.Description, req.Whitelist...)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if req.Whitelist != nil {
+		s.Policy.SetWhitelist(rec.ID, req.Whitelist)
+	}
+	s.logf("tinman-node: registered cor %s (%d bytes)", rec.ID, len(rec.Plaintext))
+	return &Response{OK: true, CorID: rec.ID}
+}
+
+func (s *Server) handleGenerate(req *Request) *Response {
+	if req.Length <= 0 {
+		return fail("generate requires a positive length")
+	}
+	rec, err := s.Cors.GenerateNew(req.CorID, req.Description, req.Length, req.Whitelist...)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if req.Whitelist != nil {
+		s.Policy.SetWhitelist(rec.ID, req.Whitelist)
+	}
+	return &Response{OK: true, CorID: rec.ID}
+}
+
+func (s *Server) handleCatalog(*Request) *Response {
+	views := s.Cors.DeviceViews()
+	out := make([]CatalogEntry, len(views))
+	for i, v := range views {
+		out[i] = CatalogEntry{ID: v.ID, Placeholder: v.Placeholder, Description: v.Description, Bit: v.Bit}
+	}
+	return &Response{OK: true, Catalog: out}
+}
+
+func (s *Server) handleDerive(req *Request) *Response {
+	if req.ParentID == "" || req.CorID == "" {
+		return fail("derive requires parent_id and cor_id")
+	}
+	// The derived plaintext is computed on the node from the parent — the
+	// device never supplies secret content (e.g. the sha256-hex hash used
+	// for web login, §4.1).
+	parent := s.Cors.Get(req.ParentID)
+	if parent == nil {
+		return fail("unknown parent cor %q", req.ParentID)
+	}
+	var content string
+	switch req.Description {
+	case "", "sha256-hex":
+		content = apphashOf(parent.Plaintext)
+	default:
+		return fail("unknown derivation %q", req.Description)
+	}
+	rec, err := s.Cors.Derive(req.ParentID, req.CorID, content)
+	if err != nil {
+		return fail("%v", err)
+	}
+	return &Response{OK: true, CorID: rec.ID}
+}
+
+// handleReseal is payload replacement over the wire: given the device's
+// exported session state and a cor, produce the record the trusted node
+// sends on the device's behalf. The caller supplies record_len (the length
+// of the placeholder-bearing record it would have sent) so the node can
+// verify TCP sequence consistency.
+func (s *Server) handleReseal(req *Request) *Response {
+	rec := s.Cors.Get(req.CorID)
+	if rec == nil {
+		return fail("unknown cor %q", req.CorID)
+	}
+	checkID := rec.ID
+	if parent := s.Cors.ByBit(rec.Bit); parent != nil {
+		checkID = parent.ID
+	}
+	acc := policy.Access{
+		CorID:    checkID,
+		AppHash:  req.AppHash,
+		DeviceID: req.DeviceID,
+		Send:     true,
+		Domain:   req.Domain,
+		IP:       req.TargetIP,
+	}
+	if err := s.Policy.Check(acc); err != nil {
+		if d, ok := policy.IsDenial(err); ok {
+			s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, d.Error())
+			return deny(d)
+		}
+		return fail("%v", err)
+	}
+	st, err := tlssim.UnmarshalState(req.State)
+	if err != nil {
+		return fail("bad session state: %v", err)
+	}
+	if st.Version <= tlssim.TLS10 {
+		s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused")
+		return fail("refusing %v session: implicit-IV state sync leaks plaintext (fig 7)", st.Version)
+	}
+	sess, err := tlssim.Resume(st, nil)
+	if err != nil {
+		return fail("resuming session: %v", err)
+	}
+	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
+	if err != nil {
+		return fail("sealing: %v", err)
+	}
+	if req.RecordLen > 0 && len(out) != req.RecordLen {
+		return fail("resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), req.RecordLen)
+	}
+	s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "record resealed")
+	s.logf("tinman-node: resealed %dB record for cor %s -> %s", len(out), req.CorID, req.Domain)
+	return &Response{OK: true, Record: out}
+}
+
+func (s *Server) handleAudit(req *Request) *Response {
+	entries := s.Audit.Find(audit.Query{CorID: req.CorID, DeviceID: req.DeviceID})
+	out := make([]AuditEntry, len(entries))
+	for i, e := range entries {
+		out[i] = AuditEntry{
+			Seq: e.Seq, Time: e.Time.Format(time.RFC3339), AppHash: e.AppHash,
+			CorID: e.CorID, Device: e.DeviceID, Domain: e.Domain,
+			Outcome: e.Outcome.String(), Detail: e.Detail,
+		}
+	}
+	return &Response{OK: true, Audit: out}
+}
+
+// apphashOf is the standard sha256-hex derivation.
+func apphashOf(s string) string {
+	return apps256(s)
+}
+
+// ensure log import used when Logf wiring uses the stdlib logger.
+var _ = log.Printf

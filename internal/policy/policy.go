@@ -1,0 +1,320 @@
+// Package policy implements the trusted node's security enforcement (§3.4):
+// the two bindings — application↔cor (by dex hash) and cor↔domain (with
+// auth-endpoint IP narrowing) — plus revocation, time windows and rate
+// limits (§4.2). Every cor access on the trusted node passes through an
+// Engine before the cor is released to offloaded code or the network.
+package policy
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Reason classifies a denial.
+type Reason uint8
+
+const (
+	// ReasonAppNotBound: the requesting app's dex hash is not bound to the
+	// cor — the phishing-app defense (§5.2).
+	ReasonAppNotBound Reason = iota
+	// ReasonDomainNotAllowed: the target domain is outside the cor's
+	// whitelist.
+	ReasonDomainNotAllowed
+	// ReasonIPNotAuthEndpoint: the domain is whitelisted but the specific
+	// IP is not one of its authentication endpoints (the Facebook-comment
+	// attack defense, §3.4).
+	ReasonIPNotAuthEndpoint
+	// ReasonRevoked: the device's access was revoked (stolen phone, §3.4).
+	ReasonRevoked
+	// ReasonOutsideTimeWindow: the access falls outside the allowed hours
+	// (§4.2).
+	ReasonOutsideTimeWindow
+	// ReasonRateLimited: the access frequency limit was exceeded (§4.2).
+	ReasonRateLimited
+	// ReasonMalware: the app hash is in the malware database.
+	ReasonMalware
+	// ReasonNeverSend: the cor has an empty whitelist and may never be sent
+	// anywhere ("the private key of bitcoin cannot be sent out", §3.4).
+	ReasonNeverSend
+)
+
+var reasonNames = [...]string{
+	ReasonAppNotBound:       "app not bound to cor",
+	ReasonDomainNotAllowed:  "target domain not in whitelist",
+	ReasonIPNotAuthEndpoint: "target IP is not an authentication endpoint",
+	ReasonRevoked:           "device access revoked",
+	ReasonOutsideTimeWindow: "outside allowed time window",
+	ReasonRateLimited:       "access rate limit exceeded",
+	ReasonMalware:           "application is known malware",
+	ReasonNeverSend:         "cor may never leave the trusted node",
+}
+
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return fmt.Sprintf("Reason(%d)", uint8(r))
+}
+
+// Denial is the typed error returned for refused accesses.
+type Denial struct {
+	Reason Reason
+	CorID  string
+	Detail string
+}
+
+func (d *Denial) Error() string {
+	s := fmt.Sprintf("policy: %s denied: %s", d.CorID, d.Reason)
+	if d.Detail != "" {
+		s += " (" + d.Detail + ")"
+	}
+	return s
+}
+
+// IsDenial extracts a Denial from an error.
+func IsDenial(err error) (*Denial, bool) {
+	d, ok := err.(*Denial)
+	return d, ok
+}
+
+// Access describes one attempted cor use.
+type Access struct {
+	CorID    string
+	AppHash  string
+	DeviceID string
+	// Send marks a network egress attempt; Domain/IP are the destination.
+	// Non-send accesses (hashing a password inside offloaded code) check
+	// only bindings, revocation, window and rate.
+	Send   bool
+	Domain string
+	IP     string
+}
+
+// Window is an allowed daily time range [From, To) in hours; e.g. 10–22 for
+// "10:00 am to 10:00 pm" (§4.2). From == To means always allowed.
+type Window struct {
+	From, To int
+}
+
+// contains checks an instant against the window, handling overnight ranges.
+func (w Window) contains(t time.Time) bool {
+	if w.From == w.To {
+		return true
+	}
+	h := t.Hour()
+	if w.From < w.To {
+		return h >= w.From && h < w.To
+	}
+	return h >= w.From || h < w.To
+}
+
+// rate tracks a sliding-window access count.
+type rate struct {
+	max    int
+	per    time.Duration
+	events []time.Time
+}
+
+// Engine evaluates accesses. The clock is injectable so virtual-time
+// simulations enforce windows and rates on simulated time.
+type Engine struct {
+	mu sync.Mutex
+
+	appBindings map[string]map[string]bool // cor -> allowed app hashes
+	whitelist   map[string][]string        // cor -> domains (nil = unrestricted send, empty non-nil = never send)
+	authIPs     map[string][]string        // domain -> authentication endpoint IPs
+	authOnly    map[string]bool            // cor -> restrict to auth IPs
+	revoked     map[string]bool            // device -> revoked
+	windows     map[string]Window          // cor -> daily window
+	rates       map[string]*rate           // cor -> rate limit
+	malware     func(appHash string) bool  // malware DB lookup
+
+	now func() time.Time
+}
+
+// NewEngine creates an engine reading time from now (nil means time.Now).
+func NewEngine(now func() time.Time) *Engine {
+	if now == nil {
+		now = time.Now
+	}
+	return &Engine{
+		appBindings: make(map[string]map[string]bool),
+		whitelist:   make(map[string][]string),
+		authIPs:     make(map[string][]string),
+		authOnly:    make(map[string]bool),
+		revoked:     make(map[string]bool),
+		windows:     make(map[string]Window),
+		rates:       make(map[string]*rate),
+		now:         now,
+	}
+}
+
+// BindApp allows the app with the given dex hash to access the cor.
+func (e *Engine) BindApp(corID, appHash string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.appBindings[corID]
+	if m == nil {
+		m = make(map[string]bool)
+		e.appBindings[corID] = m
+	}
+	m[appHash] = true
+}
+
+// SetWhitelist replaces the cor's domain whitelist. A nil slice removes the
+// restriction; an empty non-nil slice means the cor may never be sent.
+func (e *Engine) SetWhitelist(corID string, domains []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if domains == nil {
+		delete(e.whitelist, corID)
+		return
+	}
+	e.whitelist[corID] = append([]string(nil), domains...)
+}
+
+// SetAuthIPs records a domain's dedicated authentication endpoints; the
+// trusted node updates this list periodically (§3.4).
+func (e *Engine) SetAuthIPs(domain string, ips []string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.authIPs[domain] = append([]string(nil), ips...)
+}
+
+// RequireAuthEndpoint narrows the cor's whitelist to authentication IPs
+// only — the defense against posting a password to an attacker's page
+// within the whitelisted domain (§3.4).
+func (e *Engine) RequireAuthEndpoint(corID string, on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.authOnly[corID] = on
+}
+
+// Revoke cuts off a device ("if a user realizes her phone is stolen", §3.4).
+func (e *Engine) Revoke(deviceID string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.revoked[deviceID] = true
+}
+
+// Restore re-enables a device.
+func (e *Engine) Restore(deviceID string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.revoked, deviceID)
+}
+
+// SetWindow constrains the cor to a daily time window (§4.2).
+func (e *Engine) SetWindow(corID string, w Window) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.windows[corID] = w
+}
+
+// SetRateLimit constrains the cor to max accesses per period (§4.2, "four
+// times per day").
+func (e *Engine) SetRateLimit(corID string, max int, per time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rates[corID] = &rate{max: max, per: per}
+}
+
+// SetMalwareCheck installs the malware-database lookup.
+func (e *Engine) SetMalwareCheck(fn func(appHash string) bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.malware = fn
+}
+
+// Check evaluates an access, recording it against the rate limit when
+// allowed. It returns nil or a *Denial.
+func (e *Engine) Check(a Access) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.now()
+
+	if e.malware != nil && e.malware(a.AppHash) {
+		return &Denial{Reason: ReasonMalware, CorID: a.CorID, Detail: "hash " + short(a.AppHash)}
+	}
+	if e.revoked[a.DeviceID] {
+		return &Denial{Reason: ReasonRevoked, CorID: a.CorID, Detail: "device " + a.DeviceID}
+	}
+	if m, bound := e.appBindings[a.CorID]; bound && !m[a.AppHash] {
+		return &Denial{Reason: ReasonAppNotBound, CorID: a.CorID, Detail: "hash " + short(a.AppHash)}
+	}
+	if w, ok := e.windows[a.CorID]; ok && !w.contains(now) {
+		return &Denial{Reason: ReasonOutsideTimeWindow, CorID: a.CorID,
+			Detail: fmt.Sprintf("hour %d not in [%d,%d)", now.Hour(), w.From, w.To)}
+	}
+
+	if a.Send {
+		if wl, ok := e.whitelist[a.CorID]; ok {
+			if len(wl) == 0 {
+				return &Denial{Reason: ReasonNeverSend, CorID: a.CorID}
+			}
+			allowed := false
+			for _, d := range wl {
+				if domainMatch(a.Domain, d) {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				return &Denial{Reason: ReasonDomainNotAllowed, CorID: a.CorID, Detail: a.Domain}
+			}
+		}
+		if e.authOnly[a.CorID] {
+			ips := e.authIPs[a.Domain]
+			found := false
+			for _, ip := range ips {
+				if ip == a.IP {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return &Denial{Reason: ReasonIPNotAuthEndpoint, CorID: a.CorID,
+					Detail: fmt.Sprintf("%s not an auth endpoint of %s", a.IP, a.Domain)}
+			}
+		}
+	}
+
+	// The frequency limit counts egress uses ("the access frequency could
+	// not exceed a preset limitation", §4.2): local offloaded computation
+	// over the cor does not consume budget, sending it out does.
+	if r, ok := e.rates[a.CorID]; ok && a.Send {
+		cutoff := now.Add(-r.per)
+		live := r.events[:0]
+		for _, ev := range r.events {
+			if ev.After(cutoff) {
+				live = append(live, ev)
+			}
+		}
+		r.events = live
+		if len(r.events) >= r.max {
+			return &Denial{Reason: ReasonRateLimited, CorID: a.CorID,
+				Detail: fmt.Sprintf("%d accesses in %v", len(r.events), r.per)}
+		}
+		r.events = append(r.events, now)
+	}
+	return nil
+}
+
+// domainMatch matches exact domains and subdomains ("login.bank.com"
+// matches whitelist entry "bank.com").
+func domainMatch(domain, pattern string) bool {
+	if domain == pattern {
+		return true
+	}
+	return len(domain) > len(pattern)+1 &&
+		domain[len(domain)-len(pattern):] == pattern &&
+		domain[len(domain)-len(pattern)-1] == '.'
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

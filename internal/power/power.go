@@ -1,0 +1,251 @@
+// Package power models the device battery for the paper's energy
+// experiments (Figs 16 and 17). Components integrate their draw over
+// virtual time; the battery converts accumulated joules into the "remaining
+// battery %" curves the paper plots.
+//
+// Constants approximate a 2012 Samsung Galaxy Nexus (1750 mAh battery,
+// OMAP4460) with radio behavior from the 3G/Wi-Fi power literature of the
+// era: cellular radios burn a high-power tail after each transfer, Wi-Fi
+// returns to idle almost immediately.
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// Draw is anything that can report energy consumed up to a point in time.
+type Draw interface {
+	// EnergyUpTo returns total joules consumed from time zero to t.
+	EnergyUpTo(t time.Duration) float64
+	// Name identifies the component in reports.
+	Name() string
+}
+
+// GalaxyNexusCapacityJ is 1750 mAh at 3.7 V nominal.
+const GalaxyNexusCapacityJ = 1.750 * 3.7 * 3600 // ≈ 23310 J
+
+// Typical component draws in watts.
+const (
+	BaseIdleW    = 0.20 // SoC + RAM + background
+	DisplayOnW   = 0.50 // 720p AMOLED at medium brightness
+	CPUActiveW   = 1.10 // one OMAP4460 core busy
+	WiFiActiveW  = 0.75
+	WiFiTailW    = 0.12
+	WiFiIdleW    = 0.01
+	ThreeGDCHW   = 1.25 // connected/active state
+	ThreeGFACHW  = 0.60 // tail state
+	ThreeGIdleW  = 0.02
+	VideoDecodeW = 0.55 // HW decoder for local 720p playback
+)
+
+// Tail durations.
+const (
+	WiFiTail   = 220 * time.Millisecond
+	ThreeGTail = 5 * time.Second
+)
+
+// Constant is an always-on draw (base system, display while pinned on).
+type Constant struct {
+	name  string
+	watts float64
+}
+
+// NewConstant creates a fixed draw.
+func NewConstant(name string, watts float64) *Constant {
+	return &Constant{name: name, watts: watts}
+}
+
+// Name implements Draw.
+func (c *Constant) Name() string { return c.name }
+
+// EnergyUpTo implements Draw.
+func (c *Constant) EnergyUpTo(t time.Duration) float64 { return c.watts * t.Seconds() }
+
+// interval is a closed-open busy span.
+type interval struct {
+	start, end time.Duration
+}
+
+// intervalSet accumulates busy spans registered in nondecreasing start
+// order; overlapping or queued spans merge. Queries never mutate, so a
+// battery can be sampled at any instant in any order.
+type intervalSet struct {
+	spans []interval
+}
+
+// add registers a span of length d starting at `at`; if the component is
+// still busy at `at`, the new work queues behind it.
+func (s *intervalSet) add(at, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if n := len(s.spans); n > 0 && s.spans[n-1].end >= at {
+		// Queue behind / merge with the running span.
+		s.spans[n-1].end += d
+		return
+	}
+	s.spans = append(s.spans, interval{start: at, end: at + d})
+}
+
+// busyBefore returns total busy time in [0, t).
+func (s *intervalSet) busyBefore(t time.Duration) time.Duration {
+	var sum time.Duration
+	for _, iv := range s.spans {
+		if iv.start >= t {
+			break
+		}
+		end := iv.end
+		if end > t {
+			end = t
+		}
+		sum += end - iv.start
+	}
+	return sum
+}
+
+// Activity is a duty-cycled draw: bursts of activity at ActiveW over an
+// IdleW floor (CPU, display toggling, video decode). Bursts must be
+// registered in nondecreasing start order; energy queries are pure and may
+// happen at any instant.
+type Activity struct {
+	name    string
+	ActiveW float64
+	IdleW   float64
+	busy    intervalSet
+}
+
+// NewActivity creates a duty-cycled component.
+func NewActivity(name string, activeW, idleW float64) *Activity {
+	return &Activity{name: name, ActiveW: activeW, IdleW: idleW}
+}
+
+// Name implements Draw.
+func (a *Activity) Name() string { return a.name }
+
+// NoteActive records a burst of activity of length d starting at time at
+// (bursts queue behind each other if they overlap).
+func (a *Activity) NoteActive(at, d time.Duration) { a.busy.add(at, d) }
+
+// EnergyUpTo implements Draw.
+func (a *Activity) EnergyUpTo(t time.Duration) float64 {
+	busy := a.busy.busyBefore(t)
+	return a.ActiveW*busy.Seconds() + a.IdleW*(t-busy).Seconds()
+}
+
+// Radio models a wireless interface with active, tail and idle states. 3G
+// radios hold a multi-second high-power tail after each transfer (the FACH
+// state) — the dominant energy cost of chatty offloading protocols.
+type Radio struct {
+	name    string
+	ActiveW float64
+	TailW   float64
+	IdleW   float64
+	Tail    time.Duration
+
+	busy intervalSet
+	// Transfers counts NoteTransfer calls.
+	Transfers uint64
+}
+
+// NewWiFiRadio creates a Wi-Fi interface model.
+func NewWiFiRadio() *Radio {
+	return &Radio{name: "wifi", ActiveW: WiFiActiveW, TailW: WiFiTailW, IdleW: WiFiIdleW, Tail: WiFiTail}
+}
+
+// NewThreeGRadio creates a 3G interface model.
+func NewThreeGRadio() *Radio {
+	return &Radio{name: "3g", ActiveW: ThreeGDCHW, TailW: ThreeGFACHW, IdleW: ThreeGIdleW, Tail: ThreeGTail}
+}
+
+// Name implements Draw.
+func (r *Radio) Name() string { return r.name }
+
+// NoteTransfer records a transfer of duration d starting at time at.
+// Transfers must arrive in nondecreasing start order; a transfer that
+// begins while the radio is busy queues behind it.
+func (r *Radio) NoteTransfer(at, d time.Duration) {
+	r.Transfers++
+	r.busy.add(at, d)
+}
+
+// EnergyUpTo implements Draw.
+func (r *Radio) EnergyUpTo(t time.Duration) float64 {
+	// Active time plus tail time: a tail of r.Tail follows each busy span,
+	// truncated by the next span's start (which restarts the radio's
+	// high-power state) and by the horizon t.
+	var active, tail time.Duration
+	spans := r.busy.spans
+	for i, iv := range spans {
+		if iv.start >= t {
+			break
+		}
+		end := iv.end
+		if end > t {
+			end = t
+		}
+		active += end - iv.start
+		if iv.end >= t {
+			continue
+		}
+		tailEnd := iv.end + r.Tail
+		if i+1 < len(spans) && spans[i+1].start < tailEnd {
+			tailEnd = spans[i+1].start
+		}
+		if tailEnd > t {
+			tailEnd = t
+		}
+		if tailEnd > iv.end {
+			tail += tailEnd - iv.end
+		}
+	}
+	idle := t - active - tail
+	return r.ActiveW*active.Seconds() + r.TailW*tail.Seconds() + r.IdleW*idle.Seconds()
+}
+
+// Battery aggregates component draws against a capacity.
+type Battery struct {
+	CapacityJ float64
+	draws     []Draw
+}
+
+// NewBattery creates a battery with the given capacity in joules.
+func NewBattery(capacityJ float64) *Battery {
+	return &Battery{CapacityJ: capacityJ}
+}
+
+// Attach adds a component to the battery's load.
+func (b *Battery) Attach(d Draw) { b.draws = append(b.draws, d) }
+
+// EnergyUsedAt returns total joules drawn by time t.
+func (b *Battery) EnergyUsedAt(t time.Duration) float64 {
+	var sum float64
+	for _, d := range b.draws {
+		sum += d.EnergyUpTo(t)
+	}
+	return sum
+}
+
+// PercentAt returns the remaining battery percentage at time t, clamped to
+// [0, 100].
+func (b *Battery) PercentAt(t time.Duration) float64 {
+	p := 100 * (1 - b.EnergyUsedAt(t)/b.CapacityJ)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Breakdown reports per-component consumption at time t.
+func (b *Battery) Breakdown(t time.Duration) map[string]float64 {
+	out := make(map[string]float64, len(b.draws))
+	for _, d := range b.draws {
+		out[d.Name()] += d.EnergyUpTo(t)
+	}
+	return out
+}
+
+// String summarizes the battery.
+func (b *Battery) String() string {
+	return fmt.Sprintf("battery %.0f J, %d components", b.CapacityJ, len(b.draws))
+}

@@ -1,0 +1,176 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConstantDraw(t *testing.T) {
+	c := NewConstant("base", 0.5)
+	if !approx(c.EnergyUpTo(10*time.Second), 5.0, 1e-9) {
+		t.Fatalf("energy = %v", c.EnergyUpTo(10*time.Second))
+	}
+	if c.Name() != "base" {
+		t.Fatal("name")
+	}
+}
+
+func TestActivityDutyCycle(t *testing.T) {
+	a := NewActivity("cpu", 1.0, 0.1)
+	// 2s active burst at t=1s, query at t=5s: 1s idle + 2s active + 2s idle.
+	a.NoteActive(1*time.Second, 2*time.Second)
+	got := a.EnergyUpTo(5 * time.Second)
+	want := 0.1*1 + 1.0*2 + 0.1*2
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestActivityOverlappingBurstsQueue(t *testing.T) {
+	a := NewActivity("cpu", 1.0, 0.0)
+	a.NoteActive(0, time.Second)
+	a.NoteActive(500*time.Millisecond, time.Second) // queues: busy until 2s
+	got := a.EnergyUpTo(3 * time.Second)
+	if !approx(got, 2.0, 1e-9) {
+		t.Fatalf("energy = %v, want 2.0", got)
+	}
+}
+
+func TestRadioStates(t *testing.T) {
+	r := &Radio{name: "r", ActiveW: 1.0, TailW: 0.5, IdleW: 0.1, Tail: 2 * time.Second}
+	// Transfer of 1s at t=0: active [0,1), tail [1,3), idle [3,5).
+	r.NoteTransfer(0, time.Second)
+	got := r.EnergyUpTo(5 * time.Second)
+	want := 1.0*1 + 0.5*2 + 0.1*2
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+	if r.Transfers != 1 {
+		t.Fatal("transfer count")
+	}
+}
+
+func TestRadioTailRefreshed(t *testing.T) {
+	r := &Radio{name: "r", ActiveW: 1.0, TailW: 0.5, IdleW: 0.0, Tail: 2 * time.Second}
+	r.NoteTransfer(0, time.Second)
+	// Second transfer during the tail restarts it.
+	r.NoteTransfer(2*time.Second, time.Second)
+	got := r.EnergyUpTo(10 * time.Second)
+	// active [0,1): 1J; tail [1,2): 0.5J; active [2,3): 1J; tail [3,5): 1J.
+	want := 1.0 + 0.5 + 1.0 + 1.0
+	if !approx(got, want, 1e-9) {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestThreeGTailDominatesChattyWorkload(t *testing.T) {
+	// The design-for-mobiles point: the same payload sent as many small
+	// transfers costs far more on 3G than batched, because of tail energy.
+	chatty := NewThreeGRadio()
+	for i := 0; i < 60; i++ {
+		chatty.NoteTransfer(time.Duration(i)*10*time.Second, 100*time.Millisecond)
+	}
+	batched := NewThreeGRadio()
+	batched.NoteTransfer(0, 6*time.Second) // same total active time
+
+	horizon := 10 * time.Minute
+	if chatty.EnergyUpTo(horizon) < 3*batched.EnergyUpTo(horizon) {
+		t.Fatalf("chatty=%v batched=%v: tail energy should dominate",
+			chatty.EnergyUpTo(horizon), batched.EnergyUpTo(horizon))
+	}
+}
+
+func TestWiFiCheaperThanThreeG(t *testing.T) {
+	wifi, tg := NewWiFiRadio(), NewThreeGRadio()
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * 30 * time.Second
+		wifi.NoteTransfer(at, time.Second)
+		tg.NoteTransfer(at, time.Second)
+	}
+	horizon := 5 * time.Minute
+	if wifi.EnergyUpTo(horizon) >= tg.EnergyUpTo(horizon) {
+		t.Fatal("Wi-Fi should cost less than 3G for the same transfer pattern")
+	}
+}
+
+func TestBatteryPercent(t *testing.T) {
+	b := NewBattery(1000) // 1 kJ
+	b.Attach(NewConstant("base", 1.0))
+	if got := b.PercentAt(0); got != 100 {
+		t.Fatalf("at 0: %v", got)
+	}
+	if got := b.PercentAt(500 * time.Second); !approx(got, 50, 1e-9) {
+		t.Fatalf("at 500s: %v", got)
+	}
+	if got := b.PercentAt(2000 * time.Second); got != 0 {
+		t.Fatalf("clamping: %v", got)
+	}
+}
+
+func TestBatteryBreakdown(t *testing.T) {
+	b := NewBattery(GalaxyNexusCapacityJ)
+	b.Attach(NewConstant("base", BaseIdleW))
+	cpu := NewActivity("cpu", CPUActiveW, 0)
+	cpu.NoteActive(0, time.Minute)
+	b.Attach(cpu)
+	bd := b.Breakdown(time.Minute)
+	if len(bd) != 2 || bd["cpu"] <= 0 || bd["base"] <= 0 {
+		t.Fatalf("breakdown = %v", bd)
+	}
+	if b.String() == "" {
+		t.Fatal("empty battery summary")
+	}
+}
+
+// Property: energy is monotone nondecreasing in time for every component
+// type, regardless of event pattern.
+func TestEnergyMonotoneProperty(t *testing.T) {
+	prop := func(bursts []uint16) bool {
+		a := NewActivity("cpu", 1.2, 0.1)
+		r := NewThreeGRadio()
+		var at time.Duration
+		for _, b := range bursts {
+			at += time.Duration(b) * time.Millisecond
+			a.NoteActive(at, time.Duration(b%100)*time.Millisecond)
+			r.NoteTransfer(at, time.Duration(b%50)*time.Millisecond)
+		}
+		var lastA, lastR float64
+		for q := time.Duration(0); q <= at+10*time.Second; q += 500 * time.Millisecond {
+			ea, er := a.EnergyUpTo(q), r.EnergyUpTo(q)
+			if ea < lastA || er < lastR {
+				return false
+			}
+			lastA, lastR = ea, er
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: querying energy at the same instant twice is idempotent.
+func TestEnergyIdempotentProperty(t *testing.T) {
+	prop := func(d uint16) bool {
+		r := NewWiFiRadio()
+		r.NoteTransfer(0, time.Duration(d)*time.Millisecond)
+		q := time.Duration(d) * 2 * time.Millisecond
+		return r.EnergyUpTo(q) == r.EnergyUpTo(q)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGalaxyNexusConstants(t *testing.T) {
+	// Sanity: the modeled phone idles for over a day but far less than a
+	// month on its battery.
+	idleLife := time.Duration(GalaxyNexusCapacityJ/BaseIdleW) * time.Second
+	if idleLife < 24*time.Hour || idleLife > 30*24*time.Hour {
+		t.Fatalf("idle life = %v, implausible", idleLife)
+	}
+}

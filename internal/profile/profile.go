@@ -1,0 +1,136 @@
+// Package profile implements the measurement instrument behind Table 3's
+// "Off. Code" column: "we log every function invocation in the trusted
+// node, and count the overall function invocations during the login phase"
+// (§6.3). A Profiler attaches to a VM and tallies per-method invocation
+// counts; two profilers (device + node) produce the offloaded-fraction
+// breakdown per method.
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"tinman/internal/vm"
+)
+
+// Profiler tallies method invocations on one VM.
+type Profiler struct {
+	mu     sync.Mutex
+	counts map[string]uint64
+	total  uint64
+}
+
+// New creates an empty profiler.
+func New() *Profiler {
+	return &Profiler{counts: make(map[string]uint64)}
+}
+
+// Attach installs the profiler on a VM's invocation hook, chaining any
+// existing hook.
+func (p *Profiler) Attach(machine *vm.VM) {
+	prev := machine.Hooks.OnInvoke
+	machine.Hooks.OnInvoke = func(m *vm.Method) {
+		p.Note(m.FullName())
+		if prev != nil {
+			prev(m)
+		}
+	}
+}
+
+// Note records one invocation of the named method.
+func (p *Profiler) Note(method string) {
+	p.mu.Lock()
+	p.counts[method]++
+	p.total++
+	p.mu.Unlock()
+}
+
+// Total returns the number of recorded invocations.
+func (p *Profiler) Total() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+// Count returns one method's invocation count.
+func (p *Profiler) Count(method string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[method]
+}
+
+// Reset clears all counts.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts = make(map[string]uint64)
+	p.total = 0
+}
+
+// Row is one method's share of the invocations.
+type Row struct {
+	Method   string
+	Count    uint64
+	Fraction float64
+}
+
+// Top returns the n most-invoked methods (all of them if n <= 0).
+func (p *Profiler) Top(n int) []Row {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]Row, 0, len(p.counts))
+	for m, c := range p.counts {
+		f := 0.0
+		if p.total > 0 {
+			f = float64(c) / float64(p.total)
+		}
+		rows = append(rows, Row{Method: m, Count: c, Fraction: f})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Method < rows[j].Method
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// Split compares a device profiler and a node profiler the way Table 3
+// does: per-method counts on each side plus the offloaded fraction.
+type Split struct {
+	Device *Profiler
+	Node   *Profiler
+}
+
+// OffloadedFraction is node invocations over the combined total.
+func (s Split) OffloadedFraction() float64 {
+	d, n := s.Device.Total(), s.Node.Total()
+	if d+n == 0 {
+		return 0
+	}
+	return float64(n) / float64(d+n)
+}
+
+// WriteReport renders the split as a table.
+func (s Split) WriteReport(w io.Writer, topN int) {
+	fmt.Fprintf(w, "invocations: device %d, node %d (%.1f%% offloaded)\n",
+		s.Device.Total(), s.Node.Total(), 100*s.OffloadedFraction())
+	fmt.Fprintf(w, "%-40s %12s %12s\n", "method", "device", "node")
+	seen := map[string]bool{}
+	emit := func(rows []Row) {
+		for _, r := range rows {
+			if seen[r.Method] {
+				continue
+			}
+			seen[r.Method] = true
+			fmt.Fprintf(w, "%-40s %12d %12d\n", r.Method, s.Device.Count(r.Method), s.Node.Count(r.Method))
+		}
+	}
+	emit(s.Device.Top(topN))
+	emit(s.Node.Top(topN))
+}

@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+const profSrc = `
+class P
+  method leaf 1 3
+    const r1, 1
+    add r2, r0, r1
+    return r2
+  end
+  method mid 1 4
+    invoke r1, P.leaf, r0
+    invoke r2, P.leaf, r1
+    return r2
+  end
+  method main 1 6
+    const r1, 0
+    const r2, 0
+  loop:
+    ifge r2, r0, done
+    invoke r3, P.mid, r2
+    add r1, r1, r3
+    const r4, 1
+    add r2, r2, r4
+    goto loop
+  done:
+    return r1
+  end
+end`
+
+func runProfiled(t *testing.T, n int64) *Profiler {
+	t.Helper()
+	prog, err := asm.Assemble("p", profSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	p := New()
+	p.Attach(machine)
+	th, err := machine.NewThread(prog.Method("P", "main"), vm.IntVal(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfilerCounts(t *testing.T) {
+	p := runProfiled(t, 10)
+	if got := p.Count("P.mid"); got != 10 {
+		t.Fatalf("mid = %d, want 10", got)
+	}
+	if got := p.Count("P.leaf"); got != 20 {
+		t.Fatalf("leaf = %d, want 20", got)
+	}
+	if p.Total() != 30 {
+		t.Fatalf("total = %d, want 30", p.Total())
+	}
+	// VM's own counter agrees.
+}
+
+func TestTopOrdering(t *testing.T) {
+	p := runProfiled(t, 5)
+	rows := p.Top(0)
+	if len(rows) != 2 || rows[0].Method != "P.leaf" || rows[1].Method != "P.mid" {
+		t.Fatalf("top = %+v", rows)
+	}
+	if rows[0].Fraction <= rows[1].Fraction {
+		t.Fatal("fractions unordered")
+	}
+	if got := p.Top(1); len(got) != 1 {
+		t.Fatalf("top(1) = %d rows", len(got))
+	}
+}
+
+func TestResetAndNote(t *testing.T) {
+	p := New()
+	p.Note("a")
+	p.Note("a")
+	p.Note("b")
+	if p.Total() != 3 || p.Count("a") != 2 {
+		t.Fatal("note counting broken")
+	}
+	p.Reset()
+	if p.Total() != 0 || len(p.Top(0)) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestSplitReport(t *testing.T) {
+	dev := runProfiled(t, 19) // 19*3 = 57 invocations
+	node := runProfiled(t, 1) // 3 invocations
+	s := Split{Device: dev, Node: node}
+	if f := s.OffloadedFraction(); f <= 0.04 || f >= 0.06 {
+		t.Fatalf("fraction = %v, want ~0.05", f)
+	}
+	var buf bytes.Buffer
+	s.WriteReport(&buf, 10)
+	out := buf.String()
+	if !strings.Contains(out, "P.leaf") || !strings.Contains(out, "offloaded") {
+		t.Fatalf("report:\n%s", out)
+	}
+	empty := Split{Device: New(), Node: New()}
+	if empty.OffloadedFraction() != 0 {
+		t.Fatal("empty split fraction")
+	}
+}
+
+func TestAttachChainsExistingHook(t *testing.T) {
+	prog, _ := asm.Assemble("p", profSrc)
+	machine := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	var chained int
+	machine.Hooks.OnInvoke = func(m *vm.Method) { chained++ }
+	p := New()
+	p.Attach(machine)
+	th, _ := machine.NewThread(prog.Method("P", "main"), vm.IntVal(2))
+	th.Run()
+	if chained == 0 {
+		t.Fatal("previous hook not chained")
+	}
+	if uint64(chained) != p.Total() {
+		t.Fatalf("chained %d != profiled %d", chained, p.Total())
+	}
+}

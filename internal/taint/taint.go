@@ -1,0 +1,191 @@
+// Package taint implements TinMan's taint-tracking model (§3.5).
+//
+// A taint tag is a set of cor identities carried alongside every value in
+// the VM. Propagation is classified into the paper's four data-movement
+// classes — heap→heap, heap→stack, stack→stack and stack→heap — and a
+// Policy selects which classes are instrumented:
+//
+//   - the trusted node runs the Full policy (all four classes, TaintDroid
+//     equivalent), keeping tag precision;
+//   - the mobile device runs the Asymmetric policy, which tracks only
+//     heap→heap and heap→stack. Because the VM forces every datum through a
+//     heap→stack move before it can be computed on, the device can trigger
+//     offloading at that moment and never needs the two stack-involved
+//     classes, which are by far the most frequent (every arithmetic op is
+//     stack→stack).
+package taint
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Tag is a set of cor identities, represented as a 64-bit set. Each
+// registered cor occupies one bit; a VM therefore tracks at most 64 distinct
+// cors simultaneously, which comfortably exceeds the "typically fewer than
+// five passwords per user" the paper cites (§5.4).
+type Tag uint64
+
+// None is the empty tag: untainted data.
+const None Tag = 0
+
+// Bit returns the tag with only bit i set. It panics if i is out of range;
+// cor registration enforces the limit before minting bits.
+func Bit(i int) Tag {
+	if i < 0 || i > 63 {
+		panic(fmt.Sprintf("taint: bit %d out of range [0,63]", i))
+	}
+	return Tag(1) << uint(i)
+}
+
+// Union merges two tags.
+func (t Tag) Union(o Tag) Tag { return t | o }
+
+// Has reports whether every bit of o is present in t.
+func (t Tag) Has(o Tag) bool { return t&o == o }
+
+// Overlaps reports whether t and o share any bit.
+func (t Tag) Overlaps(o Tag) bool { return t&o != 0 }
+
+// Empty reports whether the tag carries no taint.
+func (t Tag) Empty() bool { return t == 0 }
+
+// Count returns the number of distinct cor bits in the tag.
+func (t Tag) Count() int { return bits.OnesCount64(uint64(t)) }
+
+// Bits returns the indices of the set bits in ascending order.
+func (t Tag) Bits() []int {
+	var out []int
+	for i := 0; i < 64; i++ {
+		if t&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the tag for logs and test failures.
+func (t Tag) String() string {
+	if t == 0 {
+		return "taint{}"
+	}
+	parts := make([]string, 0, t.Count())
+	for _, b := range t.Bits() {
+		parts = append(parts, fmt.Sprintf("%d", b))
+	}
+	sort.Strings(parts)
+	return "taint{" + strings.Join(parts, ",") + "}"
+}
+
+// Event classifies a single taint-relevant data movement (Table 2 of the
+// paper).
+type Event uint8
+
+const (
+	// HeapToHeap covers object clone, arraycopy and similar operations that
+	// move data between heap objects without touching the stack.
+	HeapToHeap Event = iota
+	// HeapToStack covers field/array/string reads into a register (GET).
+	HeapToStack
+	// StackToStack covers register-to-register moves and arithmetic.
+	StackToStack
+	// StackToHeap covers field/array writes from a register (PUT).
+	StackToHeap
+	numEvents
+)
+
+// NumEvents is the number of distinct propagation classes.
+const NumEvents = int(numEvents)
+
+var eventNames = [...]string{
+	HeapToHeap:   "heap-to-heap",
+	HeapToStack:  "heap-to-stack",
+	StackToStack: "stack-to-stack",
+	StackToHeap:  "stack-to-heap",
+}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("taint.Event(%d)", uint8(e))
+}
+
+// Policy selects which propagation classes are instrumented.
+type Policy struct {
+	name  string
+	track [numEvents]bool
+}
+
+// Name returns the policy's human-readable name.
+func (p Policy) Name() string { return p.name }
+
+// Tracks reports whether the policy propagates tags for the given class.
+func (p Policy) Tracks(e Event) bool { return p.track[e] }
+
+// Predefined policies.
+var (
+	// Off disables tainting entirely (the paper's unmodified-Android
+	// baseline in Fig 13).
+	Off = Policy{name: "off"}
+
+	// Full tracks all four classes; this is the TaintDroid-equivalent
+	// configuration the trusted node runs, and the "full-fledged tainting on
+	// the client" comparison point in Fig 13.
+	Full = Policy{
+		name:  "full",
+		track: [numEvents]bool{HeapToHeap: true, HeapToStack: true, StackToStack: true, StackToHeap: true},
+	}
+
+	// Asymmetric is the device-side optimization: only heap→heap and
+	// heap→stack are tracked. Tainted heap→stack reads trigger offloading,
+	// so tainted data never reaches stack-to-stack or stack-to-heap moves on
+	// the device.
+	Asymmetric = Policy{
+		name:  "asymmetric",
+		track: [numEvents]bool{HeapToHeap: true, HeapToStack: true},
+	}
+)
+
+// PolicyByName resolves a policy from its name ("off", "full",
+// "asymmetric"); it is used by command-line harnesses.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case Off.name:
+		return Off, nil
+	case Full.name:
+		return Full, nil
+	case Asymmetric.name:
+		return Asymmetric, nil
+	}
+	return Policy{}, fmt.Errorf("taint: unknown policy %q", name)
+}
+
+// Counters tallies propagation events per class; the VM updates it so that
+// experiments can report the class mix (the paper observes stack-to-stack
+// dominates, which is why skipping it on the device pays).
+type Counters struct {
+	ByEvent [numEvents]uint64
+	// Triggered counts tainted heap→stack reads that fired the offload hook.
+	Triggered uint64
+}
+
+// Add records one event of class e.
+func (c *Counters) Add(e Event) { c.ByEvent[e]++ }
+
+// Total returns the sum across classes.
+func (c *Counters) Total() uint64 {
+	var t uint64
+	for _, v := range c.ByEvent {
+		t += v
+	}
+	return t
+}
+
+// String summarizes the counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf("h2h=%d h2s=%d s2s=%d s2h=%d triggered=%d",
+		c.ByEvent[HeapToHeap], c.ByEvent[HeapToStack], c.ByEvent[StackToStack], c.ByEvent[StackToHeap], c.Triggered)
+}

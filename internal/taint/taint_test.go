@@ -1,0 +1,169 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBit(t *testing.T) {
+	if Bit(0) != 1 {
+		t.Fatalf("Bit(0) = %v", Bit(0))
+	}
+	if Bit(63) != 1<<63 {
+		t.Fatalf("Bit(63) = %v", Bit(63))
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bit(%d) should panic", i)
+				}
+			}()
+			Bit(i)
+		}()
+	}
+}
+
+func TestUnionHasOverlaps(t *testing.T) {
+	a, b := Bit(1), Bit(2)
+	u := a.Union(b)
+	if !u.Has(a) || !u.Has(b) {
+		t.Fatal("union lost a member")
+	}
+	if !u.Overlaps(a) || a.Overlaps(b) {
+		t.Fatal("overlap semantics wrong")
+	}
+	if !None.Empty() || u.Empty() {
+		t.Fatal("emptiness wrong")
+	}
+	if u.Count() != 2 {
+		t.Fatalf("count = %d, want 2", u.Count())
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	tag := Bit(0).Union(Bit(5)).Union(Bit(63))
+	got := tag.Bits()
+	want := []int{0, 5, 63}
+	if len(got) != len(want) {
+		t.Fatalf("bits = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bits = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if None.String() != "taint{}" {
+		t.Fatalf("None.String() = %q", None.String())
+	}
+	if s := Bit(3).Union(Bit(1)).String(); s != "taint{1,3}" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	cases := []struct {
+		p    Policy
+		want [NumEvents]bool
+	}{
+		{Off, [NumEvents]bool{}},
+		{Full, [NumEvents]bool{true, true, true, true}},
+		{Asymmetric, [NumEvents]bool{HeapToHeap: true, HeapToStack: true}},
+	}
+	for _, c := range cases {
+		for e := 0; e < NumEvents; e++ {
+			if got := c.p.Tracks(Event(e)); got != c.want[e] {
+				t.Errorf("%s.Tracks(%v) = %v, want %v", c.p.Name(), Event(e), got, c.want[e])
+			}
+		}
+	}
+}
+
+func TestAsymmetricSkipsStackClasses(t *testing.T) {
+	// The defining property of the optimization (§3.5): the device never
+	// instruments the two stack-involved classes.
+	if Asymmetric.Tracks(StackToStack) || Asymmetric.Tracks(StackToHeap) {
+		t.Fatal("asymmetric policy must not track stack-to-stack or stack-to-heap")
+	}
+	if !Asymmetric.Tracks(HeapToStack) || !Asymmetric.Tracks(HeapToHeap) {
+		t.Fatal("asymmetric policy must track heap-to-heap and heap-to-stack")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"off", "full", "asymmetric"} {
+		p, err := PolicyByName(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("PolicyByName(%q) = %v, %v", name, p.Name(), err)
+		}
+	}
+	if _, err := PolicyByName("bogus"); err == nil {
+		t.Fatal("expected error for unknown policy")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Add(StackToStack)
+	c.Add(StackToStack)
+	c.Add(HeapToStack)
+	if c.Total() != 3 {
+		t.Fatalf("total = %d, want 3", c.Total())
+	}
+	if c.ByEvent[StackToStack] != 2 {
+		t.Fatalf("s2s = %d, want 2", c.ByEvent[StackToStack])
+	}
+	if c.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	names := map[Event]string{
+		HeapToHeap:   "heap-to-heap",
+		HeapToStack:  "heap-to-stack",
+		StackToStack: "stack-to-stack",
+		StackToHeap:  "stack-to-heap",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Errorf("%d.String() = %q, want %q", e, e.String(), want)
+		}
+	}
+	if Event(200).String() == "" {
+		t.Error("out-of-range event should still render")
+	}
+}
+
+// Properties of the tag algebra.
+func TestTagAlgebraProperties(t *testing.T) {
+	// Union is commutative, associative, idempotent; Has is reflexive over
+	// unions.
+	comm := func(a, b uint64) bool { return Tag(a).Union(Tag(b)) == Tag(b).Union(Tag(a)) }
+	assoc := func(a, b, c uint64) bool {
+		return Tag(a).Union(Tag(b)).Union(Tag(c)) == Tag(a).Union(Tag(b).Union(Tag(c)))
+	}
+	idem := func(a uint64) bool { return Tag(a).Union(Tag(a)) == Tag(a) }
+	hasBoth := func(a, b uint64) bool {
+		u := Tag(a).Union(Tag(b))
+		return u.Has(Tag(a)) && u.Has(Tag(b))
+	}
+	countMono := func(a, b uint64) bool {
+		u := Tag(a).Union(Tag(b))
+		return u.Count() >= Tag(a).Count() && u.Count() >= Tag(b).Count()
+	}
+	for name, fn := range map[string]any{
+		"commutative": comm, "associative": assoc, "idempotent": idem,
+		"hasBoth": hasBoth, "countMonotone": countMono,
+	} {
+		if err := quick.Check(fn, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

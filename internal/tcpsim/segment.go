@@ -1,0 +1,128 @@
+// Package tcpsim is a compact userspace TCP over the netsim substrate: SYN
+// handshake, cumulative ACKs, segmentation, retransmission and checksums —
+// enough protocol to host TinMan's TCP-layer mechanism, payload replacement
+// (§3.3): a marked segment is captured by an egress filter on the device,
+// redirected to the trusted node, its payload swapped for the cor-bearing
+// ciphertext, and forwarded to the origin server with the original TCP
+// header intact.
+package tcpsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Flag bits.
+const (
+	FlagFIN uint8 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+)
+
+// MSS is the maximum segment payload.
+const MSS = 1400
+
+// Segment is a TCP segment. Addresses live in the enclosing netsim packet;
+// the checksum covers a pseudo-header with both.
+type Segment struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	Payload  []byte
+}
+
+const segHeaderLen = 17
+
+// flagNames for diagnostics.
+func (s *Segment) flagString() string {
+	out := ""
+	for _, f := range []struct {
+		bit  uint8
+		name string
+	}{{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"}, {FlagRST, "RST"}, {FlagPSH, "PSH"}} {
+		if s.Flags&f.bit != 0 {
+			if out != "" {
+				out += "|"
+			}
+			out += f.name
+		}
+	}
+	if out == "" {
+		out = "-"
+	}
+	return out
+}
+
+// String renders the segment for logs.
+func (s *Segment) String() string {
+	return fmt.Sprintf("tcp %d->%d %s seq=%d ack=%d len=%d", s.SrcPort, s.DstPort, s.flagString(), s.Seq, s.Ack, len(s.Payload))
+}
+
+// Encode serializes the segment, computing the checksum over the
+// pseudo-header (src, dst) and the segment bytes.
+func (s *Segment) Encode(src, dst string) []byte {
+	buf := make([]byte, segHeaderLen+len(s.Payload))
+	binary.BigEndian.PutUint16(buf[0:], s.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:], s.DstPort)
+	binary.BigEndian.PutUint32(buf[4:], s.Seq)
+	binary.BigEndian.PutUint32(buf[8:], s.Ack)
+	buf[12] = s.Flags
+	binary.BigEndian.PutUint16(buf[13:], s.Window)
+	// checksum at [15:17], zero during computation
+	copy(buf[segHeaderLen:], s.Payload)
+	ck := checksum(src, dst, buf)
+	binary.BigEndian.PutUint16(buf[15:], ck)
+	s.Checksum = ck
+	return buf
+}
+
+// DecodeSegment parses and verifies a segment received between src and dst.
+func DecodeSegment(src, dst string, buf []byte) (*Segment, error) {
+	if len(buf) < segHeaderLen {
+		return nil, fmt.Errorf("tcpsim: segment too short (%d bytes)", len(buf))
+	}
+	s := &Segment{
+		SrcPort:  binary.BigEndian.Uint16(buf[0:]),
+		DstPort:  binary.BigEndian.Uint16(buf[2:]),
+		Seq:      binary.BigEndian.Uint32(buf[4:]),
+		Ack:      binary.BigEndian.Uint32(buf[8:]),
+		Flags:    buf[12],
+		Window:   binary.BigEndian.Uint16(buf[13:]),
+		Checksum: binary.BigEndian.Uint16(buf[15:]),
+		Payload:  append([]byte(nil), buf[segHeaderLen:]...),
+	}
+	check := make([]byte, len(buf))
+	copy(check, buf)
+	check[15], check[16] = 0, 0
+	if got := checksum(src, dst, check); got != s.Checksum {
+		return nil, fmt.Errorf("tcpsim: checksum mismatch: header %#04x, computed %#04x", s.Checksum, got)
+	}
+	return s, nil
+}
+
+// checksum is a 16-bit ones'-complement sum over the pseudo-header and
+// segment, in the spirit of RFC 1071.
+func checksum(src, dst string, seg []byte) uint16 {
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i:]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add([]byte(src))
+	add([]byte(dst))
+	add(seg)
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return ^uint16(sum)
+}

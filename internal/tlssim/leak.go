@@ -1,0 +1,52 @@
+package tlssim
+
+import (
+	"crypto/aes"
+	"fmt"
+)
+
+// RecoverImplicitIVBlock reproduces the paper's Figure 7 attack arithmetic.
+//
+// Under TLS 1.0's implicit-IV CBC, each record chains off the last
+// ciphertext block of the previous record. If TinMan synchronized such a
+// session across the device/node boundary, the device would hold the
+// session key (it established the session) plus the chain block before the
+// hand-off (c11, its own last ciphertext block) and after (c12, returned by
+// the trusted node so the device can continue the session). For a
+// single-block cor record that is enough to recover the plaintext:
+//
+//	P12 = Decrypt(key, C12) XOR C11
+//
+// This helper exists so tests and the phishing-defense example can
+// demonstrate the leak; TinMan's client library prevents it by refusing to
+// negotiate anything below TLS 1.1 (§3.2).
+func RecoverImplicitIVBlock(key, c11, c12 []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("tlssim: leak demo: %v", err)
+	}
+	bs := block.BlockSize()
+	if len(c11) != bs || len(c12) != bs {
+		return nil, fmt.Errorf("tlssim: leak demo: blocks must be %d bytes, got %d and %d", bs, len(c11), len(c12))
+	}
+	p := make([]byte, bs)
+	block.Decrypt(p, c12)
+	for i := range p {
+		p[i] ^= c11[i]
+	}
+	return p, nil
+}
+
+// ChainState returns the session's current outbound implicit-IV chain block
+// (TLS 1.0 CBC only) — the value a session sync necessarily reveals.
+func (s *Session) ChainState() []byte {
+	if s.version != TLS10 || s.suite != SuiteAESCBCSHA256 {
+		return nil
+	}
+	return append([]byte(nil), s.out.cbcLast...)
+}
+
+// WriteKey exposes the outbound encryption key. The device legitimately
+// holds it (it ran the handshake); the leak demo uses it to show why that,
+// plus implicit-IV chaining, breaks cor confidentiality.
+func (s *Session) WriteKey() []byte { return append([]byte(nil), s.out.key...) }

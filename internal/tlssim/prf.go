@@ -1,0 +1,68 @@
+package tlssim
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// prf is a TLS-1.2-style pseudo-random function (P_SHA256) used to expand
+// the pre-master secret into the master secret and key block.
+func prf(secret []byte, label string, seed []byte, n int) []byte {
+	labeled := append([]byte(label), seed...)
+	out := make([]byte, 0, n)
+	a := hmacSHA256(secret, labeled) // A(1)
+	for len(out) < n {
+		out = append(out, hmacSHA256(secret, append(a, labeled...))...)
+		a = hmacSHA256(secret, a)
+	}
+	return out[:n]
+}
+
+func hmacSHA256(key, data []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(data)
+	return m.Sum(nil)
+}
+
+// key sizes for both suites.
+const (
+	macKeyLen = 32 // HMAC-SHA256
+	encKeyLen = 16 // RC4-128 / AES-128
+	ivLen     = 16 // AES block size (initial CBC IV for TLS 1.0)
+	macLen    = 32
+)
+
+// keyBlock derives directional keys from the master secret and the two
+// hello randoms, mirroring TLS's key expansion.
+type keyBlock struct {
+	ClientMAC []byte
+	ServerMAC []byte
+	ClientKey []byte
+	ServerKey []byte
+	ClientIV  []byte
+	ServerIV  []byte
+}
+
+func deriveKeys(master, clientRandom, serverRandom []byte) *keyBlock {
+	seed := append(append([]byte(nil), serverRandom...), clientRandom...)
+	raw := prf(master, "key expansion", seed, 2*macKeyLen+2*encKeyLen+2*ivLen)
+	kb := &keyBlock{}
+	take := func(n int) []byte {
+		part := raw[:n]
+		raw = raw[n:]
+		return part
+	}
+	kb.ClientMAC = take(macKeyLen)
+	kb.ServerMAC = take(macKeyLen)
+	kb.ClientKey = take(encKeyLen)
+	kb.ServerKey = take(encKeyLen)
+	kb.ClientIV = take(ivLen)
+	kb.ServerIV = take(ivLen)
+	return kb
+}
+
+// masterSecret derives the 48-byte master secret.
+func masterSecret(preMaster, clientRandom, serverRandom []byte) []byte {
+	seed := append(append([]byte(nil), clientRandom...), serverRandom...)
+	return prf(preMaster, "master secret", seed, 48)
+}

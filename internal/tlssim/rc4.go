@@ -1,0 +1,56 @@
+// Package tlssim implements a simplified TLS: a record layer with
+// MAC-then-encrypt, RC4 and AES-CBC cipher suites, version negotiation with
+// an RSA key exchange, and — the part TinMan needs — fully exportable
+// session state so the trusted node can transparently join an established
+// session (SSL session injection, §3.2).
+//
+// The package deliberately implements both the implicit-IV CBC of TLS 1.0
+// and the explicit-IV CBC of TLS 1.1+, because the paper's security argument
+// (fig 7) hinges on the difference: syncing implicit-IV state leaks cor
+// plaintext back to the device, so TinMan's client library refuses versions
+// at or below TLS 1.0.
+//
+// This is a research simulator, not a production TLS stack: do not use it to
+// protect real traffic.
+package tlssim
+
+// rc4State is an RC4 keystream generator with copyable state. The standard
+// library's crypto/rc4 hides its state, but session injection requires
+// shipping the exact keystream position to the trusted node and back, so we
+// carry our own implementation.
+type rc4State struct {
+	S    [256]byte
+	I, J uint8
+}
+
+// newRC4 runs the key-scheduling algorithm.
+func newRC4(key []byte) *rc4State {
+	var st rc4State
+	for i := 0; i < 256; i++ {
+		st.S[i] = byte(i)
+	}
+	var j uint8
+	for i := 0; i < 256; i++ {
+		j += st.S[i] + key[i%len(key)]
+		st.S[i], st.S[j] = st.S[j], st.S[i]
+	}
+	return &st
+}
+
+// XORKeyStream encrypts/decrypts src into dst (they may alias).
+func (st *rc4State) XORKeyStream(dst, src []byte) {
+	i, j := st.I, st.J
+	for k, b := range src {
+		i++
+		j += st.S[i]
+		st.S[i], st.S[j] = st.S[j], st.S[i]
+		dst[k] = b ^ st.S[st.S[i]+st.S[j]]
+	}
+	st.I, st.J = i, j
+}
+
+// clone copies the generator at its current keystream position.
+func (st *rc4State) clone() *rc4State {
+	cp := *st
+	return &cp
+}

@@ -1,0 +1,310 @@
+package tlssim
+
+import (
+	"crypto/aes"
+	"crypto/hmac"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is a TLS protocol version.
+type Version uint16
+
+// Supported versions. The BEAST-era boundary between TLS10 (implicit CBC
+// IVs) and TLS11 (explicit IVs) is what TinMan's client-side enforcement is
+// about (§3.2).
+const (
+	TLS10 Version = 0x0301
+	TLS11 Version = 0x0302
+	TLS12 Version = 0x0303
+)
+
+func (v Version) String() string {
+	switch v {
+	case TLS10:
+		return "TLS1.0"
+	case TLS11:
+		return "TLS1.1"
+	case TLS12:
+		return "TLS1.2"
+	}
+	return fmt.Sprintf("TLS(%#04x)", uint16(v))
+}
+
+// Suite is a cipher suite.
+type Suite uint16
+
+const (
+	// SuiteRC4SHA256 is the stream suite: record-independent, so session
+	// injection only needs the keystream position (§3.2).
+	SuiteRC4SHA256 Suite = 0x0005
+	// SuiteAESCBCSHA256 is the block suite; its IV handling depends on the
+	// negotiated version.
+	SuiteAESCBCSHA256 Suite = 0x003C
+)
+
+func (s Suite) String() string {
+	switch s {
+	case SuiteRC4SHA256:
+		return "RC4-SHA256"
+	case SuiteAESCBCSHA256:
+		return "AES128-CBC-SHA256"
+	}
+	return fmt.Sprintf("Suite(%#04x)", uint16(s))
+}
+
+// RecordType is the content-type byte of a record.
+type RecordType uint8
+
+const (
+	TypeAlert           RecordType = 21
+	TypeHandshake       RecordType = 22
+	TypeApplicationData RecordType = 23
+	// TypeMarkedCor is TinMan's mark. The paper notes only 4 record types
+	// exist while the field has 8 bits (§3.6); the modified SSL library
+	// writes this reserved value so the device's packet filter can capture
+	// cor-bearing records and redirect them to the trusted node.
+	TypeMarkedCor RecordType = 0x7F
+)
+
+const recordHeaderLen = 5
+
+// maxRecordPayload bounds a single record's plaintext.
+const maxRecordPayload = 16 * 1024
+
+var (
+	// ErrBadMAC is returned when record authentication fails.
+	ErrBadMAC = errors.New("tlssim: record MAC verification failed")
+	// ErrBadPadding is returned on malformed CBC padding.
+	ErrBadPadding = errors.New("tlssim: bad CBC padding")
+)
+
+// halfConn is one direction of a session: key material, sequence number and
+// cipher state. It is the unit of state that session injection ships.
+type halfConn struct {
+	version Version
+	suite   Suite
+	macKey  []byte
+	key     []byte
+	seq     uint64
+	// rc4 is the stream state (RC4 suite).
+	rc4 *rc4State
+	// cbcLast is the implicit-IV chain: the last ciphertext block of the
+	// previous record (TLS 1.0 semantics). For TLS 1.1+ it is unused.
+	cbcLast []byte
+	// rand supplies explicit IVs (TLS 1.1+).
+	rand io.Reader
+}
+
+func newHalfConn(version Version, suite Suite, macKey, key, iv []byte, rnd io.Reader) *halfConn {
+	hc := &halfConn{
+		version: version,
+		suite:   suite,
+		macKey:  append([]byte(nil), macKey...),
+		key:     append([]byte(nil), key...),
+		rand:    rnd,
+	}
+	switch suite {
+	case SuiteRC4SHA256:
+		hc.rc4 = newRC4(key)
+	case SuiteAESCBCSHA256:
+		// Only TLS 1.0 chains records; 1.1+ uses per-record explicit IVs
+		// and carries no chain state (nothing to leak on session sync).
+		if version == TLS10 {
+			hc.cbcLast = append([]byte(nil), iv...)
+		}
+	}
+	return hc
+}
+
+// computeMAC authenticates seq || type || version || len || plaintext.
+func (hc *halfConn) computeMAC(typ RecordType, plaintext []byte) []byte {
+	hdr := make([]byte, 8+recordHeaderLen)
+	binary.BigEndian.PutUint64(hdr, hc.seq)
+	hdr[8] = byte(typ)
+	binary.BigEndian.PutUint16(hdr[9:], uint16(hc.version))
+	binary.BigEndian.PutUint16(hdr[11:], uint16(len(plaintext)))
+	return hmacSHA256(hc.macKey, append(hdr, plaintext...))
+}
+
+// seal produces a full wire record for the plaintext.
+func (hc *halfConn) seal(typ RecordType, plaintext []byte) ([]byte, error) {
+	if len(plaintext) > maxRecordPayload {
+		return nil, fmt.Errorf("tlssim: record payload %d exceeds max %d", len(plaintext), maxRecordPayload)
+	}
+	mac := hc.computeMAC(typ, plaintext)
+	content := append(append([]byte(nil), plaintext...), mac...)
+
+	var payload []byte
+	switch hc.suite {
+	case SuiteRC4SHA256:
+		payload = make([]byte, len(content))
+		hc.rc4.XORKeyStream(payload, content)
+
+	case SuiteAESCBCSHA256:
+		block, err := aes.NewCipher(hc.key)
+		if err != nil {
+			return nil, err
+		}
+		padded := padCBC(content, block.BlockSize())
+		var iv []byte
+		explicit := hc.version >= TLS11
+		if explicit {
+			iv = make([]byte, block.BlockSize())
+			if _, err := io.ReadFull(hc.rand, iv); err != nil {
+				return nil, fmt.Errorf("tlssim: generating explicit IV: %v", err)
+			}
+		} else {
+			// TLS 1.0: the IV is the last ciphertext block of the previous
+			// record — the insecure chaining the BEAST attack exploits and
+			// the reason TinMan forbids TLS 1.0 (§3.2).
+			iv = hc.cbcLast
+		}
+		ct := make([]byte, len(padded))
+		encryptCBC(block, iv, ct, padded)
+		if explicit {
+			payload = append(append([]byte(nil), iv...), ct...)
+		} else {
+			payload = ct
+			hc.cbcLast = append([]byte(nil), ct[len(ct)-block.BlockSize():]...)
+		}
+
+	default:
+		return nil, fmt.Errorf("tlssim: unknown suite %v", hc.suite)
+	}
+
+	hc.seq++
+	rec := make([]byte, recordHeaderLen+len(payload))
+	rec[0] = byte(typ)
+	binary.BigEndian.PutUint16(rec[1:], uint16(hc.version))
+	binary.BigEndian.PutUint16(rec[3:], uint16(len(payload)))
+	copy(rec[recordHeaderLen:], payload)
+	return rec, nil
+}
+
+// open decrypts and authenticates one wire record, returning its type,
+// plaintext, and any trailing bytes beyond this record.
+func (hc *halfConn) open(wire []byte) (RecordType, []byte, []byte, error) {
+	if len(wire) < recordHeaderLen {
+		return 0, nil, nil, fmt.Errorf("tlssim: record too short (%d bytes)", len(wire))
+	}
+	typ := RecordType(wire[0])
+	ver := Version(binary.BigEndian.Uint16(wire[1:]))
+	n := int(binary.BigEndian.Uint16(wire[3:]))
+	if ver != hc.version {
+		return 0, nil, nil, fmt.Errorf("tlssim: record version %v, session is %v", ver, hc.version)
+	}
+	if len(wire) < recordHeaderLen+n {
+		return 0, nil, nil, fmt.Errorf("tlssim: truncated record: have %d, need %d", len(wire)-recordHeaderLen, n)
+	}
+	payload := wire[recordHeaderLen : recordHeaderLen+n]
+	rest := wire[recordHeaderLen+n:]
+
+	var content []byte
+	switch hc.suite {
+	case SuiteRC4SHA256:
+		content = make([]byte, len(payload))
+		hc.rc4.XORKeyStream(content, payload)
+
+	case SuiteAESCBCSHA256:
+		block, err := aes.NewCipher(hc.key)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		bs := block.BlockSize()
+		var iv, ct []byte
+		if hc.version >= TLS11 {
+			if len(payload) < bs {
+				return 0, nil, nil, fmt.Errorf("tlssim: payload shorter than explicit IV")
+			}
+			iv, ct = payload[:bs], payload[bs:]
+		} else {
+			iv, ct = hc.cbcLast, payload
+		}
+		if len(ct) == 0 || len(ct)%bs != 0 {
+			return 0, nil, nil, fmt.Errorf("tlssim: ciphertext length %d not a block multiple", len(ct))
+		}
+		pt := make([]byte, len(ct))
+		decryptCBC(block, iv, pt, ct)
+		if hc.version < TLS11 {
+			hc.cbcLast = append([]byte(nil), ct[len(ct)-bs:]...)
+		}
+		content, err = unpadCBC(pt)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+
+	default:
+		return 0, nil, nil, fmt.Errorf("tlssim: unknown suite %v", hc.suite)
+	}
+
+	if len(content) < macLen {
+		return 0, nil, nil, ErrBadMAC
+	}
+	plaintext, mac := content[:len(content)-macLen], content[len(content)-macLen:]
+	want := hc.computeMAC(typ, plaintext)
+	if !hmac.Equal(mac, want) {
+		return 0, nil, nil, ErrBadMAC
+	}
+	hc.seq++
+	return typ, plaintext, rest, nil
+}
+
+// padCBC applies TLS-style padding: each pad byte equals padLen-1.
+func padCBC(b []byte, blockSize int) []byte {
+	padLen := blockSize - len(b)%blockSize
+	out := append([]byte(nil), b...)
+	for i := 0; i < padLen; i++ {
+		out = append(out, byte(padLen-1))
+	}
+	return out
+}
+
+func unpadCBC(b []byte) ([]byte, error) {
+	if len(b) == 0 {
+		return nil, ErrBadPadding
+	}
+	padLen := int(b[len(b)-1]) + 1
+	if padLen > len(b) {
+		return nil, ErrBadPadding
+	}
+	for _, p := range b[len(b)-padLen:] {
+		if int(p) != padLen-1 {
+			return nil, ErrBadPadding
+		}
+	}
+	return b[:len(b)-padLen], nil
+}
+
+func encryptCBC(block interface {
+	BlockSize() int
+	Encrypt(dst, src []byte)
+}, iv, dst, src []byte) {
+	bs := block.BlockSize()
+	prev := iv
+	for i := 0; i < len(src); i += bs {
+		for j := 0; j < bs; j++ {
+			dst[i+j] = src[i+j] ^ prev[j]
+		}
+		block.Encrypt(dst[i:i+bs], dst[i:i+bs])
+		prev = dst[i : i+bs]
+	}
+}
+
+func decryptCBC(block interface {
+	BlockSize() int
+	Decrypt(dst, src []byte)
+}, iv, dst, src []byte) {
+	bs := block.BlockSize()
+	prev := append([]byte(nil), iv...)
+	for i := 0; i < len(src); i += bs {
+		cur := append([]byte(nil), src[i:i+bs]...)
+		block.Decrypt(dst[i:i+bs], src[i:i+bs])
+		for j := 0; j < bs; j++ {
+			dst[i+j] ^= prev[j]
+		}
+		prev = cur
+	}
+}

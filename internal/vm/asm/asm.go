@@ -1,0 +1,480 @@
+// Package asm assembles a small textual language into vm Programs. The
+// sample applications and the Caffeinemark kernels in this repository are
+// written in it, playing the role of the dex files in the paper's prototype.
+//
+// Syntax overview (see the programs under internal/apps for larger samples):
+//
+//	; line comment
+//	class Account
+//	  field name
+//	  field balance
+//
+//	  method deposit 2 6      ; name, number of args, number of registers
+//	    iget r2, r0, balance  ; r2 <- r0.balance
+//	    add  r2, r2, r1
+//	    iput r2, r0, balance  ; r0.balance <- r2
+//	    return r2
+//	  end
+//	end
+//
+// Labels are written "name:" on their own line and referenced by bare name
+// in branch instructions.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"tinman/internal/vm"
+)
+
+// Error is a positioned assembly error.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	lines   []string
+	lineNo  int
+	program *vm.Program
+}
+
+// Assemble parses source into a sealed, verified Program.
+func Assemble(name, source string) (*vm.Program, error) {
+	p := &parser{lines: strings.Split(source, "\n"), program: vm.NewProgram(name)}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	p.program.Seal()
+	if err := p.program.Verify(); err != nil {
+		return nil, err
+	}
+	return p.program, nil
+}
+
+// MustAssemble is Assemble that panics on error; the built-in apps use it at
+// init time where a parse failure is a programming bug.
+func MustAssemble(name, source string) *vm.Program {
+	prog, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Line: p.lineNo, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next meaningful line's fields, or nil at EOF.
+func (p *parser) next() []string {
+	for p.lineNo < len(p.lines) {
+		line := p.lines[p.lineNo]
+		p.lineNo++
+		if i := strings.IndexByte(line, ';'); i >= 0 && !insideQuote(line, i) {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		return tokenize(line)
+	}
+	return nil
+}
+
+// insideQuote reports whether position i falls inside a double-quoted token.
+func insideQuote(s string, i int) bool {
+	in := false
+	for j := 0; j < i; j++ {
+		if s[j] == '"' && (j == 0 || s[j-1] != '\\') {
+			in = !in
+		}
+	}
+	return in
+}
+
+// tokenize splits on spaces and commas, preserving quoted strings as single
+// tokens (with quotes kept for later unquoting).
+func tokenize(line string) []string {
+	var toks []string
+	var cur strings.Builder
+	inStr := false
+	flush := func() {
+		if cur.Len() > 0 {
+			toks = append(toks, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		ch := line[i]
+		switch {
+		case inStr:
+			cur.WriteByte(ch)
+			if ch == '"' && line[i-1] != '\\' {
+				inStr = false
+			}
+		case ch == '"':
+			cur.WriteByte(ch)
+			inStr = true
+		case ch == ' ' || ch == '\t' || ch == ',':
+			flush()
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	flush()
+	return toks
+}
+
+func (p *parser) run() error {
+	for {
+		toks := p.next()
+		if toks == nil {
+			return nil
+		}
+		if toks[0] != "class" || len(toks) != 2 {
+			return p.errf("expected 'class Name', got %q", strings.Join(toks, " "))
+		}
+		if err := p.parseClass(toks[1]); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseClass(name string) error {
+	var fields []string
+	var pendingMethods []func(*vm.Class) error
+	for {
+		toks := p.next()
+		if toks == nil {
+			return p.errf("class %s not closed with 'end'", name)
+		}
+		switch toks[0] {
+		case "field":
+			if len(toks) != 2 {
+				return p.errf("expected 'field name'")
+			}
+			fields = append(fields, toks[1])
+		case "method":
+			if len(toks) != 4 {
+				return p.errf("expected 'method name nargs nregs'")
+			}
+			mName := toks[1]
+			nargs, err1 := strconv.Atoi(toks[2])
+			nregs, err2 := strconv.Atoi(toks[3])
+			if err1 != nil || err2 != nil || nargs < 0 || nregs <= 0 || nargs > nregs {
+				return p.errf("bad method header %q", strings.Join(toks, " "))
+			}
+			code, err := p.parseBody(nregs)
+			if err != nil {
+				return err
+			}
+			pendingMethods = append(pendingMethods, func(c *vm.Class) error {
+				c.AddMethod(&vm.Method{Name: mName, NArgs: nargs, NRegs: nregs, Code: code})
+				return nil
+			})
+		case "end":
+			c := vm.NewClass(name, fields...)
+			for _, add := range pendingMethods {
+				if err := add(c); err != nil {
+					return err
+				}
+			}
+			p.program.AddClass(c)
+			return nil
+		default:
+			return p.errf("unexpected %q in class %s", toks[0], name)
+		}
+	}
+}
+
+// pendingBranch records a branch needing label resolution.
+type pendingBranch struct {
+	instr int
+	label string
+	line  int
+}
+
+func (p *parser) parseBody(nregs int) ([]vm.Instr, error) {
+	var code []vm.Instr
+	labels := make(map[string]int)
+	var branches []pendingBranch
+
+	for {
+		toks := p.next()
+		if toks == nil {
+			return nil, p.errf("method not closed with 'end'")
+		}
+		if toks[0] == "end" {
+			break
+		}
+		if len(toks) == 1 && strings.HasSuffix(toks[0], ":") {
+			lbl := strings.TrimSuffix(toks[0], ":")
+			if _, dup := labels[lbl]; dup {
+				return nil, p.errf("duplicate label %q", lbl)
+			}
+			labels[lbl] = len(code)
+			continue
+		}
+		in, lbl, err := p.parseInstr(toks, nregs)
+		if err != nil {
+			return nil, err
+		}
+		if lbl != "" {
+			branches = append(branches, pendingBranch{instr: len(code), label: lbl, line: p.lineNo})
+		}
+		code = append(code, in)
+	}
+
+	for _, b := range branches {
+		target, ok := labels[b.label]
+		if !ok {
+			return nil, &Error{Line: b.line, Msg: fmt.Sprintf("undefined label %q", b.label)}
+		}
+		code[b.instr].Imm = int64(target)
+	}
+	if len(code) == 0 {
+		return nil, p.errf("empty method body")
+	}
+	return code, nil
+}
+
+// parseInstr decodes one instruction; it returns a pending label name for
+// branches.
+func (p *parser) parseInstr(toks []string, nregs int) (vm.Instr, string, error) {
+	op, ok := vm.OpByName(toks[0])
+	if !ok {
+		return vm.Instr{}, "", p.errf("unknown opcode %q", toks[0])
+	}
+	args := toks[1:]
+	in := vm.Instr{Op: op}
+
+	reg := func(i int) (int, error) {
+		if i >= len(args) {
+			return 0, p.errf("%s: missing operand %d", op, i+1)
+		}
+		s := args[i]
+		if !strings.HasPrefix(s, "r") {
+			return 0, p.errf("%s: operand %q is not a register", op, s)
+		}
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n < 0 || n >= nregs {
+			return 0, p.errf("%s: register %q out of range [r0,r%d)", op, s, nregs)
+		}
+		return n, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(args) {
+			return 0, p.errf("%s: missing immediate", op)
+		}
+		n, err := strconv.ParseInt(args[i], 0, 64)
+		if err != nil {
+			return 0, p.errf("%s: bad immediate %q", op, args[i])
+		}
+		return n, nil
+	}
+	want := func(n int) error {
+		if len(args) != n {
+			return p.errf("%s: want %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	var err error
+	var label string
+	switch op {
+	case vm.OpNop, vm.OpRetVoid, vm.OpHalt:
+		err = want(0)
+
+	case vm.OpConst:
+		if err = want(2); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.Imm, err = imm(1)
+		}
+
+	case vm.OpConstF:
+		if err = want(2); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.F, err = strconv.ParseFloat(args[1], 64)
+			if err != nil {
+				err = p.errf("constf: bad float %q", args[1])
+			}
+		}
+
+	case vm.OpConstStr:
+		if err = want(2); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.Sym, err = unquote(args[1])
+			if err != nil {
+				err = p.errf("conststr: %v", err)
+			}
+		}
+
+	case vm.OpMove, vm.OpNeg, vm.OpNot, vm.OpNegF, vm.OpI2F, vm.OpF2I,
+		vm.OpNewArr, vm.OpArrLen, vm.OpClone, vm.OpArrCopy, vm.OpStrLen,
+		vm.OpIntToStr, vm.OpStrToInt, vm.OpHash, vm.OpTaintGet:
+		if err = want(2); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.B, err = reg(1)
+		}
+
+	case vm.OpAdd, vm.OpSub, vm.OpMul, vm.OpDiv, vm.OpRem, vm.OpAnd, vm.OpOr,
+		vm.OpXor, vm.OpShl, vm.OpShr, vm.OpAddF, vm.OpSubF, vm.OpMulF,
+		vm.OpDivF, vm.OpCmp, vm.OpCmpF, vm.OpAGet, vm.OpAPut, vm.OpStrCat,
+		vm.OpCharAt, vm.OpStrEq, vm.OpIndexOf:
+		if err = want(3); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.B, err = reg(1)
+		}
+		if err == nil {
+			in.C, err = reg(2)
+		}
+
+	case vm.OpSubstr:
+		if err = want(4); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.B, err = reg(1)
+		}
+		if err == nil {
+			in.C, err = reg(2)
+		}
+		if err == nil {
+			in.Imm, err = imm(3)
+		}
+
+	case vm.OpIfEq, vm.OpIfNe, vm.OpIfLt, vm.OpIfLe, vm.OpIfGt, vm.OpIfGe:
+		if err = want(3); err == nil {
+			in.B, err = reg(0)
+		}
+		if err == nil {
+			in.C, err = reg(1)
+		}
+		if err == nil {
+			label = args[2]
+		}
+
+	case vm.OpIfZ, vm.OpIfNz:
+		if err = want(2); err == nil {
+			in.B, err = reg(0)
+		}
+		if err == nil {
+			label = args[1]
+		}
+
+	case vm.OpGoto:
+		if err = want(1); err == nil {
+			label = args[0]
+		}
+
+	case vm.OpNew:
+		if err = want(2); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.Sym = args[1]
+		}
+
+	case vm.OpIGet, vm.OpIPut:
+		// iget rDst, rObj, field / iput rSrc, rObj, field
+		if err = want(3); err == nil {
+			in.A, err = reg(0)
+		}
+		if err == nil {
+			in.B, err = reg(1)
+		}
+		if err == nil {
+			in.Sym = args[2]
+		}
+
+	case vm.OpInvoke:
+		if len(args) < 2 {
+			err = p.errf("invoke: want result reg and Class.method")
+			break
+		}
+		if in.A, err = reg(0); err != nil {
+			break
+		}
+		dot := strings.LastIndexByte(args[1], '.')
+		if dot <= 0 || dot == len(args[1])-1 {
+			err = p.errf("invoke: target %q is not Class.method", args[1])
+			break
+		}
+		in.Sym2, in.Sym = args[1][:dot], args[1][dot+1:]
+		for i := 2; i < len(args); i++ {
+			var r int
+			if r, err = reg(i); err != nil {
+				break
+			}
+			in.Args = append(in.Args, r)
+		}
+
+	case vm.OpInvokeV, vm.OpNative:
+		if len(args) < 2 {
+			err = p.errf("%s: want result reg and name", op)
+			break
+		}
+		if in.A, err = reg(0); err != nil {
+			break
+		}
+		in.Sym = args[1]
+		for i := 2; i < len(args); i++ {
+			var r int
+			if r, err = reg(i); err != nil {
+				break
+			}
+			in.Args = append(in.Args, r)
+		}
+		if op == vm.OpInvokeV && len(in.Args) == 0 {
+			err = p.errf("invokev: needs a receiver argument")
+		}
+
+	case vm.OpReturn:
+		if err = want(1); err == nil {
+			in.B, err = reg(0)
+		}
+
+	case vm.OpMonEnter, vm.OpMonExit:
+		if err = want(1); err == nil {
+			in.B, err = reg(0)
+		}
+
+	case vm.OpTaintSet:
+		if err = want(2); err == nil {
+			in.B, err = reg(0)
+		}
+		if err == nil {
+			in.Imm, err = imm(1)
+		}
+
+	default:
+		err = p.errf("opcode %q not supported by assembler", op)
+	}
+	if err != nil {
+		return vm.Instr{}, "", err
+	}
+	return in, label, nil
+}
+
+func unquote(tok string) (string, error) {
+	if len(tok) < 2 || tok[0] != '"' || tok[len(tok)-1] != '"' {
+		return "", fmt.Errorf("string literal %q must be double-quoted", tok)
+	}
+	return strconv.Unquote(tok)
+}

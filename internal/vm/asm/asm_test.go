@@ -1,0 +1,240 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tinman/internal/vm"
+)
+
+func TestAssembleMinimal(t *testing.T) {
+	prog, err := Assemble("p", `
+class A
+  method m 0 1
+    retvoid
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := prog.Method("A", "m")
+	if m == nil || len(m.Code) != 1 || m.Code[0].Op != vm.OpRetVoid {
+		t.Fatalf("method = %+v", m)
+	}
+}
+
+func TestAssembleFieldsAndLabels(t *testing.T) {
+	prog, err := Assemble("p", `
+; a comment
+class Counter
+  field n                      ; trailing comment
+  method bump 1 4
+    iget r1, r0, n
+    const r2, 1
+    add r3, r1, r2
+    iput r3, r0, n
+    return r3
+  end
+  method spin 1 3
+    const r1, 0
+  top:
+    ifge r1, r0, out
+    const r2, 1
+    add r1, r1, r2
+    goto top
+  out:
+    return r1
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.Class("Counter")
+	if c.FieldIndex("n") != 0 {
+		t.Fatal("field n missing")
+	}
+	spin := c.Methods["spin"]
+	// The ifge at index 1 must branch to the return (index 5).
+	if spin.Code[1].Op != vm.OpIfGe || spin.Code[1].Imm != 5 {
+		t.Fatalf("branch target = %+v", spin.Code[1])
+	}
+	if spin.Code[4].Op != vm.OpGoto || spin.Code[4].Imm != 1 {
+		t.Fatalf("goto target = %+v", spin.Code[4])
+	}
+}
+
+func TestAssembleStringsWithEscapesAndCommas(t *testing.T) {
+	prog, err := Assemble("p", `
+class S
+  method m 0 2
+    conststr r0, "a, b; still \"one\" token"
+    return r0
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := prog.Method("S", "m").Code[0]
+	if in.Sym != `a, b; still "one" token` {
+		t.Fatalf("literal = %q", in.Sym)
+	}
+}
+
+func TestAssembleInvokeForms(t *testing.T) {
+	prog, err := Assemble("p", `
+class A
+  method callee 2 3
+    add r2, r0, r1
+    return r2
+  end
+  method caller 0 6
+    const r0, 1
+    const r1, 2
+    invoke r2, A.callee, r0, r1
+    invokev r3, callee, r2, r0
+    native r4, sysop, r0
+    return r2
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := prog.Method("A", "caller").Code
+	iv := code[2]
+	if iv.Op != vm.OpInvoke || iv.Sym2 != "A" || iv.Sym != "callee" || len(iv.Args) != 2 {
+		t.Fatalf("invoke = %+v", iv)
+	}
+	if code[3].Op != vm.OpInvokeV || code[3].Sym != "callee" {
+		t.Fatalf("invokev = %+v", code[3])
+	}
+	if code[4].Op != vm.OpNative || code[4].Sym != "sysop" {
+		t.Fatalf("native = %+v", code[4])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad-opcode", "class A\n method m 0 1\n frobnicate r0\n end\nend", "unknown opcode"},
+		{"reg-oob", "class A\n method m 0 2\n const r5, 1\n return r5\n end\nend", "out of range"},
+		{"missing-label", "class A\n method m 0 1\n goto nowhere\n end\nend", "undefined label"},
+		{"dup-label", "class A\n method m 0 1\n x:\n x:\n retvoid\n end\nend", "duplicate label"},
+		{"no-end-class", "class A\n field f", "not closed"},
+		{"no-end-method", "class A\n method m 0 1\n retvoid", "not closed"},
+		{"bad-header", "class A\n method m x 1\n retvoid\n end\nend", "bad method header"},
+		{"args-gt-regs", "class A\n method m 3 2\n retvoid\n end\nend", "bad method header"},
+		{"empty-body", "class A\n method m 0 1\n end\nend", "empty method body"},
+		{"not-class", "method m 0 1", "expected 'class"},
+		{"bad-invoke-target", "class A\n method m 0 2\n invoke r0, nodot, r1\n end\nend", "not Class.method"},
+		{"bad-literal", "class A\n method m 0 1\n conststr r0, unquoted\n end\nend", "double-quoted"},
+		{"operand-count", "class A\n method m 0 2\n add r0, r1\n end\nend", "want 3 operands"},
+		{"non-register", "class A\n method m 0 2\n move r0, 17\n end\nend", "not a register"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble("p", tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+			var perr *Error
+			if !strings.HasPrefix(err.Error(), "asm: line ") {
+				t.Fatalf("error %v lacks position prefix", err)
+			}
+			_ = perr
+		})
+	}
+}
+
+func TestMustAssemblePanicsOnBadSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("p", "garbage")
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Every assembled instruction renders without panicking and mentions
+	// its mnemonic — a smoke check over the printer.
+	prog, err := Assemble("p", `
+class A
+  field f
+  method m 1 6
+    nop
+    const r1, -7
+    constf r2, 2.5
+    conststr r3, "s"
+    move r4, r1
+    add r5, r1, r1
+    ifz r1, done
+    new r2, A
+    iget r3, r2, f
+    iput r3, r2, f
+    hash r4, r3
+    substr r5, r3, r1, -1
+    monenter r2
+    monexit r2
+    taintset r2, 3
+    taintget r4, r2
+  done:
+    retvoid
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range prog.Method("A", "m").Code {
+		s := in.String()
+		if s == "" || !strings.Contains(s, in.Op.String()) {
+			t.Fatalf("bad render %q for %v", s, in.Op)
+		}
+	}
+}
+
+// Property: assembling the same source twice yields identical program hashes
+// (the dex-hash the trusted node's policy binds against must be stable).
+func TestDeterministicHashProperty(t *testing.T) {
+	prop := func(n uint8) bool {
+		src := `
+class A
+  method m 0 3
+    const r0, ` + itoa(int64(n)) + `
+    const r1, 1
+    add r2, r0, r1
+    return r2
+  end
+end`
+		p1, err1 := Assemble("p", src)
+		p2, err2 := Assemble("p", src)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return p1.Hash() == p2.Hash()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashChangesWithCode(t *testing.T) {
+	p1 := MustAssemble("p", "class A\n method m 0 2\n const r0, 1\n return r0\n end\nend")
+	p2 := MustAssemble("p", "class A\n method m 0 2\n const r0, 2\n return r0\n end\nend")
+	if p1.Hash() == p2.Hash() {
+		t.Fatal("different code must hash differently (phishing defense depends on it)")
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [24]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,115 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a program back into the assembler's source syntax.
+// The output round-trips through the assembler (modulo label names, which
+// come back as L<pc>), which the asm tests verify.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for _, c := range p.Classes() {
+		fmt.Fprintf(&b, "class %s\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(&b, "  field %s\n", f)
+		}
+		names := make([]string, 0, len(c.Methods))
+		for n := range c.Methods {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			disasmMethod(&b, c.Methods[n])
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+func disasmMethod(b *strings.Builder, m *Method) {
+	fmt.Fprintf(b, "  method %s %d %d\n", m.Name, m.NArgs, m.NRegs)
+
+	// Collect branch targets so the output carries labels.
+	targets := map[int64]bool{}
+	for _, in := range m.Code {
+		if isBranch(in.Op) {
+			targets[in.Imm] = true
+		}
+	}
+	label := func(pc int64) string { return fmt.Sprintf("L%d", pc) }
+
+	for pc, in := range m.Code {
+		if targets[int64(pc)] {
+			fmt.Fprintf(b, "  %s:\n", label(int64(pc)))
+		}
+		fmt.Fprintf(b, "    %s\n", disasmInstr(in, label))
+	}
+	b.WriteString("  end\n")
+}
+
+func isBranch(op Op) bool {
+	switch op {
+	case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe, OpIfZ, OpIfNz, OpGoto:
+		return true
+	}
+	return false
+}
+
+// disasmInstr renders one instruction in assembler syntax (as opposed to
+// Instr.String, which is a diagnostic form).
+func disasmInstr(in Instr, label func(int64) string) string {
+	switch in.Op {
+	case OpNop, OpRetVoid, OpHalt:
+		return in.Op.String()
+	case OpConst:
+		return fmt.Sprintf("const r%d, %d", in.A, in.Imm)
+	case OpConstF:
+		return fmt.Sprintf("constf r%d, %g", in.A, in.F)
+	case OpConstStr:
+		return fmt.Sprintf("conststr r%d, %q", in.A, in.Sym)
+	case OpMove, OpNeg, OpNot, OpNegF, OpI2F, OpF2I, OpNewArr, OpArrLen,
+		OpClone, OpArrCopy, OpStrLen, OpIntToStr, OpStrToInt, OpHash, OpTaintGet:
+		return fmt.Sprintf("%s r%d, r%d", in.Op, in.A, in.B)
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpAddF, OpSubF, OpMulF, OpDivF, OpCmp, OpCmpF, OpAGet, OpAPut,
+		OpStrCat, OpCharAt, OpStrEq, OpIndexOf:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.A, in.B, in.C)
+	case OpSubstr:
+		return fmt.Sprintf("substr r%d, r%d, r%d, %d", in.A, in.B, in.C, in.Imm)
+	case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.B, in.C, label(in.Imm))
+	case OpIfZ, OpIfNz:
+		return fmt.Sprintf("%s r%d, %s", in.Op, in.B, label(in.Imm))
+	case OpGoto:
+		return fmt.Sprintf("goto %s", label(in.Imm))
+	case OpNew:
+		return fmt.Sprintf("new r%d, %s", in.A, in.Sym)
+	case OpIGet, OpIPut:
+		return fmt.Sprintf("%s r%d, r%d, %s", in.Op, in.A, in.B, in.Sym)
+	case OpInvoke:
+		return fmt.Sprintf("invoke r%d, %s.%s%s", in.A, in.Sym2, in.Sym, regList(in.Args))
+	case OpInvokeV:
+		return fmt.Sprintf("invokev r%d, %s%s", in.A, in.Sym, regList(in.Args))
+	case OpNative:
+		return fmt.Sprintf("native r%d, %s%s", in.A, in.Sym, regList(in.Args))
+	case OpReturn:
+		return fmt.Sprintf("return r%d", in.B)
+	case OpMonEnter, OpMonExit:
+		return fmt.Sprintf("%s r%d", in.Op, in.B)
+	case OpTaintSet:
+		return fmt.Sprintf("taintset r%d, %d", in.B, in.Imm)
+	default:
+		return fmt.Sprintf("; unknown op %d", uint8(in.Op))
+	}
+}
+
+func regList(args []int) string {
+	var b strings.Builder
+	for _, r := range args {
+		fmt.Fprintf(&b, ", r%d", r)
+	}
+	return b.String()
+}

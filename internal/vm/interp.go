@@ -1,0 +1,783 @@
+package vm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+
+	"tinman/internal/taint"
+)
+
+// maxFrames bounds recursion depth.
+const maxFrames = 1024
+
+// defaultMaxInstrs bounds a single Run call.
+const defaultMaxInstrs = 500_000_000
+
+// Run executes the thread until it finishes, requests migration, or errors.
+// On a migrate stop the PC of the top frame still points at the instruction
+// that triggered the stop, so the peer endpoint re-executes it.
+//
+// Taint bookkeeping follows the TaintDroid design the paper builds on:
+// every register has a shadow tag slot (Frame.Tags) and every heap slot a
+// shadow tag (Object.FieldTags/ElemTags). A policy pays for exactly the
+// propagation classes it tracks — the Off baseline touches no tag memory,
+// the Asymmetric device skips the stack-involved classes, and the Full
+// trusted node propagates everything. This is where Fig 13's measured
+// overhead differences come from.
+func (t *Thread) Run() (StopReason, error) {
+	v := t.VM
+	max := t.MaxInstrs
+	if max == 0 {
+		max = defaultMaxInstrs
+	}
+	var executed uint64
+	tracking := v.tracking
+	// observe is false only for the untainted baseline with no hooks: then
+	// heap reads skip taint observation entirely.
+	observe := tracking || v.CollectStats || v.Hooks.OnTaintedAccess != nil
+
+	for len(t.Frames) > 0 {
+		f := t.Frames[len(t.Frames)-1]
+		if f.PC < 0 || f.PC >= len(f.Method.Code) {
+			return StopDone, errAt(f, "pc out of range (len=%d)", len(f.Method.Code))
+		}
+		in := &f.Method.Code[f.PC]
+
+		if executed >= max {
+			return StopLimit, nil
+		}
+		executed++
+		v.Instrs++
+
+		// cor-idle window (§3.1 migrate-back case 1), trusted node only.
+		if v.corIdleWindow > 0 {
+			v.sinceTainted++
+			if v.sinceTainted > v.corIdleWindow {
+				v.sinceTainted = 0
+				return StopMigrateIdle, nil
+			}
+		}
+
+		regs := f.Regs
+		tags := f.Tags
+		npc := f.PC + 1
+
+		switch in.Op {
+		case OpNop:
+
+		case OpConst:
+			regs[in.A] = IntVal(in.Imm)
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+		case OpConstF:
+			regs[in.A] = FloatVal(in.F)
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+		case OpConstStr:
+			regs[in.A] = RefVal(v.NewString(in.Sym))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpMove:
+			regs[in.A] = regs[in.B]
+			if v.trackS2S {
+				tags[in.A] = tags[in.B]
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToStack)
+				}
+			}
+
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr, OpCmp:
+			b, c := regs[in.B].Int, regs[in.C].Int
+			var r int64
+			switch in.Op {
+			case OpAdd:
+				r = b + c
+			case OpSub:
+				r = b - c
+			case OpMul:
+				r = b * c
+			case OpDiv:
+				if c == 0 {
+					return StopDone, errAt(f, "division by zero")
+				}
+				r = b / c
+			case OpRem:
+				if c == 0 {
+					return StopDone, errAt(f, "division by zero")
+				}
+				r = b % c
+			case OpAnd:
+				r = b & c
+			case OpOr:
+				r = b | c
+			case OpXor:
+				r = b ^ c
+			case OpShl:
+				r = b << uint(c&63)
+			case OpShr:
+				r = b >> uint(c&63)
+			case OpCmp:
+				switch {
+				case b < c:
+					r = -1
+				case b > c:
+					r = 1
+				}
+			}
+			regs[in.A] = IntVal(r)
+			if v.trackS2S {
+				tags[in.A] = tags[in.B].Union(tags[in.C])
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToStack)
+				}
+			}
+
+		case OpNeg, OpNot:
+			r := -regs[in.B].Int
+			if in.Op == OpNot {
+				r = ^regs[in.B].Int
+			}
+			regs[in.A] = IntVal(r)
+			if v.trackS2S {
+				tags[in.A] = tags[in.B]
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToStack)
+				}
+			}
+
+		case OpAddF, OpSubF, OpMulF, OpDivF, OpCmpF:
+			b, c := regs[in.B].Float, regs[in.C].Float
+			var res Value
+			switch in.Op {
+			case OpAddF:
+				res = FloatVal(b + c)
+			case OpSubF:
+				res = FloatVal(b - c)
+			case OpMulF:
+				res = FloatVal(b * c)
+			case OpDivF:
+				res = FloatVal(b / c)
+			case OpCmpF:
+				var r int64
+				switch {
+				case b < c:
+					r = -1
+				case b > c:
+					r = 1
+				}
+				res = IntVal(r)
+			}
+			regs[in.A] = res
+			if v.trackS2S {
+				tags[in.A] = tags[in.B].Union(tags[in.C])
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToStack)
+				}
+			}
+
+		case OpNegF:
+			regs[in.A] = FloatVal(-regs[in.B].Float)
+			if v.trackS2S {
+				tags[in.A] = tags[in.B]
+			}
+
+		case OpI2F:
+			regs[in.A] = FloatVal(float64(regs[in.B].Int))
+			if v.trackS2S {
+				tags[in.A] = tags[in.B]
+			}
+		case OpF2I:
+			regs[in.A] = IntVal(int64(regs[in.B].Float))
+			if v.trackS2S {
+				tags[in.A] = tags[in.B]
+			}
+
+		case OpIfEq:
+			if regs[in.B].Int == regs[in.C].Int {
+				npc = int(in.Imm)
+			}
+		case OpIfNe:
+			if regs[in.B].Int != regs[in.C].Int {
+				npc = int(in.Imm)
+			}
+		case OpIfLt:
+			if regs[in.B].Int < regs[in.C].Int {
+				npc = int(in.Imm)
+			}
+		case OpIfLe:
+			if regs[in.B].Int <= regs[in.C].Int {
+				npc = int(in.Imm)
+			}
+		case OpIfGt:
+			if regs[in.B].Int > regs[in.C].Int {
+				npc = int(in.Imm)
+			}
+		case OpIfGe:
+			if regs[in.B].Int >= regs[in.C].Int {
+				npc = int(in.Imm)
+			}
+		case OpIfZ:
+			b := regs[in.B]
+			if (b.Kind == KindRef && b.Ref == nil) || (b.Kind != KindRef && b.Int == 0) {
+				npc = int(in.Imm)
+			}
+		case OpIfNz:
+			b := regs[in.B]
+			if (b.Kind == KindRef && b.Ref != nil) || (b.Kind != KindRef && b.Int != 0) {
+				npc = int(in.Imm)
+			}
+		case OpGoto:
+			npc = int(in.Imm)
+
+		case OpNew:
+			c := v.ClassByName(in.Sym)
+			if c == nil {
+				return StopDone, errAt(f, "unknown class %s", in.Sym)
+			}
+			regs[in.A] = RefVal(v.Heap.Alloc(c))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpNewArr:
+			n := regs[in.B].Int
+			if n < 0 || n > 1<<24 {
+				return StopDone, errAt(f, "bad array length %d", n)
+			}
+			regs[in.A] = RefVal(v.Heap.AllocArray(v.arrayClass, int(n)))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpArrLen:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "arrlen of null")
+			}
+			regs[in.A] = IntVal(int64(len(o.Elems)))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpAGet:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "aget from null")
+			}
+			ix := regs[in.C].Int
+			if ix < 0 || ix >= int64(len(o.Elems)) {
+				return StopDone, errAt(f, "array index %d out of range [0,%d)", ix, len(o.Elems))
+			}
+			regs[in.A] = o.Elems[ix]
+			if observe {
+				tag := o.ElemTag(int(ix)).Union(o.Tag)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpAPut:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "aput to null")
+			}
+			ix := regs[in.C].Int
+			if ix < 0 || ix >= int64(len(o.Elems)) {
+				return StopDone, errAt(f, "array index %d out of range [0,%d)", ix, len(o.Elems))
+			}
+			o.Elems[ix] = regs[in.A]
+			if v.trackS2H {
+				o.SetElemTag(int(ix), tags[in.A])
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToHeap)
+				}
+			}
+			v.Heap.MarkDirty(o)
+
+		case OpIGet:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "iget %s from null", in.Sym)
+			}
+			fi := o.Class.FieldIndex(in.Sym)
+			if fi < 0 {
+				return StopDone, errAt(f, "class %s has no field %s", o.Class.Name, in.Sym)
+			}
+			regs[in.A] = o.Fields[fi]
+			if observe {
+				tag := o.FieldTag(fi)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpIPut:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "iput %s to null", in.Sym)
+			}
+			fi := o.Class.FieldIndex(in.Sym)
+			if fi < 0 {
+				return StopDone, errAt(f, "class %s has no field %s", o.Class.Name, in.Sym)
+			}
+			o.Fields[fi] = regs[in.A]
+			if v.trackS2H {
+				o.SetFieldTag(fi, tags[in.A])
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToHeap)
+				}
+			}
+			v.Heap.MarkDirty(o)
+
+		case OpClone:
+			src := regs[in.B].Ref
+			if src == nil {
+				return StopDone, errAt(f, "clone of null")
+			}
+			tag := src.Tag
+			var dst *Object
+			switch {
+			case src.IsStr:
+				dst = v.Heap.AllocString(src.Class, src.Str, taint.None)
+			case src.IsArr:
+				dst = v.Heap.AllocArray(src.Class, len(src.Elems))
+				copy(dst.Elems, src.Elems)
+				if v.trackH2H && src.ElemTags != nil {
+					dst.ElemTags = append([]taint.Tag(nil), src.ElemTags...)
+					for _, et := range src.ElemTags {
+						tag = tag.Union(et)
+					}
+				}
+			default:
+				dst = v.Heap.Alloc(src.Class)
+				copy(dst.Fields, src.Fields)
+				if v.trackH2H && src.FieldTags != nil {
+					dst.FieldTags = append([]taint.Tag(nil), src.FieldTags...)
+					for _, ft := range src.FieldTags {
+						tag = tag.Union(ft)
+					}
+				}
+			}
+			if observe && t.heapCombine(tag) {
+				return StopMigrateTaint, nil
+			}
+			if v.trackH2H {
+				dst.Tag = tag
+				dst.CorID = src.CorID
+			}
+			regs[in.A] = RefVal(dst)
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpArrCopy:
+			dst, src := regs[in.A].Ref, regs[in.B].Ref
+			if dst == nil || src == nil {
+				return StopDone, errAt(f, "arrcopy with null")
+			}
+			n := len(src.Elems)
+			if len(dst.Elems) < n {
+				n = len(dst.Elems)
+			}
+			tag := src.Tag
+			copy(dst.Elems, src.Elems[:n])
+			if v.trackH2H {
+				for i := 0; i < n; i++ {
+					et := src.ElemTag(i)
+					dst.SetElemTag(i, et)
+					tag = tag.Union(et)
+				}
+				if v.CollectStats {
+					v.Counters.Add(taint.HeapToHeap)
+				}
+			}
+			if observe && t.heapCombine(tag) {
+				return StopMigrateTaint, nil
+			}
+			if v.trackH2H {
+				dst.Tag = dst.Tag.Union(tag)
+			}
+			v.Heap.MarkDirty(dst)
+
+		case OpStrCat:
+			b, c := regs[in.B], regs[in.C]
+			if b.Ref == nil || c.Ref == nil {
+				return StopDone, errAt(f, "strcat with null")
+			}
+			var tag taint.Tag
+			if observe {
+				tag = b.Ref.Tag.Union(c.Ref.Tag).Union(f.Tag(in.B)).Union(f.Tag(in.C))
+				if t.heapCombine(tag) {
+					return StopMigrateTaint, nil
+				}
+			}
+			if tracking {
+				// Instrumented path: the string fast paths Dalvik enables
+				// are off under tainting (§6.1); the instrumented concat
+				// copies character by character through the slow path.
+				bs, cs := b.Ref.Str, c.Ref.Str
+				buf := make([]byte, len(bs)+len(cs))
+				for i := 0; i < len(bs); i++ {
+					buf[i] = bs[i]
+				}
+				for i := 0; i < len(cs); i++ {
+					buf[len(bs)+i] = cs[i]
+				}
+				newTag := taint.None
+				if v.trackH2H {
+					newTag = tag
+				}
+				regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, string(buf), newTag))
+				if v.trackS2S {
+					tags[in.A] = taint.None
+				}
+			} else {
+				regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, b.Ref.Str+c.Ref.Str, taint.None))
+			}
+
+		case OpStrLen:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "strlen of null")
+			}
+			regs[in.A] = IntVal(int64(len(o.Str)))
+			if observe {
+				tag := f.Tag(in.B).Union(o.Tag)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpCharAt:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "charat of null")
+			}
+			ix := regs[in.C].Int
+			if ix < 0 || ix >= int64(len(o.Str)) {
+				return StopDone, errAt(f, "string index %d out of range [0,%d)", ix, len(o.Str))
+			}
+			regs[in.A] = IntVal(int64(o.Str[ix]))
+			if observe {
+				tag := f.Tag(in.B).Union(o.Tag)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpStrEq:
+			b, c := regs[in.B].Ref, regs[in.C].Ref
+			if b == nil || c == nil {
+				return StopDone, errAt(f, "streq with null")
+			}
+			var r int64
+			if b.Str == c.Str {
+				r = 1
+			}
+			regs[in.A] = IntVal(r)
+			if observe {
+				tag := b.Tag.Union(c.Tag)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpIndexOf:
+			b, c := regs[in.B].Ref, regs[in.C].Ref
+			if b == nil || c == nil {
+				return StopDone, errAt(f, "indexof with null")
+			}
+			regs[in.A] = IntVal(int64(strings.Index(b.Str, c.Str)))
+			if observe {
+				tag := b.Tag.Union(c.Tag)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpSubstr:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "substr of null")
+			}
+			start := regs[in.C].Int
+			end := in.Imm
+			if end < 0 || end > int64(len(o.Str)) {
+				end = int64(len(o.Str))
+			}
+			if start < 0 || start > end {
+				return StopDone, errAt(f, "substr bounds [%d,%d) of %d", start, end, len(o.Str))
+			}
+			var tag taint.Tag
+			if observe {
+				tag = f.Tag(in.B).Union(o.Tag)
+				if t.heapCombine(tag) {
+					return StopMigrateTaint, nil
+				}
+			}
+			newTag := taint.None
+			if v.trackH2H {
+				newTag = tag
+			}
+			regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, o.Str[start:end], newTag))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpIntToStr:
+			b := regs[in.B]
+			newTag := taint.None
+			if v.trackS2H {
+				newTag = tags[in.B]
+				if v.CollectStats {
+					v.Counters.Add(taint.StackToHeap)
+				}
+			}
+			regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, strconv.FormatInt(b.Int, 10), newTag))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpStrToInt:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "strtoint of null")
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(o.Str), 10, 64)
+			if err != nil {
+				n = 0
+			}
+			regs[in.A] = IntVal(n)
+			if observe {
+				tag := f.Tag(in.B).Union(o.Tag)
+				if t.heapRead(tag) {
+					return StopMigrateTaint, nil
+				}
+				if v.trackH2S {
+					tags[in.A] = tag
+				}
+			}
+
+		case OpHash:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "hash of null")
+			}
+			var tag taint.Tag
+			if observe {
+				tag = f.Tag(in.B).Union(o.Tag)
+				if t.heapCombine(tag) {
+					return StopMigrateTaint, nil
+				}
+			}
+			sum := sha256.Sum256([]byte(o.Str))
+			newTag := taint.None
+			if v.trackH2H {
+				newTag = tag
+			}
+			regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, hex.EncodeToString(sum[:]), newTag))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpInvoke, OpInvokeV:
+			var m *Method
+			if in.Op == OpInvoke {
+				m = v.Program.Method(in.Sym2, in.Sym)
+				if m == nil {
+					return StopDone, errAt(f, "unknown method %s.%s", in.Sym2, in.Sym)
+				}
+			} else {
+				if len(in.Args) == 0 {
+					return StopDone, errAt(f, "invokev with no receiver")
+				}
+				recv := regs[in.Args[0]].Ref
+				if recv == nil {
+					return StopDone, errAt(f, "invokev %s on null", in.Sym)
+				}
+				m = recv.Class.Methods[in.Sym]
+				if m == nil {
+					return StopDone, errAt(f, "class %s has no method %s", recv.Class.Name, in.Sym)
+				}
+			}
+			if len(in.Args) != m.NArgs {
+				return StopDone, errAt(f, "%s takes %d args, got %d", m.FullName(), m.NArgs, len(in.Args))
+			}
+			if len(t.Frames) >= maxFrames {
+				return StopDone, errAt(f, "stack overflow (%d frames)", maxFrames)
+			}
+			v.Calls++
+			if v.Hooks.OnInvoke != nil {
+				v.Hooks.OnInvoke(m)
+			}
+			nf := newFrame(m, tracking)
+			for i, r := range in.Args {
+				nf.Regs[i] = regs[r]
+			}
+			if tracking {
+				for i, r := range in.Args {
+					nf.Tags[i] = tags[r]
+				}
+			}
+			nf.RetReg = in.A
+			f.PC = npc
+			t.Frames = append(t.Frames, nf)
+			continue
+
+		case OpReturn, OpRetVoid:
+			ret := NullVal()
+			retTag := taint.None
+			if in.Op == OpReturn {
+				ret = regs[in.B]
+				if v.trackS2S {
+					retTag = f.Tag(in.B)
+				}
+			}
+			t.Frames = t.Frames[:len(t.Frames)-1]
+			if len(t.Frames) == 0 {
+				ret.Tag = retTag // boundary: materialize the shadow tag
+				t.Result = ret
+				return StopDone, nil
+			}
+			caller := t.Frames[len(t.Frames)-1]
+			caller.Regs[f.RetReg] = ret
+			if tracking {
+				caller.Tags[f.RetReg] = retTag
+			}
+			continue
+
+		case OpMonEnter:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "monenter on null")
+			}
+			if v.Hooks.OnMonitorEnter != nil && v.Hooks.OnMonitorEnter(o) {
+				return StopMigrateLock, nil
+			}
+		case OpMonExit:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "monexit on null")
+			}
+			if v.Hooks.OnMonitorExit != nil {
+				v.Hooks.OnMonitorExit(o)
+			}
+
+		case OpNative:
+			def := v.natives[in.Sym]
+			if def == nil {
+				return StopDone, errAt(f, "unknown native %s", in.Sym)
+			}
+			if v.Hooks.NativeGate != nil && v.Hooks.NativeGate(def) {
+				return StopMigrateNative, nil
+			}
+			args := make([]Value, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = regs[r]
+				args[i].Tag = f.Tag(r) // boundary: natives see shadow tags
+			}
+			res, err := def.Fn(t, args)
+			if err != nil {
+				return StopDone, errAt(f, "native %s: %v", in.Sym, err)
+			}
+			regs[in.A] = res
+			if tracking {
+				tags[in.A] = res.Tag
+			}
+
+		case OpTaintSet:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "taintset on null")
+			}
+			o.Tag = o.Tag.Union(taint.Bit(int(in.Imm)))
+			v.Heap.MarkDirty(o)
+
+		case OpTaintGet:
+			o := regs[in.B].Ref
+			if o == nil {
+				return StopDone, errAt(f, "taintget on null")
+			}
+			regs[in.A] = IntVal(int64(o.Tag))
+			if v.trackS2S {
+				tags[in.A] = taint.None
+			}
+
+		case OpHalt:
+			t.Frames = t.Frames[:0]
+			t.Result = NullVal()
+			return StopDone, nil
+
+		default:
+			return StopDone, errAt(f, "unimplemented opcode %v", in.Op)
+		}
+
+		f.PC = npc
+	}
+	return StopDone, nil
+}
+
+// heapRead handles the taint side of a heap→stack movement: stats, cor-idle
+// reset and the offload trigger. It reports whether migration is requested.
+func (t *Thread) heapRead(tag taint.Tag) bool {
+	v := t.VM
+	if v.CollectStats {
+		v.Counters.Add(taint.HeapToStack)
+	}
+	if tag.Empty() {
+		return false
+	}
+	v.sinceTainted = 0
+	if v.Hooks.OnTaintedAccess != nil {
+		if v.CollectStats {
+			v.Counters.Triggered++
+		}
+		return v.Hooks.OnTaintedAccess(tag, taint.HeapToStack)
+	}
+	return false
+}
+
+// heapCombine handles the taint side of a heap→heap movement that creates a
+// derived value (concat, hash, clone): on the device a tainted combination
+// yields a new cor and triggers offloading (§3.5, fig 11 line 6).
+func (t *Thread) heapCombine(tag taint.Tag) bool {
+	v := t.VM
+	if v.CollectStats {
+		v.Counters.Add(taint.HeapToHeap)
+	}
+	if tag.Empty() {
+		return false
+	}
+	v.sinceTainted = 0
+	if v.Hooks.OnTaintedAccess != nil {
+		if v.CollectStats {
+			v.Counters.Triggered++
+		}
+		return v.Hooks.OnTaintedAccess(tag, taint.HeapToHeap)
+	}
+	return false
+}

@@ -1,0 +1,368 @@
+package vm_test
+
+import (
+	"testing"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+// fig10Src reproduces the paper's Figure 10: taint flows heap→stack via
+// charAt, stack→stack via a register move, and stack→heap via an iput.
+const fig10Src = `
+class Fig10
+  field data
+  method propagate 2 8     ; r0 = passwd (tainted string), r1 = s (object)
+    const r2, 0
+    charat r3, r0, r2      ; c = passwd.charAt(0)   heap->stack
+    move r4, r3            ; d = c                  stack->stack
+    iput r4, r1, data      ; s.data = d             stack->heap
+    iget r5, r1, data
+    return r5
+  end
+end`
+
+func fig10Setup(t *testing.T, policy taint.Policy, hook func(taint.Tag, taint.Event) bool) (*vm.VM, *vm.Thread) {
+	t.Helper()
+	prog, err := asm.Assemble("fig10", fig10Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: policy, CollectStats: true})
+	v.Hooks.OnTaintedAccess = hook
+	passwd := v.NewTaintedString("hunter2", taint.Bit(0))
+	holder := v.Heap.Alloc(prog.Class("Fig10"))
+	th, err := v.NewThread(prog.Method("Fig10", "propagate"), vm.RefVal(passwd), vm.RefVal(holder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, th
+}
+
+func TestFullPolicyPropagatesFig10Chain(t *testing.T) {
+	// The trusted node's configuration: no offload hook, full propagation.
+	v, th := fig10Setup(t, taint.Full, nil)
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopDone {
+		t.Fatalf("stop=%v err=%v", stop, err)
+	}
+	if !th.Result.Tag.Has(taint.Bit(0)) {
+		t.Fatal("taint lost along heap->stack->stack->heap->stack chain under Full policy")
+	}
+	c := &v.Counters
+	if c.ByEvent[taint.HeapToStack] == 0 || c.ByEvent[taint.StackToStack] == 0 || c.ByEvent[taint.StackToHeap] == 0 {
+		t.Fatalf("expected all classes counted, got %v", c)
+	}
+}
+
+func TestAsymmetricPolicyTriggersOffloadAtHeapToStack(t *testing.T) {
+	// The device's configuration: tainted heap→stack fires the hook before
+	// the datum lands in a register.
+	var gotTag taint.Tag
+	var gotEv taint.Event
+	_, th := fig10Setup(t, taint.Asymmetric, func(tag taint.Tag, ev taint.Event) bool {
+		gotTag, gotEv = tag, ev
+		return true
+	})
+	stop, err := th.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop != vm.StopMigrateTaint {
+		t.Fatalf("stop = %v, want migrate-taint", stop)
+	}
+	if !gotTag.Has(taint.Bit(0)) || gotEv != taint.HeapToStack {
+		t.Fatalf("hook saw tag=%v ev=%v", gotTag, gotEv)
+	}
+	// PC must still point at the charat so the trusted node re-executes it.
+	f := th.Top()
+	if f.Method.Code[f.PC].Op != vm.OpCharAt {
+		t.Fatalf("stopped at %v, want charat", f.Method.Code[f.PC].Op)
+	}
+	// No tainted datum may be present in any register: the defining
+	// guarantee — plaintext-derived data never reaches the device stack.
+	for _, fr := range th.Frames {
+		for i, r := range fr.Regs {
+			if r.Kind != vm.KindRef && !fr.Tag(i).Empty() {
+				t.Fatalf("tainted primitive in r%d after migrate stop", i)
+			}
+		}
+	}
+}
+
+func TestOffPolicyDropsTaint(t *testing.T) {
+	_, th := fig10Setup(t, taint.Off, nil)
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopDone {
+		t.Fatalf("stop=%v err=%v", stop, err)
+	}
+	if !th.Result.Tag.Empty() {
+		t.Fatal("Off policy must not propagate taint")
+	}
+}
+
+// fig11Src reproduces Figure 11: concatenating a tainted password into an
+// HTTP request is a heap→heap combination producing a derived cor.
+const fig11Src = `
+class Fig11
+  method send 2 8          ; r0 = user, r1 = passwd (tainted)
+    conststr r2, "username="
+    strcat r3, r2, r0
+    conststr r4, "&passwd="
+    strcat r5, r3, r4
+    strcat r6, r5, r1      ; tainted concat: derived cor (migrate point)
+    return r6
+  end
+end`
+
+func TestTaintedConcatCreatesDerivedCor(t *testing.T) {
+	prog, err := asm.Assemble("fig11", fig11Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trusted-node side: propagate and verify the derived string carries
+	// the union of taints.
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(2, 2), Policy: taint.Full})
+	user := v.NewString("alice")
+	passwd := v.NewTaintedString("hunter2", taint.Bit(3))
+	th, _ := v.NewThread(prog.Method("Fig11", "send"), vm.RefVal(user), vm.RefVal(passwd))
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopDone {
+		t.Fatalf("stop=%v err=%v", stop, err)
+	}
+	res := th.Result.Ref
+	if res.Str != "username=alice&passwd=hunter2" {
+		t.Fatalf("request = %q", res.Str)
+	}
+	if !res.Tag.Has(taint.Bit(3)) {
+		t.Fatal("derived request string lost the cor taint")
+	}
+}
+
+func TestTaintedConcatTriggersOffloadOnDevice(t *testing.T) {
+	prog, _ := asm.Assemble("fig11", fig11Src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Asymmetric})
+	triggered := 0
+	v.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool {
+		triggered++
+		if ev != taint.HeapToHeap {
+			t.Fatalf("trigger event = %v, want heap-to-heap", ev)
+		}
+		return true
+	}
+	user := v.NewString("alice")
+	passwd := v.NewTaintedString("PLACEHOLDER", taint.Bit(3))
+	th, _ := v.NewThread(prog.Method("Fig11", "send"), vm.RefVal(user), vm.RefVal(passwd))
+	stop, err := th.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop != vm.StopMigrateTaint || triggered != 1 {
+		t.Fatalf("stop=%v triggered=%d, want migrate-taint once", stop, triggered)
+	}
+	// Untainted concats before the trigger must not fire the hook.
+	f := th.Top()
+	if f.Method.Code[f.PC].Op != vm.OpStrCat {
+		t.Fatalf("stopped at %v", f.Method.Code[f.PC].Op)
+	}
+}
+
+func TestReferenceCopyDoesNotPropagate(t *testing.T) {
+	// §3.5: "a reference of a tainted object is not tainted itself" —
+	// copying a reference is not a taint event and must not trigger.
+	src := `
+class R
+  field slot
+  method go 2 6            ; r0 = holder, r1 = tainted string
+    iput r1, r0, slot      ; store reference (stack->heap of a ref)
+    iget r2, r0, slot      ; load reference back (heap->stack of a ref)
+    move r3, r2            ; copy reference
+    return r3
+  end
+end`
+	prog, _ := asm.Assemble("r", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Asymmetric})
+	fired := false
+	v.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool { fired = true; return true }
+	holder := v.Heap.Alloc(prog.Class("R"))
+	secret := v.NewTaintedString("xyz", taint.Bit(1))
+	th, _ := v.NewThread(prog.Method("R", "go"), vm.RefVal(holder), vm.RefVal(secret))
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopDone {
+		t.Fatalf("stop=%v err=%v", stop, err)
+	}
+	if fired {
+		t.Fatal("reference copies must not trigger offloading")
+	}
+	// The returned reference still points at the tainted object: object
+	// granularity is preserved.
+	if got := th.Result.Ref; got == nil || !got.Tag.Has(taint.Bit(1)) {
+		t.Fatalf("object tag lost: %v", th.Result)
+	}
+}
+
+func TestCharAtOnTaintedStringTriggers(t *testing.T) {
+	// Reading *content* of the tainted string (vs. its reference) triggers.
+	src := `
+class R
+  method go 1 4
+    const r1, 0
+    charat r2, r0, r1
+    return r2
+  end
+end`
+	prog, _ := asm.Assemble("r", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Asymmetric})
+	v.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool { return true }
+	secret := v.NewTaintedString("xyz", taint.Bit(1))
+	th, _ := v.NewThread(prog.Method("R", "go"), vm.RefVal(secret))
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopMigrateTaint {
+		t.Fatalf("stop=%v err=%v, want migrate-taint", stop, err)
+	}
+}
+
+func TestHashPreservesTaint(t *testing.T) {
+	// §4.1: "the tainting mechanism on the trusted node ensures that the
+	// hash value is a new cor."
+	src := `
+class H
+  method go 1 3
+    hash r1, r0
+    return r1
+  end
+end`
+	prog, _ := asm.Assemble("h", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(2, 2), Policy: taint.Full})
+	secret := v.NewTaintedString("pw", taint.Bit(7))
+	th, _ := v.NewThread(prog.Method("H", "go"), vm.RefVal(secret))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Result.Ref.Tag.Has(taint.Bit(7)) {
+		t.Fatal("hash of a cor must itself be tainted (derived cor)")
+	}
+}
+
+func TestCloneTriggersAndPropagates(t *testing.T) {
+	src := `
+class C
+  method go 1 3
+    clone r1, r0
+    return r1
+  end
+end`
+	prog, _ := asm.Assemble("c", src)
+
+	// Node side: clone of tainted string keeps the tag.
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(2, 2), Policy: taint.Full})
+	secret := v.NewTaintedString("pw", taint.Bit(2))
+	th, _ := v.NewThread(prog.Method("C", "go"), vm.RefVal(secret))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !th.Result.Ref.Tag.Has(taint.Bit(2)) {
+		t.Fatal("clone lost object taint under Full policy")
+	}
+
+	// Device side: clone of a tainted object triggers offload.
+	vd := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Asymmetric})
+	vd.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool { return ev == taint.HeapToHeap }
+	sd := vd.NewTaintedString("PLACEHOLDER", taint.Bit(2))
+	thd, _ := vd.NewThread(prog.Method("C", "go"), vm.RefVal(sd))
+	stop, err := thd.Run()
+	if err != nil || stop != vm.StopMigrateTaint {
+		t.Fatalf("device clone: stop=%v err=%v", stop, err)
+	}
+}
+
+func TestCorIdleWindowStopsNode(t *testing.T) {
+	// The trusted node migrates the thread back after a cor-idle stretch.
+	src := `
+class C
+  method go 1 6
+    const r1, 0
+    charat r2, r0, r1      ; touch the cor once
+    const r3, 0
+    const r4, 100000
+  loop:
+    ifge r3, r4, done
+    const r5, 1
+    add r3, r3, r5
+    goto loop
+  done:
+    return r3
+  end
+end`
+	prog, _ := asm.Assemble("c", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(2, 2), Policy: taint.Full, CorIdleWindow: 500})
+	secret := v.NewTaintedString("pw", taint.Bit(0))
+	th, _ := v.NewThread(prog.Method("C", "go"), vm.RefVal(secret))
+	stop, err := th.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop != vm.StopMigrateIdle {
+		t.Fatalf("stop = %v, want migrate-idle", stop)
+	}
+	// Resuming runs another window's worth before stopping again.
+	stop, err = th.Run()
+	if err != nil || stop != vm.StopMigrateIdle {
+		t.Fatalf("resume stop = %v err=%v", stop, err)
+	}
+}
+
+func TestSubstringOfTaintedStaysTainted(t *testing.T) {
+	src := `
+class S
+  method go 1 4
+    const r1, 0
+    substr r2, r0, r1, 3
+    return r2
+  end
+end`
+	prog, _ := asm.Assemble("s", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(2, 2), Policy: taint.Full})
+	secret := v.NewTaintedString("secret", taint.Bit(4))
+	th, _ := v.NewThread(prog.Method("S", "go"), vm.RefVal(secret))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.Ref.Str != "sec" || !th.Result.Ref.Tag.Has(taint.Bit(4)) {
+		t.Fatalf("substr = %q tag=%v", th.Result.Ref.Str, th.Result.Ref.Tag)
+	}
+}
+
+func TestStackToStackDominatesInComputeKernels(t *testing.T) {
+	// The observation motivating asymmetric tainting: stack-to-stack events
+	// dominate typical compute, so skipping them saves the most.
+	src := `
+class K
+  method go 0 6
+    const r0, 0
+    const r1, 0
+    const r2, 10000
+  loop:
+    ifge r1, r2, done
+    add r0, r0, r1
+    const r3, 1
+    add r1, r1, r3
+    goto loop
+  done:
+    return r0
+  end
+end`
+	prog, _ := asm.Assemble("k", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Full, CollectStats: true})
+	th, _ := v.NewThread(prog.Method("K", "go"))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := &v.Counters
+	s2s := c.ByEvent[taint.StackToStack]
+	others := c.ByEvent[taint.HeapToHeap] + c.ByEvent[taint.HeapToStack] + c.ByEvent[taint.StackToHeap]
+	if s2s <= others*10 {
+		t.Fatalf("expected stack-to-stack to dominate: s2s=%d others=%d", s2s, others)
+	}
+}

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"fmt"
+)
+
+// VerifyError reports a static verification failure.
+type VerifyError struct {
+	Method string
+	PC     int
+	Msg    string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("vm: verify: %s@%d: %s", e.Method, e.PC, e.Msg)
+}
+
+// Verify statically checks every method of a sealed program: register
+// operands within the frame, branch targets in range, invoke arity against
+// statically resolvable targets, and a terminated final instruction. The
+// trusted node verifies programs at install time — running unverifiable
+// migrated code would be an easy way to crash the vault's VM.
+func (p *Program) Verify() error {
+	for _, c := range p.Classes() {
+		for _, m := range c.Methods {
+			if err := p.verifyMethod(m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) verifyMethod(m *Method) error {
+	name := m.FullName()
+	fail := func(pc int, format string, args ...any) error {
+		return &VerifyError{Method: name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+	}
+	if len(m.Code) == 0 {
+		return fail(0, "empty body")
+	}
+	if m.NArgs > m.NRegs {
+		return fail(0, "%d args exceed %d registers", m.NArgs, m.NRegs)
+	}
+
+	checkReg := func(pc, r int) error {
+		if r < 0 || r >= m.NRegs {
+			return fail(pc, "register r%d out of range [0,%d)", r, m.NRegs)
+		}
+		return nil
+	}
+	checkBranch := func(pc int, target int64) error {
+		if target < 0 || target >= int64(len(m.Code)) {
+			return fail(pc, "branch target %d out of range [0,%d)", target, len(m.Code))
+		}
+		return nil
+	}
+
+	for pc := range m.Code {
+		in := &m.Code[pc]
+		var regs []int
+		var branch bool
+
+		switch in.Op {
+		case OpNop, OpRetVoid, OpHalt:
+		case OpConst, OpConstF, OpConstStr:
+			regs = []int{in.A}
+		case OpMove, OpNeg, OpNot, OpNegF, OpI2F, OpF2I, OpNewArr, OpArrLen,
+			OpClone, OpArrCopy, OpStrLen, OpIntToStr, OpStrToInt, OpHash, OpTaintGet:
+			regs = []int{in.A, in.B}
+		case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl,
+			OpShr, OpAddF, OpSubF, OpMulF, OpDivF, OpCmp, OpCmpF, OpAGet,
+			OpAPut, OpStrCat, OpCharAt, OpStrEq, OpIndexOf:
+			regs = []int{in.A, in.B, in.C}
+		case OpSubstr:
+			regs = []int{in.A, in.B, in.C}
+		case OpIfEq, OpIfNe, OpIfLt, OpIfLe, OpIfGt, OpIfGe:
+			regs = []int{in.B, in.C}
+			branch = true
+		case OpIfZ, OpIfNz:
+			regs = []int{in.B}
+			branch = true
+		case OpGoto:
+			branch = true
+		case OpNew:
+			regs = []int{in.A}
+			if in.Sym == "" {
+				return fail(pc, "new without class symbol")
+			}
+		case OpIGet, OpIPut:
+			regs = []int{in.A, in.B}
+			if in.Sym == "" {
+				return fail(pc, "%v without field symbol", in.Op)
+			}
+		case OpInvoke:
+			regs = append([]int{in.A}, in.Args...)
+			if in.Sym == "" || in.Sym2 == "" {
+				return fail(pc, "invoke without target symbol")
+			}
+			// Static targets are resolvable now; arity must match.
+			if target := p.Method(in.Sym2, in.Sym); target != nil {
+				if len(in.Args) != target.NArgs {
+					return fail(pc, "invoke %s.%s with %d args, target takes %d",
+						in.Sym2, in.Sym, len(in.Args), target.NArgs)
+				}
+			} else {
+				return fail(pc, "invoke of unknown method %s.%s", in.Sym2, in.Sym)
+			}
+		case OpInvokeV:
+			regs = append([]int{in.A}, in.Args...)
+			if in.Sym == "" {
+				return fail(pc, "invokev without method symbol")
+			}
+			if len(in.Args) == 0 {
+				return fail(pc, "invokev without receiver")
+			}
+		case OpNative:
+			regs = append([]int{in.A}, in.Args...)
+			if in.Sym == "" {
+				return fail(pc, "native without symbol")
+			}
+		case OpReturn, OpMonEnter, OpMonExit, OpTaintSet:
+			regs = []int{in.B}
+		default:
+			return fail(pc, "unknown opcode %d", uint8(in.Op))
+		}
+
+		for _, r := range regs {
+			if err := checkReg(pc, r); err != nil {
+				return err
+			}
+		}
+		if branch {
+			if err := checkBranch(pc, in.Imm); err != nil {
+				return err
+			}
+		}
+	}
+
+	// The final instruction must not fall off the end of the method.
+	last := m.Code[len(m.Code)-1]
+	switch last.Op {
+	case OpReturn, OpRetVoid, OpHalt, OpGoto:
+	default:
+		return fail(len(m.Code)-1, "method may fall off its end (last op %v)", last.Op)
+	}
+	return nil
+}

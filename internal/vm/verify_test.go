@@ -1,0 +1,105 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildProgram assembles a program by hand (the asm package is not
+// available here without an import cycle in tests, and hand-building also
+// exercises paths the assembler's own validation would reject).
+func buildProgram(t *testing.T, ms ...*Method) *Program {
+	t.Helper()
+	p := NewProgram("t")
+	c := NewClass("C", "f")
+	for _, m := range ms {
+		c.AddMethod(m)
+	}
+	p.AddClass(c)
+	p.Seal()
+	return p
+}
+
+func TestVerifyAcceptsValidProgram(t *testing.T) {
+	callee := &Method{Name: "callee", NArgs: 1, NRegs: 2, Code: []Instr{
+		{Op: OpReturn, B: 0},
+	}}
+	main := &Method{Name: "main", NArgs: 0, NRegs: 4, Code: []Instr{
+		{Op: OpConst, A: 0, Imm: 5},
+		{Op: OpIfZ, B: 0, Imm: 3},
+		{Op: OpInvoke, A: 1, Sym2: "C", Sym: "callee", Args: []int{0}},
+		{Op: OpRetVoid},
+	}}
+	if err := buildProgram(t, callee, main).Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Method
+		want string
+	}{
+		{"empty", &Method{Name: "m", NRegs: 1}, "empty body"},
+		{"args-exceed-regs", &Method{Name: "m", NArgs: 3, NRegs: 2, Code: []Instr{{Op: OpRetVoid}}}, "exceed"},
+		{"reg-oob", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpConst, A: 5, Imm: 1}, {Op: OpRetVoid},
+		}}, "out of range"},
+		{"branch-oob", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpGoto, Imm: 99}, {Op: OpRetVoid},
+		}}, "branch target"},
+		{"negative-branch", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpGoto, Imm: -1}, {Op: OpRetVoid},
+		}}, "branch target"},
+		{"fall-off-end", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpConst, A: 0, Imm: 1},
+		}}, "fall off"},
+		{"new-no-class", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpNew, A: 0}, {Op: OpRetVoid},
+		}}, "without class"},
+		{"iget-no-field", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpIGet, A: 0, B: 1}, {Op: OpRetVoid},
+		}}, "without field"},
+		{"invoke-unknown", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpInvoke, A: 0, Sym2: "C", Sym: "nope"}, {Op: OpRetVoid},
+		}}, "unknown method"},
+		{"invoke-arity", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpInvoke, A: 0, Sym2: "C", Sym: "m", Args: []int{0, 1}}, {Op: OpRetVoid},
+		}}, "takes"},
+		{"invokev-no-receiver", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpInvokeV, A: 0, Sym: "x"}, {Op: OpRetVoid},
+		}}, "without receiver"},
+		{"native-no-symbol", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: OpNative, A: 0}, {Op: OpRetVoid},
+		}}, "without symbol"},
+		{"bad-opcode", &Method{Name: "m", NRegs: 2, Code: []Instr{
+			{Op: Op(250)}, {Op: OpRetVoid},
+		}}, "unknown opcode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := buildProgram(t, tc.m).Verify()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+			var ve *VerifyError
+			if !strings.HasPrefix(err.Error(), "vm: verify:") {
+				t.Fatalf("error %v lacks verify prefix", err)
+			}
+			_ = ve
+		})
+	}
+}
+
+func TestVerifyArityAgainstArgsSelf(t *testing.T) {
+	// A method may invoke itself recursively with correct arity.
+	m := &Method{Name: "m", NArgs: 1, NRegs: 3, Code: []Instr{
+		{Op: OpIfZ, B: 0, Imm: 2},
+		{Op: OpInvoke, A: 1, Sym2: "C", Sym: "m", Args: []int{0}},
+		{Op: OpReturn, B: 0},
+	}}
+	if err := buildProgram(t, m).Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+package vm
+
+import (
+	"fmt"
+
+	"tinman/internal/taint"
+)
+
+// StopReason says why Thread.Run returned.
+type StopReason uint8
+
+const (
+	// StopDone means the outermost method returned; Thread.Result is set.
+	StopDone StopReason = iota
+	// StopMigrateTaint means a tainted placeholder was touched (heap→stack
+	// or tainted heap→heap) and the hook requested migration to the trusted
+	// node (§3.1). The PC points at the triggering instruction so the other
+	// endpoint re-executes it.
+	StopMigrateTaint
+	// StopMigrateNative means the next instruction is a native call this
+	// endpoint must not run (non-offloadable I/O on the trusted node).
+	StopMigrateNative
+	// StopMigrateLock means the thread needs a monitor owned by the other
+	// endpoint (the happens-before case in Table 3's github row).
+	StopMigrateLock
+	// StopMigrateIdle means no cor was accessed for the configured window;
+	// the trusted node sends the thread home (§3.1 case 1).
+	StopMigrateIdle
+	// StopLimit means the Run instruction budget was exhausted.
+	StopLimit
+)
+
+var stopNames = [...]string{
+	StopDone: "done", StopMigrateTaint: "migrate-taint",
+	StopMigrateNative: "migrate-native", StopMigrateLock: "migrate-lock",
+	StopMigrateIdle: "migrate-idle", StopLimit: "limit",
+}
+
+func (s StopReason) String() string {
+	if int(s) < len(stopNames) {
+		return stopNames[s]
+	}
+	return fmt.Sprintf("StopReason(%d)", uint8(s))
+}
+
+// IsMigrate reports whether the stop requests a thread migration.
+func (s StopReason) IsMigrate() bool {
+	return s == StopMigrateTaint || s == StopMigrateNative || s == StopMigrateLock || s == StopMigrateIdle
+}
+
+// NativeFunc is a Go implementation of a native method. Natives receive the
+// thread (for heap access) and the argument values.
+type NativeFunc func(t *Thread, args []Value) (Value, error)
+
+// NativeDef registers a native method. Offloadable natives may run on either
+// endpoint; non-offloadable ones (I/O, sensors) pin execution to the device,
+// or — for the SSL send path — hand off to TinMan's session-injection
+// machinery.
+type NativeDef struct {
+	Name        string
+	Offloadable bool
+	Fn          NativeFunc
+}
+
+// Hooks let the offloading engine observe and steer execution. All hooks are
+// optional; a nil hook never migrates.
+type Hooks struct {
+	// OnTaintedAccess fires when tainted data is read heap→stack or combined
+	// heap→heap. Returning true stops the thread with StopMigrateTaint.
+	OnTaintedAccess func(tag taint.Tag, ev taint.Event) bool
+	// OnMonitorEnter fires on monenter. Returning true stops the thread
+	// with StopMigrateLock (the lock lives on the other endpoint).
+	OnMonitorEnter func(o *Object) bool
+	// OnMonitorExit fires on monexit, letting the offload engine release
+	// the lock in its endpoint-pair lock table.
+	OnMonitorExit func(o *Object)
+	// NativeGate fires before a native call. Returning true stops the
+	// thread with StopMigrateNative.
+	NativeGate func(def *NativeDef) bool
+	// OnInvoke fires on every method invocation (profilers attach here).
+	OnInvoke func(m *Method)
+}
+
+// Config assembles a VM.
+type Config struct {
+	Program *Program
+	Heap    *Heap
+	Policy  taint.Policy
+	// CollectStats enables per-class propagation counters (small overhead;
+	// benchmarks measuring tainting cost leave it off).
+	CollectStats bool
+	// CorIdleWindow, when positive, stops the thread with StopMigrateIdle
+	// after that many instructions without a tainted access. The trusted
+	// node sets it; the device leaves it zero.
+	CorIdleWindow uint64
+}
+
+// VM executes programs over a heap under a taint policy. A VM is one
+// endpoint's execution engine; TinMan pairs a device VM with a trusted-node
+// VM over the DSM.
+type VM struct {
+	Program *Program
+	Heap    *Heap
+	Policy  taint.Policy
+	Hooks   Hooks
+
+	// Counters tallies propagation classes when CollectStats is set.
+	Counters     taint.Counters
+	CollectStats bool
+
+	// Instrs counts executed instructions (the compute-cost model input);
+	// Calls counts method invocations (Table 3's offloaded-code metric).
+	Instrs uint64
+	Calls  uint64
+
+	corIdleWindow uint64
+	sinceTainted  uint64
+
+	natives map[string]*NativeDef
+
+	stringClass *Class
+	arrayClass  *Class
+
+	trackH2H, trackH2S, trackS2S, trackS2H bool
+	// tracking is true for any policy other than Off: frames then carry
+	// shadow tag arrays (the TaintDroid design of storing taints adjacent
+	// to registers), which is where tainting's runtime cost comes from.
+	tracking bool
+}
+
+// New creates a VM. The program must be sealed.
+func New(cfg Config) *VM {
+	if cfg.Program == nil {
+		panic("vm: nil program")
+	}
+	if cfg.Heap == nil {
+		panic("vm: nil heap")
+	}
+	v := &VM{
+		Program:       cfg.Program,
+		Heap:          cfg.Heap,
+		Policy:        cfg.Policy,
+		CollectStats:  cfg.CollectStats,
+		corIdleWindow: cfg.CorIdleWindow,
+		natives:       make(map[string]*NativeDef),
+		trackH2H:      cfg.Policy.Tracks(taint.HeapToHeap),
+		trackH2S:      cfg.Policy.Tracks(taint.HeapToStack),
+		trackS2S:      cfg.Policy.Tracks(taint.StackToStack),
+		trackS2H:      cfg.Policy.Tracks(taint.StackToHeap),
+	}
+	v.tracking = v.trackH2H || v.trackH2S || v.trackS2S || v.trackS2H
+	// Built-in classes exist on every VM so both endpoints resolve them
+	// identically during DSM sync.
+	v.stringClass = NewClass("java/lang/String")
+	v.arrayClass = NewClass("java/lang/Array")
+	return v
+}
+
+// Tracking reports whether any propagation class is instrumented (false
+// only for the Off baseline).
+func (v *VM) Tracking() bool { return v.tracking }
+
+// StringClass returns the built-in string class.
+func (v *VM) StringClass() *Class { return v.stringClass }
+
+// ArrayClass returns the built-in array class.
+func (v *VM) ArrayClass() *Class { return v.arrayClass }
+
+// ClassByName resolves built-ins first, then program classes.
+func (v *VM) ClassByName(name string) *Class {
+	switch name {
+	case v.stringClass.Name:
+		return v.stringClass
+	case v.arrayClass.Name:
+		return v.arrayClass
+	}
+	return v.Program.Class(name)
+}
+
+// RegisterNative installs a native method implementation.
+func (v *VM) RegisterNative(def *NativeDef) {
+	if def.Fn == nil {
+		panic(fmt.Sprintf("vm: native %s has no implementation", def.Name))
+	}
+	if _, dup := v.natives[def.Name]; dup {
+		panic(fmt.Sprintf("vm: native %s registered twice", def.Name))
+	}
+	v.natives[def.Name] = def
+}
+
+// Native returns a registered native, or nil.
+func (v *VM) Native(name string) *NativeDef { return v.natives[name] }
+
+// NewString allocates an untainted string object.
+func (v *VM) NewString(s string) *Object {
+	return v.Heap.AllocString(v.stringClass, s, taint.None)
+}
+
+// NewTaintedString allocates a string carrying the given tag — this is how
+// the framework materializes cor placeholders on the device and cor
+// plaintext on the trusted node.
+func (v *VM) NewTaintedString(s string, tag taint.Tag) *Object {
+	return v.Heap.AllocString(v.stringClass, s, tag)
+}
+
+// ResetIdle restarts the cor-idle window (called after migration).
+func (v *VM) ResetIdle() { v.sinceTainted = 0 }
+
+// Frame is one activation record. Under a tracking policy, Tags is the
+// shadow taint store parallel to Regs (nil under the Off policy — the
+// untainted baseline touches no taint memory at all).
+type Frame struct {
+	Method *Method
+	PC     int
+	Regs   []Value
+	Tags   []taint.Tag
+	// RetReg is the caller register that receives this frame's return value.
+	RetReg int
+}
+
+// Tag returns register i's shadow tag (None when untracked).
+func (f *Frame) Tag(i int) taint.Tag {
+	if f.Tags == nil {
+		return taint.None
+	}
+	return f.Tags[i]
+}
+
+// Thread is a logical thread: a stack of frames bound to a VM. After a
+// migration the same Thread object continues on the other endpoint's VM
+// (the DSM rebinds it).
+type Thread struct {
+	VM     *VM
+	Frames []*Frame
+	Result Value
+	// MaxInstrs bounds a single Run call as a runaway guard; 0 means the
+	// default of 500M instructions.
+	MaxInstrs uint64
+}
+
+// NewThread prepares a thread that will execute method with the given
+// arguments.
+func (v *VM) NewThread(m *Method, args ...Value) (*Thread, error) {
+	if m == nil {
+		return nil, fmt.Errorf("vm: nil method")
+	}
+	if len(args) != m.NArgs {
+		return nil, fmt.Errorf("vm: %s takes %d args, got %d", m.FullName(), m.NArgs, len(args))
+	}
+	f := newFrame(m, v.tracking)
+	copy(f.Regs, args)
+	// Value.Tag is meaningful at API boundaries: seed the shadow store from
+	// the incoming arguments.
+	if v.tracking {
+		for i, a := range args {
+			f.Tags[i] = a.Tag
+		}
+	}
+	return &Thread{VM: v, Frames: []*Frame{f}}, nil
+}
+
+func newFrame(m *Method, tracking bool) *Frame {
+	regs := make([]Value, m.NRegs)
+	for i := range regs {
+		regs[i] = IntVal(0)
+	}
+	f := &Frame{Method: m, Regs: regs}
+	if tracking {
+		f.Tags = make([]taint.Tag, m.NRegs)
+	}
+	return f
+}
+
+// Depth returns the current frame-stack depth.
+func (t *Thread) Depth() int { return len(t.Frames) }
+
+// Top returns the innermost frame, or nil if the thread finished.
+func (t *Thread) Top() *Frame {
+	if len(t.Frames) == 0 {
+		return nil
+	}
+	return t.Frames[len(t.Frames)-1]
+}
+
+// Rebind moves the thread to another VM (after DSM migration). Frame
+// methods are re-resolved against the target VM's program by name, since
+// Method pointers are endpoint-local.
+func (t *Thread) Rebind(v *VM) error {
+	for _, f := range t.Frames {
+		m := v.Program.Method(f.Method.Class.Name, f.Method.Name)
+		if m == nil {
+			return fmt.Errorf("vm: rebind: method %s not found in target program", f.Method.FullName())
+		}
+		f.Method = m
+	}
+	t.VM = v
+	return nil
+}
+
+// errAt decorates runtime errors with source position.
+func errAt(f *Frame, format string, args ...any) error {
+	return fmt.Errorf("vm: %s@%d: %s", f.Method.FullName(), f.PC, fmt.Sprintf(format, args...))
+}

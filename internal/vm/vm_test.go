@@ -1,0 +1,566 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+// runProgram assembles src, runs Class.method with args under the policy,
+// and returns the machine and result.
+func runProgram(t *testing.T, policy taint.Policy, src, class, method string, args ...vm.Value) (*vm.VM, vm.Value) {
+	t.Helper()
+	prog, err := asm.Assemble("test", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: policy, CollectStats: true})
+	th, err := v.NewThread(prog.Method(class, method), args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := th.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stop != vm.StopDone {
+		t.Fatalf("stop = %v, want done", stop)
+	}
+	return v, th.Result
+}
+
+func TestArithmetic(t *testing.T) {
+	src := `
+class Math
+  method calc 2 6
+    add r2, r0, r1
+    mul r3, r2, r2
+    const r4, 3
+    sub r5, r3, r4
+    return r5
+  end
+end`
+	_, res := runProgram(t, taint.Off, src, "Math", "calc", vm.IntVal(2), vm.IntVal(3))
+	if res.Int != 22 { // (2+3)^2 - 3
+		t.Fatalf("result = %d, want 22", res.Int)
+	}
+}
+
+func TestDivRemAndDivByZero(t *testing.T) {
+	src := `
+class Math
+  method div 2 3
+    div r2, r0, r1
+    return r2
+  end
+  method rem 2 3
+    rem r2, r0, r1
+    return r2
+  end
+end`
+	_, res := runProgram(t, taint.Off, src, "Math", "div", vm.IntVal(17), vm.IntVal(5))
+	if res.Int != 3 {
+		t.Fatalf("17/5 = %d, want 3", res.Int)
+	}
+	_, res = runProgram(t, taint.Off, src, "Math", "rem", vm.IntVal(17), vm.IntVal(5))
+	if res.Int != 2 {
+		t.Fatalf("17%%5 = %d, want 2", res.Int)
+	}
+
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	th, _ := v.NewThread(prog.Method("Math", "div"), vm.IntVal(1), vm.IntVal(0))
+	if _, err := th.Run(); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("div by zero error = %v", err)
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	src := `
+class Math
+  method f 0 6
+    constf r0, 1.5
+    constf r1, 2.0
+    mulf r2, r0, r1
+    addf r3, r2, r1
+    f2i r4, r3
+    return r4
+  end
+end`
+	_, res := runProgram(t, taint.Off, src, "Math", "f")
+	if res.Int != 5 { // 1.5*2 + 2 = 5.0
+		t.Fatalf("result = %d, want 5", res.Int)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	src := `
+class Loop
+  method sum 1 5   ; sum of 1..n
+    const r1, 0
+    const r2, 1
+  head:
+    ifgt r2, r0, done
+    add r1, r1, r2
+    const r3, 1
+    add r2, r2, r3
+    goto head
+  done:
+    return r1
+  end
+end`
+	_, res := runProgram(t, taint.Off, src, "Loop", "sum", vm.IntVal(100))
+	if res.Int != 5050 {
+		t.Fatalf("sum(100) = %d, want 5050", res.Int)
+	}
+}
+
+func TestObjectsFieldsAndArrays(t *testing.T) {
+	src := `
+class Point
+  field x
+  field y
+  method make 2 4
+    new r2, Point
+    iput r0, r2, x
+    iput r1, r2, y
+    return r2
+  end
+  method dist2 1 6
+    iget r1, r0, x
+    iget r2, r0, y
+    mul r3, r1, r1
+    mul r4, r2, r2
+    add r5, r3, r4
+    return r5
+  end
+  method arrays 0 8
+    const r0, 5
+    newarr r1, r0
+    const r2, 0
+    const r3, 42
+    aput r3, r1, r2
+    aget r4, r1, r2
+    arrlen r5, r1
+    add r6, r4, r5
+    return r6
+  end
+end`
+	prog, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Full})
+	th, _ := v.NewThread(prog.Method("Point", "make"), vm.IntVal(3), vm.IntVal(4))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pt := th.Result.Ref
+	if pt == nil || pt.Class.Name != "Point" {
+		t.Fatalf("make returned %v", th.Result)
+	}
+	th2, _ := v.NewThread(prog.Method("Point", "dist2"), vm.RefVal(pt))
+	if _, err := th2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th2.Result.Int != 25 {
+		t.Fatalf("dist2 = %d, want 25", th2.Result.Int)
+	}
+
+	_, res := runProgram(t, taint.Off, src, "Point", "arrays")
+	if res.Int != 47 {
+		t.Fatalf("arrays = %d, want 47", res.Int)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	src := `
+class Str
+  method build 0 8
+    conststr r0, "user="
+    conststr r1, "alice"
+    strcat r2, r0, r1
+    strlen r3, r2
+    const r4, 0
+    charat r5, r2, r4
+    strcat r6, r2, r2
+    return r2
+  end
+  method check 0 6
+    conststr r0, "abc"
+    conststr r1, "abc"
+    streq r2, r0, r1
+    return r2
+  end
+  method find 0 6
+    conststr r0, "hello world"
+    conststr r1, "world"
+    indexof r2, r0, r1
+    return r2
+  end
+  method cut 0 6
+    conststr r0, "username=bob"
+    const r1, 9
+    substr r2, r0, r1, -1
+    return r2
+  end
+  method nums 0 6
+    const r0, 1234
+    intostr r1, r0
+    strtoint r2, r1
+    return r2
+  end
+end`
+	_, res := runProgram(t, taint.Off, src, "Str", "build")
+	if res.Ref == nil || res.Ref.Str != "user=alice" {
+		t.Fatalf("build = %v", res)
+	}
+	_, res = runProgram(t, taint.Off, src, "Str", "check")
+	if res.Int != 1 {
+		t.Fatalf("streq = %d, want 1", res.Int)
+	}
+	_, res = runProgram(t, taint.Off, src, "Str", "find")
+	if res.Int != 6 {
+		t.Fatalf("indexof = %d, want 6", res.Int)
+	}
+	_, res = runProgram(t, taint.Off, src, "Str", "cut")
+	if res.Ref.Str != "bob" {
+		t.Fatalf("substr = %q, want bob", res.Ref.Str)
+	}
+	_, res = runProgram(t, taint.Off, src, "Str", "nums")
+	if res.Int != 1234 {
+		t.Fatalf("roundtrip = %d, want 1234", res.Int)
+	}
+}
+
+func TestMethodCallsAndRecursion(t *testing.T) {
+	src := `
+class Fib
+  method fib 1 8
+    const r1, 2
+    ifge r0, r1, rec
+    return r0
+  rec:
+    const r2, 1
+    sub r3, r0, r2
+    invoke r4, Fib.fib, r3
+    const r2, 2
+    sub r3, r0, r2
+    invoke r5, Fib.fib, r3
+    add r6, r4, r5
+    return r6
+  end
+end`
+	v, res := runProgram(t, taint.Off, src, "Fib", "fib", vm.IntVal(15))
+	if res.Int != 610 {
+		t.Fatalf("fib(15) = %d, want 610", res.Int)
+	}
+	if v.Calls == 0 {
+		t.Fatal("method call counter not incremented")
+	}
+}
+
+func TestVirtualDispatch(t *testing.T) {
+	src := `
+class Dog
+  method speak 1 2
+    conststr r1, "woof"
+    return r1
+  end
+end
+class Cat
+  method speak 1 2
+    conststr r1, "meow"
+    return r1
+  end
+end
+class Zoo
+  method hear 1 3
+    invokev r1, speak, r0
+    return r1
+  end
+end`
+	prog, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	for class, want := range map[string]string{"Dog": "woof", "Cat": "meow"} {
+		o := v.Heap.Alloc(prog.Class(class))
+		th, _ := v.NewThread(prog.Method("Zoo", "hear"), vm.RefVal(o))
+		if _, err := th.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if th.Result.Ref.Str != want {
+			t.Fatalf("%s says %q, want %q", class, th.Result.Ref.Str, want)
+		}
+	}
+}
+
+func TestCloneAndArrCopy(t *testing.T) {
+	src := `
+class C
+  field v
+  method go 0 10
+    new r0, C
+    const r1, 7
+    iput r1, r0, v
+    clone r2, r0
+    iget r3, r2, v
+    const r4, 3
+    newarr r5, r4
+    const r6, 0
+    aput r1, r5, r6
+    newarr r7, r4
+    arrcopy r7, r5
+    aget r8, r7, r6
+    add r9, r3, r8
+    return r9
+  end
+end`
+	_, res := runProgram(t, taint.Full, src, "C", "go")
+	if res.Int != 14 {
+		t.Fatalf("clone+arrcopy = %d, want 14", res.Int)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	src := `
+class H
+  method go 1 3
+    hash r1, r0
+    return r1
+  end
+end`
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	run := func() string {
+		th, _ := v.NewThread(prog.Method("H", "go"), vm.RefVal(v.NewString("secret")))
+		if _, err := th.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return th.Result.Ref.Str
+	}
+	h1, h2 := run(), run()
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("hash not deterministic hex-64: %q vs %q", h1, h2)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"null-iget", `
+class C
+  field v
+  method go 0 3
+    iget r1, r0, v
+    return r1
+  end
+end`, "from null"},
+		{"bad-field", `
+class C
+  method go 0 3
+    new r0, C
+    iget r1, r0, nofield
+    return r1
+  end
+end`, "no field"},
+		{"oob-array", `
+class C
+  method go 0 4
+    const r0, 2
+    newarr r1, r0
+    const r2, 9
+    aget r3, r1, r2
+    return r3
+  end
+end`, "out of range"},
+		{"unknown-class", `
+class C
+  method go 0 2
+    new r0, Nope
+    return r0
+  end
+end`, "unknown class"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := asm.Assemble("t", tc.src)
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+			th, err := v.NewThread(prog.Method("C", "go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := th.Run(); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestUnknownMethodCaughtAtAssembly(t *testing.T) {
+	// The verifier rejects unresolvable static invokes before execution.
+	_, err := asm.Assemble("t", `
+class C
+  method go 0 2
+    const r0, 0
+    invoke r1, C.nope, r0
+    return r1
+  end
+end`)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v, want unknown-method verify failure", err)
+	}
+}
+
+func TestStackOverflowGuard(t *testing.T) {
+	src := `
+class C
+  method go 0 2
+    invoke r0, C.go
+    return r0
+  end
+end`
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	th, _ := v.NewThread(prog.Method("C", "go"))
+	if _, err := th.Run(); err == nil || !strings.Contains(err.Error(), "stack overflow") {
+		t.Fatalf("err = %v, want stack overflow", err)
+	}
+}
+
+func TestInstructionBudget(t *testing.T) {
+	src := `
+class C
+  method spin 0 1
+  loop:
+    goto loop
+  end
+end`
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	th, _ := v.NewThread(prog.Method("C", "spin"))
+	th.MaxInstrs = 1000
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopLimit {
+		t.Fatalf("stop = %v err = %v, want limit", stop, err)
+	}
+}
+
+func TestNativeCall(t *testing.T) {
+	src := `
+class C
+  method go 1 3
+    native r1, double, r0
+    return r1
+  end
+end`
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	v.RegisterNative(&vm.NativeDef{
+		Name: "double", Offloadable: true,
+		Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			return vm.IntVal(args[0].Int * 2), nil
+		},
+	})
+	th, _ := v.NewThread(prog.Method("C", "go"), vm.IntVal(21))
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Result.Int != 42 {
+		t.Fatalf("native double = %d, want 42", th.Result.Int)
+	}
+}
+
+func TestNativeGateStopsBeforeExecution(t *testing.T) {
+	src := `
+class C
+  method go 0 2
+    native r0, io_read
+    return r0
+  end
+end`
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	ran := false
+	v.RegisterNative(&vm.NativeDef{
+		Name: "io_read", Offloadable: false,
+		Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			ran = true
+			return vm.NullVal(), nil
+		},
+	})
+	v.Hooks.NativeGate = func(def *vm.NativeDef) bool { return !def.Offloadable }
+	th, _ := v.NewThread(prog.Method("C", "go"))
+	stop, err := th.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop != vm.StopMigrateNative {
+		t.Fatalf("stop = %v, want migrate-native", stop)
+	}
+	if ran {
+		t.Fatal("gated native must not execute")
+	}
+	if th.Top().PC != 0 {
+		t.Fatalf("PC advanced to %d; must stay at the native for re-execution", th.Top().PC)
+	}
+	// Without the gate the same thread resumes and completes.
+	v.Hooks.NativeGate = nil
+	stop, err = th.Run()
+	if err != nil || stop != vm.StopDone {
+		t.Fatalf("resume: stop=%v err=%v", stop, err)
+	}
+	if !ran {
+		t.Fatal("native should have run after gate removal")
+	}
+}
+
+func TestMonitorHook(t *testing.T) {
+	src := `
+class C
+  field lock
+  method go 1 3
+    monenter r0
+    const r1, 1
+    monexit r0
+    return r1
+  end
+end`
+	prog, _ := asm.Assemble("t", src)
+	v := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: taint.Off})
+	obj := v.Heap.Alloc(prog.Class("C"))
+	remote := true
+	v.Hooks.OnMonitorEnter = func(o *vm.Object) bool { return remote }
+	th, _ := v.NewThread(prog.Method("C", "go"), vm.RefVal(obj))
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopMigrateLock {
+		t.Fatalf("stop=%v err=%v, want migrate-lock", stop, err)
+	}
+	remote = false
+	stop, err = th.Run()
+	if err != nil || stop != vm.StopDone || th.Result.Int != 1 {
+		t.Fatalf("resume: stop=%v err=%v res=%v", stop, err, th.Result)
+	}
+}
+
+func TestHaltStopsThread(t *testing.T) {
+	src := `
+class C
+  method go 0 1
+    halt
+  end
+end`
+	_, res := runProgram(t, taint.Off, src, "C", "go")
+	if !res.IsNull() {
+		t.Fatalf("halt result = %v, want null", res)
+	}
+}
