@@ -1,0 +1,35 @@
+# TinMan build and test entry points.
+#
+#   make build        compile everything
+#   make vet          static checks
+#   make test         full test suite
+#   make race         race-detector pass over the concurrent subsystems
+#   make bench-smoke  quick node-throughput benchmark (not a full eval run)
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The nodeproto/policy/audit packages carry the pipelined protocol and the
+# sharded hot-path state; they get a dedicated -race pass.
+race:
+	$(GO) test -race -count=1 ./internal/nodeproto/ ./internal/policy/ ./internal/audit/
+
+# A short throughput sample of the trusted-node service — enough to spot a
+# regression, not a measurement (see EXPERIMENTS.md for the real recipe).
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkNodeThroughput' -benchtime 5000x ./internal/nodeproto/
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,13 @@
 //	tinman-bench -table 3         # Table 3
 //	tinman-bench -short           # shortened battery runs
 //	tinman-bench -seed 7 -rounds 9
+//
+// Beyond the paper's figures, -throughput measures the trusted-node
+// service itself: an in-process node on loopback TCP under parallel
+// catalog+reseal device loops, comparing client stacks:
+//
+//	tinman-bench -throughput                     # all modes, 8 clients, 2s each
+//	tinman-bench -throughput -mode pipelined -clients 16 -conns 4 -tduration 5s
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"tinman/internal/bench"
 	"tinman/internal/netsim"
+	"tinman/internal/nodeproto"
 )
 
 func main() {
@@ -28,6 +36,12 @@ func main() {
 		rounds   = flag.Int("rounds", 7, "measurement rounds for Caffeinemark")
 		short    = flag.Bool("short", false, "shorten the battery experiments")
 		ablation = flag.Bool("ablation", false, "also run the design-choice ablations")
+
+		throughput = flag.Bool("throughput", false, "measure trusted-node service throughput instead of the paper figures")
+		clients    = flag.Int("clients", 8, "throughput: concurrent device loops")
+		conns      = flag.Int("conns", 1, "throughput: connection-pool size")
+		mode       = flag.String("mode", "", "throughput: one of pipelined, serial, seed (default: compare all)")
+		tduration  = flag.Duration("tduration", 2*time.Second, "throughput: measurement duration per mode")
 	)
 	flag.Parse()
 
@@ -36,6 +50,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "tinman-bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *throughput {
+		if err := runThroughput(*clients, *conns, *mode, *tduration); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if all || *fig == 13 {
@@ -110,4 +131,34 @@ func main() {
 		}
 		bench.PrintBattery(out, "Figure 17 (paper: curves nearly coincide)", curves)
 	}
+}
+
+// runThroughput boots an in-process trusted node on loopback TCP and
+// drives it with parallel catalog+reseal loops, one line per client mode.
+func runThroughput(clients, conns int, mode string, dur time.Duration) error {
+	addr, state, shutdown, err := nodeproto.StartThroughputServer()
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	modes := []string{"seed", "serial", "pipelined"}
+	if mode != "" {
+		modes = []string{mode}
+	}
+	fmt.Printf("trusted-node throughput: %d clients, %d conn(s), %v per mode, loopback %s\n",
+		clients, conns, dur, addr)
+	for _, m := range modes {
+		res, err := nodeproto.RunThroughput(addr, state, nodeproto.ThroughputOptions{
+			Workers:  clients,
+			Conns:    conns,
+			Mode:     m,
+			Duration: dur,
+		})
+		if err != nil {
+			return fmt.Errorf("mode %s: %v", m, err)
+		}
+		fmt.Printf("  %-10s %v\n", m, res)
+	}
+	return nil
 }

@@ -5,7 +5,10 @@ package audit
 
 import (
 	"fmt"
+	"hash/maphash"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,20 +47,40 @@ func (e Entry) String() string {
 		e.Seq, e.Time.Format(time.RFC3339), short(e.AppHash), e.CorID, e.DeviceID, e.Domain, e.Outcome, e.Detail)
 }
 
-// Log is the append-only audit trail. It is safe for concurrent use.
-type Log struct {
+// numShards stripes the log so concurrent appends from many connections
+// do not serialize on one mutex. Entries land in the shard of their
+// (device, cor) pair, which keeps anomaly detection — a scan over one
+// pair's recent denials — local to a single shard.
+const numShards = 16
+
+// shard is one lock-striped segment of the log.
+type shard struct {
 	mu      sync.Mutex
 	entries []Entry
-	seq     uint64
-	now     func() time.Time
+}
+
+// Log is the append-only audit trail. It is safe for concurrent use:
+// entries are striped across shards by (device, cor), and the global
+// monotonic Seq comes from an atomic counter, so appends from different
+// pairs never contend on a shared lock.
+type Log struct {
+	seq    atomic.Uint64
+	shards [numShards]shard
+	now    func() time.Time
+
+	// subMu guards subscribers; appends take only the read lock.
+	subMu sync.RWMutex
 	// subscribers receive every appended entry (the "reported to the user"
 	// channel).
 	subscribers []func(Entry)
+
 	// AnomalyThreshold is the per-(device,cor) denial count within
-	// AnomalyWindow that flags an anomaly.
+	// AnomalyWindow that flags an anomaly. Set before concurrent use.
 	AnomalyThreshold int
 	AnomalyWindow    time.Duration
-	anomalies        []Anomaly
+
+	anomMu    sync.Mutex
+	anomalies []Anomaly
 }
 
 // Anomaly is a detected abnormal pattern.
@@ -82,34 +105,52 @@ func NewLog(now func() time.Time) *Log {
 	return &Log{now: now, AnomalyThreshold: 3, AnomalyWindow: time.Hour}
 }
 
+// shardSeed keys the shard hash; process-local is fine, the mapping only
+// has to be stable for the life of the Log.
+var shardSeed = maphash.MakeSeed()
+
+// shardFor picks the shard holding a (device, cor) pair's entries.
+func (l *Log) shardFor(deviceID, corID string) *shard {
+	var h maphash.Hash
+	h.SetSeed(shardSeed)
+	h.WriteString(deviceID)
+	h.WriteByte(0)
+	h.WriteString(corID)
+	return &l.shards[h.Sum64()%numShards]
+}
+
 // Append records an access.
 func (l *Log) Append(appHash, corID, deviceID, domain string, outcome Outcome, detail string) Entry {
-	l.mu.Lock()
-	l.seq++
 	e := Entry{
-		Seq: l.seq, Time: l.now(), AppHash: appHash, CorID: corID,
+		Seq: l.seq.Add(1), Time: l.now(), AppHash: appHash, CorID: corID,
 		DeviceID: deviceID, Domain: domain, Outcome: outcome, Detail: detail,
 	}
-	l.entries = append(l.entries, e)
-	subs := make([]func(Entry), len(l.subscribers))
-	copy(subs, l.subscribers)
-	l.detectAnomalyLocked(e)
-	l.mu.Unlock()
+	sh := l.shardFor(deviceID, corID)
+	sh.mu.Lock()
+	sh.entries = append(sh.entries, e)
+	l.detectAnomalyLocked(sh, e)
+	sh.mu.Unlock()
+
+	l.subMu.RLock()
+	subs := l.subscribers
+	l.subMu.RUnlock()
 	for _, s := range subs {
 		s(e)
 	}
 	return e
 }
 
-// detectAnomalyLocked flags repeated denials for the same device+cor.
-func (l *Log) detectAnomalyLocked(e Entry) {
+// detectAnomalyLocked flags repeated denials for the same device+cor. The
+// caller holds sh.mu; all of the pair's entries live in sh, appended in
+// time order, so the backwards scan with an early break is complete.
+func (l *Log) detectAnomalyLocked(sh *shard, e Entry) {
 	if e.Outcome != OutcomeDenied || l.AnomalyThreshold <= 0 {
 		return
 	}
 	cutoff := e.Time.Add(-l.AnomalyWindow)
 	count := 0
-	for i := len(l.entries) - 1; i >= 0; i-- {
-		ent := l.entries[i]
+	for i := len(sh.entries) - 1; i >= 0; i-- {
+		ent := sh.entries[i]
 		if ent.Time.Before(cutoff) {
 			break
 		}
@@ -118,32 +159,58 @@ func (l *Log) detectAnomalyLocked(e Entry) {
 		}
 	}
 	if count >= l.AnomalyThreshold {
+		l.anomMu.Lock()
 		l.anomalies = append(l.anomalies, Anomaly{
 			Time: e.Time, DeviceID: e.DeviceID, CorID: e.CorID,
 			Denials: count, Window: l.AnomalyWindow,
 		})
+		l.anomMu.Unlock()
 	}
 }
 
 // Subscribe registers a callback invoked for every appended entry.
 func (l *Log) Subscribe(fn func(Entry)) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.subscribers = append(l.subscribers, fn)
+	l.subMu.Lock()
+	defer l.subMu.Unlock()
+	// Copy-on-write so Append can read the slice under the read lock while
+	// holding no reference past the call.
+	subs := make([]func(Entry), len(l.subscribers), len(l.subscribers)+1)
+	copy(subs, l.subscribers)
+	l.subscribers = append(subs, fn)
 }
 
 // Len returns the number of entries.
 func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.entries)
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Entries returns a copy of all entries.
+// Entries returns a copy of all entries in Seq order.
 func (l *Log) Entries() []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]Entry(nil), l.entries...)
+	return l.collect(func(Entry) bool { return true })
+}
+
+// collect gathers matching entries from every shard, sorted by Seq.
+func (l *Log) collect(match func(Entry) bool) []Entry {
+	var out []Entry
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if match(e) {
+				out = append(out, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // Query filters entries; zero-valued fields match everything.
@@ -154,34 +221,71 @@ type Query struct {
 	Since    time.Time
 }
 
-// Find returns entries matching the query.
+// Find returns entries matching the query in Seq order.
 func (l *Log) Find(q Query) []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Entry
-	for _, e := range l.entries {
+	return l.collect(func(e Entry) bool {
 		if q.CorID != "" && e.CorID != q.CorID {
-			continue
+			return false
 		}
 		if q.DeviceID != "" && e.DeviceID != q.DeviceID {
-			continue
+			return false
 		}
 		if q.Outcome != nil && e.Outcome != *q.Outcome {
-			continue
+			return false
 		}
 		if !q.Since.IsZero() && e.Time.Before(q.Since) {
-			continue
+			return false
 		}
-		out = append(out, e)
-	}
-	return out
+		return true
+	})
 }
 
 // Anomalies returns detected anomalies.
 func (l *Log) Anomalies() []Anomaly {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.anomMu.Lock()
+	defer l.anomMu.Unlock()
 	return append([]Anomaly(nil), l.anomalies...)
+}
+
+// replace swaps in a loaded entry set (persistence restore): entries are
+// distributed to their shards and the sequence counter resumes after the
+// highest loaded Seq.
+func (l *Log) replace(entries []Entry, maxSeq uint64) {
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.entries = nil
+		sh.mu.Unlock()
+	}
+	for _, e := range entries {
+		sh := l.shardFor(e.DeviceID, e.CorID)
+		sh.mu.Lock()
+		sh.entries = append(sh.entries, e)
+		sh.mu.Unlock()
+	}
+	l.seq.Store(maxSeq)
+}
+
+// RescanAnomalies replays anomaly detection over the current entries —
+// needed after loading a persisted log, where detection did not run at
+// append time.
+func (l *Log) RescanAnomalies() {
+	l.anomMu.Lock()
+	l.anomalies = nil
+	l.anomMu.Unlock()
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		all := sh.entries
+		for j := range all {
+			// detectAnomalyLocked scans backwards from the entry, so feed
+			// it prefixes in order.
+			sh.entries = all[:j+1]
+			l.detectAnomalyLocked(sh, all[j])
+		}
+		sh.entries = all
+		sh.mu.Unlock()
+	}
 }
 
 func short(h string) string {

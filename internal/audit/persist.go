@@ -66,29 +66,9 @@ func (l *Log) ReadFrom(r io.Reader) (int64, error) {
 			maxSeq = we.Seq
 		}
 	}
-	l.mu.Lock()
-	l.entries = entries
-	l.seq = maxSeq
-	l.mu.Unlock()
+	l.replace(entries, maxSeq)
 	l.RescanAnomalies()
 	return int64(len(entries)), nil
-}
-
-// RescanAnomalies replays anomaly detection over the current entries —
-// needed after loading a persisted log, where detection did not run at
-// append time.
-func (l *Log) RescanAnomalies() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.anomalies = nil
-	all := l.entries
-	for i := range all {
-		// detectAnomalyLocked scans backwards from the entry, so feed it
-		// prefixes in order.
-		l.entries = all[:i+1]
-		l.detectAnomalyLocked(all[i])
-	}
-	l.entries = all
 }
 
 // SaveFile persists the log to path (atomically via a temp file).

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tinman/internal/taint"
 )
@@ -49,6 +50,11 @@ type Store struct {
 	byID    map[string]*Record
 	byBit   [64]*Record
 	nextBit int
+
+	// views caches the device-visible catalog. Registrations are rare and
+	// catalog fetches constant on a loaded node, so the sorted snapshot is
+	// built once per mutation and served lock-free afterwards.
+	views atomic.Pointer[[]DeviceView]
 }
 
 // NewStore creates an empty cor store.
@@ -86,6 +92,7 @@ func (s *Store) Register(id, plaintext, description string, whitelist ...string)
 	s.nextBit++
 	s.byID[id] = r
 	s.byBit[r.Bit] = r
+	s.views.Store(nil)
 	return r, nil
 }
 
@@ -159,6 +166,7 @@ func (s *Store) Derive(parentID, newID, plaintext string) (*Record, error) {
 		Bit:         parent.Bit,
 	}
 	s.byID[newID] = r
+	s.views.Store(nil)
 	return r, nil
 }
 
@@ -192,13 +200,24 @@ type DeviceView struct {
 	Bit         int
 }
 
-// DeviceViews exports the device-visible catalog.
+// DeviceViews exports the device-visible catalog. The returned slice is a
+// shared snapshot — callers must treat it as read-only. It is rebuilt only
+// after a registration, so steady-state catalog serving is lock-free.
 func (s *Store) DeviceViews() []DeviceView {
-	recs := s.List()
-	out := make([]DeviceView, len(recs))
-	for i, r := range recs {
-		out[i] = DeviceView{ID: r.ID, Placeholder: r.Placeholder, Description: r.Description, Bit: r.Bit}
+	if p := s.views.Load(); p != nil {
+		return *p
 	}
+	// Rebuild while holding the read lock: writers (Register/Derive) hold
+	// the write lock when they invalidate, so a snapshot stored here can
+	// never miss a concurrent registration.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DeviceView, 0, len(s.byID))
+	for _, r := range s.byID {
+		out = append(out, DeviceView{ID: r.ID, Placeholder: r.Placeholder, Description: r.Description, Bit: r.Bit})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.views.Store(&out)
 	return out
 }
 

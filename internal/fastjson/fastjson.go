@@ -1,0 +1,73 @@
+// Package fastjson is a drop-in replacement for json.Unmarshal on hot
+// paths. json.Unmarshal scans its input twice — a validation pass
+// (checkValid) and then the decode pass — and allocates decode state per
+// call. A json.Decoder scans once, and pooling the Decoder with a
+// resettable bytes.Reader amortizes its state across calls. At the
+// trusted node's protocol rates the double scan of multi-kilobyte
+// session-state blobs is measurable, which is the reason this package
+// exists.
+package fastjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// decoder pairs a json.Decoder with its resettable source so the pair can
+// be pooled across messages.
+type decoder struct {
+	rd  bytes.Reader
+	dec *json.Decoder
+}
+
+var decoderPool = sync.Pool{New: func() any {
+	d := new(decoder)
+	d.dec = json.NewDecoder(&d.rd)
+	return d
+}}
+
+// Unmarshal decodes one JSON value from data into v, rejecting trailing
+// non-whitespace — the same contract json.Unmarshal has.
+//
+// A pooled Decoder carries its buffered leftover into the next call, so a
+// decoder is only returned to the pool when everything past the decoded
+// value is whitespace; an input with trailing garbage is both rejected
+// and kept out of the pool.
+func Unmarshal(data []byte, v any) error {
+	d := decoderPool.Get().(*decoder)
+	d.rd.Reset(data)
+	if err := d.dec.Decode(v); err != nil {
+		// The scanner may be mid-value; drop the decoder.
+		return err
+	}
+	// Leftovers live in two places: the decoder's internal buffer (which
+	// persists across pool reuse) and the unconsumed tail of rd (which the
+	// next Reset discards). Both must be pure whitespace.
+	var tmp [64]byte
+	br := d.dec.Buffered()
+	for {
+		n, err := br.Read(tmp[:])
+		if !allSpace(tmp[:n]) {
+			return fmt.Errorf("trailing data after JSON value")
+		}
+		if err != nil || n == 0 {
+			break
+		}
+	}
+	if tail := data[len(data)-d.rd.Len():]; !allSpace(tail) {
+		return fmt.Errorf("trailing data after JSON value")
+	}
+	decoderPool.Put(d)
+	return nil
+}
+
+func allSpace(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			return false
+		}
+	}
+	return true
+}

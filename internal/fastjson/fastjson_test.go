@@ -1,0 +1,111 @@
+package fastjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+type msg struct {
+	A string          `json:"a,omitempty"`
+	N uint64          `json:"n,omitempty"`
+	B bool            `json:"b,omitempty"`
+	R json.RawMessage `json:"r,omitempty"`
+	L []string        `json:"l,omitempty"`
+}
+
+func TestUnmarshalMatchesStdlib(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"a":"x","n":9,"b":true}`,
+		`{"a":"esc\"aped\n","l":["p","q"]}`,
+		`{"r":{"nested":[1,2,{"x":"y"}]}}`,
+		"\n {\"a\":\"ws\"} \t\n",
+		`{"n":18446744073709551615}`,
+	}
+	for _, c := range cases {
+		var got, want msg
+		gotErr := Unmarshal([]byte(c), &got)
+		wantErr := json.Unmarshal([]byte(c), &want)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%q: err %v, stdlib err %v", c, gotErr, wantErr)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%q:\n got %#v\nwant %#v", c, got, want)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailing(t *testing.T) {
+	for _, c := range []string{
+		`{"a":"x"}{"a":"y"}`,
+		`{"a":"x"} garbage`,
+		`{}1`,
+	} {
+		var m msg
+		if err := Unmarshal([]byte(c), &m); err == nil {
+			t.Errorf("%q: expected error", c)
+		}
+	}
+}
+
+// TestPoolHygieneAfterTrailingGarbage is the security property behind the
+// pool bookkeeping: input with bytes beyond the first value must never
+// leak into a later decode (a poisoned pooled decoder would hand one
+// caller's leftover to another).
+func TestPoolHygieneAfterTrailingGarbage(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		var bad msg
+		if err := Unmarshal([]byte(`{"a":"victim"}{"a":"attacker"}`), &bad); err == nil {
+			t.Fatal("trailing value accepted")
+		}
+		var m msg
+		want := fmt.Sprintf("clean-%d", i)
+		if err := Unmarshal([]byte(`{"a":"`+want+`"}`), &m); err != nil {
+			t.Fatalf("clean decode %d: %v", i, err)
+		}
+		if m.A != want {
+			t.Fatalf("decode %d corrupted: got %q, want %q", i, m.A, want)
+		}
+	}
+}
+
+func TestScanner(t *testing.T) {
+	s := &Scanner{Data: []byte(`  {"k": [1, "two", {"x": true}], "n": -5}`)}
+	if !s.Consume('{') {
+		t.Fatal("expected {")
+	}
+	if k, ok := s.Str(); !ok || k != "k" {
+		t.Fatalf("key: %q %v", k, ok)
+	}
+	if !s.Consume(':') || !s.SkipValue() {
+		t.Fatal("skip array value")
+	}
+	if !s.Consume(',') {
+		t.Fatal("expected ,")
+	}
+	if k, ok := s.Str(); !ok || k != "n" {
+		t.Fatalf("key2: %q %v", k, ok)
+	}
+	if !s.Consume(':') {
+		t.Fatal("expected :")
+	}
+	if n, ok := s.Int(); !ok || n != -5 {
+		t.Fatalf("int: %d %v", n, ok)
+	}
+	if !s.Consume('}') || !s.End() {
+		t.Fatal("expected } then end")
+	}
+
+	// Fail-fast cases: escapes and floats report !ok, never wrong values.
+	if _, ok := (&Scanner{Data: []byte(`"a\nb"`)}).Str(); ok {
+		t.Error("escaped string must fail fast")
+	}
+	if _, ok := (&Scanner{Data: []byte(`1.5`)}).UInt(); ok {
+		t.Error("float must fail fast")
+	}
+	if _, ok := (&Scanner{Data: []byte(`99999999999999999999999`)}).UInt(); ok {
+		t.Error("overflow must fail fast")
+	}
+}

@@ -1,0 +1,201 @@
+package fastjson
+
+// Scanner is a minimal JSON tokenizer for schema-specialized decoders.
+// The contract is fail-fast rather than feature-complete: every method
+// that returns ok=false means "this input needs the full decoder" — a
+// caller is expected to discard partial results and fall back to
+// Unmarshal. That keeps the fast path tiny (no escape decoding, no
+// float parsing) while staying correct on arbitrary input.
+type Scanner struct {
+	Data []byte
+	Pos  int
+}
+
+// WS advances past insignificant whitespace.
+func (s *Scanner) WS() {
+	for s.Pos < len(s.Data) {
+		switch s.Data[s.Pos] {
+		case ' ', '\t', '\r', '\n':
+			s.Pos++
+		default:
+			return
+		}
+	}
+}
+
+// Consume reports whether the next non-space byte is c, advancing past it
+// when it is.
+func (s *Scanner) Consume(c byte) bool {
+	s.WS()
+	if s.Pos < len(s.Data) && s.Data[s.Pos] == c {
+		s.Pos++
+		return true
+	}
+	return false
+}
+
+// StrBytes parses a JSON string and returns its contents as a slice of
+// the underlying buffer — the caller must copy before the buffer is
+// reused. ok is false for strings that use escapes (they need the full
+// decoder to unquote) or are malformed.
+func (s *Scanner) StrBytes() ([]byte, bool) {
+	if !s.Consume('"') {
+		return nil, false
+	}
+	start := s.Pos
+	for s.Pos < len(s.Data) {
+		switch c := s.Data[s.Pos]; {
+		case c == '"':
+			b := s.Data[start:s.Pos]
+			s.Pos++
+			return b, true
+		case c == '\\' || c < 0x20:
+			return nil, false
+		}
+		s.Pos++
+	}
+	return nil, false
+}
+
+// Str is StrBytes with the copy made.
+func (s *Scanner) Str() (string, bool) {
+	b, ok := s.StrBytes()
+	return string(b), ok
+}
+
+// UInt parses a non-negative integer. ok is false on overflow or
+// float/exponent forms.
+func (s *Scanner) UInt() (uint64, bool) {
+	s.WS()
+	start := s.Pos
+	var n uint64
+	for s.Pos < len(s.Data) {
+		c := s.Data[s.Pos]
+		if c < '0' || c > '9' {
+			break
+		}
+		if n > (1<<64-1-9)/10 {
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+		s.Pos++
+	}
+	if s.Pos == start {
+		return 0, false
+	}
+	if s.Pos < len(s.Data) {
+		switch s.Data[s.Pos] {
+		case '.', 'e', 'E':
+			return 0, false
+		}
+	}
+	return n, true
+}
+
+// Int parses a (possibly negative) integer.
+func (s *Scanner) Int() (int, bool) {
+	s.WS()
+	neg := false
+	if s.Pos < len(s.Data) && s.Data[s.Pos] == '-' {
+		neg = true
+		s.Pos++
+	}
+	n, ok := s.UInt()
+	if !ok || n > 1<<62 {
+		return 0, false
+	}
+	if neg {
+		return -int(n), true
+	}
+	return int(n), true
+}
+
+// Bool parses true or false.
+func (s *Scanner) Bool() (bool, bool) {
+	if s.Lit("true") {
+		return true, true
+	}
+	if s.Lit("false") {
+		return false, true
+	}
+	return false, false
+}
+
+// Lit reports whether the next token is exactly lit, advancing past it.
+func (s *Scanner) Lit(lit string) bool {
+	s.WS()
+	if len(s.Data)-s.Pos < len(lit) || string(s.Data[s.Pos:s.Pos+len(lit)]) != lit {
+		return false
+	}
+	s.Pos += len(lit)
+	return true
+}
+
+// SkipValue advances past one JSON value of any shape (used to capture
+// raw sub-messages and to skip nulls). Unlike the typed methods it
+// handles escapes and nesting, because it never interprets the bytes.
+func (s *Scanner) SkipValue() bool {
+	s.WS()
+	if s.Pos >= len(s.Data) {
+		return false
+	}
+	switch s.Data[s.Pos] {
+	case '"':
+		return s.skipString()
+	case '{', '[':
+		depth := 0
+		for s.Pos < len(s.Data) {
+			switch s.Data[s.Pos] {
+			case '"':
+				if !s.skipString() {
+					return false
+				}
+				continue
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+				if depth == 0 {
+					s.Pos++
+					return true
+				}
+			}
+			s.Pos++
+		}
+		return false
+	default:
+		start := s.Pos
+		for s.Pos < len(s.Data) {
+			switch s.Data[s.Pos] {
+			case ',', '}', ']', ' ', '\t', '\r', '\n':
+				return s.Pos > start
+			}
+			s.Pos++
+		}
+		return s.Pos > start
+	}
+}
+
+// skipString advances past a string token, escapes included; the cursor
+// must be on the opening quote.
+func (s *Scanner) skipString() bool {
+	s.Pos++
+	for s.Pos < len(s.Data) {
+		switch s.Data[s.Pos] {
+		case '\\':
+			s.Pos += 2
+			continue
+		case '"':
+			s.Pos++
+			return true
+		}
+		s.Pos++
+	}
+	return false
+}
+
+// End reports whether only whitespace remains.
+func (s *Scanner) End() bool {
+	s.WS()
+	return s.Pos == len(s.Data)
+}

@@ -1,16 +1,24 @@
 package nodeproto
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tinman/internal/tlssim"
 )
+
+// connBufSize sizes the buffered reader/writer on each connection; large
+// enough that a full pipeline batch moves in one syscall.
+const connBufSize = 64 << 10
 
 // apps256 is the sha256-hex helper shared by server derivations.
 func apps256(s string) string {
@@ -18,11 +26,70 @@ func apps256(s string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// DenialError is returned when the node's policy engine refused the
+// operation. It is extractable with errors.As so callers can branch on
+// policy denials without string matching.
+type DenialError struct {
+	// Reason is the machine-readable policy reason (policy.Reason.String()).
+	Reason string
+	// Message is the node's full error text.
+	Message string
+}
+
+func (e *DenialError) Error() string {
+	return fmt.Sprintf("nodeproto: denied (%s): %s", e.Reason, e.Message)
+}
+
+// IsDenied reports whether err is a policy denial and returns it.
+func IsDenied(err error) (*DenialError, bool) {
+	var d *DenialError
+	if errors.As(err, &d) {
+		return d, true
+	}
+	return nil, false
+}
+
+// errClosed is the terminal error after Close.
+var errClosed = errors.New("nodeproto: client closed")
+
+// result resolves one in-flight request.
+type result struct {
+	resp *Response
+	err  error
+}
+
+// pendingWrite is one request queued for the writer goroutine.
+type pendingWrite struct {
+	req *Request
+	seq uint64
+}
+
 // Client talks to a trusted-node server over one TCP connection. Methods
-// are safe for concurrent use (requests serialize on the connection).
+// are safe for concurrent use. Requests are pipelined: a writer goroutine
+// streams frames onto the connection, a reader goroutine demultiplexes
+// responses to per-Seq waiters, so many calls can be in flight at once on
+// the single connection.
+//
+// SetSerial(true) restores the seed's behavior — one request on the wire
+// at a time — which the throughput benchmark uses as its baseline.
 type Client struct {
-	mu   sync.Mutex
 	conn net.Conn
+	bw   *bufio.Writer // owned by the writer goroutine
+	br   *bufio.Reader // owned by the reader goroutine
+	seq  atomic.Uint64
+
+	sendq   chan pendingWrite
+	closing chan struct{}
+
+	mu       sync.Mutex // guards waiters, fifo, err, isClosed
+	waiters  map[uint64]chan result
+	fifo     []uint64 // outstanding seqs in send order, for Seq==0 servers
+	err      error    // terminal transport error
+	isClosed bool
+
+	// serialMu serializes whole round trips when serial mode is on.
+	serial   atomic.Bool
+	serialMu sync.Mutex
 }
 
 // Dial connects to the node at addr.
@@ -31,33 +98,228 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("nodeproto: dialing %s: %v", addr, err)
 	}
-	return &Client{conn: conn}, nil
+	return NewClient(conn), nil
 }
 
 // NewClient wraps an existing connection (tests use net.Pipe).
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, connBufSize),
+		br:      bufio.NewReaderSize(conn, connBufSize),
+		sendq:   make(chan pendingWrite, 64),
+		closing: make(chan struct{}),
+		waiters: make(map[uint64]chan result),
+	}
+	go c.writer()
+	go c.reader()
+	return c
+}
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// SetSerial toggles one-request-at-a-time mode: each round trip holds an
+// exclusive lock from send to receive, exactly like the pre-pipelining
+// client.
+func (c *Client) SetSerial(on bool) { c.serial.Store(on) }
 
-// do performs one round trip.
-func (c *Client) do(req *Request) (*Response, error) {
+// Close closes the connection and fails any in-flight requests.
+func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := WriteMessage(c.conn, req); err != nil {
+	already := c.isClosed
+	c.isClosed = true
+	c.mu.Unlock()
+	if already {
+		return nil
+	}
+	close(c.closing)
+	err := c.conn.Close()
+	c.failAll(errClosed)
+	return err
+}
+
+// writer drains sendq onto the buffered connection, flushing only when
+// the queue runs dry: under load a whole batch of pipelined frames leaves
+// in one syscall. After a transport failure it keeps draining, failing
+// each queued request, so senders never block on a dead connection.
+func (c *Client) writer() {
+	var dead error
+	write := func(pw pendingWrite) {
+		if dead != nil {
+			c.resolve(pw.seq, result{err: dead})
+			return
+		}
+		if err := WriteMessage(c.bw, pw.req); err != nil {
+			dead = err
+			c.resolve(pw.seq, result{err: err})
+			c.failAll(err)
+			c.conn.Close()
+		}
+	}
+	for {
+		select {
+		case <-c.closing:
+			return
+		case pw := <-c.sendq:
+			write(pw)
+			// Drain whatever else is queued before paying for a flush. The
+			// Gosched between passes lets producer goroutines that are
+			// about to enqueue (common on few cores) actually do so, so a
+			// whole pipeline batch leaves in one syscall.
+			for pass := 0; pass < 2; pass++ {
+			drain:
+				for {
+					select {
+					case pw := <-c.sendq:
+						write(pw)
+					default:
+						break drain
+					}
+				}
+				if pass == 0 {
+					runtime.Gosched()
+				}
+			}
+			if dead == nil {
+				if err := c.bw.Flush(); err != nil {
+					dead = err
+					c.failAll(err)
+					c.conn.Close()
+				}
+			}
+		}
+	}
+}
+
+// reader demultiplexes responses to waiters by Seq. A Seq of 0 (legacy
+// server) resolves the oldest outstanding request — legacy servers answer
+// strictly in order, so FIFO matching is exact.
+func (c *Client) reader() {
+	for {
+		resp := new(Response)
+		if err := ReadMessage(c.br, resp); err != nil {
+			c.mu.Lock()
+			closed := c.isClosed
+			c.mu.Unlock()
+			if closed {
+				err = errClosed
+			}
+			c.failAll(err)
+			return
+		}
+		c.mu.Lock()
+		seq := resp.Seq
+		if seq == 0 && len(c.fifo) > 0 {
+			seq = c.fifo[0]
+		}
+		ch := c.takeWaiterLocked(seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- result{resp: resp}
+		}
+	}
+}
+
+// takeWaiterLocked removes and returns the waiter for seq, if any.
+func (c *Client) takeWaiterLocked(seq uint64) chan result {
+	ch := c.waiters[seq]
+	if ch == nil {
+		return nil
+	}
+	delete(c.waiters, seq)
+	for i, s := range c.fifo {
+		if s == seq {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+	return ch
+}
+
+// resolve fails (or answers) a single in-flight request.
+func (c *Client) resolve(seq uint64, r result) {
+	c.mu.Lock()
+	if r.err != nil && c.err == nil {
+		c.err = r.err
+	}
+	ch := c.takeWaiterLocked(seq)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- r
+	}
+}
+
+// failAll resolves every waiter with a transport error.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	waiters := c.waiters
+	c.waiters = make(map[uint64]chan result)
+	c.fifo = nil
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- result{err: err}
+	}
+}
+
+// waiterPool recycles the one-shot result channels roundTrip waits on.
+// A waiter receives exactly one message — takeWaiterLocked removes it
+// from the map, so whichever goroutine took it is the only sender — which
+// means a channel is drained and reusable once roundTrip reads from it.
+var waiterPool = sync.Pool{New: func() any { return make(chan result, 1) }}
+
+// roundTrip sends one request and waits for its correlated response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	seq := c.seq.Add(1)
+	req.Seq = seq
+	ch := waiterPool.Get().(chan result)
+
+	c.mu.Lock()
+	if c.isClosed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = errClosed
+		}
 		return nil, err
 	}
-	var resp Response
-	if err := ReadMessage(c.conn, &resp); err != nil {
+	c.waiters[seq] = ch
+	c.fifo = append(c.fifo, seq)
+	c.mu.Unlock()
+
+	select {
+	case c.sendq <- pendingWrite{req: req, seq: seq}:
+	case <-c.closing:
+		c.resolve(seq, result{err: errClosed})
+	}
+
+	r := <-ch
+	waiterPool.Put(ch)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.resp, nil
+}
+
+// do performs one round trip and maps protocol-level failures to errors.
+// On failure the response is never returned: callers get (nil, err), with
+// policy refusals wrapped in an errors.As-able *DenialError.
+func (c *Client) do(req *Request) (*Response, error) {
+	if c.serial.Load() {
+		c.serialMu.Lock()
+		defer c.serialMu.Unlock()
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
 		return nil, err
 	}
 	if !resp.OK {
 		if resp.Denial != "" {
-			return &resp, fmt.Errorf("nodeproto: denied (%s): %s", resp.Denial, resp.Error)
+			return nil, &DenialError{Reason: resp.Denial, Message: resp.Error}
 		}
-		return &resp, fmt.Errorf("nodeproto: %s", resp.Error)
+		return nil, fmt.Errorf("nodeproto: %s", resp.Error)
 	}
-	return &resp, nil
+	return resp, nil
 }
 
 // Ping checks liveness.
@@ -121,8 +383,14 @@ func (c *Client) Reseal(corID string, state *tlssim.State, appHash, deviceID, do
 	if err != nil {
 		return nil, err
 	}
+	return c.ResealRaw(corID, st, appHash, deviceID, domain, targetIP, recordLen)
+}
+
+// ResealRaw is Reseal with a pre-marshaled session state; hot loops (the
+// throughput harness) reuse one marshaled state across calls.
+func (c *Client) ResealRaw(corID string, state json.RawMessage, appHash, deviceID, domain, targetIP string, recordLen int) ([]byte, error) {
 	resp, err := c.do(&Request{
-		Op: OpReseal, CorID: corID, State: st,
+		Op: OpReseal, CorID: corID, State: state,
 		AppHash: appHash, DeviceID: deviceID, Domain: domain, TargetIP: targetIP,
 		RecordLen: recordLen,
 	})
@@ -139,4 +407,49 @@ func (c *Client) AuditLog(corID, deviceID string) ([]AuditEntry, error) {
 		return nil, err
 	}
 	return resp.Audit, nil
+}
+
+// Pool is a fixed-size set of pipelined connections to one node. Callers
+// pick a connection per call (round robin), spreading in-flight load so a
+// single connection's writer/reader pair is not the bottleneck.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// DialPool opens size connections to addr.
+func DialPool(addr string, size int, timeout time.Duration) (*Pool, error) {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{clients: make([]*Client, 0, size)}
+	for i := 0; i < size; i++ {
+		c, err := Dial(addr, timeout)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Client returns the next connection round robin. The returned client is
+// shared; do not Close it — Close the pool.
+func (p *Pool) Client() *Client {
+	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int { return len(p.clients) }
+
+// Close closes every pooled connection, returning the first error.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -9,13 +9,31 @@
 // including device-side tainting; this package is the deployable
 // counterpart for the trusted-node half, served by cmd/tinman-node and
 // consumed by cmd/tinman-device.
+//
+// # Pipelining and compatibility
+//
+// Every message carries a Seq correlation ID so a single connection can
+// hold many requests in flight: the server echoes Req.Seq into Resp.Seq
+// and may answer out of order. Compatibility is by construction rather
+// than by version negotiation:
+//
+//   - Old client, new server: a pre-Seq client sends Seq == 0 and keeps at
+//     most one request outstanding; the server echoes 0 back (omitted on
+//     the wire via omitempty) and the lone round trip works unchanged.
+//   - New client, old server: a pre-Seq server replies in order with
+//     Seq == 0; the client falls back to FIFO matching for Seq == 0
+//     responses (see Client), which is exactly the old server's order.
 package nodeproto
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
+
+	"tinman/internal/fastjson"
 )
 
 // Op names a protocol operation.
@@ -39,6 +57,9 @@ const (
 // empty; the node validates per-op.
 type Request struct {
 	Op Op `json:"op"`
+	// Seq correlates the response on a pipelined connection; the server
+	// echoes it verbatim. 0 means a legacy one-at-a-time client.
+	Seq uint64 `json:"seq,omitempty"`
 	// Cor identity and content.
 	CorID       string   `json:"cor_id,omitempty"`
 	Plaintext   string   `json:"plaintext,omitempty"`
@@ -78,7 +99,9 @@ type AuditEntry struct {
 
 // Response is the node's reply envelope.
 type Response struct {
-	OK    bool   `json:"ok"`
+	OK bool `json:"ok"`
+	// Seq echoes the request's correlation ID.
+	Seq   uint64 `json:"seq,omitempty"`
 	Error string `json:"error,omitempty"`
 	// Denial is set (with Error) when policy refused the operation; it
 	// carries the machine-readable reason.
@@ -96,21 +119,47 @@ type Response struct {
 // maxMessage bounds a single protocol message.
 const maxMessage = 16 << 20
 
-// WriteMessage frames and writes one JSON message.
+// maxPooled bounds the buffers kept in the pools; larger one-off messages
+// (a big catalog, a long audit query) are allocated and dropped rather
+// than pinning memory.
+const maxPooled = 1 << 20
+
+// writeBufPool recycles the marshal buffers WriteMessage frames into so a
+// busy node does not allocate per request.
+var writeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// readBufPool recycles the body buffers ReadMessage decodes from.
+// json.Unmarshal copies everything it stores (including json.RawMessage
+// and []byte fields), so the buffer can be reused immediately after.
+var readBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 4096)
+	return &b
+}}
+
+// WriteMessage frames and writes one JSON message. The 4-byte length
+// header and the body leave in a single Write, so a bufio.Writer or a raw
+// conn both see one contiguous frame.
 func WriteMessage(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
+	buf := writeBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooled {
+			buf.Reset()
+			writeBufPool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // header placeholder, patched below
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(v); err != nil {
 		return fmt.Errorf("nodeproto: marshal: %v", err)
 	}
-	if len(body) > maxMessage {
-		return fmt.Errorf("nodeproto: message of %d bytes exceeds limit", len(body))
+	frame := buf.Bytes()
+	body := len(frame) - 4
+	if body > maxMessage {
+		return fmt.Errorf("nodeproto: message of %d bytes exceeds limit", body)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
+	binary.BigEndian.PutUint32(frame[:4], uint32(body))
+	_, err := w.Write(frame)
 	return err
 }
 
@@ -124,11 +173,36 @@ func ReadMessage(r io.Reader, v any) error {
 	if n == 0 || n > maxMessage {
 		return fmt.Errorf("nodeproto: implausible message length %d", n)
 	}
-	body := make([]byte, n)
+	bp := readBufPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	body := (*bp)[:n]
+	defer func() {
+		if cap(*bp) <= maxPooled {
+			readBufPool.Put(bp)
+		}
+	}()
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
 	}
-	if err := json.Unmarshal(body, v); err != nil {
+	// Protocol envelopes take the schema-specialized fast path (codec.go);
+	// anything it does not fully understand — and any other type — goes
+	// through the general single-scan decoder. The target is zeroed before
+	// falling back so a partially-filled fast-path attempt cannot leak.
+	switch t := v.(type) {
+	case *Request:
+		if decodeRequest(body, t) {
+			return nil
+		}
+		*t = Request{}
+	case *Response:
+		if decodeResponse(body, t) {
+			return nil
+		}
+		*t = Response{}
+	}
+	if err := fastjson.Unmarshal(body, v); err != nil {
 		return fmt.Errorf("nodeproto: unmarshal: %v", err)
 	}
 	return nil

@@ -1,12 +1,16 @@
 package nodeproto
 
 import (
+	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"io"
-	"log"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tinman/internal/audit"
@@ -16,9 +20,18 @@ import (
 	"tinman/internal/tlssim"
 )
 
+// Default per-connection limits; override the Server fields before Serve.
+const (
+	DefaultReadTimeout  = 5 * time.Minute
+	DefaultWriteTimeout = time.Minute
+	DefaultMaxInflight  = 64
+)
+
 // Server is the trusted-node service: the cor vault, the policy engine and
 // the reseal (payload replacement) endpoint behind a real TCP listener. It
-// is safe for concurrent connections.
+// is safe for concurrent connections, and each connection is pipelined:
+// requests are handled concurrently (bounded by MaxInflight) and answered
+// as they finish, correlated by Request.Seq.
 type Server struct {
 	Cors    *cor.Store
 	Policy  *policy.Engine
@@ -28,10 +41,67 @@ type Server struct {
 	// Logf receives operational messages; nil silences them.
 	Logf func(format string, args ...any)
 
+	// ReadTimeout bounds the idle wait for the next request on a
+	// connection; WriteTimeout bounds each response write. Zero values use
+	// the defaults. Set before Serve.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// MaxInflight caps concurrently-handled requests per connection
+	// (0 means DefaultMaxInflight).
+	MaxInflight int
+
 	mu       sync.Mutex
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
+
+	states  stateCache
+	catalog atomic.Pointer[catalogCache]
+}
+
+// stateCache memoizes parsed session states. A device re-sends the
+// identical exported state for every record it offloads on a connection
+// (§3.4), so without the cache the node re-parses the same
+// multi-kilobyte blob on every reseal. Entries are keyed by a hash of the
+// raw bytes with full byte equality checked on hit — a hash collision can
+// evict, never confuse states. tlssim.Resume copies all key material out
+// of a State, so a cached *State is shared read-only across reseals.
+type stateCache struct {
+	mu sync.Mutex
+	m  map[uint64]stateEntry
+}
+
+type stateEntry struct {
+	raw []byte
+	st  *tlssim.State
+}
+
+// stateCacheMax bounds the cache; when full it is cleared rather than
+// tracking recency — one miss per distinct state per generation is cheap,
+// an eviction policy on this path is not.
+const stateCacheMax = 256
+
+var stateHashSeed = maphash.MakeSeed()
+
+func (c *stateCache) get(raw []byte) (*tlssim.State, bool) {
+	h := maphash.Bytes(stateHashSeed, raw)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[h]
+	if !ok || !bytes.Equal(e.raw, raw) {
+		return nil, false
+	}
+	return e.st, true
+}
+
+func (c *stateCache) put(raw []byte, st *tlssim.State) {
+	h := maphash.Bytes(stateHashSeed, raw)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil || len(c.m) >= stateCacheMax {
+		c.m = make(map[uint64]stateEntry)
+	}
+	c.m[h] = stateEntry{raw: append([]byte(nil), raw...), st: st}
 }
 
 // NewServer assembles a trusted-node service with a seeded malware DB.
@@ -115,23 +185,134 @@ func (s *Server) Close() error {
 	return err
 }
 
+// handleConn pipelines one connection: a read loop pulls framed requests
+// and hands each to a bounded worker goroutine; workers write their
+// response (tagged with the request's Seq) under a shared write lock as
+// soon as they finish, possibly out of order. Legacy clients that keep one
+// request outstanding observe the old strictly-serial behavior.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
+	readTimeout := s.ReadTimeout
+	if readTimeout == 0 {
+		readTimeout = DefaultReadTimeout
+	}
+	writeTimeout := s.WriteTimeout
+	if writeTimeout == 0 {
+		writeTimeout = DefaultWriteTimeout
+	}
+	inflight := s.MaxInflight
+	if inflight <= 0 {
+		inflight = DefaultMaxInflight
+	}
+
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	var (
+		workers  sync.WaitGroup
+		reqq     = make(chan *Request, inflight)
+		respq    = make(chan *Response, inflight)
+		respDone = make(chan struct{})
+	)
+
+	// A fixed pool of handler workers (bounded by MaxInflight) processes
+	// requests concurrently and possibly out of order; Seq correlation
+	// lets the client reassemble. A pool, not goroutine-per-request,
+	// keeps warm stacks across requests on a busy connection.
+	nworkers := inflight
+	if nworkers > 16 {
+		nworkers = 16
+	}
+	for i := 0; i < nworkers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for req := range reqq {
+				resp := s.handle(req)
+				resp.Seq = req.Seq
+				respq <- resp
+			}
+		}()
+	}
+
+	// The response writer drains respq and flushes only when the queue
+	// runs dry — with a Gosched between passes so handler goroutines that
+	// are about to respond get to enqueue first, letting a whole batch of
+	// pipelined responses leave in one syscall. On write failure it closes
+	// the conn (unblocking the read loop) and keeps draining so handlers
+	// never block.
+	go func() {
+		defer close(respDone)
+		var dead bool
+		write := func(resp *Response) {
+			if dead {
+				return
+			}
+			err := conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if err == nil {
+				err = WriteMessage(bw, resp)
+			}
+			if err != nil {
+				s.logf("tinman-node: %s: write: %v", conn.RemoteAddr(), err)
+				dead = true
+				conn.Close()
+			}
+		}
+		for resp := range respq {
+			write(resp)
+			for pass := 0; pass < 2; pass++ {
+			drain:
+				for {
+					select {
+					case more, ok := <-respq:
+						if !ok {
+							break drain
+						}
+						write(more)
+					default:
+						break drain
+					}
+				}
+				if pass == 0 {
+					runtime.Gosched()
+				}
+			}
+			if !dead {
+				if err := bw.Flush(); err != nil {
+					s.logf("tinman-node: %s: flush: %v", conn.RemoteAddr(), err)
+					dead = true
+					conn.Close()
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(reqq)
+		workers.Wait()
+		close(respq)
+		<-respDone
+	}()
+
 	for {
-		conn.SetReadDeadline(time.Now().Add(5 * time.Minute))
-		var req Request
-		if err := ReadMessage(conn, &req); err != nil {
+		if err := conn.SetReadDeadline(time.Now().Add(readTimeout)); err != nil {
+			s.logf("tinman-node: %s: set read deadline: %v", conn.RemoteAddr(), err)
+			return
+		}
+		req := new(Request)
+		if err := ReadMessage(br, req); err != nil {
 			if !errors.Is(err, io.EOF) {
 				s.logf("tinman-node: %s: read: %v", conn.RemoteAddr(), err)
 			}
 			return
 		}
-		resp := s.handle(&req)
-		conn.SetWriteDeadline(time.Now().Add(time.Minute))
-		if err := WriteMessage(conn, resp); err != nil {
-			s.logf("tinman-node: %s: write: %v", conn.RemoteAddr(), err)
-			return
+		// Cheap read-only ops skip the worker handoff: two channel hops and
+		// a goroutine wakeup cost more than serving a cached catalog.
+		if req.Op == OpCatalog || req.Op == OpPing {
+			resp := s.handle(req)
+			resp.Seq = req.Seq
+			respq <- resp
+			continue
 		}
+		reqq <- req
 	}
 }
 
@@ -209,12 +390,25 @@ func (s *Server) handleGenerate(req *Request) *Response {
 	return &Response{OK: true, CorID: rec.ID}
 }
 
+// catalogCache pairs a DeviceViews snapshot with its wire conversion.
+// cor.Store returns the identical snapshot slice until the catalog
+// changes, so pointer identity of the first element is a valid cache key.
+type catalogCache struct {
+	views   []cor.DeviceView
+	entries []CatalogEntry
+}
+
 func (s *Server) handleCatalog(*Request) *Response {
 	views := s.Cors.DeviceViews()
+	if c := s.catalog.Load(); c != nil && len(c.views) == len(views) &&
+		(len(views) == 0 || &c.views[0] == &views[0]) {
+		return &Response{OK: true, Catalog: c.entries}
+	}
 	out := make([]CatalogEntry, len(views))
 	for i, v := range views {
 		out[i] = CatalogEntry{ID: v.ID, Placeholder: v.Placeholder, Description: v.Description, Bit: v.Bit}
 	}
+	s.catalog.Store(&catalogCache{views: views, entries: out})
 	return &Response{OK: true, Catalog: out}
 }
 
@@ -272,9 +466,14 @@ func (s *Server) handleReseal(req *Request) *Response {
 		}
 		return fail("%v", err)
 	}
-	st, err := tlssim.UnmarshalState(req.State)
-	if err != nil {
-		return fail("bad session state: %v", err)
+	st, ok := s.states.get(req.State)
+	if !ok {
+		var err error
+		st, err = tlssim.UnmarshalState(req.State)
+		if err != nil {
+			return fail("bad session state: %v", err)
+		}
+		s.states.put(req.State, st)
 	}
 	if st.Version <= tlssim.TLS10 {
 		s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused")
@@ -313,6 +512,3 @@ func (s *Server) handleAudit(req *Request) *Response {
 func apphashOf(s string) string {
 	return apps256(s)
 }
-
-// ensure log import used when Logf wiring uses the stdlib logger.
-var _ = log.Printf

@@ -109,8 +109,11 @@ func (w Window) contains(t time.Time) bool {
 	return h >= w.From || h < w.To
 }
 
-// rate tracks a sliding-window access count.
+// rate tracks a sliding-window access count. Its own mutex keeps the
+// counter update off the engine's write lock: Check mutates events while
+// holding only the engine's read lock plus this mutex.
 type rate struct {
+	mu     sync.Mutex
 	max    int
 	per    time.Duration
 	events []time.Time
@@ -118,8 +121,13 @@ type rate struct {
 
 // Engine evaluates accesses. The clock is injectable so virtual-time
 // simulations enforce windows and rates on simulated time.
+//
+// The maps are read-mostly: administration (BindApp, SetWhitelist, Revoke,
+// …) takes the write lock, while the hot Check path — every reseal on a
+// loaded trusted node — runs under the read lock so concurrent checks
+// never serialize on each other.
 type Engine struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 
 	appBindings map[string]map[string]bool // cor -> allowed app hashes
 	whitelist   map[string][]string        // cor -> domains (nil = unrestricted send, empty non-nil = never send)
@@ -220,6 +228,26 @@ func (e *Engine) SetRateLimit(corID string, max int, per time.Duration) {
 	e.rates[corID] = &rate{max: max, per: per}
 }
 
+// allow consumes one unit of rate budget at instant now, reporting how
+// many events were live when it was refused.
+func (r *rate) allow(now time.Time) (ok bool, live int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cutoff := now.Add(-r.per)
+	kept := r.events[:0]
+	for _, ev := range r.events {
+		if ev.After(cutoff) {
+			kept = append(kept, ev)
+		}
+	}
+	r.events = kept
+	if len(r.events) >= r.max {
+		return false, len(r.events)
+	}
+	r.events = append(r.events, now)
+	return true, 0
+}
+
 // SetMalwareCheck installs the malware-database lookup.
 func (e *Engine) SetMalwareCheck(fn func(appHash string) bool) {
 	e.mu.Lock()
@@ -228,10 +256,12 @@ func (e *Engine) SetMalwareCheck(fn func(appHash string) bool) {
 }
 
 // Check evaluates an access, recording it against the rate limit when
-// allowed. It returns nil or a *Denial.
+// allowed. It returns nil or a *Denial. Check takes only the engine's
+// read lock — concurrent checks proceed in parallel; the rate counter has
+// its own lock (see rate.allow).
 func (e *Engine) Check(a Access) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	now := e.now()
 
 	if e.malware != nil && e.malware(a.AppHash) {
@@ -284,19 +314,10 @@ func (e *Engine) Check(a Access) error {
 	// not exceed a preset limitation", §4.2): local offloaded computation
 	// over the cor does not consume budget, sending it out does.
 	if r, ok := e.rates[a.CorID]; ok && a.Send {
-		cutoff := now.Add(-r.per)
-		live := r.events[:0]
-		for _, ev := range r.events {
-			if ev.After(cutoff) {
-				live = append(live, ev)
-			}
-		}
-		r.events = live
-		if len(r.events) >= r.max {
+		if ok, live := r.allow(now); !ok {
 			return &Denial{Reason: ReasonRateLimited, CorID: a.CorID,
-				Detail: fmt.Sprintf("%d accesses in %v", len(r.events), r.per)}
+				Detail: fmt.Sprintf("%d accesses in %v", live, r.per)}
 		}
-		r.events = append(r.events, now)
 	}
 	return nil
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"tinman/internal/fastjson"
 )
 
 // Session is an established TLS session: two directional half-connections.
@@ -142,10 +144,12 @@ func resumeHalf(st *State, h *HalfState, rnd io.Reader) (*halfConn, error) {
 // Marshal serializes the state for transport to the trusted node.
 func (st *State) Marshal() ([]byte, error) { return json.Marshal(st) }
 
-// UnmarshalState parses a serialized session state.
+// UnmarshalState parses a serialized session state. The node parses one
+// state per reseal, so this sits on the offload hot path and uses the
+// single-scan decoder.
 func UnmarshalState(b []byte) (*State, error) {
 	var st State
-	if err := json.Unmarshal(b, &st); err != nil {
+	if err := fastjson.Unmarshal(b, &st); err != nil {
 		return nil, fmt.Errorf("tlssim: unmarshal session state: %v", err)
 	}
 	return &st, nil
