@@ -3,12 +3,14 @@
 #   make build        compile everything
 #   make vet          static checks
 #   make test         full test suite
+#   make check        formatting + vet + build + test, the pre-commit gate
 #   make race         race-detector pass over the concurrent subsystems
 #   make bench-smoke  quick node-throughput benchmark (not a full eval run)
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race bench-smoke clean
+.PHONY: all build vet test check race bench-smoke clean
 
 all: build vet test
 
@@ -21,10 +23,21 @@ vet:
 test:
 	$(GO) test ./...
 
-# The nodeproto/policy/audit packages carry the pipelined protocol and the
-# sharded hot-path state; they get a dedicated -race pass.
+# The one command CI and contributors run before pushing: fails on any
+# unformatted file, vet finding, build error, or test failure.
+check:
+	@unformatted="$$($(GOFMT) -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
+# The node service plus the transports that drive it concurrently get a
+# dedicated -race pass (multi-device service tests live in internal/node).
 race:
-	$(GO) test -race -count=1 ./internal/nodeproto/ ./internal/policy/ ./internal/audit/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/
 
 # A short throughput sample of the trusted-node service — enough to spot a
 # regression, not a measurement (see EXPERIMENTS.md for the real recipe).

@@ -8,6 +8,7 @@ import (
 
 	"tinman/internal/cor"
 	"tinman/internal/dsm"
+	"tinman/internal/node"
 	"tinman/internal/taint"
 	"tinman/internal/tlssim"
 	"tinman/internal/vm"
@@ -146,7 +147,7 @@ func (d *Device) InstallAppOpts(name, source string, opts InstallOpts) (*App, er
 			return nil, err
 		}
 		if reply.Type == msgDenied {
-			return nil, fmt.Errorf("core: node rejected %s: %s", name, reply.Payload)
+			return nil, fmt.Errorf("core: node rejected %s: %w", name, node.Denied(string(reply.Payload)))
 		}
 		if reply.Type != msgInstallOK || string(reply.Payload) != app.hash {
 			return nil, fmt.Errorf("core: dex hash mismatch installing %s", name)
@@ -254,7 +255,7 @@ func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value
 		return nil, vm.Value{}, false, err
 	}
 	if reply.Type == msgDenied {
-		return nil, vm.Value{}, false, fmt.Errorf("core: trusted node denied offload: %s", reply.Payload)
+		return nil, vm.Value{}, false, fmt.Errorf("core: trusted node denied offload: %w", node.Denied(string(reply.Payload)))
 	}
 	if reply.Type != msgMigration {
 		return nil, vm.Value{}, false, fmt.Errorf("core: unexpected reply type %d to migration", reply.Type)
@@ -394,7 +395,7 @@ func (a *App) nativeHTTPSRequest(t *vm.Thread, args []vm.Value) (vm.Value, error
 			return vm.Value{}, err
 		}
 		if reply.Type == msgDenied {
-			return vm.Value{}, fmt.Errorf("https_request: %s", reply.Payload)
+			return vm.Value{}, fmt.Errorf("https_request: %w", node.Denied(string(reply.Payload)))
 		}
 		if reply.Type != msgSSLInjectOK {
 			return vm.Value{}, fmt.Errorf("https_request: unexpected inject reply %d", reply.Type)

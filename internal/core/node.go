@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -9,63 +10,37 @@ import (
 	"tinman/internal/cor"
 	"tinman/internal/dsm"
 	"tinman/internal/malware"
-	"tinman/internal/monitor"
 	"tinman/internal/netsim"
+	"tinman/internal/node"
 	"tinman/internal/policy"
-	"tinman/internal/taint"
 	"tinman/internal/tcpsim"
-	"tinman/internal/tlssim"
-	"tinman/internal/vm"
-	"tinman/internal/vm/asm"
 )
 
-// TrustedNode is the cor vault and offload target (§2.5): it stores cor
-// plaintexts, runs offloaded code under full tainting, enforces policy,
-// audits every access, and performs SSL session injection plus TCP payload
-// replacement on the device's behalf.
+// TrustedNode is the simulation's adapter over the transport-agnostic
+// node.Service (§2.5): the service owns the cor vault, policy engine,
+// audit log, offload hosting and injection state; this type translates the
+// virtual-time control-plane frames into service calls and schedules the
+// replies with the modeled compute delays.
 type TrustedNode struct {
 	w     *World
 	Host  *netsim.Host
 	Stack *tcpsim.Stack
 
+	// Svc is the shared trusted-node service; the component fields below
+	// alias its state so existing callers (tests, examples) keep working.
+	Svc     *node.Service
 	Cors    *cor.Store
 	Policy  *policy.Engine
 	Audit   *audit.Log
 	Malware *malware.DB
 
-	corIdleWindow uint64
-	apps          map[string]*nodeApp
-	injections    map[injectionKey]*pendingInjection
-	Replacer      *tcpsim.Replacer
-	derivedSeq    int
-}
+	Replacer *tcpsim.Replacer
 
-// nodeApp is the trusted node's half of an installed application.
-type nodeApp struct {
-	name    string
-	prog    *vm.Program
-	hash    string
-	machine *vm.VM
-	ep      *dsm.Endpoint
-	locks   *dsm.LockTable
-	// deviceID is the device that installed the app.
-	deviceID string
-	// mon is the per-app dynamic-analysis monitor (§3.4/§8 extension).
-	mon *monitor.Monitor
-}
-
-type injectionKey struct {
-	clientAddr string
-	clientPort uint16
-	serverAddr string
-	serverPort uint16
-}
-
-type pendingInjection struct {
-	app    *nodeApp
-	corID  string
-	domain string
-	state  *tlssim.State
+	// appDevice maps an installed app name to the installing device ID —
+	// the simulated control plane identifies offloads by app name only,
+	// while the service keys apps by (device, name). The simulation event
+	// loop is single-threaded, so this adapter-local map is unguarded.
+	appDevice map[string]string
 }
 
 // injectRequest is the msgSSLInject payload.
@@ -97,20 +72,21 @@ type nodeStats struct {
 }
 
 func newTrustedNode(w *World, host *netsim.Host, corIdleWindow uint64) *TrustedNode {
+	svc := node.New(node.Options{
+		Clock:         func() time.Time { return time.Unix(0, 0).Add(w.Net.Now()) },
+		CorIdleWindow: corIdleWindow,
+	})
 	n := &TrustedNode{
-		w:             w,
-		Host:          host,
-		Stack:         tcpsim.NewStack(w.Net, host),
-		Cors:          cor.NewStore(),
-		Policy:        policy.NewEngine(func() time.Time { return time.Unix(0, 0).Add(w.Net.Now()) }),
-		Audit:         audit.NewLog(func() time.Time { return time.Unix(0, 0).Add(w.Net.Now()) }),
-		Malware:       malware.NewDB(),
-		corIdleWindow: corIdleWindow,
-		apps:          make(map[string]*nodeApp),
-		injections:    make(map[injectionKey]*pendingInjection),
+		w:         w,
+		Host:      host,
+		Stack:     tcpsim.NewStack(w.Net, host),
+		Svc:       svc,
+		Cors:      svc.Cors,
+		Policy:    svc.Policy,
+		Audit:     svc.Audit,
+		Malware:   svc.Malware,
+		appDevice: make(map[string]string),
 	}
-	n.Malware.SeedSynthetic(1000)
-	n.Policy.SetMalwareCheck(n.Malware.Contains)
 
 	l, err := n.Stack.Listen(ControlPort)
 	if err != nil {
@@ -125,18 +101,17 @@ func newTrustedNode(w *World, host *netsim.Host, corIdleWindow uint64) *TrustedN
 // RegisterCor initializes a cor on the trusted node (the safe-environment
 // one-time setup of §2.3), wiring its whitelist into the policy engine.
 func (n *TrustedNode) RegisterCor(id, plaintext, description string, whitelist ...string) (*cor.Record, error) {
-	rec, err := n.Cors.Register(id, plaintext, description, whitelist...)
-	if err != nil {
-		return nil, err
-	}
-	if whitelist != nil {
-		n.Policy.SetWhitelist(id, whitelist)
-	}
-	return rec, nil
+	return n.Svc.RegisterCor(context.Background(), id, plaintext, description, whitelist...)
 }
 
 // BindApp restricts a cor to an app hash (§3.4 first binding).
-func (n *TrustedNode) BindApp(corID, appHash string) { n.Policy.BindApp(corID, appHash) }
+func (n *TrustedNode) BindApp(corID, appHash string) { n.Svc.BindApp(corID, appHash) }
+
+// SetAppLocks shares the endpoint-pair lock table with the node side (the
+// in-process World wires both halves to one table).
+func (n *TrustedNode) SetAppLocks(appName string, lt *dsm.LockTable) {
+	n.Svc.SetAppLocks(n.appDevice[appName], appName, lt)
+}
 
 // --- control plane ---
 
@@ -188,72 +163,28 @@ func (n *TrustedNode) handleFrame(c *tcpsim.Conn, f frame) {
 	}
 }
 
-// handleInstall assembles the app on the node (the warm-up dex transfer,
-// §6.2) and runs the malware check.
+// handleInstall forwards the warm-up dex transfer (§6.2) to the service and
+// models the assembly cost as proportional to code size.
 func (n *TrustedNode) handleInstall(c *tcpsim.Conn, payload []byte) {
 	var req installRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
 		n.denied(c, fmt.Errorf("core: node: bad install: %v", err))
 		return
 	}
-	prog, err := asm.Assemble(req.Name, req.Source)
+	res, err := n.Svc.Install(context.Background(), node.InstallRequest{
+		DeviceID:              req.DeviceID,
+		Name:                  req.Name,
+		Source:                req.Source,
+		NonOffloadableNatives: deviceNativeNames,
+	})
 	if err != nil {
-		n.denied(c, fmt.Errorf("core: node: assembling %s: %v", req.Name, err))
+		n.denied(c, err)
 		return
 	}
-	// Defense in depth: the node re-verifies the bytecode it is about to
-	// host, independent of the device's assembler.
-	if err := prog.Verify(); err != nil {
-		n.denied(c, fmt.Errorf("core: node: %s failed verification: %v", req.Name, err))
-		return
-	}
-	hash := prog.Hash()
-	if n.Malware.Contains(hash) {
-		n.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+n.Malware.Family(hash))
-		n.denied(c, &policy.Denial{Reason: policy.ReasonMalware, CorID: "", Detail: n.Malware.Family(hash)})
-		return
-	}
+	n.appDevice[req.Name] = req.DeviceID
 
-	machine := vm.New(vm.Config{
-		Program:       prog,
-		Heap:          vm.NewHeap(2, 2), // even IDs: the node's ID space
-		Policy:        taint.Full,
-		CorIdleWindow: n.corIdleWindow,
-	})
-	registerNodeNatives(machine)
-	app := &nodeApp{
-		name:     req.Name,
-		prog:     prog,
-		hash:     hash,
-		machine:  machine,
-		deviceID: req.DeviceID,
-	}
-	app.mon = monitor.New(monitor.Config{
-		OnFinding: func(f monitor.Finding) {
-			n.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
-		},
-	})
-	app.mon.Attach(machine)
-	app.ep = dsm.NewEndpoint(dsm.NodeSide, machine, &nodeResolver{node: n})
-	n.apps[req.Name] = app
-
-	// Model the dex-assembly cost as proportional to code size.
-	delay := time.Duration(int64(prog.CodeSize()) * n.w.Cost.NodeNsPerInstr * 10)
-	n.reply(c, delay, frame{Type: msgInstallOK, Payload: []byte(hash)})
-}
-
-// SetAppLocks shares the endpoint-pair lock table with the node side (the
-// in-process World wires both halves to one table).
-func (n *TrustedNode) SetAppLocks(appName string, lt *dsm.LockTable) {
-	app := n.apps[appName]
-	if app == nil {
-		return
-	}
-	app.locks = lt
-	app.machine.Hooks.OnMonitorEnter = func(o *vm.Object) bool {
-		return !lt.Acquire(o.ID, dsm.NodeSide)
-	}
-	app.machine.Hooks.OnMonitorExit = func(o *vm.Object) { lt.Release(o.ID) }
+	delay := time.Duration(int64(res.CodeSize) * n.w.Cost.NodeNsPerInstr * 10)
+	n.reply(c, delay, frame{Type: msgInstallOK, Payload: []byte(res.Hash)})
 }
 
 // migrationEnvelope wraps a migration with its app name.
@@ -264,98 +195,46 @@ type migrationEnvelope struct {
 	Stats *nodeStats `json:"stats,omitempty"`
 }
 
-// handleMigration is the offload entry point: policy-check, apply, run,
-// reply with the thread's next hop.
+// handleMigration is the offload entry point: the service policy-checks,
+// applies, runs and captures; the adapter schedules the reply after the
+// modeled compute delay.
 func (n *TrustedNode) handleMigration(c *tcpsim.Conn, payload []byte) {
 	var env migrationEnvelope
 	if err := json.Unmarshal(payload, &env); err != nil {
 		n.denied(c, fmt.Errorf("core: node: bad migration envelope: %v", err))
 		return
 	}
-	app := n.apps[env.App]
-	if app == nil {
-		n.denied(c, fmt.Errorf("core: node: app %q not installed", env.App))
-		return
-	}
-	mig, err := dsm.DecodeMigration(env.Bytes)
+	res, err := n.Svc.Offload(context.Background(), n.appDevice[env.App], env.App, env.Bytes)
 	if err != nil {
 		n.denied(c, err)
 		return
 	}
-
-	// §3.4: every cor access is checked against the app binding and logged.
-	trigger := taint.Tag(mig.TriggerTag)
-	for _, rec := range n.Cors.ByTag(trigger) {
-		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: app.deviceID}
-		if err := n.Policy.Check(acc); err != nil {
-			n.Audit.Append(app.hash, rec.ID, app.deviceID, "", audit.OutcomeDenied, err.Error())
-			n.denied(c, err)
-			return
-		}
-		n.Audit.Append(app.hash, rec.ID, app.deviceID, "", audit.OutcomeAllowed, "offloaded access")
+	reply := migrationEnvelope{
+		App:   env.App,
+		Bytes: res.Bytes,
+		Stats: &nodeStats{
+			Instrs: res.Stats.Instrs, Calls: res.Stats.Calls,
+			Syncs: res.Stats.Syncs, InitBytes: res.Stats.InitBytes, DirtyBytes: res.Stats.DirtyBytes,
+		},
 	}
-
-	th, err := app.ep.ApplyMigration(mig)
+	out, err := json.Marshal(reply)
 	if err != nil {
 		n.denied(c, err)
 		return
 	}
-	if th == nil {
-		// Pure state sync: ack with an empty node sync.
-		n.replyMigration(c, app, nil, vm.StopDone, 0)
-		return
-	}
-
-	// Run the offloaded thread under full tainting, with the behavioral
-	// monitor watching the episode.
-	app.machine.ResetIdle()
-	app.mon.BeginEpisode()
-	before := app.machine.Instrs
-	stop, runErr := th.Run()
-	executed := app.machine.Instrs - before
-	if runErr != nil {
-		n.denied(c, fmt.Errorf("core: node: offloaded thread: %v", runErr))
-		return
-	}
-	if app.mon.CriticalRaised() {
-		n.denied(c, fmt.Errorf("core: node: dynamic analysis aborted the episode: %v", app.mon.Findings()[len(app.mon.Findings())-1]))
-		return
-	}
-	n.replyMigration(c, app, th, stop, executed)
-}
-
-// replyMigration captures the node's state (and thread, unless it completed
-// purely server-side) and schedules the response after the modeled compute
-// delay.
-func (n *TrustedNode) replyMigration(c *tcpsim.Conn, app *nodeApp, th *vm.Thread, stop vm.StopReason, executed uint64) {
-	var capTh *vm.Thread
-	if th != nil {
-		capTh = th
-	}
-	mig, err := app.ep.CaptureMigration(capTh, stop)
-	if err != nil {
-		n.denied(c, err)
-		return
-	}
-	env := migrationEnvelope{
-		App:   app.name,
-		Stats: &nodeStats{Instrs: app.machine.Instrs, Calls: app.machine.Calls, Syncs: app.ep.Stats.Syncs, InitBytes: app.ep.Stats.InitBytes, DirtyBytes: app.ep.Stats.DirtyBytes},
-	}
-	env.Bytes = mig.Encode()
-	payload, err := json.Marshal(env)
-	if err != nil {
-		n.denied(c, err)
-		return
-	}
-	delay := time.Duration(int64(executed)*n.w.Cost.NodeNsPerInstr +
-		int64(len(env.Bytes))*n.w.Cost.SerializeNsPerByte)
-	n.reply(c, delay, frame{Type: msgMigration, Payload: payload})
+	delay := time.Duration(int64(res.Executed)*n.w.Cost.NodeNsPerInstr +
+		int64(len(res.Bytes))*n.w.Cost.SerializeNsPerByte)
+	n.reply(c, delay, frame{Type: msgMigration, Payload: out})
 }
 
 // handleCatalog serves the device-visible cor catalog (the selection-widget
 // content, §4.1).
 func (n *TrustedNode) handleCatalog(c *tcpsim.Conn) {
-	views := n.Cors.DeviceViews()
+	views, err := n.Svc.Catalog(context.Background())
+	if err != nil {
+		n.denied(c, err)
+		return
+	}
 	payload, err := json.Marshal(views)
 	if err != nil {
 		n.denied(c, err)
@@ -365,138 +244,39 @@ func (n *TrustedNode) handleCatalog(c *tcpsim.Conn) {
 }
 
 // handleInject arms payload replacement for an imminent marked record
-// (fig 8 steps 1–2), enforcing the send-time policy (§3.4 second binding).
+// (fig 8 steps 1–2); policy enforcement lives in the service.
 func (n *TrustedNode) handleInject(c *tcpsim.Conn, payload []byte) {
 	var req injectRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
 		n.denied(c, fmt.Errorf("core: node: bad inject request: %v", err))
 		return
 	}
-	app := n.apps[req.App]
-	if app == nil {
-		n.denied(c, fmt.Errorf("core: node: app %q not installed", req.App))
-		return
-	}
-	rec := n.Cors.Get(req.CorID)
-	if rec == nil {
-		n.denied(c, fmt.Errorf("core: node: unknown cor %q", req.CorID))
-		return
-	}
-	// Policy applies to the cor lineage: a derived cor (the concatenated
-	// request) carries its parent's bit; the binding and whitelist rules
-	// are registered under the parent ID.
-	parent := n.Cors.ByBit(rec.Bit)
-	checkID := rec.ID
-	if parent != nil {
-		checkID = parent.ID
-	}
-	acc := policy.Access{
-		CorID:    checkID,
-		AppHash:  app.hash,
-		DeviceID: app.deviceID,
-		Send:     true,
+	err := n.Svc.ArmInjection(context.Background(), node.InjectRequest{
+		DeviceID: n.appDevice[req.App],
+		App:      req.App,
+		CorID:    req.CorID,
 		Domain:   req.Domain,
-		IP:       req.ServerAddr,
-	}
-	if err := n.Policy.Check(acc); err != nil {
-		n.Audit.Append(app.hash, checkID, app.deviceID, req.Domain, audit.OutcomeDenied, err.Error())
-		n.denied(c, err)
-		return
-	}
-	st, err := tlssim.UnmarshalState(req.State)
+		Key: node.InjectionKey{
+			ClientAddr: DeviceAddr,
+			ClientPort: req.ClientPort,
+			ServerAddr: req.ServerAddr,
+			ServerPort: req.ServerPort,
+		},
+		State: req.State,
+	})
 	if err != nil {
 		n.denied(c, err)
 		return
 	}
-	// The modified client library refuses TLS 1.0 before ever reaching
-	// this point; the node double-checks (defense in depth, §3.2).
-	if st.Version <= tlssim.TLS10 {
-		err := fmt.Errorf("core: node: refusing session injection for %v (implicit-IV leak, fig 7)", st.Version)
-		n.Audit.Append(app.hash, checkID, app.deviceID, req.Domain, audit.OutcomeDenied, err.Error())
-		n.denied(c, err)
-		return
-	}
-	key := injectionKey{
-		clientAddr: DeviceAddr,
-		clientPort: req.ClientPort,
-		serverAddr: req.ServerAddr,
-		serverPort: req.ServerPort,
-	}
-	n.injections[key] = &pendingInjection{app: app, corID: req.CorID, domain: req.Domain, state: st}
-	n.Audit.Append(app.hash, checkID, app.deviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
 	n.reply(c, n.w.Cost.NodeInjectSetup, frame{Type: msgSSLInjectOK})
 }
 
 // rewritePayload is the payload-replacement hook (fig 8 step 4): swap the
 // placeholder-bearing marked record for the cor-bearing one.
 func (n *TrustedNode) rewritePayload(origSrc, origDst string, seg *tcpsim.Segment) ([]byte, error) {
-	key := injectionKey{clientAddr: origSrc, clientPort: seg.SrcPort, serverAddr: origDst, serverPort: seg.DstPort}
-	inj := n.injections[key]
-	if inj == nil {
-		return nil, fmt.Errorf("core: node: no armed injection for %s:%d -> %s:%d", origSrc, seg.SrcPort, origDst, seg.DstPort)
+	key := node.InjectionKey{
+		ClientAddr: origSrc, ClientPort: seg.SrcPort,
+		ServerAddr: origDst, ServerPort: seg.DstPort,
 	}
-	delete(n.injections, key) // one-shot
-	rec := n.Cors.Get(inj.corID)
-	if rec == nil {
-		return nil, fmt.Errorf("core: node: cor %q vanished", inj.corID)
-	}
-	sess, err := tlssim.Resume(inj.state, nil)
-	if err != nil {
-		return nil, err
-	}
-	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
-	if err != nil {
-		return nil, err
-	}
-	if len(out) != len(seg.Payload) {
-		return nil, fmt.Errorf("core: node: resealed record %dB != placeholder record %dB", len(out), len(seg.Payload))
-	}
-	n.Audit.Append(inj.app.hash, inj.corID, inj.app.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced")
-	return out, nil
-}
-
-// nodeResolver adapts the cor store to the DSM resolver interface.
-type nodeResolver struct {
-	node *TrustedNode
-}
-
-// Fill returns plaintext for the cor.
-func (r *nodeResolver) Fill(id string, length int) (string, taint.Tag, bool) {
-	rec := r.node.Cors.Get(id)
-	if rec == nil {
-		return "", taint.None, false
-	}
-	return rec.Plaintext, rec.Tag(), true
-}
-
-// MaskID mints a derived cor for a freshly tainted string (the concatenated
-// request of fig 11 is "a new cor").
-func (r *nodeResolver) MaskID(o *vm.Object) string {
-	parents := r.node.Cors.ByTag(o.Tag)
-	if len(parents) == 0 {
-		return ""
-	}
-	r.node.derivedSeq++
-	id := fmt.Sprintf("derived-%s-%d", parents[0].ID, r.node.derivedSeq)
-	if _, err := r.node.Cors.Derive(parents[0].ID, id, o.Str); err != nil {
-		return ""
-	}
-	return id
-}
-
-// registerNodeNatives installs non-offloadable stubs: the gate stops the
-// thread before any of these would execute on the node, forcing a migration
-// back to the device (§3.1 case 2).
-func registerNodeNatives(machine *vm.VM) {
-	for _, name := range deviceNativeNames {
-		name := name
-		machine.RegisterNative(&vm.NativeDef{
-			Name:        name,
-			Offloadable: false,
-			Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
-				return vm.Value{}, fmt.Errorf("core: native %s must not execute on the trusted node", name)
-			},
-		})
-	}
-	machine.Hooks.NativeGate = func(def *vm.NativeDef) bool { return !def.Offloadable }
+	return n.Svc.ReplacePayload(context.Background(), key, len(seg.Payload))
 }

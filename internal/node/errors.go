@@ -1,0 +1,104 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"tinman/internal/policy"
+)
+
+// The service's error taxonomy. Every error the Service returns matches at
+// least one of these sentinels under errors.Is, so transports and callers
+// branch on kinds instead of error text. Policy refusals additionally carry
+// the *policy.Denial itself, extractable with errors.As.
+var (
+	// ErrDenied marks any policy refusal (it is policy.ErrDenied, so a bare
+	// *policy.Denial and a service error match the same sentinel).
+	ErrDenied = policy.ErrDenied
+	// ErrRevoked marks denials caused by device revocation (stolen phone).
+	ErrRevoked = errors.New("node: device access revoked")
+	// ErrMalware marks denials caused by a malware-DB hit.
+	ErrMalware = errors.New("node: application is known malware")
+	// ErrUnknownCor marks references to a cor the vault does not hold.
+	ErrUnknownCor = errors.New("node: unknown cor")
+	// ErrUnknownApp marks references to an app not installed for the device.
+	ErrUnknownApp = errors.New("node: app not installed")
+	// ErrBadRequest marks malformed or unprocessable requests.
+	ErrBadRequest = errors.New("node: bad request")
+	// ErrWeakTLS marks session state the node refuses to join (TLS ≤ 1.0:
+	// implicit-IV CBC state sync leaks plaintext, fig 7).
+	ErrWeakTLS = errors.New("node: TLS version too low for session injection")
+	// ErrRecordLength marks a reseal whose output would desynchronize TCP.
+	ErrRecordLength = errors.New("node: resealed record length mismatch")
+	// ErrNoInjection marks payload replacement without an armed injection.
+	ErrNoInjection = errors.New("node: no armed injection")
+	// ErrExecution marks offloaded code that faulted or was aborted by the
+	// dynamic-analysis monitor.
+	ErrExecution = errors.New("node: offloaded execution failed")
+)
+
+// Error is the service's error type: a human-readable message (kept
+// byte-compatible with the pre-refactor transports) plus the sentinel and,
+// for policy refusals, the denial it wraps.
+type Error struct {
+	kind   error
+	denial *policy.Denial
+	cause  error
+	msg    string
+}
+
+func (e *Error) Error() string { return e.msg }
+
+// Unwrap exposes the sentinel, the denial, and the cause to errors.Is/As.
+func (e *Error) Unwrap() []error {
+	out := make([]error, 0, 3)
+	if e.kind != nil {
+		out = append(out, e.kind)
+	}
+	if e.denial != nil {
+		out = append(out, e.denial)
+	}
+	if e.cause != nil {
+		out = append(out, e.cause)
+	}
+	return out
+}
+
+// Denial returns the wrapped policy denial, if any.
+func (e *Error) Denial() *policy.Denial { return e.denial }
+
+// errf builds a sentinel-tagged error with a formatted message.
+func errf(kind error, format string, args ...any) *Error {
+	return &Error{kind: kind, msg: fmt.Sprintf(format, args...)}
+}
+
+// badRequest wraps an underlying error verbatim: the message stays
+// byte-identical to what the cause would have produced on the wire.
+func badRequest(err error) *Error {
+	return &Error{kind: ErrBadRequest, cause: err, msg: err.Error()}
+}
+
+// denied wraps a policy denial, attaching its reason-specific sentinel.
+func denied(d *policy.Denial) *Error {
+	return &Error{kind: SentinelForReason(d.Reason), denial: d, msg: d.Error()}
+}
+
+// SentinelForReason maps a policy reason to the finest-grained sentinel;
+// every denial also matches ErrDenied regardless (via the wrapped Denial).
+func SentinelForReason(r policy.Reason) error {
+	switch r {
+	case policy.ReasonRevoked:
+		return ErrRevoked
+	case policy.ReasonMalware:
+		return ErrMalware
+	default:
+		return ErrDenied
+	}
+}
+
+// Denied wraps a denial message that arrived as text over a transport so
+// callers can still test errors.Is(err, ErrDenied). Error() returns msg
+// unchanged, keeping wrapped transport messages byte-compatible.
+func Denied(msg string) error {
+	return &Error{kind: ErrDenied, msg: msg}
+}

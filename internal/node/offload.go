@@ -1,0 +1,376 @@
+package node
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"tinman/internal/audit"
+	"tinman/internal/dsm"
+	"tinman/internal/monitor"
+	"tinman/internal/policy"
+	"tinman/internal/taint"
+	"tinman/internal/tlssim"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+// AppKey identifies one installed app: the same app name installed by two
+// devices is two independent node-side VMs.
+type AppKey struct {
+	DeviceID string
+	Name     string
+}
+
+// hostedApp is the trusted node's half of an installed application.
+type hostedApp struct {
+	key  AppKey
+	prog *vm.Program
+	hash string
+	// runMu serializes offloaded execution on the app's VM: the VM and its
+	// DSM endpoint are single-threaded state, while the Service is not.
+	runMu   sync.Mutex
+	machine *vm.VM
+	ep      *dsm.Endpoint
+	locks   *dsm.LockTable
+	// mon is the per-app dynamic-analysis monitor (§3.4/§8 extension).
+	mon *monitor.Monitor
+}
+
+// InstallRequest is the node half of app installation (the warm-up dex
+// transfer, §6.2).
+type InstallRequest struct {
+	DeviceID string
+	Name     string
+	Source   string
+	// NonOffloadableNatives lists device-only native methods; the node
+	// installs failing stubs plus a gate so touching one forces a migration
+	// back to the device (§3.1 case 2).
+	NonOffloadableNatives []string
+}
+
+// InstallResult reports the verified program's identity and size (the
+// transport models transfer/assembly cost from CodeSize).
+type InstallResult struct {
+	Hash     string
+	CodeSize int
+}
+
+// Install assembles and verifies the app on the node and runs the malware
+// check, then provisions the per-app VM, monitor, and DSM endpoint.
+func (s *Service) Install(ctx context.Context, req InstallRequest) (*InstallResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(req.Name, req.Source)
+	if err != nil {
+		return nil, errf(ErrBadRequest, "assembling %s: %v", req.Name, err)
+	}
+	// Defense in depth: the node re-verifies the bytecode it is about to
+	// host, independent of the device's assembler.
+	if err := prog.Verify(); err != nil {
+		return nil, errf(ErrBadRequest, "%s failed verification: %v", req.Name, err)
+	}
+	hash := prog.Hash()
+	if s.Malware.Contains(hash) {
+		family := s.Malware.Family(hash)
+		s.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+family)
+		return nil, denied(&policy.Denial{Reason: policy.ReasonMalware, Detail: family})
+	}
+
+	machine := vm.New(vm.Config{
+		Program:       prog,
+		Heap:          vm.NewHeap(2, 2), // even IDs: the node's ID space
+		Policy:        taint.Full,
+		CorIdleWindow: s.corIdleWindow,
+	})
+	registerNativeStubs(machine, req.NonOffloadableNatives)
+	key := AppKey{DeviceID: req.DeviceID, Name: req.Name}
+	app := &hostedApp{key: key, prog: prog, hash: hash, machine: machine}
+	app.mon = monitor.New(monitor.Config{
+		OnFinding: func(f monitor.Finding) {
+			s.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
+		},
+	})
+	app.mon.Attach(machine)
+	app.ep = dsm.NewEndpoint(dsm.NodeSide, machine, &corResolver{svc: s})
+
+	s.mu.Lock()
+	s.apps[key] = app
+	s.mu.Unlock()
+	return &InstallResult{Hash: hash, CodeSize: prog.CodeSize()}, nil
+}
+
+// app looks up the hosted app for (deviceID, name).
+func (s *Service) app(deviceID, name string) (*hostedApp, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if a := s.apps[AppKey{DeviceID: deviceID, Name: name}]; a != nil {
+		return a, nil
+	}
+	return nil, errf(ErrUnknownApp, "app %q not installed", name)
+}
+
+// SetAppLocks shares the endpoint-pair lock table with the node side (the
+// in-process World wires both halves to one table).
+func (s *Service) SetAppLocks(deviceID, name string, lt *dsm.LockTable) {
+	app, err := s.app(deviceID, name)
+	if err != nil {
+		return
+	}
+	app.locks = lt
+	app.machine.Hooks.OnMonitorEnter = func(o *vm.Object) bool {
+		return !lt.Acquire(o.ID, dsm.NodeSide)
+	}
+	app.machine.Hooks.OnMonitorExit = func(o *vm.Object) { lt.Release(o.ID) }
+}
+
+// Stats reports the node-side counters after an offload episode (Table 3).
+type Stats struct {
+	Instrs     uint64
+	Calls      uint64
+	Syncs      int
+	InitBytes  int
+	DirtyBytes int
+}
+
+// OffloadResult is one completed offload round: the encoded reply migration
+// plus accounting.
+type OffloadResult struct {
+	Bytes []byte
+	// Executed counts instructions run on the node during this episode
+	// (the transport's compute-cost input).
+	Executed uint64
+	Stats    Stats
+}
+
+// Offload is the offload entry point: policy-check every cor reachable from
+// the trigger tag (§3.4), apply the migration, run the thread under full
+// tainting with the behavioral monitor watching, and capture the reply.
+func (s *Service) Offload(ctx context.Context, deviceID, appName string, migBytes []byte) (*OffloadResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	app, err := s.app(deviceID, appName)
+	if err != nil {
+		return nil, err
+	}
+	mig, err := dsm.DecodeMigration(migBytes)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+
+	// §3.4: every cor access is checked against the app binding and logged.
+	trigger := taint.Tag(mig.TriggerTag)
+	for _, rec := range s.Cors.ByTag(trigger) {
+		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: deviceID}
+		if perr := s.Policy.Check(acc); perr != nil {
+			s.Audit.Append(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error())
+			if d, ok := policy.IsDenial(perr); ok {
+				return nil, denied(d)
+			}
+			return nil, badRequest(perr)
+		}
+		s.Audit.Append(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access")
+	}
+
+	app.runMu.Lock()
+	defer app.runMu.Unlock()
+
+	th, err := app.ep.ApplyMigration(mig)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	var (
+		stop     = vm.StopDone
+		executed uint64
+	)
+	if th != nil {
+		app.machine.ResetIdle()
+		app.mon.BeginEpisode()
+		before := app.machine.Instrs
+		st, runErr := th.Run()
+		executed = app.machine.Instrs - before
+		if runErr != nil {
+			return nil, errf(ErrExecution, "offloaded thread: %v", runErr)
+		}
+		if app.mon.CriticalRaised() {
+			findings := app.mon.Findings()
+			return nil, errf(ErrExecution, "dynamic analysis aborted the episode: %v", findings[len(findings)-1])
+		}
+		stop = st
+	}
+	// th == nil is a pure state sync: ack with an empty node sync.
+	reply, err := app.ep.CaptureMigration(th, stop)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return &OffloadResult{
+		Bytes:    reply.Encode(),
+		Executed: executed,
+		Stats: Stats{
+			Instrs:     app.machine.Instrs,
+			Calls:      app.machine.Calls,
+			Syncs:      app.ep.Stats.Syncs,
+			InitBytes:  app.ep.Stats.InitBytes,
+			DirtyBytes: app.ep.Stats.DirtyBytes,
+		},
+	}, nil
+}
+
+// --- SSL session injection and TCP payload replacement (§3.2–§3.3) ---
+
+// InjectionKey identifies the TCP flow an injection is armed for.
+type InjectionKey struct {
+	ClientAddr string
+	ClientPort uint16
+	ServerAddr string
+	ServerPort uint16
+}
+
+// InjectRequest arms payload replacement for an imminent marked record
+// (fig 8 steps 1–2).
+type InjectRequest struct {
+	DeviceID string
+	App      string
+	CorID    string
+	Domain   string
+	Key      InjectionKey
+	State    json.RawMessage
+}
+
+type pendingInjection struct {
+	appHash  string
+	deviceID string
+	corID    string
+	domain   string
+	state    *tlssim.State
+}
+
+// ArmInjection enforces the send-time policy (§3.4 second binding) and
+// records the session state for the flow's one-shot payload replacement.
+func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	app, err := s.app(req.DeviceID, req.App)
+	if err != nil {
+		return err
+	}
+	rec := s.Cors.Get(req.CorID)
+	if rec == nil {
+		return errf(ErrUnknownCor, "unknown cor %q", req.CorID)
+	}
+	checkID, err := s.checkSend(rec, app.hash, req.DeviceID, req.Domain, req.Key.ServerAddr)
+	if err != nil {
+		return err
+	}
+	st, err := tlssim.UnmarshalState(req.State)
+	if err != nil {
+		return badRequest(err)
+	}
+	// The modified client library refuses TLS 1.0 before ever reaching this
+	// point; the node double-checks (defense in depth, §3.2).
+	if st.Version <= tlssim.TLS10 {
+		e := errf(ErrWeakTLS, "refusing session injection for %v (implicit-IV leak, fig 7)", st.Version)
+		s.Audit.Append(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error())
+		return e
+	}
+	s.mu.Lock()
+	s.injections[req.Key] = &pendingInjection{
+		appHash: app.hash, deviceID: req.DeviceID,
+		corID: req.CorID, domain: req.Domain, state: st,
+	}
+	s.mu.Unlock()
+	s.Audit.Append(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
+	return nil
+}
+
+// ReplacePayload is the payload-replacement hook (fig 8 step 4): swap the
+// placeholder-bearing marked record for the cor-bearing one. The armed
+// injection is one-shot.
+func (s *Service) ReplacePayload(ctx context.Context, key InjectionKey, recordLen int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	inj := s.injections[key]
+	delete(s.injections, key)
+	s.mu.Unlock()
+	if inj == nil {
+		return nil, errf(ErrNoInjection, "no armed injection for %s:%d -> %s:%d",
+			key.ClientAddr, key.ClientPort, key.ServerAddr, key.ServerPort)
+	}
+	rec := s.Cors.Get(inj.corID)
+	if rec == nil {
+		return nil, errf(ErrUnknownCor, "cor %q vanished", inj.corID)
+	}
+	sess, err := tlssim.Resume(inj.state, nil)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if recordLen > 0 && len(out) != recordLen {
+		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), recordLen)
+	}
+	s.Audit.Append(inj.appHash, inj.corID, inj.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced")
+	return out, nil
+}
+
+// corResolver adapts the cor store to the DSM resolver interface.
+type corResolver struct {
+	svc *Service
+}
+
+// Fill returns plaintext for the cor.
+func (r *corResolver) Fill(id string, length int) (string, taint.Tag, bool) {
+	rec := r.svc.Cors.Get(id)
+	if rec == nil {
+		return "", taint.None, false
+	}
+	return rec.Plaintext, rec.Tag(), true
+}
+
+// MaskID mints a derived cor for a freshly tainted string (the concatenated
+// request of fig 11 is "a new cor").
+func (r *corResolver) MaskID(o *vm.Object) string {
+	parents := r.svc.Cors.ByTag(o.Tag)
+	if len(parents) == 0 {
+		return ""
+	}
+	id := r.svc.mintDerivedID(parents[0].ID)
+	if _, err := r.svc.Cors.Derive(parents[0].ID, id, o.Str); err != nil {
+		return ""
+	}
+	return id
+}
+
+// mintDerivedID allocates the next derived-cor ID under the service lock.
+func (s *Service) mintDerivedID(parentID string) string {
+	s.mu.Lock()
+	s.derivedSeq++
+	n := s.derivedSeq
+	s.mu.Unlock()
+	return fmt.Sprintf("derived-%s-%d", parentID, n)
+}
+
+// registerNativeStubs installs non-offloadable stubs: the gate stops the
+// thread before any of these would execute on the node, forcing a migration
+// back to the device (§3.1 case 2).
+func registerNativeStubs(machine *vm.VM, names []string) {
+	for _, name := range names {
+		name := name
+		machine.RegisterNative(&vm.NativeDef{
+			Name:        name,
+			Offloadable: false,
+			Fn: func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+				return vm.Value{}, fmt.Errorf("node: native %s must not execute on the trusted node", name)
+			},
+		})
+	}
+	machine.Hooks.NativeGate = func(def *vm.NativeDef) bool { return !def.Offloadable }
+}

@@ -1,0 +1,208 @@
+// Package node is the transport-agnostic trusted-node service (§3.4): one
+// concurrency-safe Service owns the cor vault, the policy engine, the
+// malware DB, the audit log, the per-app dynamic-analysis monitors, and the
+// injection/offload session state. App and session state is keyed by device
+// ID, so a single Service instance serves many devices at once.
+//
+// Transports stay thin: the in-process simulation (internal/core) drives
+// the Service over the virtual-time control plane, and internal/nodeproto
+// dispatches real-TCP wire requests into the same instance. Both see the
+// identical policy evaluation, audit trail and error taxonomy (errors.go).
+package node
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"tinman/internal/audit"
+	"tinman/internal/cor"
+	"tinman/internal/malware"
+	"tinman/internal/policy"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Clock supplies the policy/audit timestamps; nil means time.Now.
+	// Virtual-time simulations inject their own clock here.
+	Clock func() time.Time
+	// CorIdleWindow is the instruction budget before an offloaded thread
+	// migrates back (§3.1); 0 uses the default.
+	CorIdleWindow uint64
+	// MalwareSeed sets how many synthetic entries seed the malware DB;
+	// 0 means the default (1000, matching the paper's hash-DB scale test),
+	// negative disables seeding.
+	MalwareSeed int
+}
+
+// defaultCorIdleWindow matches the pre-refactor node configuration.
+const defaultCorIdleWindow = 1_000_000
+
+// Service is the trusted-node brain behind every transport.
+//
+// The component fields (Cors, Policy, Audit, Malware) are themselves safe
+// for concurrent use; the Service's own mutex guards the per-device app
+// table, the armed-injection table and the derived-cor sequence — exactly
+// the state the single-transport node used to mutate unsynchronized.
+type Service struct {
+	Cors    *cor.Store
+	Policy  *policy.Engine
+	Audit   *audit.Log
+	Malware *malware.DB
+
+	corIdleWindow uint64
+
+	mu         sync.RWMutex
+	apps       map[AppKey]*hostedApp
+	injections map[InjectionKey]*pendingInjection
+	derivedSeq int
+
+	states stateCache
+}
+
+// New assembles a Service.
+func New(opts Options) *Service {
+	if opts.CorIdleWindow == 0 {
+		opts.CorIdleWindow = defaultCorIdleWindow
+	}
+	s := &Service{
+		Cors:          cor.NewStore(),
+		Policy:        policy.NewEngine(opts.Clock),
+		Audit:         audit.NewLog(opts.Clock),
+		Malware:       malware.NewDB(),
+		corIdleWindow: opts.CorIdleWindow,
+		apps:          make(map[AppKey]*hostedApp),
+		injections:    make(map[InjectionKey]*pendingInjection),
+	}
+	if opts.MalwareSeed >= 0 {
+		seed := opts.MalwareSeed
+		if seed == 0 {
+			seed = 1000
+		}
+		s.Malware.SeedSynthetic(seed)
+	}
+	s.Policy.SetMalwareCheck(s.Malware.Contains)
+	return s
+}
+
+// --- cor administration (the safe-environment setup of §2.3) ---
+
+// RegisterCor initializes a cor with known plaintext, wiring its whitelist
+// into the policy engine.
+func (s *Service) RegisterCor(ctx context.Context, id, plaintext, description string, whitelist ...string) (*cor.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec, err := s.Cors.Register(id, plaintext, description, whitelist...)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if whitelist != nil {
+		s.Policy.SetWhitelist(rec.ID, whitelist)
+	}
+	return rec, nil
+}
+
+// GenerateCor mints a fresh random cor of length n on the node ("Generate
+// New Password", §5.4); the plaintext never leaves the Service.
+func (s *Service) GenerateCor(ctx context.Context, id, description string, n int, whitelist ...string) (*cor.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rec, err := s.Cors.GenerateNew(id, description, n, whitelist...)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	if whitelist != nil {
+		s.Policy.SetWhitelist(rec.ID, whitelist)
+	}
+	return rec, nil
+}
+
+// DeriveNamed registers a node-computed derivation of an existing cor. The
+// derived plaintext is computed here from the parent — a device never
+// supplies secret content (e.g. the sha256-hex password hash of §4.1).
+func (s *Service) DeriveNamed(ctx context.Context, parentID, newID, derivation string) (*cor.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	parent := s.Cors.Get(parentID)
+	if parent == nil {
+		return nil, errf(ErrUnknownCor, "unknown parent cor %q", parentID)
+	}
+	var content string
+	switch derivation {
+	case "", "sha256-hex":
+		content = sha256hex(parent.Plaintext)
+	default:
+		return nil, errf(ErrBadRequest, "unknown derivation %q", derivation)
+	}
+	rec, err := s.Cors.Derive(parentID, newID, content)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return rec, nil
+}
+
+// Catalog returns the device-visible cor metadata (the selection-widget
+// content, §4.1). The underlying store returns a stable snapshot slice, so
+// transports may cache conversions keyed on slice identity.
+func (s *Service) Catalog(ctx context.Context) ([]cor.DeviceView, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Cors.DeviceViews(), nil
+}
+
+// --- policy administration ---
+
+// BindApp restricts a cor to an app hash (§3.4 first binding).
+func (s *Service) BindApp(corID, appHash string) { s.Policy.BindApp(corID, appHash) }
+
+// Revoke cuts off a device ("if a user realizes her phone is stolen", §3.4).
+func (s *Service) Revoke(deviceID string) { s.Policy.Revoke(deviceID) }
+
+// Restore re-enables a device.
+func (s *Service) Restore(deviceID string) { s.Policy.Restore(deviceID) }
+
+// --- audit ---
+
+// AuditQuery returns matching audit entries.
+func (s *Service) AuditQuery(ctx context.Context, q audit.Query) ([]audit.Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.Audit.Find(q), nil
+}
+
+// lineageID maps a cor to the ID its policy rules are registered under:
+// a derived cor (the concatenated request of fig 11) carries its parent's
+// taint bit, and bindings/whitelists are registered on the parent.
+func (s *Service) lineageID(rec *cor.Record) string {
+	if parent := s.Cors.ByBit(rec.Bit); parent != nil {
+		return parent.ID
+	}
+	return rec.ID
+}
+
+// checkSend runs the send-time policy check (§3.4 second binding) for a
+// cor's lineage and writes the audit entry for either outcome.
+func (s *Service) checkSend(rec *cor.Record, appHash, deviceID, domain, ip string) (checkID string, err error) {
+	checkID = s.lineageID(rec)
+	acc := policy.Access{
+		CorID:    checkID,
+		AppHash:  appHash,
+		DeviceID: deviceID,
+		Send:     true,
+		Domain:   domain,
+		IP:       ip,
+	}
+	if perr := s.Policy.Check(acc); perr != nil {
+		s.Audit.Append(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error())
+		if d, ok := policy.IsDenial(perr); ok {
+			return checkID, denied(d)
+		}
+		return checkID, badRequest(perr)
+	}
+	return checkID, nil
+}

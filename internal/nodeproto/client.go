@@ -2,6 +2,7 @@ package nodeproto
 
 import (
 	"bufio"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -13,6 +14,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tinman/internal/node"
+	"tinman/internal/policy"
 	"tinman/internal/tlssim"
 )
 
@@ -38,6 +41,19 @@ type DenialError struct {
 
 func (e *DenialError) Error() string {
 	return fmt.Sprintf("nodeproto: denied (%s): %s", e.Reason, e.Message)
+}
+
+// Is maps a wire denial onto the node package's sentinels, so
+// errors.Is(err, node.ErrDenied) — or node.ErrRevoked, node.ErrMalware —
+// behaves identically whether the denial happened in-process or over TCP.
+func (e *DenialError) Is(target error) bool {
+	if target == node.ErrDenied {
+		return true
+	}
+	if r, ok := policy.ReasonFromString(e.Reason); ok {
+		return target == node.SentinelForReason(r)
+	}
+	return false
 }
 
 // IsDenied reports whether err is a policy denial and returns it.
@@ -268,8 +284,14 @@ func (c *Client) failAll(err error) {
 // means a channel is drained and reusable once roundTrip reads from it.
 var waiterPool = sync.Pool{New: func() any { return make(chan result, 1) }}
 
-// roundTrip sends one request and waits for its correlated response.
-func (c *Client) roundTrip(req *Request) (*Response, error) {
+// roundTrip sends one request and waits for its correlated response. A
+// cancelled or expired ctx abandons the wait promptly: the waiter is
+// detached so a late server response is simply discarded by the reader,
+// and the connection stays usable for subsequent requests.
+func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seq := c.seq.Add(1)
 	req.Seq = seq
 	ch := waiterPool.Get().(chan result)
@@ -291,25 +313,50 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	case c.sendq <- pendingWrite{req: req, seq: seq}:
 	case <-c.closing:
 		c.resolve(seq, result{err: errClosed})
+	case <-ctx.Done():
+		c.abandon(seq, ch)
+		return nil, ctx.Err()
 	}
 
-	r := <-ch
-	waiterPool.Put(ch)
-	if r.err != nil {
-		return nil, r.err
+	select {
+	case r := <-ch:
+		waiterPool.Put(ch)
+		if r.err != nil {
+			return nil, r.err
+		}
+		return r.resp, nil
+	case <-ctx.Done():
+		c.abandon(seq, ch)
+		return nil, ctx.Err()
 	}
-	return r.resp, nil
+}
+
+// abandon detaches a cancelled request's waiter. If the waiter is still
+// registered, no resolver can reach it anymore once it is removed under
+// the lock; otherwise a resolver already owns the channel and will send
+// exactly one result, which is drained so the channel can be pooled.
+func (c *Client) abandon(seq uint64, ch chan result) {
+	c.mu.Lock()
+	still := c.waiters[seq] != nil
+	if still {
+		c.takeWaiterLocked(seq)
+	}
+	c.mu.Unlock()
+	if !still {
+		<-ch
+	}
+	waiterPool.Put(ch)
 }
 
 // do performs one round trip and maps protocol-level failures to errors.
 // On failure the response is never returned: callers get (nil, err), with
 // policy refusals wrapped in an errors.As-able *DenialError.
-func (c *Client) do(req *Request) (*Response, error) {
+func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	if c.serial.Load() {
 		c.serialMu.Lock()
 		defer c.serialMu.Unlock()
 	}
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -323,27 +370,40 @@ func (c *Client) do(req *Request) (*Response, error) {
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	_, err := c.do(&Request{Op: OpPing})
+func (c *Client) Ping() error { return c.PingContext(context.Background()) }
+
+// PingContext checks liveness, honoring ctx cancellation/deadline.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.do(ctx, &Request{Op: OpPing})
 	return err
 }
 
 // Register initializes a cor (run from a safe environment, §2.3).
 func (c *Client) Register(id, plaintext, description string, whitelist ...string) error {
-	_, err := c.do(&Request{Op: OpRegister, CorID: id, Plaintext: plaintext, Description: description, Whitelist: whitelist})
+	return c.RegisterContext(context.Background(), id, plaintext, description, whitelist...)
+}
+
+// RegisterContext is Register with a caller-supplied context.
+func (c *Client) RegisterContext(ctx context.Context, id, plaintext, description string, whitelist ...string) error {
+	_, err := c.do(ctx, &Request{Op: OpRegister, CorID: id, Plaintext: plaintext, Description: description, Whitelist: whitelist})
 	return err
 }
 
 // Generate mints a fresh random cor of length n on the node ("Generate New
 // Password", §5.4); the plaintext never reaches the client.
 func (c *Client) Generate(id, description string, n int, whitelist ...string) error {
-	_, err := c.do(&Request{Op: OpGenerate, CorID: id, Description: description, Length: n, Whitelist: whitelist})
+	_, err := c.do(context.Background(), &Request{Op: OpGenerate, CorID: id, Description: description, Length: n, Whitelist: whitelist})
 	return err
 }
 
 // Catalog fetches the device view.
 func (c *Client) Catalog() ([]CatalogEntry, error) {
-	resp, err := c.do(&Request{Op: OpCatalog})
+	return c.CatalogContext(context.Background())
+}
+
+// CatalogContext is Catalog with a caller-supplied context.
+func (c *Client) CatalogContext(ctx context.Context) ([]CatalogEntry, error) {
+	resp, err := c.do(ctx, &Request{Op: OpCatalog})
 	if err != nil {
 		return nil, err
 	}
@@ -352,26 +412,26 @@ func (c *Client) Catalog() ([]CatalogEntry, error) {
 
 // Bind restricts a cor to an app hash.
 func (c *Client) Bind(corID, appHash string) error {
-	_, err := c.do(&Request{Op: OpBind, CorID: corID, AppHash: appHash})
+	_, err := c.do(context.Background(), &Request{Op: OpBind, CorID: corID, AppHash: appHash})
 	return err
 }
 
 // Revoke cuts off a device.
 func (c *Client) Revoke(deviceID string) error {
-	_, err := c.do(&Request{Op: OpRevoke, DeviceID: deviceID})
+	_, err := c.do(context.Background(), &Request{Op: OpRevoke, DeviceID: deviceID})
 	return err
 }
 
 // Restore re-enables a device.
 func (c *Client) Restore(deviceID string) error {
-	_, err := c.do(&Request{Op: OpRestore, DeviceID: deviceID})
+	_, err := c.do(context.Background(), &Request{Op: OpRestore, DeviceID: deviceID})
 	return err
 }
 
 // Derive registers a node-computed derivation of an existing cor (currently
 // "sha256-hex").
 func (c *Client) Derive(parentID, newID, derivation string) error {
-	_, err := c.do(&Request{Op: OpDerive, ParentID: parentID, CorID: newID, Description: derivation})
+	_, err := c.do(context.Background(), &Request{Op: OpDerive, ParentID: parentID, CorID: newID, Description: derivation})
 	return err
 }
 
@@ -389,7 +449,12 @@ func (c *Client) Reseal(corID string, state *tlssim.State, appHash, deviceID, do
 // ResealRaw is Reseal with a pre-marshaled session state; hot loops (the
 // throughput harness) reuse one marshaled state across calls.
 func (c *Client) ResealRaw(corID string, state json.RawMessage, appHash, deviceID, domain, targetIP string, recordLen int) ([]byte, error) {
-	resp, err := c.do(&Request{
+	return c.ResealRawContext(context.Background(), corID, state, appHash, deviceID, domain, targetIP, recordLen)
+}
+
+// ResealRawContext is ResealRaw with a caller-supplied context.
+func (c *Client) ResealRawContext(ctx context.Context, corID string, state json.RawMessage, appHash, deviceID, domain, targetIP string, recordLen int) ([]byte, error) {
+	resp, err := c.do(ctx, &Request{
 		Op: OpReseal, CorID: corID, State: state,
 		AppHash: appHash, DeviceID: deviceID, Domain: domain, TargetIP: targetIP,
 		RecordLen: recordLen,
@@ -402,7 +467,7 @@ func (c *Client) ResealRaw(corID string, state json.RawMessage, appHash, deviceI
 
 // AuditLog fetches audit entries, optionally filtered.
 func (c *Client) AuditLog(corID, deviceID string) ([]AuditEntry, error) {
-	resp, err := c.do(&Request{Op: OpAudit, CorID: corID, DeviceID: deviceID})
+	resp, err := c.do(context.Background(), &Request{Op: OpAudit, CorID: corID, DeviceID: deviceID})
 	if err != nil {
 		return nil, err
 	}

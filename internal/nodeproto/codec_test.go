@@ -19,7 +19,7 @@ var requestCases = []Request{
 	{Op: OpRevoke, DeviceID: "phone-1"},
 	{Op: OpDerive, CorID: "pw-web", ParentID: "pw", Description: "derived"},
 	{Op: OpReseal, Seq: 1 << 40, CorID: "pw", AppHash: "abc", DeviceID: "phone-1",
-		State: json.RawMessage(`{"version":771,"out":{"seq":3,"key":"qg=="}}`),
+		State:  json.RawMessage(`{"version":771,"out":{"seq":3,"key":"qg=="}}`),
 		Domain: "login.example", TargetIP: "10.0.0.1", RecordLen: 64},
 	{Op: OpAudit, CorID: "pw", DeviceID: "phone-1"},
 	// Escapes and non-ASCII: the fast path must reject these and the

@@ -1,6 +1,7 @@
 package nodeproto
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"net"
@@ -237,7 +238,7 @@ func TestUnknownOpAndCor(t *testing.T) {
 	if _, err := c.Reseal("nope", device.Export(), "", "", "", "", 0); err == nil {
 		t.Fatal("unknown cor accepted")
 	}
-	if _, err := c.do(&Request{Op: "frobnicate"}); err == nil {
+	if _, err := c.do(context.Background(), &Request{Op: "frobnicate"}); err == nil {
 		t.Fatal("unknown op accepted")
 	}
 }

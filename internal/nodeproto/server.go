@@ -2,10 +2,9 @@ package nodeproto
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"errors"
 	"fmt"
-	"hash/maphash"
 	"io"
 	"net"
 	"runtime"
@@ -16,8 +15,8 @@ import (
 	"tinman/internal/audit"
 	"tinman/internal/cor"
 	"tinman/internal/malware"
+	"tinman/internal/node"
 	"tinman/internal/policy"
-	"tinman/internal/tlssim"
 )
 
 // Default per-connection limits; override the Server fields before Serve.
@@ -27,12 +26,18 @@ const (
 	DefaultMaxInflight  = 64
 )
 
-// Server is the trusted-node service: the cor vault, the policy engine and
-// the reseal (payload replacement) endpoint behind a real TCP listener. It
-// is safe for concurrent connections, and each connection is pipelined:
-// requests are handled concurrently (bounded by MaxInflight) and answered
-// as they finish, correlated by Request.Seq.
+// Server exposes the trusted-node service behind a real TCP listener. The
+// domain logic — vault, policy, reseal, audit — lives in node.Service;
+// this type only frames, dispatches and correlates. It is safe for
+// concurrent connections, and each connection is pipelined: requests are
+// handled concurrently (bounded by MaxInflight) and answered as they
+// finish, correlated by Request.Seq.
 type Server struct {
+	// Svc is the transport-agnostic service every request dispatches into.
+	Svc *node.Service
+
+	// Cors, Policy, Audit and Malware alias the service's components so
+	// administration (cmd/tinman-node, tests) can reach them directly.
 	Cors    *cor.Store
 	Policy  *policy.Engine
 	Audit   *audit.Log
@@ -55,67 +60,26 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   chan struct{}
 
-	states  stateCache
 	catalog atomic.Pointer[catalogCache]
 }
 
-// stateCache memoizes parsed session states. A device re-sends the
-// identical exported state for every record it offloads on a connection
-// (§3.4), so without the cache the node re-parses the same
-// multi-kilobyte blob on every reseal. Entries are keyed by a hash of the
-// raw bytes with full byte equality checked on hit — a hash collision can
-// evict, never confuse states. tlssim.Resume copies all key material out
-// of a State, so a cached *State is shared read-only across reseals.
-type stateCache struct {
-	mu sync.Mutex
-	m  map[uint64]stateEntry
-}
-
-type stateEntry struct {
-	raw []byte
-	st  *tlssim.State
-}
-
-// stateCacheMax bounds the cache; when full it is cleared rather than
-// tracking recency — one miss per distinct state per generation is cheap,
-// an eviction policy on this path is not.
-const stateCacheMax = 256
-
-var stateHashSeed = maphash.MakeSeed()
-
-func (c *stateCache) get(raw []byte) (*tlssim.State, bool) {
-	h := maphash.Bytes(stateHashSeed, raw)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[h]
-	if !ok || !bytes.Equal(e.raw, raw) {
-		return nil, false
-	}
-	return e.st, true
-}
-
-func (c *stateCache) put(raw []byte, st *tlssim.State) {
-	h := maphash.Bytes(stateHashSeed, raw)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil || len(c.m) >= stateCacheMax {
-		c.m = make(map[uint64]stateEntry)
-	}
-	c.m[h] = stateEntry{raw: append([]byte(nil), raw...), st: st}
-}
-
-// NewServer assembles a trusted-node service with a seeded malware DB.
+// NewServer assembles a trusted-node server over a fresh service (with the
+// default seeded malware DB).
 func NewServer() *Server {
-	s := &Server{
-		Cors:    cor.NewStore(),
-		Policy:  policy.NewEngine(nil),
-		Audit:   audit.NewLog(nil),
-		Malware: malware.NewDB(),
+	return NewServerWith(node.New(node.Options{}))
+}
+
+// NewServerWith serves an existing service instance — this is how several
+// transports share one trusted-node brain.
+func NewServerWith(svc *node.Service) *Server {
+	return &Server{
+		Svc:     svc,
+		Cors:    svc.Cors,
+		Policy:  svc.Policy,
+		Audit:   svc.Audit,
+		Malware: svc.Malware,
 		closed:  make(chan struct{}),
 	}
-	s.Malware.SeedSynthetic(1000)
-	s.Policy.SetMalwareCheck(s.Malware.Contains)
-	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -190,6 +154,10 @@ func (s *Server) Close() error {
 // response (tagged with the request's Seq) under a shared write lock as
 // soon as they finish, possibly out of order. Legacy clients that keep one
 // request outstanding observe the old strictly-serial behavior.
+//
+// Every handler runs under a connection-scoped context, cancelled when the
+// connection goes away or the server closes, so service calls observe
+// cancellation the same way an in-process caller's context does.
 func (s *Server) handleConn(conn net.Conn) {
 	defer conn.Close()
 	readTimeout := s.ReadTimeout
@@ -204,6 +172,16 @@ func (s *Server) handleConn(conn net.Conn) {
 	if inflight <= 0 {
 		inflight = DefaultMaxInflight
 	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.closed:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
 
 	br := bufio.NewReaderSize(conn, connBufSize)
 	bw := bufio.NewWriterSize(conn, connBufSize)
@@ -227,7 +205,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		go func() {
 			defer workers.Done()
 			for req := range reqq {
-				resp := s.handle(req)
+				resp := s.handle(ctx, req)
 				resp.Seq = req.Seq
 				respq <- resp
 			}
@@ -307,7 +285,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		// Cheap read-only ops skip the worker handoff: two channel hops and
 		// a goroutine wakeup cost more than serving a cached catalog.
 		if req.Op == OpCatalog || req.Op == OpPing {
-			resp := s.handle(req)
+			resp := s.handle(ctx, req)
 			resp.Seq = req.Seq
 			respq <- resp
 			continue
@@ -316,41 +294,81 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 }
 
-// handle dispatches one request.
-func (s *Server) handle(req *Request) *Response {
+// handle dispatches one request into the service.
+func (s *Server) handle(ctx context.Context, req *Request) *Response {
 	switch req.Op {
 	case OpPing:
 		return &Response{OK: true}
 	case OpRegister:
-		return s.handleRegister(req)
+		rec, err := s.Svc.RegisterCor(ctx, req.CorID, req.Plaintext, req.Description, req.Whitelist...)
+		if err != nil {
+			return errResponse(err)
+		}
+		s.logf("tinman-node: registered cor %s (%d bytes)", rec.ID, len(rec.Plaintext))
+		return &Response{OK: true, CorID: rec.ID}
 	case OpGenerate:
-		return s.handleGenerate(req)
+		if req.Length <= 0 {
+			return fail("generate requires a positive length")
+		}
+		rec, err := s.Svc.GenerateCor(ctx, req.CorID, req.Description, req.Length, req.Whitelist...)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, CorID: rec.ID}
 	case OpCatalog:
-		return s.handleCatalog(req)
+		return s.handleCatalog(ctx)
 	case OpBind:
 		if req.CorID == "" || req.AppHash == "" {
 			return fail("bind requires cor_id and app_hash")
 		}
-		s.Policy.BindApp(req.CorID, req.AppHash)
+		s.Svc.BindApp(req.CorID, req.AppHash)
 		return &Response{OK: true, CorID: req.CorID}
 	case OpRevoke:
 		if req.DeviceID == "" {
 			return fail("revoke requires device_id")
 		}
-		s.Policy.Revoke(req.DeviceID)
+		s.Svc.Revoke(req.DeviceID)
 		return &Response{OK: true}
 	case OpRestore:
 		if req.DeviceID == "" {
 			return fail("restore requires device_id")
 		}
-		s.Policy.Restore(req.DeviceID)
+		s.Svc.Restore(req.DeviceID)
 		return &Response{OK: true}
 	case OpDerive:
-		return s.handleDerive(req)
+		if req.ParentID == "" || req.CorID == "" {
+			return fail("derive requires parent_id and cor_id")
+		}
+		rec, err := s.Svc.DeriveNamed(ctx, req.ParentID, req.CorID, req.Description)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, CorID: rec.ID}
 	case OpReseal:
-		return s.handleReseal(req)
+		rec, err := s.Svc.Reseal(ctx, node.ResealRequest{
+			CorID: req.CorID, AppHash: req.AppHash, DeviceID: req.DeviceID,
+			Domain: req.Domain, TargetIP: req.TargetIP,
+			State: req.State, RecordLen: req.RecordLen,
+		})
+		if err != nil {
+			return errResponse(err)
+		}
+		s.logf("tinman-node: resealed %dB record for cor %s -> %s", len(rec), req.CorID, req.Domain)
+		return &Response{OK: true, Record: rec}
 	case OpAudit:
-		return s.handleAudit(req)
+		entries, err := s.Svc.AuditQuery(ctx, audit.Query{CorID: req.CorID, DeviceID: req.DeviceID})
+		if err != nil {
+			return errResponse(err)
+		}
+		out := make([]AuditEntry, len(entries))
+		for i, e := range entries {
+			out[i] = AuditEntry{
+				Seq: e.Seq, Time: e.Time.Format(time.RFC3339), AppHash: e.AppHash,
+				CorID: e.CorID, Device: e.DeviceID, Domain: e.Domain,
+				Outcome: e.Outcome.String(), Detail: e.Detail,
+			}
+		}
+		return &Response{OK: true, Audit: out}
 	default:
 		return fail("unknown op %q", string(req.Op))
 	}
@@ -360,34 +378,15 @@ func fail(format string, args ...any) *Response {
 	return &Response{OK: false, Error: fmt.Sprintf(format, args...)}
 }
 
-func deny(d *policy.Denial) *Response {
-	return &Response{OK: false, Error: d.Error(), Denial: d.Reason.String()}
-}
-
-func (s *Server) handleRegister(req *Request) *Response {
-	rec, err := s.Cors.Register(req.CorID, req.Plaintext, req.Description, req.Whitelist...)
-	if err != nil {
-		return fail("%v", err)
+// errResponse converts a service error into the wire envelope: policy
+// refusals carry the machine-readable reason in Denial; everything else is
+// a plain error string, byte-identical to the service's message.
+func errResponse(err error) *Response {
+	var d *policy.Denial
+	if errors.As(err, &d) {
+		return &Response{OK: false, Error: d.Error(), Denial: d.Reason.String()}
 	}
-	if req.Whitelist != nil {
-		s.Policy.SetWhitelist(rec.ID, req.Whitelist)
-	}
-	s.logf("tinman-node: registered cor %s (%d bytes)", rec.ID, len(rec.Plaintext))
-	return &Response{OK: true, CorID: rec.ID}
-}
-
-func (s *Server) handleGenerate(req *Request) *Response {
-	if req.Length <= 0 {
-		return fail("generate requires a positive length")
-	}
-	rec, err := s.Cors.GenerateNew(req.CorID, req.Description, req.Length, req.Whitelist...)
-	if err != nil {
-		return fail("%v", err)
-	}
-	if req.Whitelist != nil {
-		s.Policy.SetWhitelist(rec.ID, req.Whitelist)
-	}
-	return &Response{OK: true, CorID: rec.ID}
+	return &Response{OK: false, Error: err.Error()}
 }
 
 // catalogCache pairs a DeviceViews snapshot with its wire conversion.
@@ -398,8 +397,11 @@ type catalogCache struct {
 	entries []CatalogEntry
 }
 
-func (s *Server) handleCatalog(*Request) *Response {
-	views := s.Cors.DeviceViews()
+func (s *Server) handleCatalog(ctx context.Context) *Response {
+	views, err := s.Svc.Catalog(ctx)
+	if err != nil {
+		return errResponse(err)
+	}
 	if c := s.catalog.Load(); c != nil && len(c.views) == len(views) &&
 		(len(views) == 0 || &c.views[0] == &views[0]) {
 		return &Response{OK: true, Catalog: c.entries}
@@ -410,105 +412,4 @@ func (s *Server) handleCatalog(*Request) *Response {
 	}
 	s.catalog.Store(&catalogCache{views: views, entries: out})
 	return &Response{OK: true, Catalog: out}
-}
-
-func (s *Server) handleDerive(req *Request) *Response {
-	if req.ParentID == "" || req.CorID == "" {
-		return fail("derive requires parent_id and cor_id")
-	}
-	// The derived plaintext is computed on the node from the parent — the
-	// device never supplies secret content (e.g. the sha256-hex hash used
-	// for web login, §4.1).
-	parent := s.Cors.Get(req.ParentID)
-	if parent == nil {
-		return fail("unknown parent cor %q", req.ParentID)
-	}
-	var content string
-	switch req.Description {
-	case "", "sha256-hex":
-		content = apphashOf(parent.Plaintext)
-	default:
-		return fail("unknown derivation %q", req.Description)
-	}
-	rec, err := s.Cors.Derive(req.ParentID, req.CorID, content)
-	if err != nil {
-		return fail("%v", err)
-	}
-	return &Response{OK: true, CorID: rec.ID}
-}
-
-// handleReseal is payload replacement over the wire: given the device's
-// exported session state and a cor, produce the record the trusted node
-// sends on the device's behalf. The caller supplies record_len (the length
-// of the placeholder-bearing record it would have sent) so the node can
-// verify TCP sequence consistency.
-func (s *Server) handleReseal(req *Request) *Response {
-	rec := s.Cors.Get(req.CorID)
-	if rec == nil {
-		return fail("unknown cor %q", req.CorID)
-	}
-	checkID := rec.ID
-	if parent := s.Cors.ByBit(rec.Bit); parent != nil {
-		checkID = parent.ID
-	}
-	acc := policy.Access{
-		CorID:    checkID,
-		AppHash:  req.AppHash,
-		DeviceID: req.DeviceID,
-		Send:     true,
-		Domain:   req.Domain,
-		IP:       req.TargetIP,
-	}
-	if err := s.Policy.Check(acc); err != nil {
-		if d, ok := policy.IsDenial(err); ok {
-			s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, d.Error())
-			return deny(d)
-		}
-		return fail("%v", err)
-	}
-	st, ok := s.states.get(req.State)
-	if !ok {
-		var err error
-		st, err = tlssim.UnmarshalState(req.State)
-		if err != nil {
-			return fail("bad session state: %v", err)
-		}
-		s.states.put(req.State, st)
-	}
-	if st.Version <= tlssim.TLS10 {
-		s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused")
-		return fail("refusing %v session: implicit-IV state sync leaks plaintext (fig 7)", st.Version)
-	}
-	sess, err := tlssim.Resume(st, nil)
-	if err != nil {
-		return fail("resuming session: %v", err)
-	}
-	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
-	if err != nil {
-		return fail("sealing: %v", err)
-	}
-	if req.RecordLen > 0 && len(out) != req.RecordLen {
-		return fail("resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), req.RecordLen)
-	}
-	s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "record resealed")
-	s.logf("tinman-node: resealed %dB record for cor %s -> %s", len(out), req.CorID, req.Domain)
-	return &Response{OK: true, Record: out}
-}
-
-func (s *Server) handleAudit(req *Request) *Response {
-	entries := s.Audit.Find(audit.Query{CorID: req.CorID, DeviceID: req.DeviceID})
-	out := make([]AuditEntry, len(entries))
-	for i, e := range entries {
-		out[i] = AuditEntry{
-			Seq: e.Seq, Time: e.Time.Format(time.RFC3339), AppHash: e.AppHash,
-			CorID: e.CorID, Device: e.DeviceID, Domain: e.Domain,
-			Outcome: e.Outcome.String(), Detail: e.Detail,
-		}
-	}
-	return &Response{OK: true, Audit: out}
-}
-
-// apphashOf is the standard sha256-hex derivation.
-func apphashOf(s string) string {
-	return apps256(s)
 }

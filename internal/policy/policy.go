@@ -6,6 +6,7 @@
 package policy
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -57,6 +58,21 @@ func (r Reason) String() string {
 	return fmt.Sprintf("Reason(%d)", uint8(r))
 }
 
+// ReasonFromString maps a Reason's String() form back to the Reason —
+// the inverse used when a denial crosses a wire as text.
+func ReasonFromString(s string) (Reason, bool) {
+	for r, name := range reasonNames {
+		if name == s {
+			return Reason(r), true
+		}
+	}
+	return 0, false
+}
+
+// ErrDenied is the sentinel every *Denial matches via errors.Is, so
+// callers can branch on "policy said no" without caring which rule fired.
+var ErrDenied = errors.New("policy: access denied")
+
 // Denial is the typed error returned for refused accesses.
 type Denial struct {
 	Reason Reason
@@ -72,10 +88,16 @@ func (d *Denial) Error() string {
 	return s
 }
 
-// IsDenial extracts a Denial from an error.
+// Is makes every denial match ErrDenied under errors.Is.
+func (d *Denial) Is(target error) bool { return target == ErrDenied }
+
+// IsDenial extracts a Denial from an error, unwrapping as needed.
 func IsDenial(err error) (*Denial, bool) {
-	d, ok := err.(*Denial)
-	return d, ok
+	var d *Denial
+	if errors.As(err, &d) {
+		return d, true
+	}
+	return nil, false
 }
 
 // Access describes one attempted cor use.
