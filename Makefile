@@ -3,14 +3,19 @@
 #   make build        compile everything
 #   make vet          static checks
 #   make test         full test suite
-#   make check        formatting + vet + build + test, the pre-commit gate
+#   make check        formatting + vet + build + test + bench-smoke, the
+#                     pre-commit gate
 #   make race         race-detector pass over the concurrent subsystems
-#   make bench-smoke  quick node-throughput benchmark (not a full eval run)
+#   make bench-smoke  one iteration of every benchmark (a does-it-run gate,
+#                     not a measurement)
+#   make bench-json   append a machine-readable Caffeinemark run to
+#                     BENCH_vm.json (LABEL=... names the run)
 
 GO ?= go
 GOFMT ?= gofmt
+LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check race bench-smoke clean
+.PHONY: all build vet test check race bench-smoke bench-json clean
 
 all: build vet test
 
@@ -33,16 +38,24 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) bench-smoke
 
 # The node service plus the transports that drive it concurrently get a
 # dedicated -race pass (multi-device service tests live in internal/node).
 race:
 	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/
 
-# A short throughput sample of the trusted-node service — enough to spot a
-# regression, not a measurement (see EXPERIMENTS.md for the real recipe).
+# One iteration of every benchmark in the tree: catches benchmarks that
+# stopped compiling or panic, without pretending to measure anything (see
+# EXPERIMENTS.md for real measurement recipes).
 bench-smoke:
-	$(GO) test -run xxx -bench 'BenchmarkNodeThroughput' -benchtime 5000x ./internal/nodeproto/
+	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Machine-readable Caffeinemark run appended to BENCH_vm.json: per-kernel
+# ns/op and allocs/op under every tainting policy plus the unlinked
+# reference interpreter.
+bench-json:
+	$(GO) run ./cmd/tinman-bench -json BENCH_vm.json -label "$(LABEL)"
 
 clean:
 	$(GO) clean ./...

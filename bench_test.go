@@ -50,6 +50,35 @@ func BenchmarkFig13_Caffeinemark(b *testing.B) {
 	}
 }
 
+// BenchmarkFig13_ReferenceInterpreter reruns the Caffeinemark kernels on
+// the reference interpreter (no link-time resolution, inline caches, frame
+// pooling reuse still applies per thread but every symbol resolves through
+// the original map lookups). The delta against BenchmarkFig13_Caffeinemark
+// under the same policy is the measured value of interpreter linking.
+func BenchmarkFig13_ReferenceInterpreter(b *testing.B) {
+	for _, k := range bench.Kernels {
+		b.Run(k.Name+"/off", func(b *testing.B) {
+			machine, err := bench.NewReferenceCaffeineVM(taint.Off)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := bench.RunKernel(machine, k); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunKernel(machine, k); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				machine.Heap.ClearDirty()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(k.Arg)*float64(b.N)/b.Elapsed().Seconds(), "score")
+		})
+	}
+}
+
 // loginBench runs one app's login under one configuration, reporting
 // virtual seconds per login.
 func loginBench(b *testing.B, profile netsim.Profile, app string, tinman bool, seed int64) {

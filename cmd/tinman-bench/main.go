@@ -15,12 +15,20 @@
 //
 //	tinman-bench -throughput                     # all modes, 8 clients, 2s each
 //	tinman-bench -throughput -mode pipelined -clients 16 -conns 4 -tduration 5s
+//
+// -json FILE appends a machine-readable Caffeinemark run (per-kernel ns/op
+// and allocs/op under every policy, plus the unlinked reference
+// interpreter) to FILE — `make bench-json` maintains BENCH_vm.json this
+// way. -cpuprofile/-memprofile capture pprof profiles of whatever work the
+// invocation performs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tinman/internal/bench"
@@ -42,6 +50,11 @@ func main() {
 		conns      = flag.Int("conns", 1, "throughput: connection-pool size")
 		mode       = flag.String("mode", "", "throughput: one of pipelined, serial, seed (default: compare all)")
 		tduration  = flag.Duration("tduration", 2*time.Second, "throughput: measurement duration per mode")
+
+		jsonPath   = flag.String("json", "", "append a machine-readable Caffeinemark run to this file (e.g. BENCH_vm.json) instead of the paper figures")
+		label      = flag.String("label", "", "label stored with the -json run (e.g. a commit subject)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -50,6 +63,46 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "tinman-bench: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	if *jsonPath != "" {
+		run, err := bench.MeasureVMBench(*label, *rounds)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintVMBenchRun(out, run)
+		if err := bench.AppendVMBench(*jsonPath, run); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "appended to %s\n", *jsonPath)
+		return
 	}
 
 	if *throughput {

@@ -91,7 +91,9 @@ func SpecByName(name string) (Spec, bool) {
 }
 
 // dirtyFiller is a 232-byte literal; with object headers each allocation
-// costs ~256 wire bytes.
+// costs ~256 wire bytes. scratchLoop copies it (substr) once per iteration
+// so every scratch string is a distinct heap object — the VM interns the
+// literal itself, and interned literals never inflate the dirty set.
 var dirtyFiller = strings.Repeat("tinman-scratch-", 15) + "pad4567"
 
 // Source generates the app's program in VM assembly.
@@ -121,12 +123,14 @@ class Work
     return r1
   end
   method scratchLoop 1 6
+    conststr r2, "` + dirtyFiller + `"
+    const r3, 0
     const r1, 0
   loop:
     ifge r1, r0, done
-    conststr r2, "` + dirtyFiller + `"
-    const r3, 1
-    add r1, r1, r3
+    substr r4, r2, r3, -1
+    const r5, 1
+    add r1, r1, r5
     goto loop
   done:
     return r1

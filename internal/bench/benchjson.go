@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"tinman/internal/taint"
+)
+
+// This file is the machine-readable side of Fig 13: `tinman-bench -json`
+// (and `make bench-json`) append a run to BENCH_vm.json so interpreter
+// performance can be tracked across commits. The schema is deliberately
+// flat — one entry per kernel×policy with ns/op and allocs/op — so any
+// plotting script can consume it without knowing the harness.
+
+// VMBenchEntry is one kernel under one interpreter configuration.
+type VMBenchEntry struct {
+	Kernel string `json:"kernel"`
+	// Policy is "off", "full" or "asymmetric"; the reference-interpreter
+	// baseline (no linking, no inline caches) is recorded as
+	// "off-reference".
+	Policy      string  `json:"policy"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Score is the Caffeinemark-style work-units-per-second figure.
+	Score float64 `json:"score"`
+}
+
+// VMBenchRun is one invocation of the emitter.
+type VMBenchRun struct {
+	Label     string         `json:"label"`
+	Time      string         `json:"time"`
+	GoVersion string         `json:"go_version"`
+	Rounds    int            `json:"rounds"`
+	Entries   []VMBenchEntry `json:"entries"`
+	// GeomeanOffNs summarizes the untainted kernels: the geometric mean of
+	// their ns/op (the number the linking optimization is gated on).
+	GeomeanOffNs float64 `json:"geomean_off_ns"`
+}
+
+// VMBenchFile is the on-disk shape: a run trajectory, oldest first.
+type VMBenchFile struct {
+	Runs []VMBenchRun `json:"runs"`
+}
+
+// measureKernel times one kernel on one VM configuration: best wall time of
+// `rounds` runs, and the allocation count of a single post-warm-up run.
+func measureKernel(k Kernel, policy taint.Policy, reference bool, rounds int) (VMBenchEntry, error) {
+	mk := NewCaffeineVM
+	if reference {
+		mk = NewReferenceCaffeineVM
+	}
+	name := policy.Name()
+	if reference {
+		name += "-reference"
+	}
+	best := time.Duration(math.MaxInt64)
+	var allocs uint64
+	for r := 0; r < rounds; r++ {
+		machine, err := mk(policy)
+		if err != nil {
+			return VMBenchEntry{}, err
+		}
+		warm := k
+		warm.Arg = k.Arg / 16
+		if _, err := RunKernel(machine, warm); err != nil {
+			return VMBenchEntry{}, err
+		}
+		machine.Heap.ClearDirty()
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := RunKernel(machine, k); err != nil {
+			return VMBenchEntry{}, err
+		}
+		d := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if d < best {
+			best = d
+			allocs = after.Mallocs - before.Mallocs
+		}
+	}
+	return VMBenchEntry{
+		Kernel:      k.Name,
+		Policy:      name,
+		NsPerOp:     float64(best.Nanoseconds()),
+		AllocsPerOp: float64(allocs),
+		Score:       float64(k.Arg) / best.Seconds(),
+	}, nil
+}
+
+// MeasureVMBench runs the full kernel grid: every kernel under the three
+// Fig 13 policies on the linked interpreter, plus the untainted reference
+// interpreter as the linking baseline.
+func MeasureVMBench(label string, rounds int) (VMBenchRun, error) {
+	if rounds <= 0 {
+		rounds = 5
+	}
+	run := VMBenchRun{
+		Label:     label,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Rounds:    rounds,
+	}
+	logOff := 0.0
+	for _, k := range Kernels {
+		for _, pol := range Fig13Policies {
+			e, err := measureKernel(k, pol, false, rounds)
+			if err != nil {
+				return run, err
+			}
+			run.Entries = append(run.Entries, e)
+			if pol.Name() == "off" {
+				logOff += math.Log(e.NsPerOp)
+			}
+		}
+		ref, err := measureKernel(k, taint.Off, true, rounds)
+		if err != nil {
+			return run, err
+		}
+		run.Entries = append(run.Entries, ref)
+	}
+	run.GeomeanOffNs = math.Exp(logOff / float64(len(Kernels)))
+	return run, nil
+}
+
+// AppendVMBench appends run to the JSON trajectory at path, creating the
+// file on first use.
+func AppendVMBench(path string, run VMBenchRun) error {
+	var file VMBenchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &file); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a bench trajectory: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	file.Runs = append(file.Runs, run)
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// PrintVMBenchRun renders a run the way `go test -bench` would, for the
+// operator watching the emitter.
+func PrintVMBenchRun(w io.Writer, run VMBenchRun) {
+	fmt.Fprintf(w, "vm bench %q (%s, %s, best of %d):\n", run.Label, run.Time, run.GoVersion, run.Rounds)
+	for _, e := range run.Entries {
+		fmt.Fprintf(w, "  %-8s %-16s %12.0f ns/op %10.0f allocs/op %14.0f score\n",
+			e.Kernel, e.Policy, e.NsPerOp, e.AllocsPerOp, e.Score)
+	}
+	fmt.Fprintf(w, "  geomean(off) %.0f ns/op\n", run.GeomeanOffNs)
+}

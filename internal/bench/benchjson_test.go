@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAppendVMBenchBuildsTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_vm.json")
+	mk := func(label string, ns float64) VMBenchRun {
+		return VMBenchRun{
+			Label: label, Time: "2026-08-05T00:00:00Z", GoVersion: "go-test", Rounds: 1,
+			Entries:      []VMBenchEntry{{Kernel: "Sieve", Policy: "off", NsPerOp: ns, AllocsPerOp: 7, Score: 1}},
+			GeomeanOffNs: ns,
+		}
+	}
+	if err := AppendVMBench(path, mk("before", 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendVMBench(path, mk("after", 50)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file VMBenchFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trajectory is not valid JSON: %v", err)
+	}
+	if len(file.Runs) != 2 || file.Runs[0].Label != "before" || file.Runs[1].Label != "after" {
+		t.Fatalf("trajectory = %+v", file.Runs)
+	}
+	var buf bytes.Buffer
+	PrintVMBenchRun(&buf, file.Runs[1])
+	if !strings.Contains(buf.String(), "Sieve") || !strings.Contains(buf.String(), "geomean") {
+		t.Fatalf("render missing fields:\n%s", buf.String())
+	}
+	// A corrupt file must refuse to append rather than silently overwrite.
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendVMBench(path, mk("x", 1)); err == nil {
+		t.Fatal("appended over a corrupt trajectory")
+	}
+}

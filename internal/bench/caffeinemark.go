@@ -189,13 +189,25 @@ var (
 // NewCaffeineVM builds a VM loaded with the kernel suite under the given
 // policy. A fresh heap keeps allocation effects comparable across runs.
 func NewCaffeineVM(policy taint.Policy) (*vm.VM, error) {
+	return newCaffeineVM(policy, false)
+}
+
+// NewReferenceCaffeineVM builds the same VM forced through the reference
+// interpreter (vm.Config.SlowPath: no link-time resolution, no inline
+// caches, no literal interning). Benchmarking it against NewCaffeineVM
+// isolates what the linked fast paths buy.
+func NewReferenceCaffeineVM(policy taint.Policy) (*vm.VM, error) {
+	return newCaffeineVM(policy, true)
+}
+
+func newCaffeineVM(policy taint.Policy, slowPath bool) (*vm.VM, error) {
 	caffeineOnce.Do(func() {
 		caffeineProg, caffeineErr = asm.Assemble("caffeinemark", caffeineSource)
 	})
 	if caffeineErr != nil {
 		return nil, caffeineErr
 	}
-	return vm.New(vm.Config{Program: caffeineProg, Heap: vm.NewHeap(1, 2), Policy: policy}), nil
+	return vm.New(vm.Config{Program: caffeineProg, Heap: vm.NewHeap(1, 2), Policy: policy, SlowPath: slowPath}), nil
 }
 
 // RunKernel executes one kernel once and returns its result value.

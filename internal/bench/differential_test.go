@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"tinman/internal/apps"
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+	"tinman/internal/vm/asm"
+)
+
+// The differential harness pins the linked interpreter (inline caches,
+// interned literals, pooled frames) against the reference interpreter
+// (Config.SlowPath: every symbol resolved through the original map lookups
+// on every instruction). For every workload and every policy the two must
+// agree on results, shadow tags, propagation counters, instruction and call
+// counts, and the exact sequence of offload-trigger points. Heap object
+// identity is NOT compared: literal interning legitimately changes how many
+// untainted string objects exist, which is unobservable to programs (the
+// ISA has no reference equality on strings).
+
+// diffOutcome is everything about a run that the optimization must preserve.
+type diffOutcome struct {
+	stop     vm.StopReason
+	err      string
+	result   vm.Value
+	instrs   uint64
+	calls    uint64
+	counters taint.Counters
+	// triggers is the ordered (tag, event) list of offload-trigger points.
+	triggers []string
+	// tainted is the sorted multiset of tainted-object descriptors.
+	tainted []string
+}
+
+func (o diffOutcome) summary() string {
+	return fmt.Sprintf("stop=%v err=%q result={kind=%d int=%d tag=%v} instrs=%d calls=%d counters=%v triggers=%v tainted=%v",
+		o.stop, o.err, o.result.Kind, o.result.Int, o.result.Tag, o.instrs, o.calls, o.counters, o.triggers, o.tainted)
+}
+
+func (o diffOutcome) equal(p diffOutcome) bool { return o.summary() == p.summary() }
+
+// taintedObjects renders every object carrying any taint as a descriptor
+// that ignores heap IDs (allocation order differs under interning).
+func taintedObjects(h *vm.Heap) []string {
+	var out []string
+	for _, o := range h.Objects() {
+		dirty := o.Tag != taint.None
+		for i := range o.FieldTags {
+			if o.FieldTags[i] != taint.None {
+				dirty = true
+			}
+		}
+		for i := range o.ElemTags {
+			if o.ElemTags[i] != taint.None {
+				dirty = true
+			}
+		}
+		if !dirty {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s tag=%v", o.Class.Name, o.Tag)
+		switch {
+		case o.IsStr:
+			fmt.Fprintf(&b, " str=%q", o.Str)
+		case o.IsArr:
+			fmt.Fprintf(&b, " elems=%d", len(o.Elems))
+			for i, t := range o.ElemTags {
+				if t != taint.None {
+					fmt.Fprintf(&b, " e%d=%v", i, t)
+				}
+			}
+		default:
+			for i, t := range o.FieldTags {
+				if t != taint.None {
+					fmt.Fprintf(&b, " f%d(%s)=%v", i, o.Class.Fields[i], t)
+				}
+			}
+		}
+		out = append(out, b.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// diffRun executes main(args) to completion on a fresh VM and captures the
+// outcome. migrate controls the OnTaintedAccess verdict: false records the
+// trigger and continues (pure tracking), true stops at the first trigger
+// the way the device-side offload engine does.
+func diffRun(t *testing.T, prog *vm.Program, policy taint.Policy, slowPath, migrate bool,
+	setup func(*vm.VM) (*vm.Thread, error)) diffOutcome {
+	t.Helper()
+	machine := vm.New(vm.Config{
+		Program:      prog,
+		Heap:         vm.NewHeap(1, 2),
+		Policy:       policy,
+		CollectStats: true,
+		SlowPath:     slowPath,
+	})
+	var out diffOutcome
+	machine.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool {
+		out.triggers = append(out.triggers, fmt.Sprintf("%v/%v", tag, ev))
+		return migrate
+	}
+	th, err := setup(machine)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	stop, err := th.Run()
+	out.stop = stop
+	if err != nil {
+		out.err = err.Error()
+	}
+	if stop == vm.StopMigrateTaint {
+		// The migrate stop contract: the top frame's PC points at the
+		// triggering instruction so the peer re-executes it. Fold the
+		// resume point into the outcome so both interpreters must agree.
+		top := th.Top()
+		out.err += fmt.Sprintf("[stopped at %s@%d]", top.Method.FullName(), top.PC)
+	}
+	out.result = th.Result
+	out.instrs = machine.Instrs
+	out.calls = machine.Calls
+	out.counters = machine.Counters
+	out.tainted = taintedObjects(machine.Heap)
+	return out
+}
+
+// diffCompare runs a setup under every Fig 13 policy in both interpreters
+// and fails on the first divergence.
+func diffCompare(t *testing.T, name string, prog *vm.Program, migrate bool,
+	setup func(*vm.VM) (*vm.Thread, error)) {
+	t.Helper()
+	for _, pol := range Fig13Policies {
+		fast := diffRun(t, prog, pol, false, migrate, setup)
+		slow := diffRun(t, prog, pol, true, migrate, setup)
+		if !fast.equal(slow) {
+			t.Errorf("%s under %s diverges:\n  linked: %s\n  slow:   %s",
+				name, pol.Name(), fast.summary(), slow.summary())
+		}
+	}
+}
+
+// TestDifferentialKernels runs every Caffeinemark kernel — with clean and
+// with tainted arguments — through both interpreters under all policies.
+func TestDifferentialKernels(t *testing.T) {
+	prog, err := asm.Assemble("caffeinemark", caffeineSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kernels {
+		k := k
+		// Kernels are heavy at benchmark size; differential runs shrink the
+		// work parameter — equivalence is per instruction, not per volume.
+		arg := k.Arg / 64
+		t.Run(k.Name, func(t *testing.T) {
+			diffCompare(t, k.Name, prog, false, func(machine *vm.VM) (*vm.Thread, error) {
+				return machine.NewThread(machine.Program.Method("Caffeine", k.Method), vm.IntVal(arg))
+			})
+		})
+		t.Run(k.Name+"/tainted-arg", func(t *testing.T) {
+			diffCompare(t, k.Name, prog, false, func(machine *vm.VM) (*vm.Thread, error) {
+				a := vm.IntVal(arg)
+				a.Tag = taint.Bit(3)
+				return machine.NewThread(machine.Program.Method("Caffeine", k.Method), a)
+			})
+		})
+	}
+}
+
+// appThread prepares a login(account, passwd, host) thread with a tainted
+// password, the way the framework materializes a cor placeholder.
+func appThread(spec apps.Spec) func(*vm.VM) (*vm.Thread, error) {
+	return func(machine *vm.VM) (*vm.Thread, error) {
+		machine.RegisterNative(&vm.NativeDef{
+			Name:        "https_request",
+			Offloadable: true,
+			Fn: func(th *vm.Thread, args []vm.Value) (vm.Value, error) {
+				return vm.RefVal(th.VM.NewString("HTTP/1.1 200 OK\r\n\r\nwelcome")), nil
+			},
+		})
+		account := vm.RefVal(machine.NewString(spec.Account))
+		passwd := vm.RefVal(machine.NewTaintedString(spec.Password, taint.Bit(1)))
+		passwd.Tag = taint.Bit(1)
+		host := vm.RefVal(machine.NewString(spec.Domain))
+		return machine.NewThread(machine.Program.Method(spec.ClassName, "login"), account, passwd, host)
+	}
+}
+
+// TestDifferentialApps runs every sample login app through both
+// interpreters: once tracking-only (full trigger sequence) and once in
+// migrate mode (stop at the first trigger, compare the resume point).
+func TestDifferentialApps(t *testing.T) {
+	for _, spec := range apps.LoginApps {
+		spec := spec
+		prog, err := asm.Assemble(spec.Name, spec.Source())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			diffCompare(t, spec.Name, prog, false, appThread(spec))
+		})
+		t.Run(spec.Name+"/migrate", func(t *testing.T) {
+			diffCompare(t, spec.Name, prog, true, appThread(spec))
+		})
+	}
+}
+
+// TestDifferentialRepeatedRuns pins a second property of the caches: a
+// warmed program (caches populated by a prior run) must behave identically
+// to a cold one, including when the warming VM was a different VM instance
+// (the per-VM caches must miss cleanly, not leak the other VM's objects).
+func TestDifferentialRepeatedRuns(t *testing.T) {
+	prog, err := asm.Assemble("caffeinemark", caffeineSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Kernels[5] // String: exercises conststr interning hardest
+	run := func() diffOutcome {
+		return diffRun(t, prog, taint.Full, false, false, func(machine *vm.VM) (*vm.Thread, error) {
+			return machine.NewThread(machine.Program.Method("Caffeine", k.Method), vm.IntVal(k.Arg/64))
+		})
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		again := run()
+		if !first.equal(again) {
+			t.Fatalf("warmed run %d diverges:\n  first: %s\n  again: %s", i, first.summary(), again.summary())
+		}
+	}
+}

@@ -18,7 +18,7 @@ package taint
 import (
 	"fmt"
 	"math/bits"
-	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -55,27 +55,31 @@ func (t Tag) Empty() bool { return t == 0 }
 // Count returns the number of distinct cor bits in the tag.
 func (t Tag) Count() int { return bits.OnesCount64(uint64(t)) }
 
-// Bits returns the indices of the set bits in ascending order.
+// Bits returns the indices of the set bits in ascending order. It walks
+// only the set bits (TrailingZeros per bit) rather than scanning all 64
+// positions, since tags are usually sparse — a handful of cors at most.
 func (t Tag) Bits() []int {
-	var out []int
-	for i := 0; i < 64; i++ {
-		if t&(1<<uint(i)) != 0 {
-			out = append(out, i)
-		}
+	if t == 0 {
+		return nil
+	}
+	out := make([]int, 0, t.Count())
+	for rest := uint64(t); rest != 0; rest &= rest - 1 {
+		out = append(out, bits.TrailingZeros64(rest))
 	}
 	return out
 }
 
-// String renders the tag for logs and test failures.
+// String renders the tag for logs and test failures. Bits appear in
+// ascending numeric order (Bits() is already sorted; sorting the decimal
+// strings here used to render taint{2,10} as taint{10,2}).
 func (t Tag) String() string {
 	if t == 0 {
 		return "taint{}"
 	}
 	parts := make([]string, 0, t.Count())
 	for _, b := range t.Bits() {
-		parts = append(parts, fmt.Sprintf("%d", b))
+		parts = append(parts, strconv.Itoa(b))
 	}
-	sort.Strings(parts)
 	return "taint{" + strings.Join(parts, ",") + "}"
 }
 

@@ -119,3 +119,41 @@ end`)
 }
 
 var _ = vm.OpNop // keep the vm import for doc references
+
+// TestLinkedRoundTrip pins the assemble → link → disassemble cycle: every
+// assembled program comes back linked (Verify links on success), linking is
+// invisible in the disassembly, and a warmed program — one whose inline
+// caches were populated by execution — still disassembles and reassembles
+// to the identical program.
+func TestLinkedRoundTrip(t *testing.T) {
+	p1, err := Assemble("rt", roundTripSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Linked() {
+		t.Fatal("Assemble returned an unlinked program")
+	}
+	dis := p1.Disassemble()
+
+	// Warm the runtime caches: execute a method touching field and invoke
+	// sites, then disassemble again.
+	machine := vm.New(vm.Config{Program: p1, Heap: vm.NewHeap(1, 2)})
+	acct := machine.Heap.Alloc(p1.Class("Acct"))
+	th, err := machine.NewThread(p1.Method("Acct", "deposit"), vm.RefVal(acct), vm.IntVal(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := th.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p1.Disassemble(); got != dis {
+		t.Fatalf("warm caches leaked into the disassembly:\n%s", got)
+	}
+	p2, err := Assemble("rt", dis)
+	if err != nil {
+		t.Fatalf("reassembling linked disassembly: %v", err)
+	}
+	if p1.Hash() != p2.Hash() {
+		t.Fatal("linked round trip changed the program hash")
+	}
+}

@@ -75,6 +75,7 @@ type Program struct {
 	Name    string
 	classes map[string]*Class
 	sealed  bool
+	linked  bool
 	hash    string
 }
 

@@ -115,6 +115,10 @@ type Heap struct {
 	nextID  uint64
 	step    uint64
 	dirty   map[uint64]struct{}
+	// lastDirty short-circuits MarkDirty for consecutive writes to the same
+	// object (the aput-in-a-loop pattern): the map insert is skipped once
+	// the object is known-dirty. Reset whenever the dirty set is cleared.
+	lastDirty *Object
 	// Allocs counts allocations for stats.
 	Allocs uint64
 }
@@ -194,7 +198,11 @@ func (h *Heap) Objects() []*Object {
 // write; natives that mutate objects must call it too.
 func (h *Heap) MarkDirty(o *Object) {
 	o.Version++
+	if h.lastDirty == o {
+		return
+	}
 	h.dirty[o.ID] = struct{}{}
+	h.lastDirty = o
 }
 
 // DirtyObjects returns the mutated-since-last-clear objects ordered by ID.
@@ -210,7 +218,10 @@ func (h *Heap) DirtyObjects() []*Object {
 }
 
 // ClearDirty resets dirty tracking after a sync.
-func (h *Heap) ClearDirty() { h.dirty = make(map[uint64]struct{}) }
+func (h *Heap) ClearDirty() {
+	h.dirty = make(map[uint64]struct{})
+	h.lastDirty = nil
+}
 
 // DirtyCount returns the number of dirty objects.
 func (h *Heap) DirtyCount() int { return len(h.dirty) }
@@ -238,4 +249,5 @@ func (h *Heap) install(o *Object) {
 	h.objects[o.ID] = o
 	h.Allocs++
 	h.dirty[o.ID] = struct{}{}
+	h.lastDirty = o
 }

@@ -26,68 +26,121 @@ const defaultMaxInstrs = 500_000_000
 // the Asymmetric device skips the stack-involved classes, and the Full
 // trusted node propagates everything. This is where Fig 13's measured
 // overhead differences come from.
+//
+// The dispatch loop is organized for speed (the numbers behind Fig 13 are
+// real interpreter time):
+//
+//   - frame state (pc, code, regs, tags) lives in locals that are reloaded
+//     only on a frame switch and written back only when control leaves the
+//     loop, instead of per instruction;
+//   - policy checks are hoisted into booleans computed once per Run;
+//   - symbol operands resolve through link-time pre-resolution and per-site
+//     monomorphic inline caches (see link.go), falling back to the original
+//     map lookups on a miss — or always, under Config.SlowPath;
+//   - returned frames are recycled through a per-thread pool, and native
+//     argument slices reuse one scratch buffer.
+//
+// VM.Instrs and the top frame's PC are therefore exact when Run returns and
+// before any native call, but not observed mid-loop.
 func (t *Thread) Run() (StopReason, error) {
 	v := t.VM
 	max := t.MaxInstrs
 	if max == 0 {
 		max = defaultMaxInstrs
 	}
-	var executed uint64
+	if len(t.Frames) == 0 {
+		return StopDone, nil
+	}
+
+	// executed counts instructions this Run; flushed is the prefix already
+	// folded into v.Instrs. The difference is flushed at every exit and
+	// before native calls.
+	var executed, flushed uint64
 	tracking := v.tracking
 	// observe is false only for the untainted baseline with no hooks: then
 	// heap reads skip taint observation entirely.
 	observe := tracking || v.CollectStats || v.Hooks.OnTaintedAccess != nil
+	s2s, s2h, h2s, h2h := v.trackS2S, v.trackS2H, v.trackH2S, v.trackH2H
+	stats := v.CollectStats
+	countS2S := s2s && stats
+	countS2H := s2h && stats
+	corIdle := v.corIdleWindow > 0
+	idleWin := v.corIdleWindow
+	slow := v.slowPath
 
-	for len(t.Frames) > 0 {
-		f := t.Frames[len(t.Frames)-1]
-		if f.PC < 0 || f.PC >= len(f.Method.Code) {
-			return StopDone, errAt(f, "pc out of range (len=%d)", len(f.Method.Code))
+	f := t.Frames[len(t.Frames)-1]
+	pc := f.PC
+	code := f.Method.Code
+	regs := f.Regs
+	tags := f.Tags
+
+	for {
+		if pc < 0 || pc >= len(code) {
+			return t.failAt(f, pc, executed-flushed, "pc out of range (len=%d)", len(code))
 		}
-		in := &f.Method.Code[f.PC]
-
 		if executed >= max {
+			f.PC = pc
+			v.Instrs += executed - flushed
 			return StopLimit, nil
 		}
+		in := &code[pc]
 		executed++
-		v.Instrs++
 
 		// cor-idle window (§3.1 migrate-back case 1), trusted node only.
-		if v.corIdleWindow > 0 {
+		if corIdle {
 			v.sinceTainted++
-			if v.sinceTainted > v.corIdleWindow {
+			if v.sinceTainted > idleWin {
 				v.sinceTainted = 0
+				f.PC = pc
+				v.Instrs += executed - flushed
 				return StopMigrateIdle, nil
 			}
 		}
 
-		regs := f.Regs
-		tags := f.Tags
-		npc := f.PC + 1
+		npc := pc + 1
 
 		switch in.Op {
 		case OpNop:
 
 		case OpConst:
 			regs[in.A] = IntVal(in.Imm)
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 		case OpConstF:
 			regs[in.A] = FloatVal(in.F)
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 		case OpConstStr:
-			regs[in.A] = RefVal(v.NewString(in.Sym))
-			if v.trackS2S {
+			// Per-site interning: the literal's string object is allocated
+			// once per VM and reused while it stays untainted. Anything
+			// that taints or cor-binds the interned object (taintset, a
+			// synced-back tag) forces a fresh untainted copy — the literal
+			// semantics are copy-on-taint.
+			var o *Object
+			if !slow && in.icVM == v {
+				if c := in.icStr; c != nil && c.Tag == taint.None && c.CorID == "" {
+					o = c
+				}
+			}
+			if o == nil {
+				o = v.NewString(in.Sym)
+				if !slow {
+					in.icVM = v
+					in.icStr = o
+				}
+			}
+			regs[in.A] = RefVal(o)
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpMove:
 			regs[in.A] = regs[in.B]
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B]
-				if v.CollectStats {
+				if stats {
 					v.Counters.Add(taint.StackToStack)
 				}
 			}
@@ -104,12 +157,12 @@ func (t *Thread) Run() (StopReason, error) {
 				r = b * c
 			case OpDiv:
 				if c == 0 {
-					return StopDone, errAt(f, "division by zero")
+					return t.failAt(f, pc, executed-flushed, "division by zero")
 				}
 				r = b / c
 			case OpRem:
 				if c == 0 {
-					return StopDone, errAt(f, "division by zero")
+					return t.failAt(f, pc, executed-flushed, "division by zero")
 				}
 				r = b % c
 			case OpAnd:
@@ -131,9 +184,9 @@ func (t *Thread) Run() (StopReason, error) {
 				}
 			}
 			regs[in.A] = IntVal(r)
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B].Union(tags[in.C])
-				if v.CollectStats {
+				if countS2S {
 					v.Counters.Add(taint.StackToStack)
 				}
 			}
@@ -144,9 +197,9 @@ func (t *Thread) Run() (StopReason, error) {
 				r = ^regs[in.B].Int
 			}
 			regs[in.A] = IntVal(r)
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B]
-				if v.CollectStats {
+				if countS2S {
 					v.Counters.Add(taint.StackToStack)
 				}
 			}
@@ -174,27 +227,27 @@ func (t *Thread) Run() (StopReason, error) {
 				res = IntVal(r)
 			}
 			regs[in.A] = res
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B].Union(tags[in.C])
-				if v.CollectStats {
+				if countS2S {
 					v.Counters.Add(taint.StackToStack)
 				}
 			}
 
 		case OpNegF:
 			regs[in.A] = FloatVal(-regs[in.B].Float)
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B]
 			}
 
 		case OpI2F:
 			regs[in.A] = FloatVal(float64(regs[in.B].Int))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B]
 			}
 		case OpF2I:
 			regs[in.A] = IntVal(int64(regs[in.B].Float))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = tags[in.B]
 			}
 
@@ -236,51 +289,64 @@ func (t *Thread) Run() (StopReason, error) {
 			npc = int(in.Imm)
 
 		case OpNew:
-			c := v.ClassByName(in.Sym)
+			var c *Class
+			if !slow {
+				c = in.icClass
+			}
 			if c == nil {
-				return StopDone, errAt(f, "unknown class %s", in.Sym)
+				c = v.ClassByName(in.Sym)
+				if c == nil {
+					return t.failAt(f, pc, executed-flushed, "unknown class %s", in.Sym)
+				}
+				// Cache only program classes: the string/array built-ins
+				// are per-VM objects and must stay symbolic.
+				if !slow && c != v.stringClass && c != v.arrayClass {
+					in.icClass = c
+				}
 			}
 			regs[in.A] = RefVal(v.Heap.Alloc(c))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpNewArr:
 			n := regs[in.B].Int
 			if n < 0 || n > 1<<24 {
-				return StopDone, errAt(f, "bad array length %d", n)
+				return t.failAt(f, pc, executed-flushed, "bad array length %d", n)
 			}
 			regs[in.A] = RefVal(v.Heap.AllocArray(v.arrayClass, int(n)))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpArrLen:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "arrlen of null")
+				return t.failAt(f, pc, executed-flushed, "arrlen of null")
 			}
 			regs[in.A] = IntVal(int64(len(o.Elems)))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpAGet:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "aget from null")
+				return t.failAt(f, pc, executed-flushed, "aget from null")
 			}
 			ix := regs[in.C].Int
 			if ix < 0 || ix >= int64(len(o.Elems)) {
-				return StopDone, errAt(f, "array index %d out of range [0,%d)", ix, len(o.Elems))
+				return t.failAt(f, pc, executed-flushed, "array index %d out of range [0,%d)", ix, len(o.Elems))
 			}
 			regs[in.A] = o.Elems[ix]
 			if observe {
 				tag := o.ElemTag(int(ix)).Union(o.Tag)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -288,16 +354,16 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpAPut:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "aput to null")
+				return t.failAt(f, pc, executed-flushed, "aput to null")
 			}
 			ix := regs[in.C].Int
 			if ix < 0 || ix >= int64(len(o.Elems)) {
-				return StopDone, errAt(f, "array index %d out of range [0,%d)", ix, len(o.Elems))
+				return t.failAt(f, pc, executed-flushed, "array index %d out of range [0,%d)", ix, len(o.Elems))
 			}
 			o.Elems[ix] = regs[in.A]
-			if v.trackS2H {
+			if s2h {
 				o.SetElemTag(int(ix), tags[in.A])
-				if v.CollectStats {
+				if countS2H {
 					v.Counters.Add(taint.StackToHeap)
 				}
 			}
@@ -306,19 +372,32 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpIGet:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "iget %s from null", in.Sym)
+				return t.failAt(f, pc, executed-flushed, "iget %s from null", in.Sym)
 			}
-			fi := o.Class.FieldIndex(in.Sym)
-			if fi < 0 {
-				return StopDone, errAt(f, "class %s has no field %s", o.Class.Name, in.Sym)
+			// Monomorphic inline cache: field slot resolution keyed on the
+			// receiver class, refilled from FieldIndex on a miss.
+			var fi int
+			if !slow && in.icClass == o.Class {
+				fi = in.icSlot
+			} else {
+				fi = o.Class.FieldIndex(in.Sym)
+				if fi < 0 {
+					return t.failAt(f, pc, executed-flushed, "class %s has no field %s", o.Class.Name, in.Sym)
+				}
+				if !slow {
+					in.icClass = o.Class
+					in.icSlot = fi
+				}
 			}
 			regs[in.A] = o.Fields[fi]
 			if observe {
 				tag := o.FieldTag(fi)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -326,16 +405,25 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpIPut:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "iput %s to null", in.Sym)
+				return t.failAt(f, pc, executed-flushed, "iput %s to null", in.Sym)
 			}
-			fi := o.Class.FieldIndex(in.Sym)
-			if fi < 0 {
-				return StopDone, errAt(f, "class %s has no field %s", o.Class.Name, in.Sym)
+			var fi int
+			if !slow && in.icClass == o.Class {
+				fi = in.icSlot
+			} else {
+				fi = o.Class.FieldIndex(in.Sym)
+				if fi < 0 {
+					return t.failAt(f, pc, executed-flushed, "class %s has no field %s", o.Class.Name, in.Sym)
+				}
+				if !slow {
+					in.icClass = o.Class
+					in.icSlot = fi
+				}
 			}
 			o.Fields[fi] = regs[in.A]
-			if v.trackS2H {
+			if s2h {
 				o.SetFieldTag(fi, tags[in.A])
-				if v.CollectStats {
+				if countS2H {
 					v.Counters.Add(taint.StackToHeap)
 				}
 			}
@@ -344,7 +432,7 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpClone:
 			src := regs[in.B].Ref
 			if src == nil {
-				return StopDone, errAt(f, "clone of null")
+				return t.failAt(f, pc, executed-flushed, "clone of null")
 			}
 			tag := src.Tag
 			var dst *Object
@@ -354,7 +442,7 @@ func (t *Thread) Run() (StopReason, error) {
 			case src.IsArr:
 				dst = v.Heap.AllocArray(src.Class, len(src.Elems))
 				copy(dst.Elems, src.Elems)
-				if v.trackH2H && src.ElemTags != nil {
+				if h2h && src.ElemTags != nil {
 					dst.ElemTags = append([]taint.Tag(nil), src.ElemTags...)
 					for _, et := range src.ElemTags {
 						tag = tag.Union(et)
@@ -363,7 +451,7 @@ func (t *Thread) Run() (StopReason, error) {
 			default:
 				dst = v.Heap.Alloc(src.Class)
 				copy(dst.Fields, src.Fields)
-				if v.trackH2H && src.FieldTags != nil {
+				if h2h && src.FieldTags != nil {
 					dst.FieldTags = append([]taint.Tag(nil), src.FieldTags...)
 					for _, ft := range src.FieldTags {
 						tag = tag.Union(ft)
@@ -371,21 +459,23 @@ func (t *Thread) Run() (StopReason, error) {
 				}
 			}
 			if observe && t.heapCombine(tag) {
+				f.PC = pc
+				v.Instrs += executed - flushed
 				return StopMigrateTaint, nil
 			}
-			if v.trackH2H {
+			if h2h {
 				dst.Tag = tag
 				dst.CorID = src.CorID
 			}
 			regs[in.A] = RefVal(dst)
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpArrCopy:
 			dst, src := regs[in.A].Ref, regs[in.B].Ref
 			if dst == nil || src == nil {
-				return StopDone, errAt(f, "arrcopy with null")
+				return t.failAt(f, pc, executed-flushed, "arrcopy with null")
 			}
 			n := len(src.Elems)
 			if len(dst.Elems) < n {
@@ -393,20 +483,22 @@ func (t *Thread) Run() (StopReason, error) {
 			}
 			tag := src.Tag
 			copy(dst.Elems, src.Elems[:n])
-			if v.trackH2H {
+			if h2h {
 				for i := 0; i < n; i++ {
 					et := src.ElemTag(i)
 					dst.SetElemTag(i, et)
 					tag = tag.Union(et)
 				}
-				if v.CollectStats {
+				if stats {
 					v.Counters.Add(taint.HeapToHeap)
 				}
 			}
 			if observe && t.heapCombine(tag) {
+				f.PC = pc
+				v.Instrs += executed - flushed
 				return StopMigrateTaint, nil
 			}
-			if v.trackH2H {
+			if h2h {
 				dst.Tag = dst.Tag.Union(tag)
 			}
 			v.Heap.MarkDirty(dst)
@@ -414,12 +506,14 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpStrCat:
 			b, c := regs[in.B], regs[in.C]
 			if b.Ref == nil || c.Ref == nil {
-				return StopDone, errAt(f, "strcat with null")
+				return t.failAt(f, pc, executed-flushed, "strcat with null")
 			}
 			var tag taint.Tag
 			if observe {
 				tag = b.Ref.Tag.Union(c.Ref.Tag).Union(f.Tag(in.B)).Union(f.Tag(in.C))
 				if t.heapCombine(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
 			}
@@ -436,11 +530,11 @@ func (t *Thread) Run() (StopReason, error) {
 					buf[len(bs)+i] = cs[i]
 				}
 				newTag := taint.None
-				if v.trackH2H {
+				if h2h {
 					newTag = tag
 				}
 				regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, string(buf), newTag))
-				if v.trackS2S {
+				if s2s {
 					tags[in.A] = taint.None
 				}
 			} else {
@@ -450,15 +544,17 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpStrLen:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "strlen of null")
+				return t.failAt(f, pc, executed-flushed, "strlen of null")
 			}
 			regs[in.A] = IntVal(int64(len(o.Str)))
 			if observe {
 				tag := f.Tag(in.B).Union(o.Tag)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -466,19 +562,21 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpCharAt:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "charat of null")
+				return t.failAt(f, pc, executed-flushed, "charat of null")
 			}
 			ix := regs[in.C].Int
 			if ix < 0 || ix >= int64(len(o.Str)) {
-				return StopDone, errAt(f, "string index %d out of range [0,%d)", ix, len(o.Str))
+				return t.failAt(f, pc, executed-flushed, "string index %d out of range [0,%d)", ix, len(o.Str))
 			}
 			regs[in.A] = IntVal(int64(o.Str[ix]))
 			if observe {
 				tag := f.Tag(in.B).Union(o.Tag)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -486,7 +584,7 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpStrEq:
 			b, c := regs[in.B].Ref, regs[in.C].Ref
 			if b == nil || c == nil {
-				return StopDone, errAt(f, "streq with null")
+				return t.failAt(f, pc, executed-flushed, "streq with null")
 			}
 			var r int64
 			if b.Str == c.Str {
@@ -496,9 +594,11 @@ func (t *Thread) Run() (StopReason, error) {
 			if observe {
 				tag := b.Tag.Union(c.Tag)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -506,15 +606,17 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpIndexOf:
 			b, c := regs[in.B].Ref, regs[in.C].Ref
 			if b == nil || c == nil {
-				return StopDone, errAt(f, "indexof with null")
+				return t.failAt(f, pc, executed-flushed, "indexof with null")
 			}
 			regs[in.A] = IntVal(int64(strings.Index(b.Str, c.Str)))
 			if observe {
 				tag := b.Tag.Union(c.Tag)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -522,7 +624,7 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpSubstr:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "substr of null")
+				return t.failAt(f, pc, executed-flushed, "substr of null")
 			}
 			start := regs[in.C].Int
 			end := in.Imm
@@ -530,42 +632,44 @@ func (t *Thread) Run() (StopReason, error) {
 				end = int64(len(o.Str))
 			}
 			if start < 0 || start > end {
-				return StopDone, errAt(f, "substr bounds [%d,%d) of %d", start, end, len(o.Str))
+				return t.failAt(f, pc, executed-flushed, "substr bounds [%d,%d) of %d", start, end, len(o.Str))
 			}
 			var tag taint.Tag
 			if observe {
 				tag = f.Tag(in.B).Union(o.Tag)
 				if t.heapCombine(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
 			}
 			newTag := taint.None
-			if v.trackH2H {
+			if h2h {
 				newTag = tag
 			}
 			regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, o.Str[start:end], newTag))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpIntToStr:
 			b := regs[in.B]
 			newTag := taint.None
-			if v.trackS2H {
+			if s2h {
 				newTag = tags[in.B]
-				if v.CollectStats {
+				if countS2H {
 					v.Counters.Add(taint.StackToHeap)
 				}
 			}
 			regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, strconv.FormatInt(b.Int, 10), newTag))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpStrToInt:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "strtoint of null")
+				return t.failAt(f, pc, executed-flushed, "strtoint of null")
 			}
 			n, err := strconv.ParseInt(strings.TrimSpace(o.Str), 10, 64)
 			if err != nil {
@@ -575,9 +679,11 @@ func (t *Thread) Run() (StopReason, error) {
 			if observe {
 				tag := f.Tag(in.B).Union(o.Tag)
 				if t.heapRead(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
-				if v.trackH2S {
+				if h2s {
 					tags[in.A] = tag
 				}
 			}
@@ -585,56 +691,81 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpHash:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "hash of null")
+				return t.failAt(f, pc, executed-flushed, "hash of null")
 			}
 			var tag taint.Tag
 			if observe {
 				tag = f.Tag(in.B).Union(o.Tag)
 				if t.heapCombine(tag) {
+					f.PC = pc
+					v.Instrs += executed - flushed
 					return StopMigrateTaint, nil
 				}
 			}
 			sum := sha256.Sum256([]byte(o.Str))
 			newTag := taint.None
-			if v.trackH2H {
+			if h2h {
 				newTag = tag
 			}
 			regs[in.A] = RefVal(v.Heap.AllocString(v.stringClass, hex.EncodeToString(sum[:]), newTag))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpInvoke, OpInvokeV:
 			var m *Method
 			if in.Op == OpInvoke {
-				m = v.Program.Method(in.Sym2, in.Sym)
+				// Link-time resolved target; symbolic fallback for
+				// unlinked programs and the reference interpreter.
+				if !slow {
+					m = in.icMethod
+				}
 				if m == nil {
-					return StopDone, errAt(f, "unknown method %s.%s", in.Sym2, in.Sym)
+					m = v.Program.Method(in.Sym2, in.Sym)
+					if m == nil {
+						return t.failAt(f, pc, executed-flushed, "unknown method %s.%s", in.Sym2, in.Sym)
+					}
+					if !slow {
+						in.icMethod = m
+					}
 				}
 			} else {
 				if len(in.Args) == 0 {
-					return StopDone, errAt(f, "invokev with no receiver")
+					return t.failAt(f, pc, executed-flushed, "invokev with no receiver")
 				}
 				recv := regs[in.Args[0]].Ref
 				if recv == nil {
-					return StopDone, errAt(f, "invokev %s on null", in.Sym)
+					return t.failAt(f, pc, executed-flushed, "invokev %s on null", in.Sym)
 				}
-				m = recv.Class.Methods[in.Sym]
-				if m == nil {
-					return StopDone, errAt(f, "class %s has no method %s", recv.Class.Name, in.Sym)
+				// Virtual dispatch through a monomorphic inline cache on
+				// the receiver class.
+				if !slow && in.icClass == recv.Class {
+					m = in.icMethod
+				} else {
+					m = recv.Class.Methods[in.Sym]
+					if m == nil {
+						return t.failAt(f, pc, executed-flushed, "class %s has no method %s", recv.Class.Name, in.Sym)
+					}
+					if !slow {
+						in.icClass = recv.Class
+						in.icMethod = m
+					}
 				}
 			}
 			if len(in.Args) != m.NArgs {
-				return StopDone, errAt(f, "%s takes %d args, got %d", m.FullName(), m.NArgs, len(in.Args))
+				return t.failAt(f, pc, executed-flushed, "%s takes %d args, got %d", m.FullName(), m.NArgs, len(in.Args))
 			}
 			if len(t.Frames) >= maxFrames {
-				return StopDone, errAt(f, "stack overflow (%d frames)", maxFrames)
+				return t.failAt(f, pc, executed-flushed, "stack overflow (%d frames)", maxFrames)
 			}
 			v.Calls++
 			if v.Hooks.OnInvoke != nil {
+				f.PC = pc
+				v.Instrs += executed - flushed
+				flushed = executed
 				v.Hooks.OnInvoke(m)
 			}
-			nf := newFrame(m, tracking)
+			nf := t.getFrame(m, tracking)
 			for i, r := range in.Args {
 				nf.Regs[i] = regs[r]
 			}
@@ -646,6 +777,11 @@ func (t *Thread) Run() (StopReason, error) {
 			nf.RetReg = in.A
 			f.PC = npc
 			t.Frames = append(t.Frames, nf)
+			f = nf
+			pc = 0
+			code = m.Code
+			regs = nf.Regs
+			tags = nf.Tags
 			continue
 
 		case OpReturn, OpRetVoid:
@@ -653,7 +789,7 @@ func (t *Thread) Run() (StopReason, error) {
 			retTag := taint.None
 			if in.Op == OpReturn {
 				ret = regs[in.B]
-				if v.trackS2S {
+				if s2s {
 					retTag = f.Tag(in.B)
 				}
 			}
@@ -661,48 +797,87 @@ func (t *Thread) Run() (StopReason, error) {
 			if len(t.Frames) == 0 {
 				ret.Tag = retTag // boundary: materialize the shadow tag
 				t.Result = ret
+				t.putFrame(f)
+				v.Instrs += executed - flushed
 				return StopDone, nil
 			}
-			caller := t.Frames[len(t.Frames)-1]
-			caller.Regs[f.RetReg] = ret
+			done := f
+			f = t.Frames[len(t.Frames)-1]
+			pc = f.PC
+			code = f.Method.Code
+			regs = f.Regs
+			tags = f.Tags
+			regs[done.RetReg] = ret
 			if tracking {
-				caller.Tags[f.RetReg] = retTag
+				tags[done.RetReg] = retTag
 			}
+			t.putFrame(done)
 			continue
 
 		case OpMonEnter:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "monenter on null")
+				return t.failAt(f, pc, executed-flushed, "monenter on null")
 			}
-			if v.Hooks.OnMonitorEnter != nil && v.Hooks.OnMonitorEnter(o) {
-				return StopMigrateLock, nil
+			if v.Hooks.OnMonitorEnter != nil {
+				f.PC = pc
+				v.Instrs += executed - flushed
+				flushed = executed
+				if v.Hooks.OnMonitorEnter(o) {
+					return StopMigrateLock, nil
+				}
 			}
 		case OpMonExit:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "monexit on null")
+				return t.failAt(f, pc, executed-flushed, "monexit on null")
 			}
 			if v.Hooks.OnMonitorExit != nil {
+				f.PC = pc
+				v.Instrs += executed - flushed
+				flushed = executed
 				v.Hooks.OnMonitorExit(o)
 			}
 
 		case OpNative:
-			def := v.natives[in.Sym]
-			if def == nil {
-				return StopDone, errAt(f, "unknown native %s", in.Sym)
+			// Per-VM inline cache: natives are registered on the VM, not
+			// the program, so the cache key is the VM itself.
+			var def *NativeDef
+			if !slow && in.icVM == v {
+				def = in.icNative
 			}
+			if def == nil {
+				def = v.natives[in.Sym]
+				if def == nil {
+					return t.failAt(f, pc, executed-flushed, "unknown native %s", in.Sym)
+				}
+				if !slow {
+					in.icVM = v
+					in.icNative = def
+				}
+			}
+			// Natives and their gates can observe the VM (cost models,
+			// profilers): present exact state.
+			f.PC = pc
+			v.Instrs += executed - flushed
+			flushed = executed
 			if v.Hooks.NativeGate != nil && v.Hooks.NativeGate(def) {
 				return StopMigrateNative, nil
 			}
-			args := make([]Value, len(in.Args))
+			var args []Value
+			if n := len(in.Args); cap(t.nativeArgs) >= n {
+				args = t.nativeArgs[:n]
+			} else {
+				args = make([]Value, n)
+				t.nativeArgs = args
+			}
 			for i, r := range in.Args {
 				args[i] = regs[r]
 				args[i].Tag = f.Tag(r) // boundary: natives see shadow tags
 			}
 			res, err := def.Fn(t, args)
 			if err != nil {
-				return StopDone, errAt(f, "native %s: %v", in.Sym, err)
+				return t.failAt(f, pc, 0, "native %s: %v", in.Sym, err)
 			}
 			regs[in.A] = res
 			if tracking {
@@ -712,7 +887,7 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpTaintSet:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "taintset on null")
+				return t.failAt(f, pc, executed-flushed, "taintset on null")
 			}
 			o.Tag = o.Tag.Union(taint.Bit(int(in.Imm)))
 			v.Heap.MarkDirty(o)
@@ -720,25 +895,35 @@ func (t *Thread) Run() (StopReason, error) {
 		case OpTaintGet:
 			o := regs[in.B].Ref
 			if o == nil {
-				return StopDone, errAt(f, "taintget on null")
+				return t.failAt(f, pc, executed-flushed, "taintget on null")
 			}
 			regs[in.A] = IntVal(int64(o.Tag))
-			if v.trackS2S {
+			if s2s {
 				tags[in.A] = taint.None
 			}
 
 		case OpHalt:
 			t.Frames = t.Frames[:0]
 			t.Result = NullVal()
+			f.PC = pc
+			v.Instrs += executed - flushed
 			return StopDone, nil
 
 		default:
-			return StopDone, errAt(f, "unimplemented opcode %v", in.Op)
+			return t.failAt(f, pc, executed-flushed, "unimplemented opcode %v", in.Op)
 		}
 
-		f.PC = npc
+		pc = npc
 	}
-	return StopDone, nil
+}
+
+// failAt terminates Run with a positioned error, first writing back the
+// cached interpreter state (frame PC, instruction tally) that the fast
+// dispatch loop keeps in locals.
+func (t *Thread) failAt(f *Frame, pc int, pending uint64, format string, args ...any) (StopReason, error) {
+	f.PC = pc
+	t.VM.Instrs += pending
+	return StopDone, errAt(f, format, args...)
 }
 
 // heapRead handles the taint side of a heap→stack movement: stats, cor-idle

@@ -1,0 +1,47 @@
+package vm
+
+// Link pre-resolves instruction operands that are static properties of the
+// program, so the interpreter's hot loop never repeats the lookup:
+//
+//   - invoke targets (Class.method) become direct *Method pointers;
+//   - new operands become direct *Class pointers (program classes only —
+//     the built-in string/array classes are per-VM and stay symbolic).
+//
+// Operands that depend on runtime state — the receiver class of an
+// iget/iput/invokev, the VM-registered native table, the heap-interned
+// conststr object — are instead resolved by per-site monomorphic inline
+// caches that the interpreter fills in on first execution (see interp.go).
+//
+// Link runs once per method at load time: Verify calls it after a program
+// passes, so every assembled program is linked, and it is idempotent. It is
+// purely an acceleration: an unlinked program executes identically through
+// the symbolic fallback paths, which is what the differential-equivalence
+// tests pin (vm.Config.SlowPath forces those paths).
+func (p *Program) Link() {
+	if p.linked {
+		return
+	}
+	p.linked = true
+	for _, c := range p.classes {
+		for _, m := range c.Methods {
+			p.linkMethod(m)
+		}
+	}
+}
+
+// Linked reports whether Link has run.
+func (p *Program) Linked() bool { return p.linked }
+
+func (p *Program) linkMethod(m *Method) {
+	for i := range m.Code {
+		in := &m.Code[i]
+		switch in.Op {
+		case OpInvoke:
+			// Verify guarantees static targets resolve; tolerate absence
+			// here so Link stays safe on unverified programs.
+			in.icMethod = p.Method(in.Sym2, in.Sym)
+		case OpNew:
+			in.icClass = p.Class(in.Sym)
+		}
+	}
+}

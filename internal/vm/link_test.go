@@ -1,0 +1,297 @@
+package vm
+
+import (
+	"testing"
+
+	"tinman/internal/taint"
+)
+
+// linkFixture builds, by hand, a program exercising every cached site kind:
+// static invokes, virtual dispatch, field access with conflicting slot
+// layouts, conststr, new, and a native call.
+func linkFixture() *Program {
+	p := NewProgram("linkfix")
+
+	// Two classes declaring a field of the same name at different slots, so
+	// a shared accessor's inline cache must re-key when the receiver class
+	// changes.
+	a := NewClass("A", "x", "y")
+	b := NewClass("B", "y")
+	a.AddMethod(&Method{Name: "tagof", NArgs: 1, NRegs: 3, Code: []Instr{
+		{Op: OpConst, A: 1, Imm: 10},
+		{Op: OpReturn, B: 1},
+	}})
+	b.AddMethod(&Method{Name: "tagof", NArgs: 1, NRegs: 3, Code: []Instr{
+		{Op: OpConst, A: 1, Imm: 20},
+		{Op: OpReturn, B: 1},
+	}})
+	p.AddClass(a)
+	p.AddClass(b)
+
+	driver := NewClass("Driver")
+	// getY(recv) -> recv.y
+	driver.AddMethod(&Method{Name: "getY", NArgs: 1, NRegs: 3, Code: []Instr{
+		{Op: OpIGet, A: 1, B: 0, Sym: "y"},
+		{Op: OpReturn, B: 1},
+	}})
+	// setY(recv, v) -> recv.y = v
+	driver.AddMethod(&Method{Name: "setY", NArgs: 2, NRegs: 3, Code: []Instr{
+		{Op: OpIPut, A: 1, B: 0, Sym: "y"},
+		{Op: OpRetVoid},
+	}})
+	// virt(recv) -> recv.tagof()
+	driver.AddMethod(&Method{Name: "virt", NArgs: 1, NRegs: 3, Code: []Instr{
+		{Op: OpInvokeV, A: 1, Sym: "tagof", Args: []int{0}},
+		{Op: OpReturn, B: 1},
+	}})
+	// lit() -> "hello"
+	driver.AddMethod(&Method{Name: "lit", NArgs: 0, NRegs: 2, Code: []Instr{
+		{Op: OpConstStr, A: 1, Sym: "hello"},
+		{Op: OpReturn, B: 1},
+	}})
+	// mk() -> new A
+	driver.AddMethod(&Method{Name: "mk", NArgs: 0, NRegs: 2, Code: []Instr{
+		{Op: OpNew, A: 1, Sym: "A"},
+		{Op: OpReturn, B: 1},
+	}})
+	// mkstr() -> new java/lang/String (a built-in: must stay symbolic)
+	driver.AddMethod(&Method{Name: "mkstr", NArgs: 0, NRegs: 2, Code: []Instr{
+		{Op: OpNew, A: 1, Sym: "java/lang/String"},
+		{Op: OpReturn, B: 1},
+	}})
+	// call() -> Driver.lit() via static invoke
+	driver.AddMethod(&Method{Name: "call", NArgs: 0, NRegs: 2, Code: []Instr{
+		{Op: OpInvoke, A: 1, Sym: "lit", Sym2: "Driver", Args: nil},
+		{Op: OpReturn, B: 1},
+	}})
+	// ping() -> native echo()
+	driver.AddMethod(&Method{Name: "ping", NArgs: 0, NRegs: 2, Code: []Instr{
+		{Op: OpNative, A: 1, Sym: "echo"},
+		{Op: OpReturn, B: 1},
+	}})
+	p.AddClass(driver)
+	p.Seal()
+	return p
+}
+
+// TestLinkIsInvisible pins that linking changes nothing observable about a
+// program: same hash, same disassembly, and idempotent.
+func TestLinkIsInvisible(t *testing.T) {
+	p := linkFixture()
+	hashBefore := p.Hash()
+	disBefore := p.Disassemble()
+	if p.Linked() {
+		t.Fatal("program linked before Link")
+	}
+	p.Link()
+	if !p.Linked() {
+		t.Fatal("Linked() false after Link")
+	}
+	p.Link() // idempotent
+	if got := p.Hash(); got != hashBefore {
+		t.Errorf("Link changed the program hash: %s -> %s", hashBefore, got)
+	}
+	if got := p.Disassemble(); got != disBefore {
+		t.Errorf("Link changed the disassembly:\nbefore:\n%s\nafter:\n%s", disBefore, got)
+	}
+}
+
+// TestLinkResolvesStaticOperands checks the link-time side: static invoke
+// targets and program-class new operands resolve; built-in classes stay
+// symbolic (they are per-VM objects).
+func TestLinkResolvesStaticOperands(t *testing.T) {
+	p := linkFixture()
+	p.Link()
+	call := p.Method("Driver", "call")
+	if got, want := call.Code[0].icMethod, p.Method("Driver", "lit"); got != want {
+		t.Errorf("invoke target not linked: got %v, want %v", got, want)
+	}
+	mk := p.Method("Driver", "mk")
+	if got, want := mk.Code[0].icClass, p.Class("A"); got != want {
+		t.Errorf("new operand not linked: got %v, want %v", got, want)
+	}
+	mkstr := p.Method("Driver", "mkstr")
+	if got := mkstr.Code[0].icClass; got != nil {
+		t.Errorf("built-in new operand must stay symbolic, got %v", got)
+	}
+}
+
+func runMethod(t *testing.T, v *VM, class, method string, args ...Value) Value {
+	t.Helper()
+	th, err := v.NewThread(v.Program.Method(class, method), args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := th.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop != StopDone {
+		t.Fatalf("stop = %v", stop)
+	}
+	return th.Result
+}
+
+func newLinkVM(t *testing.T, p *Program, policy taint.Policy) *VM {
+	t.Helper()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Program: p, Heap: NewHeap(1, 2), Policy: policy})
+}
+
+// TestInlineCachePolymorphicField drives one field site with receivers whose
+// layouts put the same field name at different slots: the cache must re-key,
+// never serve a stale slot.
+func TestInlineCachePolymorphicField(t *testing.T) {
+	p := linkFixture()
+	v := newLinkVM(t, p, taint.Full)
+	oa := v.Heap.Alloc(p.Class("A")) // y at slot 1
+	ob := v.Heap.Alloc(p.Class("B")) // y at slot 0
+	oa.Fields[0] = IntVal(91)        // A.x — the stale-slot canary
+	oa.Fields[1] = IntVal(11)        // A.y
+	ob.Fields[0] = IntVal(22)        // B.y
+
+	// Alternate receivers so every call after the first is a cache miss.
+	for i := 0; i < 3; i++ {
+		if got := runMethod(t, v, "Driver", "getY", RefVal(oa)).Int; got != 11 {
+			t.Fatalf("round %d: A.y = %d, want 11", i, got)
+		}
+		if got := runMethod(t, v, "Driver", "getY", RefVal(ob)).Int; got != 22 {
+			t.Fatalf("round %d: B.y = %d, want 22", i, got)
+		}
+	}
+	// Same for the write site.
+	runMethod(t, v, "Driver", "setY", RefVal(oa), IntVal(110))
+	runMethod(t, v, "Driver", "setY", RefVal(ob), IntVal(220))
+	if oa.Fields[1].Int != 110 || oa.Fields[0].Int != 91 {
+		t.Errorf("A after setY: x=%d y=%d, want x=91 y=110", oa.Fields[0].Int, oa.Fields[1].Int)
+	}
+	if ob.Fields[0].Int != 220 {
+		t.Errorf("B.y after setY = %d, want 220", ob.Fields[0].Int)
+	}
+}
+
+// TestInlineCacheVirtualDispatch alternates receiver classes on one invokev
+// site.
+func TestInlineCacheVirtualDispatch(t *testing.T) {
+	p := linkFixture()
+	v := newLinkVM(t, p, taint.Off)
+	oa := v.Heap.Alloc(p.Class("A"))
+	ob := v.Heap.Alloc(p.Class("B"))
+	for i := 0; i < 3; i++ {
+		if got := runMethod(t, v, "Driver", "virt", RefVal(oa)).Int; got != 10 {
+			t.Fatalf("round %d: A.tagof = %d, want 10", i, got)
+		}
+		if got := runMethod(t, v, "Driver", "virt", RefVal(ob)).Int; got != 20 {
+			t.Fatalf("round %d: B.tagof = %d, want 20", i, got)
+		}
+	}
+}
+
+// TestConstStrCopyOnTaint pins the interning contract: the site reuses one
+// untainted object, but once that object is tainted (a taintset, a DSM
+// sync-back) the site must hand out a fresh untainted copy, never the
+// tainted one.
+func TestConstStrCopyOnTaint(t *testing.T) {
+	p := linkFixture()
+	v := newLinkVM(t, p, taint.Full)
+
+	first := runMethod(t, v, "Driver", "lit").Ref
+	if first == nil || first.Str != "hello" || first.Tag != taint.None {
+		t.Fatalf("first lit() = %+v", first)
+	}
+	second := runMethod(t, v, "Driver", "lit").Ref
+	if second != first {
+		t.Fatalf("untainted literal not reused: %p vs %p", second, first)
+	}
+
+	// Taint the interned object behind the VM's back.
+	first.Tag = taint.Bit(2)
+	third := runMethod(t, v, "Driver", "lit").Ref
+	if third == first {
+		t.Fatal("site returned the tainted interned object")
+	}
+	if third.Str != "hello" || third.Tag != taint.None {
+		t.Fatalf("copy-on-taint produced %+v", third)
+	}
+	// The fresh copy becomes the new interned object.
+	if fourth := runMethod(t, v, "Driver", "lit").Ref; fourth != third {
+		t.Fatalf("fresh literal not re-interned: %p vs %p", fourth, third)
+	}
+}
+
+// TestPerVMCaches runs one linked program on two VMs with different native
+// tables and heaps: the per-VM cache entries (natives, interned literals)
+// must never leak across VM instances.
+func TestPerVMCaches(t *testing.T) {
+	p := linkFixture()
+	if err := p.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(reply string) *VM {
+		v := New(Config{Program: p, Heap: NewHeap(1, 2), Policy: taint.Off})
+		v.RegisterNative(&NativeDef{Name: "echo", Fn: func(th *Thread, args []Value) (Value, error) {
+			return RefVal(th.VM.NewString(reply)), nil
+		}})
+		return v
+	}
+	v1, v2 := mk("one"), mk("two")
+	for i := 0; i < 2; i++ {
+		if got := runMethod(t, v1, "Driver", "ping").Ref.Str; got != "one" {
+			t.Fatalf("round %d: vm1 ping = %q", i, got)
+		}
+		if got := runMethod(t, v2, "Driver", "ping").Ref.Str; got != "two" {
+			t.Fatalf("round %d: vm2 ping = %q", i, got)
+		}
+		lit1 := runMethod(t, v1, "Driver", "lit").Ref
+		lit2 := runMethod(t, v2, "Driver", "lit").Ref
+		if lit1 == lit2 {
+			t.Fatalf("round %d: interned literal shared across VMs", i)
+		}
+		if v1.Heap.Get(lit2.ID) == lit2 || v2.Heap.Get(lit1.ID) == lit1 {
+			t.Fatalf("round %d: literal installed in the wrong heap", i)
+		}
+	}
+}
+
+// TestFramePoolZeroing pins the pooled-frame contract: a reused frame reads
+// exactly like a fresh one — registers int(0), shadow tags None — even when
+// the previous occupant left residue.
+func TestFramePoolZeroing(t *testing.T) {
+	p := NewProgram("pool")
+	c := NewClass("C")
+	// dirty() leaves residue behind: a tainted register (r1, via move from
+	// the tainted argument) and a non-zero value (r2).
+	c.AddMethod(&Method{Name: "dirty", NArgs: 1, NRegs: 4, Code: []Instr{
+		{Op: OpMove, A: 1, B: 0},
+		{Op: OpConst, A: 2, Imm: 98},
+		{Op: OpHash, A: 3, B: 0},
+		{Op: OpRetVoid},
+	}})
+	// clean() returns r1 + r2 without ever writing them: must be 0.
+	c.AddMethod(&Method{Name: "clean", NArgs: 0, NRegs: 4, Code: []Instr{
+		{Op: OpAdd, A: 3, B: 1, C: 2},
+		{Op: OpReturn, B: 3},
+	}})
+	c.AddMethod(&Method{Name: "main", NArgs: 1, NRegs: 4, Code: []Instr{
+		{Op: OpInvoke, A: 1, Sym: "dirty", Sym2: "C", Args: []int{0}},
+		{Op: OpInvoke, A: 2, Sym: "clean", Sym2: "C", Args: nil},
+		{Op: OpReturn, B: 2},
+	}})
+	p.AddClass(c)
+	p.Seal()
+
+	for _, pol := range []taint.Policy{taint.Off, taint.Full} {
+		v := newLinkVM(t, p, pol)
+		arg := RefVal(v.NewTaintedString("secret", taint.Bit(1)))
+		arg.Tag = taint.Bit(1)
+		res := runMethod(t, v, "C", "main", arg)
+		if res.Int != 0 {
+			t.Errorf("%s: reused frame leaked register residue: %d", pol.Name(), res.Int)
+		}
+		if res.Tag != taint.None {
+			t.Errorf("%s: reused frame leaked tag residue: %v", pol.Name(), res.Tag)
+		}
+	}
+}

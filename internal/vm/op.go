@@ -159,6 +159,29 @@ type Instr struct {
 	Sym  string  // field / method / native / string-literal symbol
 	Sym2 string  // class symbol for invoke
 	Args []int   // argument registers for invoke/native
+
+	// Resolved operands: link-time pre-resolution (Program.Link) plus
+	// per-site monomorphic inline caches filled in by the interpreter.
+	// Derived state only — never serialized, hashed, or disassembled; the
+	// symbolic operands above stay authoritative, and every consumer falls
+	// back to them on a cache miss. A VM created with Config.SlowPath
+	// ignores these fields entirely (the reference interpreter the
+	// differential-equivalence tests compare against).
+	//
+	// Keying: icClass/icSlot and icClass/icMethod cache per-receiver-class
+	// resolution (iget/iput/invokev) and are valid program-wide; icMethod
+	// alone is the statically linked invoke target; icVM keys the per-VM
+	// caches (icNative, icStr), since natives are registered per VM and
+	// interned strings live in a VM's heap. Linked code with warm caches is
+	// written to during execution, so a Program must not be executed from
+	// multiple goroutines concurrently (the repo never does: each endpoint
+	// assembles its own Program and serializes per-app execution).
+	icClass  *Class     // receiver class key (iget/iput/invokev); target class (new)
+	icSlot   int        // field slot under icClass (iget/iput)
+	icMethod *Method    // invokev target under icClass; static invoke target
+	icNative *NativeDef // native target, valid while icVM matches
+	icStr    *Object    // interned conststr object, valid while icVM matches
+	icVM     *VM        // owner of icNative/icStr
 }
 
 // String renders the instruction in assembler syntax.

@@ -28,6 +28,9 @@ func (p *Program) Verify() error {
 			}
 		}
 	}
+	// A verified program is about to be executed: pre-resolve its static
+	// operands so the interpreter's fast paths apply (see link.go).
+	p.Link()
 	return nil
 }
 

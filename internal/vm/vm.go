@@ -49,7 +49,10 @@ func (s StopReason) IsMigrate() bool {
 }
 
 // NativeFunc is a Go implementation of a native method. Natives receive the
-// thread (for heap access) and the argument values.
+// thread (for heap access) and the argument values. The args slice is only
+// valid for the duration of the call — the interpreter reuses its backing
+// array across native calls — so implementations that need the values later
+// must copy them out.
 type NativeFunc func(t *Thread, args []Value) (Value, error)
 
 // NativeDef registers a native method. Offloadable natives may run on either
@@ -93,6 +96,12 @@ type Config struct {
 	// after that many instructions without a tainted access. The trusted
 	// node sets it; the device leaves it zero.
 	CorIdleWindow uint64
+	// SlowPath disables link-time resolution and inline caches, forcing the
+	// interpreter through the symbolic lookup paths on every instruction.
+	// It exists for the differential-equivalence tests, which pin that the
+	// linked fast paths preserve results, taint tags, counters, and offload
+	// triggers exactly; production VMs leave it false.
+	SlowPath bool
 }
 
 // VM executes programs over a heap under a taint policy. A VM is one
@@ -126,6 +135,8 @@ type VM struct {
 	// shadow tag arrays (the TaintDroid design of storing taints adjacent
 	// to registers), which is where tainting's runtime cost comes from.
 	tracking bool
+	// slowPath mirrors Config.SlowPath (reference interpreter).
+	slowPath bool
 }
 
 // New creates a VM. The program must be sealed.
@@ -142,6 +153,7 @@ func New(cfg Config) *VM {
 		Policy:        cfg.Policy,
 		CollectStats:  cfg.CollectStats,
 		corIdleWindow: cfg.CorIdleWindow,
+		slowPath:      cfg.SlowPath,
 		natives:       make(map[string]*NativeDef),
 		trackH2H:      cfg.Policy.Tracks(taint.HeapToHeap),
 		trackH2S:      cfg.Policy.Tracks(taint.HeapToStack),
@@ -236,6 +248,16 @@ type Thread struct {
 	// MaxInstrs bounds a single Run call as a runaway guard; 0 means the
 	// default of 500M instructions.
 	MaxInstrs uint64
+
+	// framePool recycles frames popped by returns so a call-heavy workload
+	// allocates each frame shape once per thread instead of once per call
+	// (regs and tag slices are re-sliced and zeroed on reuse). Popped
+	// frames are unreachable from the DSM — migration captures only the
+	// live stack — which is what makes the recycling safe.
+	framePool []*Frame
+	// nativeArgs is the reusable argument buffer for native calls (see
+	// NativeFunc on its lifetime).
+	nativeArgs []Value
 }
 
 // NewThread prepares a thread that will execute method with the given
@@ -269,6 +291,49 @@ func newFrame(m *Method, tracking bool) *Frame {
 		f.Tags = make([]taint.Tag, m.NRegs)
 	}
 	return f
+}
+
+// getFrame produces a zeroed frame for m, reusing a pooled frame when one
+// is available. Reuse reproduces newFrame exactly: registers read as int(0)
+// and shadow tags (under a tracking policy) as None.
+func (t *Thread) getFrame(m *Method, tracking bool) *Frame {
+	n := len(t.framePool)
+	if n == 0 {
+		return newFrame(m, tracking)
+	}
+	f := t.framePool[n-1]
+	t.framePool[n-1] = nil
+	t.framePool = t.framePool[:n-1]
+	f.Method = m
+	f.PC = 0
+	f.RetReg = 0
+	if cap(f.Regs) >= m.NRegs {
+		f.Regs = f.Regs[:m.NRegs]
+	} else {
+		f.Regs = make([]Value, m.NRegs)
+	}
+	zero := IntVal(0)
+	for i := range f.Regs {
+		f.Regs[i] = zero
+	}
+	if !tracking {
+		f.Tags = nil
+	} else if cap(f.Tags) >= m.NRegs {
+		f.Tags = f.Tags[:m.NRegs]
+		for i := range f.Tags {
+			f.Tags[i] = taint.None
+		}
+	} else {
+		f.Tags = make([]taint.Tag, m.NRegs)
+	}
+	return f
+}
+
+// putFrame returns a popped frame to the pool. Only the interpreter calls
+// it, and only for frames no longer on the stack.
+func (t *Thread) putFrame(f *Frame) {
+	f.Method = nil
+	t.framePool = append(t.framePool, f)
 }
 
 // Depth returns the current frame-stack depth.
