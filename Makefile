@@ -3,9 +3,10 @@
 #   make build        compile everything
 #   make vet          static checks
 #   make test         full test suite
-#   make check        formatting + vet + build + test + bench-smoke, the
-#                     pre-commit gate
+#   make check        formatting + vet + build + test + chaos + bench-smoke,
+#                     the pre-commit gate
 #   make race         race-detector pass over the concurrent subsystems
+#   make chaos        deterministic fault-injection suite under -race
 #   make bench-smoke  one iteration of every benchmark (a does-it-run gate,
 #                     not a measurement)
 #   make bench-json   append a machine-readable Caffeinemark run to
@@ -15,7 +16,7 @@ GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check race bench-smoke bench-json clean
+.PHONY: all build vet test check race chaos bench-smoke bench-json clean
 
 all: build vet test
 
@@ -38,12 +39,19 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) chaos
 	$(MAKE) bench-smoke
 
 # The node service plus the transports that drive it concurrently get a
 # dedicated -race pass (multi-device service tests live in internal/node).
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/
+
+# Deterministic fault-injection suite (see EXPERIMENTS.md "Chaos suite"):
+# scripted partitions, node crash/restart, flapping 3G and slow-node
+# scenarios, all on the virtual clock, run under the race detector.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Replay|Reconnect|Breaker|Shutdown|Pool' ./internal/core/ ./internal/netsim/ ./internal/nodeproto/ ./internal/node/ ./internal/fault/
 
 # One iteration of every benchmark in the tree: catches benchmarks that
 # stopped compiling or panic, without pretending to measure anything (see

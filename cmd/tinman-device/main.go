@@ -37,10 +37,12 @@ func main() {
 }
 
 func run(nodeAddr, deviceID string) error {
-	node, err := nodeproto.Dial(nodeAddr, 5*time.Second)
-	if err != nil {
-		return err
-	}
+	// The reconnecting client survives node restarts and transient network
+	// failures: requests carry IDs the node dedups, so retries after an
+	// ambiguous failure never double-execute.
+	node := nodeproto.DialReconnect(nodeAddr, 5*time.Second, nodeproto.ReconnectConfig{
+		ClientID: deviceID,
+	})
 	defer node.Close()
 	if err := node.Ping(); err != nil {
 		return fmt.Errorf("pinging node: %v", err)

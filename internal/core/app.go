@@ -252,6 +252,12 @@ func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value
 	}
 	reply, err := a.dev.request(frame{Type: msgMigration, Payload: env})
 	if err != nil {
+		// The node may never have seen this sync, or lost its copy in a
+		// crash: forget the warm-up so the next offload re-ships the full
+		// initial state instead of an incremental diff the node cannot
+		// anchor. (Re-shipping to a node that did keep it is harmless: the
+		// node's adopt path refreshes in place.)
+		a.ep.ResetWarmup()
 		return nil, vm.Value{}, false, err
 	}
 	if reply.Type == msgDenied {

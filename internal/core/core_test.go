@@ -1,11 +1,12 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
-	"time"
 
 	"tinman/internal/netsim"
+	"tinman/internal/node"
 	"tinman/internal/taint"
 	"tinman/internal/vm"
 )
@@ -251,13 +252,17 @@ func TestOfflineDeviceFailsClosed(t *testing.T) {
 	w.Node.BindApp("pw", app.Hash())
 	pw, _ := w.Device.CorArg(app, "pw")
 
-	// Sever the control connection ("during a flight").
-	w.Device.ctrl.Abort()
-	w.Net.RunFor(100 * time.Millisecond)
+	// The node drops off the network entirely ("during a flight"). A mere
+	// severed connection is no longer enough: the channel reconnects and
+	// retries through those.
+	w.CrashNode()
 
 	_, err := app.Run("Tiny", "touch", pw)
 	if err == nil {
 		t.Fatal("offline cor access succeeded")
+	}
+	if !errors.Is(err, node.ErrNodeUnavailable) {
+		t.Fatalf("err = %v, want node.ErrNodeUnavailable", err)
 	}
 	// And the placeholder is all the device ever had.
 	if pw.Ref.Str == "secret12" || !strings.HasPrefix(pw.Ref.Str, "TINMAN-P") {

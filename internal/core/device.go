@@ -2,14 +2,40 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"time"
 
 	"tinman/internal/cor"
+	"tinman/internal/fault"
 	"tinman/internal/netsim"
+	"tinman/internal/node"
 	"tinman/internal/taint"
 	"tinman/internal/tcpsim"
 	"tinman/internal/tlssim"
 )
+
+// ErrControlTimeout marks a control round trip (or control connect) that
+// exceeded its deadline. Match with errors.Is.
+var ErrControlTimeout = errors.New("core: control request timed out")
+
+// ControlTimeoutError carries the detail of one control-plane deadline
+// expiry; it unwraps to ErrControlTimeout.
+type ControlTimeoutError struct {
+	// Msg is the control message type that timed out (0 for a connect).
+	Msg uint8
+	// Wait is how long the device waited.
+	Wait time.Duration
+}
+
+func (e *ControlTimeoutError) Error() string {
+	if e.Msg == 0 {
+		return fmt.Sprintf("core: device: control connect timed out after %v", e.Wait)
+	}
+	return fmt.Sprintf("core: device: control request (message %d) timed out after %v", e.Msg, e.Wait)
+}
+
+func (e *ControlTimeoutError) Unwrap() error { return ErrControlTimeout }
 
 // Handshake frame types for TLS-over-TCP between the device (or any client)
 // and origin servers. Exported so the apps package speaks the same
@@ -34,6 +60,15 @@ type Device struct {
 	ctrlReader frameReader
 	ctrlQueue  []frame
 
+	// Fault-tolerance machinery for the control channel (§5.4): requests
+	// carry device-minted IDs so retries after ambiguous failures execute
+	// at most once on the node; the breaker flips the device into
+	// cor-degraded mode when the node is plainly gone.
+	reqSeq  uint64
+	retries uint64
+	breaker *fault.Breaker
+	backoff fault.Backoff
+
 	catalog  map[string]cor.DeviceView
 	https    map[string]*httpsConn
 	baseline map[string]string
@@ -53,21 +88,79 @@ func newDevice(w *World, host *netsim.Host, id string, pol taint.Policy, baselin
 		https:    make(map[string]*httpsConn),
 		baseline: baseline,
 		apps:     make(map[string]*App),
+		breaker: fault.NewBreaker(fault.BreakerConfig{
+			Threshold: w.Fault.BreakerThreshold,
+			Cooldown:  w.Fault.BreakerCooldown,
+			Now:       w.Net.Now, // breaker cooldowns run on virtual time
+		}),
+		backoff: fault.Backoff{
+			Base:   w.Fault.RetryBackoffBase,
+			Max:    w.Fault.RetryBackoffMax,
+			Jitter: 0.2,
+			Rand:   w.Net.Rand().Float64, // seeded: retry schedules reproduce
+		},
 	}
 }
 
 // connectControl dials the trusted node's control port and fetches the cor
 // catalog.
 func (d *Device) connectControl() error {
+	if err := d.dialControl(); err != nil {
+		return err
+	}
+	return d.RefreshCatalog()
+}
+
+// dialControl establishes a fresh control connection, bounded by the
+// configured connect timeout. RunUntil only evaluates its condition at
+// event boundaries, so a no-op wake event is parked at the deadline to
+// guarantee the timeout is observed even on a silent network.
+func (d *Device) dialControl() error {
 	c, err := d.Stack.Dial(NodeAddr, ControlPort)
 	if err != nil {
 		return err
 	}
-	if !d.w.Net.RunUntil(c.Established) {
-		return fmt.Errorf("core: device: control connection never established")
+	deadline := d.w.Net.Now() + d.w.Fault.ConnectTimeout
+	d.w.Net.Schedule(d.w.Fault.ConnectTimeout, func() {})
+	d.w.Net.RunUntil(func() bool {
+		return c.Established() || c.Closed() || d.w.Net.Now() >= deadline
+	})
+	if !c.Established() {
+		c.Abort() // stop the handshake retransmit timer for good
+		return &ControlTimeoutError{Msg: 0, Wait: d.w.Fault.ConnectTimeout}
 	}
 	d.ctrl = c
-	return d.RefreshCatalog()
+	return nil
+}
+
+// reconnectControl replaces a dead control connection with a fresh one.
+// The old connection is aborted first: an abandoned simulated TCP
+// connection would otherwise re-arm its retransmission timer forever.
+// Buffered frames from the old connection are discarded — any reply they
+// carried belongs to a request the caller already gave up on, and the
+// node's replay table answers its retry instead.
+func (d *Device) reconnectControl() error {
+	if d.ctrl != nil && !d.ctrl.Closed() {
+		d.ctrl.Abort()
+	}
+	d.ctrl = nil
+	d.ctrlReader = frameReader{}
+	d.ctrlQueue = nil
+	return d.dialControl()
+}
+
+// ControlRetries counts control-plane request attempts beyond each
+// request's first (diagnostics; chaos tests use it to prove a fault
+// actually bit).
+func (d *Device) ControlRetries() uint64 { return d.retries }
+
+// Degraded reports cor-degraded mode (§5.4): the circuit breaker is
+// refusing node traffic, so cor-touching operations fail fast with
+// node.ErrNodeUnavailable while untainted work proceeds normally. The
+// device leaves the mode automatically once a post-cooldown probe reaches
+// the node.
+func (d *Device) Degraded() bool {
+	return d.breaker.State() != fault.BreakerClosed
 }
 
 // RefreshCatalog re-fetches the device-visible cor views; call after
@@ -117,42 +210,101 @@ func (d *Device) pump() error {
 	}
 }
 
-// request performs a synchronous control round trip, stepping the
-// simulation until the node's reply arrives.
+// request performs a synchronous control round trip with the full §5.4
+// fault-tolerance stack: a device-minted request ID makes retries safe
+// (the node executes each ID at most once), each attempt runs under a
+// deadline, failed attempts back off and reconnect, and the circuit
+// breaker fails cor-touching work fast once the node is plainly gone.
 func (d *Device) request(f frame) (frame, error) {
-	if d.ctrl == nil {
+	if d.ctrl == nil && d.breaker.State() == fault.BreakerClosed {
 		return frame{}, fmt.Errorf("core: device: control plane not connected (TinMan disabled?)")
 	}
-	wire := encodeFrame(f)
-	if err := d.ctrl.Write(wire); err != nil {
+	if !d.breaker.Allow() {
+		return frame{}, fmt.Errorf("core: device: %w (circuit breaker open)", node.ErrNodeUnavailable)
+	}
+	d.reqSeq++
+	tagged, err := encodeTagged(fmt.Sprintf("%s#%d", d.ID, d.reqSeq), f)
+	if err != nil {
+		d.breaker.Success() // local encoding error, not a node failure
 		return frame{}, err
 	}
-	d.w.noteDeviceTransfer(len(wire))
+	var lastErr error
+	for attempt := 0; attempt < d.w.Fault.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			d.retries++
+			d.w.Net.RunFor(d.backoff.Delay(attempt - 1))
+			if err := d.reconnectControl(); err != nil {
+				lastErr = err
+				d.breaker.Failure()
+				if d.breaker.State() == fault.BreakerOpen {
+					break
+				}
+				continue
+			}
+		} else if d.ctrl == nil {
+			// Re-entry from degraded mode: the breaker admitted a probe but
+			// the previous failure tore the connection down.
+			if err := d.reconnectControl(); err != nil {
+				lastErr = err
+				d.breaker.Failure()
+				return frame{}, fmt.Errorf("core: device: %w: %w", node.ErrNodeUnavailable, lastErr)
+			}
+		}
+		reply, err := d.roundTrip(tagged, f.Type)
+		if err == nil {
+			d.breaker.Success()
+			return reply, nil
+		}
+		lastErr = err
+		d.breaker.Failure()
+		if d.breaker.State() == fault.BreakerOpen {
+			break
+		}
+	}
+	return frame{}, fmt.Errorf("core: device: %w: %w", node.ErrNodeUnavailable, lastErr)
+}
+
+// roundTrip writes one (tagged) request frame and steps the simulation
+// until the reply, a transport failure, or the per-attempt deadline — a
+// no-op wake event parked at the deadline guarantees RunUntil observes it
+// even when the network has gone completely silent.
+func (d *Device) roundTrip(wire frame, inner uint8) (frame, error) {
+	enc := encodeFrame(wire)
+	if err := d.ctrl.Write(enc); err != nil {
+		return frame{}, err
+	}
+	d.w.noteDeviceTransfer(len(enc))
+	ctrl := d.ctrl
 	waitStart := d.w.Net.Now()
+	deadline := waitStart + d.w.Fault.RequestTimeout
+	d.w.Net.Schedule(d.w.Fault.RequestTimeout, func() {})
 	var pumpErr error
-	ok := d.w.Net.RunUntil(func() bool {
+	d.w.Net.RunUntil(func() bool {
 		if err := d.pump(); err != nil {
 			pumpErr = err
 			return true
 		}
-		return len(d.ctrlQueue) > 0
+		return len(d.ctrlQueue) > 0 || ctrl.Closed() || d.w.Net.Now() >= deadline
 	})
-	if pumpErr != nil {
-		return frame{}, pumpErr
-	}
-	if !ok || len(d.ctrlQueue) == 0 {
-		return frame{}, fmt.Errorf("core: device: control request timed out (message %d)", f.Type)
-	}
-	reply := d.ctrlQueue[0]
-	d.ctrlQueue = d.ctrlQueue[1:]
-	d.w.noteDeviceTransfer(len(reply.Payload) + 5)
 	// The COMET client does not sleep while the node works: the DSM thread
 	// polls the socket and services GC/bookkeeping, keeping the CPU at
-	// partial duty for the whole wait.
+	// partial duty for the whole wait — including waits that end in failure.
 	if wait := d.w.Net.Now() - waitStart; wait > 0 {
 		d.w.CPU.NoteActive(waitStart, wait/2)
 	}
-	return reply, nil
+	if pumpErr != nil {
+		return frame{}, pumpErr
+	}
+	if len(d.ctrlQueue) > 0 {
+		reply := d.ctrlQueue[0]
+		d.ctrlQueue = d.ctrlQueue[1:]
+		d.w.noteDeviceTransfer(len(reply.Payload) + 5)
+		return reply, nil
+	}
+	if ctrl.Closed() {
+		return frame{}, fmt.Errorf("core: device: control connection reset")
+	}
+	return frame{}, &ControlTimeoutError{Msg: inner, Wait: d.w.Net.Now() - waitStart}
 }
 
 // --- HTTPS client (the "modified SSL library") ---

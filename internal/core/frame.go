@@ -34,6 +34,11 @@ const (
 	msgSSLInject
 	// msgSSLInjectOK confirms the node is armed for payload replacement.
 	msgSSLInjectOK
+	// msgTagged wraps any request message with a device-minted request ID
+	// so retries after an ambiguous failure (request sent, reply lost)
+	// execute at most once on the node. Payload: u8 idLen | id | u8 inner
+	// type | inner payload.
+	msgTagged
 )
 
 // Frame is one length-prefixed control or handshake message: u32 length |
@@ -98,4 +103,33 @@ func (r *frameReader) next() (frame, bool, error) { return r.Next() }
 // sendFrame writes a frame to a connection.
 func sendFrame(c *tcpsim.Conn, f frame) error {
 	return c.Write(encodeFrame(f))
+}
+
+// encodeTagged wraps an inner request frame with a request ID for
+// at-most-once delivery. IDs are device-minted and at most 255 bytes.
+func encodeTagged(id string, f frame) (frame, error) {
+	if len(id) == 0 || len(id) > 255 {
+		return frame{}, fmt.Errorf("core: tagged request ID length %d out of range", len(id))
+	}
+	p := make([]byte, 0, 2+len(id)+len(f.Payload))
+	p = append(p, byte(len(id)))
+	p = append(p, id...)
+	p = append(p, f.Type)
+	p = append(p, f.Payload...)
+	return frame{Type: msgTagged, Payload: p}, nil
+}
+
+// decodeTagged unwraps a msgTagged payload into its request ID and inner
+// frame.
+func decodeTagged(payload []byte) (string, frame, error) {
+	if len(payload) < 2 {
+		return "", frame{}, fmt.Errorf("core: short tagged frame")
+	}
+	n := int(payload[0])
+	if len(payload) < 2+n {
+		return "", frame{}, fmt.Errorf("core: truncated tagged frame ID")
+	}
+	id := string(payload[1 : 1+n])
+	inner := frame{Type: payload[1+n], Payload: append([]byte(nil), payload[2+n:]...)}
+	return id, inner, nil
 }

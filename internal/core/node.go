@@ -41,7 +41,36 @@ type TrustedNode struct {
 	// while the service keys apps by (device, name). The simulation event
 	// loop is single-threaded, so this adapter-local map is unguarded.
 	appDevice map[string]string
+
+	// replays is the at-most-once table for tagged requests: a retried
+	// request whose original executed (reply lost in a partition) rebinds
+	// to the retry's connection instead of re-executing — no duplicate
+	// offloads, injections or audit entries. replayOrder keeps insertion
+	// order for pruning.
+	replays     map[string]*taggedEntry
+	replayOrder []string
 }
+
+// taggedEntry tracks one tagged request's lifecycle on the node.
+type taggedEntry struct {
+	// conn is where the reply should go; a retry after a reconnect rebinds
+	// it, so the (possibly still pending) reply follows the device to its
+	// new connection.
+	conn *tcpsim.Conn
+	// done flips when the reply frames have been produced; reply caches
+	// them so a late retry can be answered without re-execution.
+	done  bool
+	reply []frame
+	// at is the virtual arrival time, for window-based pruning.
+	at time.Duration
+}
+
+// Replay-table bounds: entries older than the window (or beyond the cap)
+// are dropped oldest-first once their replies have been produced.
+const (
+	replayWindow = 10 * time.Minute
+	replayMax    = 512
+)
 
 // injectRequest is the msgSSLInject payload.
 type injectRequest struct {
@@ -86,6 +115,7 @@ func newTrustedNode(w *World, host *netsim.Host, corIdleWindow uint64) *TrustedN
 		Audit:     svc.Audit,
 		Malware:   svc.Malware,
 		appDevice: make(map[string]string),
+		replays:   make(map[string]*taggedEntry),
 	}
 
 	l, err := n.Stack.Listen(ControlPort)
@@ -133,10 +163,27 @@ func (n *TrustedNode) onControlConn(c *tcpsim.Conn) {
 	}
 }
 
-// reply schedules a response after the given compute delay, modeling node
+// replyRoute addresses a handler's reply. For plain requests it is the
+// connection the request arrived on; for tagged requests the reply reads
+// the entry's connection at send time, so a retry that rebound the entry
+// after a reconnect receives the (possibly still pending) reply on the new
+// connection instead of a dead one.
+type replyRoute struct {
+	n     *TrustedNode
+	conn  *tcpsim.Conn
+	entry *taggedEntry
+}
+
+// send schedules a reply frame after the given compute delay, modeling node
 // processing time without re-entering the event loop.
-func (n *TrustedNode) reply(c *tcpsim.Conn, delay time.Duration, f frame) {
-	n.w.Net.Schedule(delay, func() {
+func (r replyRoute) send(delay time.Duration, f frame) {
+	r.n.w.Net.Schedule(delay, func() {
+		c := r.conn
+		if r.entry != nil {
+			r.entry.done = true
+			r.entry.reply = append(r.entry.reply, f)
+			c = r.entry.conn
+		}
 		if err := sendFrame(c, f); err != nil && c.Established() {
 			// Connection races are surfaced by aborting; callers time out.
 			c.Abort()
@@ -144,31 +191,95 @@ func (n *TrustedNode) reply(c *tcpsim.Conn, delay time.Duration, f frame) {
 	})
 }
 
-func (n *TrustedNode) denied(c *tcpsim.Conn, err error) {
-	n.reply(c, time.Millisecond, frame{Type: msgDenied, Payload: []byte(err.Error())})
+// reply keeps the historical handler idiom.
+func (n *TrustedNode) reply(r replyRoute, delay time.Duration, f frame) { r.send(delay, f) }
+
+func (n *TrustedNode) denied(r replyRoute, err error) {
+	n.reply(r, time.Millisecond, frame{Type: msgDenied, Payload: []byte(err.Error())})
 }
 
 func (n *TrustedNode) handleFrame(c *tcpsim.Conn, f frame) {
+	if f.Type == msgTagged {
+		n.handleTagged(c, f.Payload)
+		return
+	}
+	n.dispatch(replyRoute{n: n, conn: c}, f)
+}
+
+// handleTagged unwraps a request-ID-tagged frame and gives it at-most-once
+// semantics: a fresh ID dispatches normally (with the reply routed through
+// the replay entry), a known ID rebinds the entry to the arrival connection
+// and — if the reply was already produced — re-sends it without touching
+// the service again.
+func (n *TrustedNode) handleTagged(c *tcpsim.Conn, payload []byte) {
+	id, inner, err := decodeTagged(payload)
+	if err != nil {
+		n.denied(replyRoute{n: n, conn: c}, err)
+		return
+	}
+	if e, ok := n.replays[id]; ok {
+		e.conn = c
+		if e.done {
+			for _, f := range e.reply {
+				n.reply(replyRoute{n: n, conn: c}, time.Millisecond, f)
+			}
+		}
+		// Not done: the original's reply is still pending in the event
+		// queue; rebinding conn above is all the retry needs.
+		return
+	}
+	e := &taggedEntry{conn: c, at: n.w.Net.Now()}
+	n.replays[id] = e
+	n.replayOrder = append(n.replayOrder, id)
+	n.pruneReplays()
+	n.dispatch(replyRoute{n: n, conn: c, entry: e}, inner)
+}
+
+// pruneReplays drops completed entries that have aged out of the replay
+// window, then completed entries beyond the size cap, oldest first. An
+// in-progress entry blocks pruning behind it: its reply closure still
+// writes through the pointer.
+func (n *TrustedNode) pruneReplays() {
+	cutoff := n.w.Net.Now() - replayWindow
+	for len(n.replayOrder) > 0 {
+		e := n.replays[n.replayOrder[0]]
+		if !e.done || e.at >= cutoff {
+			break
+		}
+		delete(n.replays, n.replayOrder[0])
+		n.replayOrder = n.replayOrder[1:]
+	}
+	for len(n.replayOrder) > replayMax {
+		e := n.replays[n.replayOrder[0]]
+		if !e.done {
+			break
+		}
+		delete(n.replays, n.replayOrder[0])
+		n.replayOrder = n.replayOrder[1:]
+	}
+}
+
+func (n *TrustedNode) dispatch(r replyRoute, f frame) {
 	switch f.Type {
 	case msgInstall:
-		n.handleInstall(c, f.Payload)
+		n.handleInstall(r, f.Payload)
 	case msgMigration:
-		n.handleMigration(c, f.Payload)
+		n.handleMigration(r, f.Payload)
 	case msgCatalog:
-		n.handleCatalog(c)
+		n.handleCatalog(r)
 	case msgSSLInject:
-		n.handleInject(c, f.Payload)
+		n.handleInject(r, f.Payload)
 	default:
-		n.denied(c, fmt.Errorf("core: node: unknown control message %d", f.Type))
+		n.denied(r, fmt.Errorf("core: node: unknown control message %d", f.Type))
 	}
 }
 
 // handleInstall forwards the warm-up dex transfer (§6.2) to the service and
 // models the assembly cost as proportional to code size.
-func (n *TrustedNode) handleInstall(c *tcpsim.Conn, payload []byte) {
+func (n *TrustedNode) handleInstall(r replyRoute, payload []byte) {
 	var req installRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
-		n.denied(c, fmt.Errorf("core: node: bad install: %v", err))
+		n.denied(r, fmt.Errorf("core: node: bad install: %v", err))
 		return
 	}
 	res, err := n.Svc.Install(context.Background(), node.InstallRequest{
@@ -178,13 +289,13 @@ func (n *TrustedNode) handleInstall(c *tcpsim.Conn, payload []byte) {
 		NonOffloadableNatives: deviceNativeNames,
 	})
 	if err != nil {
-		n.denied(c, err)
+		n.denied(r, err)
 		return
 	}
 	n.appDevice[req.Name] = req.DeviceID
 
 	delay := time.Duration(int64(res.CodeSize) * n.w.Cost.NodeNsPerInstr * 10)
-	n.reply(c, delay, frame{Type: msgInstallOK, Payload: []byte(res.Hash)})
+	n.reply(r, delay, frame{Type: msgInstallOK, Payload: []byte(res.Hash)})
 }
 
 // migrationEnvelope wraps a migration with its app name.
@@ -198,15 +309,15 @@ type migrationEnvelope struct {
 // handleMigration is the offload entry point: the service policy-checks,
 // applies, runs and captures; the adapter schedules the reply after the
 // modeled compute delay.
-func (n *TrustedNode) handleMigration(c *tcpsim.Conn, payload []byte) {
+func (n *TrustedNode) handleMigration(r replyRoute, payload []byte) {
 	var env migrationEnvelope
 	if err := json.Unmarshal(payload, &env); err != nil {
-		n.denied(c, fmt.Errorf("core: node: bad migration envelope: %v", err))
+		n.denied(r, fmt.Errorf("core: node: bad migration envelope: %v", err))
 		return
 	}
 	res, err := n.Svc.Offload(context.Background(), n.appDevice[env.App], env.App, env.Bytes)
 	if err != nil {
-		n.denied(c, err)
+		n.denied(r, err)
 		return
 	}
 	reply := migrationEnvelope{
@@ -219,36 +330,36 @@ func (n *TrustedNode) handleMigration(c *tcpsim.Conn, payload []byte) {
 	}
 	out, err := json.Marshal(reply)
 	if err != nil {
-		n.denied(c, err)
+		n.denied(r, err)
 		return
 	}
 	delay := time.Duration(int64(res.Executed)*n.w.Cost.NodeNsPerInstr +
 		int64(len(res.Bytes))*n.w.Cost.SerializeNsPerByte)
-	n.reply(c, delay, frame{Type: msgMigration, Payload: out})
+	n.reply(r, delay, frame{Type: msgMigration, Payload: out})
 }
 
 // handleCatalog serves the device-visible cor catalog (the selection-widget
 // content, §4.1).
-func (n *TrustedNode) handleCatalog(c *tcpsim.Conn) {
+func (n *TrustedNode) handleCatalog(r replyRoute) {
 	views, err := n.Svc.Catalog(context.Background())
 	if err != nil {
-		n.denied(c, err)
+		n.denied(r, err)
 		return
 	}
 	payload, err := json.Marshal(views)
 	if err != nil {
-		n.denied(c, err)
+		n.denied(r, err)
 		return
 	}
-	n.reply(c, time.Millisecond, frame{Type: msgCatalogReply, Payload: payload})
+	n.reply(r, time.Millisecond, frame{Type: msgCatalogReply, Payload: payload})
 }
 
 // handleInject arms payload replacement for an imminent marked record
 // (fig 8 steps 1–2); policy enforcement lives in the service.
-func (n *TrustedNode) handleInject(c *tcpsim.Conn, payload []byte) {
+func (n *TrustedNode) handleInject(r replyRoute, payload []byte) {
 	var req injectRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
-		n.denied(c, fmt.Errorf("core: node: bad inject request: %v", err))
+		n.denied(r, fmt.Errorf("core: node: bad inject request: %v", err))
 		return
 	}
 	err := n.Svc.ArmInjection(context.Background(), node.InjectRequest{
@@ -265,10 +376,10 @@ func (n *TrustedNode) handleInject(c *tcpsim.Conn, payload []byte) {
 		State: req.State,
 	})
 	if err != nil {
-		n.denied(c, err)
+		n.denied(r, err)
 		return
 	}
-	n.reply(c, n.w.Cost.NodeInjectSetup, frame{Type: msgSSLInjectOK})
+	n.reply(r, n.w.Cost.NodeInjectSetup, frame{Type: msgSSLInjectOK})
 }
 
 // rewritePayload is the payload-replacement hook (fig 8 step 4): swap the

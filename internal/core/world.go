@@ -49,6 +49,54 @@ func DefaultCostModel() CostModel {
 	}
 }
 
+// FaultOptions tunes the device↔node control channel's fault tolerance
+// (§5.4): per-request deadlines, the retry schedule, and the circuit
+// breaker that switches the device into cor-degraded mode. The zero value
+// means the defaults noted on each field.
+type FaultOptions struct {
+	// RequestTimeout bounds one control round-trip attempt (default 30s).
+	RequestTimeout time.Duration
+	// ConnectTimeout bounds a control (re)connect attempt (default 10s).
+	ConnectTimeout time.Duration
+	// MaxAttempts is the number of round-trip attempts per logical request
+	// before giving up (default 4).
+	MaxAttempts int
+	// RetryBackoffBase/RetryBackoffMax shape the capped-exponential wait
+	// between attempts (defaults 500ms / 8s).
+	RetryBackoffBase time.Duration
+	RetryBackoffMax  time.Duration
+	// BreakerThreshold consecutive request failures open the circuit
+	// (default 3); it stays open for BreakerCooldown (default 30s) before a
+	// probe is allowed.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+func (f FaultOptions) withDefaults() FaultOptions {
+	if f.RequestTimeout <= 0 {
+		f.RequestTimeout = 30 * time.Second
+	}
+	if f.ConnectTimeout <= 0 {
+		f.ConnectTimeout = 10 * time.Second
+	}
+	if f.MaxAttempts <= 0 {
+		f.MaxAttempts = 4
+	}
+	if f.RetryBackoffBase <= 0 {
+		f.RetryBackoffBase = 500 * time.Millisecond
+	}
+	if f.RetryBackoffMax <= 0 {
+		f.RetryBackoffMax = 8 * time.Second
+	}
+	if f.BreakerThreshold <= 0 {
+		f.BreakerThreshold = 3
+	}
+	if f.BreakerCooldown <= 0 {
+		f.BreakerCooldown = 30 * time.Second
+	}
+	return f
+}
+
 // Addresses of the fixed hosts.
 const (
 	DeviceAddr = "10.0.0.2"
@@ -84,6 +132,9 @@ type Config struct {
 	// BaselinePlaintexts supplies the baseline's secrets when TinManEnabled
 	// is false (keyed by cor ID).
 	BaselinePlaintexts map[string]string
+	// Fault tunes the control channel's retry/deadline/breaker behavior;
+	// the zero value takes the FaultOptions defaults.
+	Fault FaultOptions
 }
 
 // World is one simulation universe: a device, a trusted node, origin
@@ -91,6 +142,7 @@ type Config struct {
 type World struct {
 	Net    *netsim.Net
 	Cost   CostModel
+	Fault  FaultOptions
 	Device *Device
 	Node   *TrustedNode
 
@@ -130,6 +182,7 @@ func NewWorld(cfg Config) (*World, error) {
 	w := &World{
 		Net:         netsim.New(cfg.Seed),
 		Cost:        cfg.Cost,
+		Fault:       cfg.Fault.withDefaults(),
 		profile:     cfg.Profile,
 		dns:         make(map[string]string),
 		enabled:     cfg.TinManEnabled,
@@ -173,6 +226,25 @@ func NewWorld(cfg Config) (*World, error) {
 
 // TinManEnabled reports whether the offload machinery is active.
 func (w *World) TinManEnabled() bool { return w.enabled }
+
+// DeviceNodeLink returns the wireless link between the device and the
+// trusted node — the one chaos scenarios partition and flap.
+func (w *World) DeviceNodeLink() *netsim.Link { return w.Device.Host.Link(NodeAddr) }
+
+// CrashNode powers the trusted node's host off: it sends nothing and
+// silently loses everything in flight, like a machine yanked off the
+// network mid-conversation.
+func (w *World) CrashNode() { w.Node.Host.SetDown(true) }
+
+// RestartNode powers the node's host back on and drops all of its TCP
+// state, modeling a reboot: established control connections die with a
+// RST and the device's reconnect path re-establishes them on demand. The
+// node service's durable state (vault, policy, audit, installed apps)
+// survives, as §2.5 requires of a trusted node.
+func (w *World) RestartNode() {
+	w.Node.Host.SetDown(false)
+	w.Node.Stack.AbortAll()
+}
 
 // Profile returns the device uplink profile.
 func (w *World) Profile() netsim.Profile { return w.profile }

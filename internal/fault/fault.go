@@ -1,0 +1,209 @@
+// Package fault holds the small fault-tolerance primitives shared by the
+// device↔trusted-node channel implementations: capped exponential backoff
+// with jitter, and a three-state circuit breaker.
+//
+// TinMan's availability story (§5.4) is that losing the trusted node must
+// degrade only cor-touching work, never the app — which requires the
+// channel to retry transient failures without storming, and to fail fast
+// once the node is plainly gone. Both primitives here are clock- and
+// randomness-abstracted so the in-process simulation (internal/core) drives
+// them with deterministic virtual time while the TCP transport
+// (internal/nodeproto) uses the wall clock.
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes capped-exponential retry delays with jitter. The zero
+// value is usable and yields the defaults noted on each field.
+type Backoff struct {
+	// Base is the delay before the first retry (default 100ms).
+	Base time.Duration
+	// Max caps the grown delay (default 30s).
+	Max time.Duration
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+	// Jitter in [0,1] is the fraction of each delay randomly shaved off,
+	// de-synchronizing clients that failed together (default 0, no jitter).
+	Jitter float64
+	// Rand supplies the jitter randomness in [0,1); nil uses the global
+	// math/rand source. Simulations inject their seeded source here so
+	// retry schedules are reproducible.
+	Rand func() float64
+}
+
+// Delay returns the wait before retry number attempt (0-based: attempt 0
+// is the delay between the first failure and the first retry).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if b.Jitter > 0 {
+		r := b.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		d -= b.Jitter * d * r()
+	}
+	return time.Duration(d)
+}
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState uint8
+
+const (
+	// BreakerClosed passes requests through (healthy).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails requests fast without touching the network.
+	BreakerOpen
+	// BreakerHalfOpen lets exactly one probe through after the cooldown;
+	// its outcome closes or re-opens the circuit.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// circuit (default 3).
+	Threshold int
+	// Cooldown is how long the circuit stays open before a probe is
+	// allowed (default 10s).
+	Cooldown time.Duration
+	// Now is the monotonic clock the cooldown is measured on; nil uses the
+	// wall clock. Simulations pass their virtual clock's Now.
+	Now func() time.Duration
+}
+
+// Breaker is a consecutive-failure circuit breaker. Callers ask Allow
+// before each logical request and report the outcome with Success or
+// Failure; while the circuit is open, Allow returns false until the
+// cooldown elapses, after which a single probe is admitted (half-open).
+// It is safe for concurrent use.
+//
+// An admitted caller that never reports an outcome wedges a half-open
+// probe; every caller in this repo reports on all paths.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Duration
+	probing  bool
+}
+
+// NewBreaker builds a breaker, filling config defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Second
+	}
+	if cfg.Now == nil {
+		start := time.Now()
+		cfg.Now = func() time.Duration { return time.Since(start) }
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a request may proceed, transitioning open →
+// half-open when the cooldown has elapsed.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now()-b.openedAt < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful request: the circuit closes and the failure
+// count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a failed request. In half-open it re-opens immediately;
+// closed, it opens once Threshold consecutive failures accumulate.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.trip()
+		return
+	}
+	b.failures++
+	if b.failures >= b.cfg.Threshold {
+		b.trip()
+	}
+}
+
+// trip opens the circuit; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.probing = false
+}
+
+// State returns the breaker's current state. An open circuit whose
+// cooldown has elapsed still reads as open until an Allow converts it to a
+// half-open probe.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,167 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second, // capped
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	seq := []float64{0, 0.5, 0.999}
+	i := 0
+	b := Backoff{Base: time.Second, Max: time.Minute, Factor: 2, Jitter: 0.5,
+		Rand: func() float64 { v := seq[i%len(seq)]; i++; return v }}
+	// r=0: full delay; r=0.5: 1 - 0.25 of it; r≈1: about half.
+	if got := b.Delay(0); got != time.Second {
+		t.Fatalf("jitter r=0: %v", got)
+	}
+	if got := b.Delay(0); got != 750*time.Millisecond {
+		t.Fatalf("jitter r=0.5: %v", got)
+	}
+	if got := b.Delay(0); got <= 500*time.Millisecond || got >= 510*time.Millisecond {
+		t.Fatalf("jitter r≈1: %v", got)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0); d != 100*time.Millisecond {
+		t.Fatalf("zero-value Delay(0) = %v", d)
+	}
+	if d := b.Delay(100); d != 30*time.Second {
+		t.Fatalf("zero-value Delay(100) = %v, want the 30s cap", d)
+	}
+}
+
+// fakeClock is a manually-advanced monotonic clock for breaker tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second, Now: clk.Now})
+
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	// Two failures stay closed; the third trips it.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused")
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped early")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	// After the cooldown exactly one probe is admitted.
+	clk.Advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker refused the probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Probe failure re-opens and restarts the cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatal("failed probe did not re-open")
+	}
+	clk.Advance(10 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("successful probe did not close the circuit")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second, Now: clk.Now})
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("consecutive failures did not trip")
+	}
+}
+
+func TestBreakerConcurrentProbes(t *testing.T) {
+	clk := &fakeClock{}
+	b := NewBreaker(BreakerConfig{Threshold: 1, Cooldown: time.Second, Now: clk.Now})
+	b.Failure()
+	clk.Advance(time.Second)
+
+	var wg sync.WaitGroup
+	admitted := make(chan struct{}, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				admitted <- struct{}{}
+			}
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	for range admitted {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", n)
+	}
+}

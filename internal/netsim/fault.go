@@ -1,0 +1,67 @@
+package netsim
+
+import "time"
+
+// Deterministic fault injection. Faults are plain state flips (a link or
+// host going down) driven by the simulation clock through ScheduleAt, so a
+// chaos scenario is an ordinary event schedule: the same seed and the same
+// fault script replay the exact same packet-level history.
+
+// ScheduleAt runs fn at the absolute virtual time at; a time already in
+// the past runs on the next Step. It is Schedule with an absolute instead
+// of a relative deadline, which reads better for fault scripts written
+// against a scenario timeline.
+func (n *Net) ScheduleAt(at time.Duration, fn func()) {
+	n.Schedule(at-n.Now(), fn)
+}
+
+// SetDown partitions (true) or heals (false) the link. While down, every
+// packet handed to the link is counted in Dropped and discarded; packets
+// already in flight still arrive (the partition cuts the cable, it does
+// not reach into the far end's receive path).
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is partitioned.
+func (l *Link) Down() bool { return l.down }
+
+// DropNext makes the link silently drop the next k packets (either
+// direction), then heal — the classic drop-N-then-heal window for
+// exercising retransmission paths without touching the loss rate.
+func (l *Link) DropNext(k int) { l.dropNext += k }
+
+// PartitionBetween schedules a partition window on the simulation clock:
+// the link goes down at virtual time from and heals at until.
+func (l *Link) PartitionBetween(from, until time.Duration) {
+	l.net.ScheduleAt(from, func() { l.SetDown(true) })
+	l.net.ScheduleAt(until, func() { l.SetDown(false) })
+}
+
+// Flap schedules cycles down/up cycles starting at virtual time start:
+// down for downFor, then up for upFor, repeated. A flapping cellular link
+// is the paper's worst-case mobile environment.
+func (l *Link) Flap(start, downFor, upFor time.Duration, cycles int) {
+	at := start
+	for i := 0; i < cycles; i++ {
+		l.PartitionBetween(at, at+downFor)
+		at += downFor + upFor
+	}
+}
+
+// SetDown crashes (true) or restarts (false) the host. A down host is a
+// black hole: it sends nothing and silently loses everything addressed to
+// it, including packets already in flight when it crashed — exactly a
+// powered-off machine. Protocol state above netsim (TCP connections,
+// services) is not touched; model a crash that loses state by combining
+// Host.SetDown with the owning layer's teardown (e.g. tcpsim.Stack.AbortAll
+// on restart).
+func (h *Host) SetDown(down bool) { h.down = down }
+
+// Down reports whether the host is crashed.
+func (h *Host) Down() bool { return h.down }
+
+// CrashBetween schedules a crash window: the host goes down at virtual
+// time from and comes back at until.
+func (h *Host) CrashBetween(from, until time.Duration) {
+	h.net.ScheduleAt(from, func() { h.SetDown(true) })
+	h.net.ScheduleAt(until, func() { h.SetDown(false) })
+}

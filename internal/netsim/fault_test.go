@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// faultPair builds two hosts joined by a Wired link, with b counting
+// received payload bytes.
+func faultPair(t *testing.T, seed int64) (*Net, *Host, *Host, *Link, *int) {
+	t.Helper()
+	n := New(seed)
+	a := n.AddHost("10.0.0.1")
+	b := n.AddHost("10.0.0.2")
+	l := n.Connect(a, b, Wired)
+	got := new(int)
+	b.Handle(func(p *Packet) { *got += len(p.Payload) })
+	return n, a, b, l, got
+}
+
+// sendEvery schedules count one-byte packets from a to b, one per interval
+// starting at interval.
+func sendEvery(n *Net, a *Host, dst string, interval time.Duration, count int) {
+	for i := 1; i <= count; i++ {
+		n.Schedule(time.Duration(i)*interval, func() {
+			a.Send(&Packet{Dst: dst, Payload: []byte{0xAA}})
+		})
+	}
+}
+
+func TestLinkPartitionWindow(t *testing.T) {
+	n, a, b, l, got := faultPair(t, 1)
+	// 10 packets at 100ms intervals; the link is down for t in (250ms, 650ms]:
+	// packets at 300..600ms (4 of them) are lost.
+	sendEvery(n, a, b.Addr(), 100*time.Millisecond, 10)
+	l.PartitionBetween(250*time.Millisecond, 650*time.Millisecond)
+	n.Run()
+	if *got != 6 {
+		t.Fatalf("delivered %d packets, want 6", *got)
+	}
+	if l.Dropped != 4 {
+		t.Fatalf("Dropped = %d, want 4", l.Dropped)
+	}
+	if l.Down() {
+		t.Fatal("link still down after heal")
+	}
+}
+
+func TestLinkPartitionSparesInFlight(t *testing.T) {
+	n, a, b, l, got := faultPair(t, 1)
+	// The packet leaves before the partition; the partition must not reach
+	// into the in-flight delivery.
+	n.Schedule(time.Millisecond, func() {
+		a.Send(&Packet{Dst: b.Addr(), Payload: []byte{1}})
+	})
+	n.ScheduleAt(2*time.Millisecond, func() { l.SetDown(true) })
+	n.Run()
+	if *got != 1 {
+		t.Fatal("in-flight packet was retroactively dropped by the partition")
+	}
+}
+
+func TestLinkDropNextWindow(t *testing.T) {
+	n, a, b, l, got := faultPair(t, 1)
+	l.DropNext(3)
+	sendEvery(n, a, b.Addr(), time.Millisecond, 5)
+	n.Run()
+	if *got != 2 {
+		t.Fatalf("delivered %d packets, want 2 after drop-3-then-heal", *got)
+	}
+	if l.Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", l.Dropped)
+	}
+}
+
+func TestLinkFlap(t *testing.T) {
+	n, a, b, l, got := faultPair(t, 1)
+	// Down for (100ms,200ms], (300ms,400ms], (500ms,600ms]. Packets go out
+	// every 50ms for 600ms: 12 packets, those at 150,200,350,400,550,600ms
+	// are dropped.
+	l.Flap(100*time.Millisecond, 100*time.Millisecond, 100*time.Millisecond, 3)
+	sendEvery(n, a, b.Addr(), 50*time.Millisecond, 12)
+	n.Run()
+	if *got != 6 {
+		t.Fatalf("delivered %d packets, want 6", *got)
+	}
+	if l.Dropped != 6 {
+		t.Fatalf("Dropped = %d, want 6", l.Dropped)
+	}
+}
+
+func TestHostCrashBlackHoles(t *testing.T) {
+	n, a, b, _, got := faultPair(t, 1)
+	fromB := 0
+	a.Handle(func(p *Packet) { fromB++ })
+	b.CrashBetween(5*time.Millisecond, 25*time.Millisecond)
+	// a -> b at 10ms: lost at delivery (b down). b -> a at 20ms: never sent.
+	n.Schedule(10*time.Millisecond, func() {
+		a.Send(&Packet{Dst: b.Addr(), Payload: []byte{1}})
+	})
+	n.Schedule(20*time.Millisecond, func() {
+		b.Send(&Packet{Dst: a.Addr(), Payload: []byte{2}})
+	})
+	// After restart both directions work again.
+	n.Schedule(30*time.Millisecond, func() {
+		a.Send(&Packet{Dst: b.Addr(), Payload: []byte{3}})
+		b.Send(&Packet{Dst: a.Addr(), Payload: []byte{4}})
+	})
+	n.Run()
+	if *got != 1 {
+		t.Fatalf("crashed host received %d packets, want only the post-restart one", *got)
+	}
+	if fromB != 1 {
+		t.Fatalf("crashed host sent %d packets, want only the post-restart one", fromB)
+	}
+}
+
+func TestCrashLosesInFlightPackets(t *testing.T) {
+	n, a, b, _, got := faultPair(t, 1)
+	// Packet leaves at 1ms (Wired latency 10ms); the crash at 5ms predates
+	// its arrival, so a powered-off receiver loses it.
+	n.Schedule(time.Millisecond, func() {
+		a.Send(&Packet{Dst: b.Addr(), Payload: []byte{1}})
+	})
+	n.ScheduleAt(5*time.Millisecond, func() { b.SetDown(true) })
+	n.Run()
+	if *got != 0 {
+		t.Fatal("in-flight packet delivered to a crashed host")
+	}
+}
+
+func TestFaultScheduleDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, time.Duration) {
+		n, a, b, l, _ := faultPair(t, 42)
+		l.Flap(10*time.Millisecond, 20*time.Millisecond, 30*time.Millisecond, 5)
+		b.CrashBetween(200*time.Millisecond, 240*time.Millisecond)
+		sendEvery(n, a, b.Addr(), 7*time.Millisecond, 40)
+		n.Run()
+		return l.Delivered[0], l.Dropped, n.Now()
+	}
+	d1, x1, t1 := run()
+	d2, x2, t2 := run()
+	if d1 != d2 || x1 != x2 || t1 != t2 {
+		t.Fatalf("same seed, same fault script diverged: (%d,%d,%v) vs (%d,%d,%v)",
+			d1, x1, t1, d2, x2, t2)
+	}
+}

@@ -84,6 +84,10 @@ type Link struct {
 	Delivered [2]uint64
 	// Dropped counts lost packets.
 	Dropped uint64
+	// down partitions the link (fault injection, see fault.go); dropNext
+	// is the remaining drop-N-then-heal budget.
+	down     bool
+	dropNext int
 }
 
 // Profile returns the link's performance profile.
@@ -99,6 +103,15 @@ func (l *Link) transmit(src *Host, pkt *Packet) {
 	}
 	n := l.net
 
+	if l.down {
+		l.Dropped++
+		return
+	}
+	if l.dropNext > 0 {
+		l.dropNext--
+		l.Dropped++
+		return
+	}
 	if l.prof.Loss > 0 && n.rng.Float64() < l.prof.Loss {
 		l.Dropped++
 		return
@@ -160,6 +173,9 @@ type Host struct {
 	Sent, Received uint64
 	SentBytes      uint64
 	ReceivedBytes  uint64
+	// down crashes the host (fault injection, see fault.go): nothing is
+	// sent and inbound packets are silently lost.
+	down bool
 }
 
 // AddHost creates a host with the given address. Addresses must be unique.
@@ -219,6 +235,11 @@ func (h *Host) Send(pkt *Packet) error {
 // host enforces egress filtering and the source is spoofed, the packet is
 // dropped and an error returned.
 func (h *Host) SendRaw(pkt *Packet) error {
+	if h.down {
+		// A crashed host sends nothing; the packet vanishes without error,
+		// like a kernel whose NIC driver is gone.
+		return nil
+	}
 	if h.egressFilter && pkt.Src != h.addr {
 		return fmt.Errorf("netsim: host %s egress filter dropped spoofed packet from %s", h.addr, pkt.Src)
 	}
@@ -253,6 +274,11 @@ func (h *Host) SetEgressFilter(on bool) { h.egressFilter = on }
 func (h *Host) EgressFilter() bool { return h.egressFilter }
 
 func (h *Host) deliver(pkt *Packet) {
+	if h.down {
+		// Crashed hosts lose inbound traffic, including packets that were
+		// already in flight when the crash fired.
+		return
+	}
 	h.Received++
 	h.ReceivedBytes += uint64(pkt.Size())
 	if h.handler != nil {

@@ -35,6 +35,12 @@ var (
 	// ErrExecution marks offloaded code that faulted or was aborted by the
 	// dynamic-analysis monitor.
 	ErrExecution = errors.New("node: offloaded execution failed")
+	// ErrNodeUnavailable marks operations refused because the trusted node
+	// is unreachable: the channel's retry budget is exhausted or its
+	// circuit breaker is open, and the device is in cor-degraded mode
+	// (§5.4 connectivity) — untainted work proceeds, cor-touching work
+	// fails fast with this sentinel until the node comes back.
+	ErrNodeUnavailable = errors.New("node: trusted node unavailable")
 )
 
 // Error is the service's error type: a human-readable message (kept

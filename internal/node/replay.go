@@ -1,0 +1,125 @@
+package node
+
+import (
+	"sync"
+	"time"
+)
+
+// ReplayCache is the trusted node's at-most-once dedup window. A client
+// that saw an ambiguous transport failure — request sent, no reply — must
+// replay under the same request ID rather than risk double-executing a
+// non-idempotent operation (an offload, an injection arm, an audit-writing
+// access, a derived-ID mint). The cache executes each ID's operation once
+// and replays the recorded result to every duplicate.
+//
+// Duplicates that arrive while the original is still executing block until
+// it finishes (the done channel provides the happens-before edge), so a
+// retry can never observe a half-executed operation or trigger a second
+// execution.
+type ReplayCache struct {
+	cfg ReplayCacheConfig
+
+	mu      sync.Mutex
+	entries map[string]*replayEntry
+	order   []string // insertion order, for window/size pruning
+}
+
+// ReplayCacheConfig tunes a ReplayCache; zero values take the defaults
+// noted on each field.
+type ReplayCacheConfig struct {
+	// Window is how long a completed entry stays replayable (default 5m).
+	// It must comfortably exceed the client's whole retry budget.
+	Window time.Duration
+	// Max caps retained entries regardless of age (default 4096).
+	Max int
+	// Clock supplies the time; nil uses time.Now. Simulations inject
+	// their virtual clock.
+	Clock func() time.Time
+}
+
+// replayEntry records one deduplicated execution. val is written once,
+// before done is closed; readers wait on done first.
+type replayEntry struct {
+	done chan struct{}
+	val  any
+	at   time.Time
+}
+
+func (e *replayEntry) finished() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// NewReplayCache builds a cache, filling config defaults.
+func NewReplayCache(cfg ReplayCacheConfig) *ReplayCache {
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 4096
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &ReplayCache{cfg: cfg, entries: make(map[string]*replayEntry)}
+}
+
+// Do executes fn at most once per id within the window and returns its
+// result; replayed reports whether the result came from the cache (or
+// from waiting on a concurrent original) instead of a fresh execution.
+// fn runs without the lock held, so slow operations do not serialize
+// unrelated requests.
+func (c *ReplayCache) Do(id string, fn func() any) (val any, replayed bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[id]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, true
+	}
+	e := &replayEntry{done: make(chan struct{}), at: c.cfg.Clock()}
+	c.entries[id] = e
+	c.order = append(c.order, id)
+	c.pruneLocked()
+	c.mu.Unlock()
+
+	e.val = fn()
+	close(e.done)
+	return e.val, false
+}
+
+// Len reports the number of retained entries (tests and metrics).
+func (c *ReplayCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// pruneLocked drops completed entries that fell out of the window, then —
+// if the cache is still over Max — the oldest completed entries. Both
+// scans work from the front of the insertion order and stop at the first
+// entry that must stay, so pruning is O(1) amortized per insert. An
+// in-progress entry is never pruned; it blocks pruning anything behind it
+// for as long as its operation runs, which is transient.
+func (c *ReplayCache) pruneLocked() {
+	cutoff := c.cfg.Clock().Add(-c.cfg.Window)
+	for len(c.order) > 0 {
+		e := c.entries[c.order[0]]
+		if !e.finished() || !e.at.Before(cutoff) {
+			break
+		}
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	for len(c.order) > c.cfg.Max {
+		e := c.entries[c.order[0]]
+		if !e.finished() {
+			break
+		}
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}

@@ -74,6 +74,14 @@ type result struct {
 	err  error
 }
 
+// waiter is one in-flight request: its result channel plus whether the
+// request's bytes reached the wire, which decides how a transport failure
+// is reported (ErrAmbiguous vs ErrNeverSent).
+type waiter struct {
+	ch   chan result
+	sent bool
+}
+
 // pendingWrite is one request queued for the writer goroutine.
 type pendingWrite struct {
 	req *Request
@@ -98,7 +106,7 @@ type Client struct {
 	closing chan struct{}
 
 	mu       sync.Mutex // guards waiters, fifo, err, isClosed
-	waiters  map[uint64]chan result
+	waiters  map[uint64]*waiter
 	fifo     []uint64 // outstanding seqs in send order, for Seq==0 servers
 	err      error    // terminal transport error
 	isClosed bool
@@ -125,7 +133,7 @@ func NewClient(conn net.Conn) *Client {
 		br:      bufio.NewReaderSize(conn, connBufSize),
 		sendq:   make(chan pendingWrite, 64),
 		closing: make(chan struct{}),
-		waiters: make(map[uint64]chan result),
+		waiters: make(map[uint64]*waiter),
 	}
 	go c.writer()
 	go c.reader()
@@ -136,6 +144,26 @@ func NewClient(conn net.Conn) *Client {
 // exclusive lock from send to receive, exactly like the pre-pipelining
 // client.
 func (c *Client) SetSerial(on bool) { c.serial.Store(on) }
+
+// Err returns the connection's terminal transport error: nil while it is
+// usable, the first fatal error (or a closed marker) afterwards. A client
+// with a non-nil Err never recovers; reconnect layers replace it.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.isClosed {
+		return errClosed
+	}
+	return nil
+}
+
+// Alive reports whether the connection has hit no terminal transport
+// error. Note the lag inherent to TCP: a peer that vanished without a FIN
+// or RST stays Alive until a write or read against it actually fails.
+func (c *Client) Alive() bool { return c.Err() == nil }
 
 // Close closes the connection and fails any in-flight requests.
 func (c *Client) Close() error {
@@ -160,12 +188,15 @@ func (c *Client) writer() {
 	var dead error
 	write := func(pw pendingWrite) {
 		if dead != nil {
-			c.resolve(pw.seq, result{err: dead})
+			c.resolve(pw.seq, result{err: transportErr(false, dead)})
 			return
 		}
+		// Mark before writing: once any bytes may have left, a failure on
+		// this request is ambiguous — the node may have executed it.
+		c.markSent(pw.seq)
 		if err := WriteMessage(c.bw, pw.req); err != nil {
 			dead = err
-			c.resolve(pw.seq, result{err: err})
+			c.resolve(pw.seq, result{err: transportErr(true, err)})
 			c.failAll(err)
 			c.conn.Close()
 		}
@@ -226,18 +257,18 @@ func (c *Client) reader() {
 		if seq == 0 && len(c.fifo) > 0 {
 			seq = c.fifo[0]
 		}
-		ch := c.takeWaiterLocked(seq)
+		w := c.takeWaiterLocked(seq)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- result{resp: resp}
+		if w != nil {
+			w.ch <- result{resp: resp}
 		}
 	}
 }
 
 // takeWaiterLocked removes and returns the waiter for seq, if any.
-func (c *Client) takeWaiterLocked(seq uint64) chan result {
-	ch := c.waiters[seq]
-	if ch == nil {
+func (c *Client) takeWaiterLocked(seq uint64) *waiter {
+	w := c.waiters[seq]
+	if w == nil {
 		return nil
 	}
 	delete(c.waiters, seq)
@@ -247,34 +278,44 @@ func (c *Client) takeWaiterLocked(seq uint64) chan result {
 			break
 		}
 	}
-	return ch
+	return w
+}
+
+// markSent flags seq's waiter as on-the-wire, so a later transport failure
+// reports it as ErrAmbiguous instead of ErrNeverSent.
+func (c *Client) markSent(seq uint64) {
+	c.mu.Lock()
+	if w := c.waiters[seq]; w != nil {
+		w.sent = true
+	}
+	c.mu.Unlock()
 }
 
 // resolve fails (or answers) a single in-flight request.
 func (c *Client) resolve(seq uint64, r result) {
 	c.mu.Lock()
-	if r.err != nil && c.err == nil {
-		c.err = r.err
-	}
-	ch := c.takeWaiterLocked(seq)
+	w := c.takeWaiterLocked(seq)
 	c.mu.Unlock()
-	if ch != nil {
-		ch <- r
+	if w != nil {
+		w.ch <- r
 	}
 }
 
-// failAll resolves every waiter with a transport error.
+// failAll resolves every waiter with a transport error, classified per
+// waiter: requests already on the wire fail ambiguous, queued ones fail
+// never-sent. Reading w.sent without the lock is safe because the map swap
+// below makes later markSent calls miss these waiters entirely.
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	if c.err == nil {
 		c.err = err
 	}
 	waiters := c.waiters
-	c.waiters = make(map[uint64]chan result)
+	c.waiters = make(map[uint64]*waiter)
 	c.fifo = nil
 	c.mu.Unlock()
-	for _, ch := range waiters {
-		ch <- result{err: err}
+	for _, w := range waiters {
+		w.ch <- result{err: transportErr(w.sent, err)}
 	}
 }
 
@@ -294,39 +335,41 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 	}
 	seq := c.seq.Add(1)
 	req.Seq = seq
-	ch := waiterPool.Get().(chan result)
+	w := &waiter{ch: waiterPool.Get().(chan result)}
 
 	c.mu.Lock()
 	if c.isClosed || c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		waiterPool.Put(w.ch)
 		if err == nil {
 			err = errClosed
 		}
-		return nil, err
+		// The request was refused before queueing: provably never sent.
+		return nil, transportErr(false, err)
 	}
-	c.waiters[seq] = ch
+	c.waiters[seq] = w
 	c.fifo = append(c.fifo, seq)
 	c.mu.Unlock()
 
 	select {
 	case c.sendq <- pendingWrite{req: req, seq: seq}:
 	case <-c.closing:
-		c.resolve(seq, result{err: errClosed})
+		c.resolve(seq, result{err: transportErr(false, errClosed)})
 	case <-ctx.Done():
-		c.abandon(seq, ch)
+		c.abandon(seq, w)
 		return nil, ctx.Err()
 	}
 
 	select {
-	case r := <-ch:
-		waiterPool.Put(ch)
+	case r := <-w.ch:
+		waiterPool.Put(w.ch)
 		if r.err != nil {
 			return nil, r.err
 		}
 		return r.resp, nil
 	case <-ctx.Done():
-		c.abandon(seq, ch)
+		c.abandon(seq, w)
 		return nil, ctx.Err()
 	}
 }
@@ -335,7 +378,7 @@ func (c *Client) roundTrip(ctx context.Context, req *Request) (*Response, error)
 // registered, no resolver can reach it anymore once it is removed under
 // the lock; otherwise a resolver already owns the channel and will send
 // exactly one result, which is drained so the channel can be pooled.
-func (c *Client) abandon(seq uint64, ch chan result) {
+func (c *Client) abandon(seq uint64, w *waiter) {
 	c.mu.Lock()
 	still := c.waiters[seq] != nil
 	if still {
@@ -343,9 +386,9 @@ func (c *Client) abandon(seq uint64, ch chan result) {
 	}
 	c.mu.Unlock()
 	if !still {
-		<-ch
+		<-w.ch
 	}
-	waiterPool.Put(ch)
+	waiterPool.Put(w.ch)
 }
 
 // do performs one round trip and maps protocol-level failures to errors.
@@ -477,41 +520,147 @@ func (c *Client) AuditLog(corID, deviceID string) ([]AuditEntry, error) {
 // Pool is a fixed-size set of pipelined connections to one node. Callers
 // pick a connection per call (round robin), spreading in-flight load so a
 // single connection's writer/reader pair is not the bottleneck.
+//
+// The pool is liveness-aware: Client skips slots whose connection has hit
+// a terminal transport error and kicks off a background redial for each,
+// so one dead connection degrades capacity instead of failing a fixed
+// fraction of calls forever.
 type Pool struct {
-	clients []*Client
-	next    atomic.Uint64
+	dial func() (*Client, error)
+	next atomic.Uint64
+
+	mu      sync.Mutex
+	slots   []*Client
+	dialing []bool
+	closed  bool
 }
 
-// DialPool opens size connections to addr.
-func DialPool(addr string, size int, timeout time.Duration) (*Pool, error) {
+// NewPool opens size connections using dial; the same dial reconnects dead
+// slots later.
+func NewPool(dial func() (*Client, error), size int) (*Pool, error) {
 	if size <= 0 {
 		size = 1
 	}
-	p := &Pool{clients: make([]*Client, 0, size)}
-	for i := 0; i < size; i++ {
-		c, err := Dial(addr, timeout)
+	p := &Pool{dial: dial, slots: make([]*Client, size), dialing: make([]bool, size)}
+	for i := range p.slots {
+		c, err := dial()
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
-		p.clients = append(p.clients, c)
+		p.slots[i] = c
 	}
 	return p, nil
 }
 
-// Client returns the next connection round robin. The returned client is
-// shared; do not Close it — Close the pool.
+// DialPool opens size connections to addr.
+func DialPool(addr string, size int, timeout time.Duration) (*Pool, error) {
+	return NewPool(func() (*Client, error) { return Dial(addr, timeout) }, size)
+}
+
+// Client returns the next live connection, scanning round robin past dead
+// slots (each scheduled for a background redial). If every slot is dead it
+// tries one synchronous dial so a recovered node is picked up immediately;
+// failing that, it returns a dead client — never nil — whose calls fail
+// fast with a classified transport error. The returned client is shared;
+// do not Close it — Close the pool.
 func (p *Pool) Client() *Client {
-	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+	start := p.next.Add(1)
+	p.mu.Lock()
+	n := uint64(len(p.slots))
+	if p.closed {
+		c := p.slots[start%n]
+		p.mu.Unlock()
+		return c
+	}
+	var firstDead *Client
+	for i := uint64(0); i < n; i++ {
+		idx := int((start + i) % n)
+		c := p.slots[idx]
+		if c.Alive() {
+			p.mu.Unlock()
+			return c
+		}
+		if firstDead == nil {
+			firstDead = c
+		}
+		p.redialLocked(idx)
+	}
+	p.mu.Unlock()
+
+	// Every slot is dead. One synchronous attempt, outside the lock so a
+	// slow dial does not serialize other callers.
+	if c, err := p.dial(); err == nil {
+		idx := int(start % n)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			return firstDead
+		}
+		old := p.slots[idx]
+		if old.Alive() {
+			// A background redial revived the slot first; its connection
+			// must stay installed, or it would close ours out from under
+			// the caller when it lands.
+			p.mu.Unlock()
+			c.Close()
+			return old
+		}
+		p.slots[idx] = c
+		p.mu.Unlock()
+		old.Close()
+		return c
+	}
+	return firstDead
+}
+
+// redialLocked starts a background replacement dial for slot idx, at most
+// one at a time per slot. The replacement only lands if the slot is still
+// dead when the dial completes: a synchronous dial may have revived it in
+// the meantime, and closing that connection would yank it from a caller
+// already using it.
+func (p *Pool) redialLocked(idx int) {
+	if p.dialing[idx] || p.closed {
+		return
+	}
+	p.dialing[idx] = true
+	go func() {
+		c, err := p.dial()
+		p.mu.Lock()
+		p.dialing[idx] = false
+		if err != nil || p.closed || p.slots[idx].Alive() {
+			p.mu.Unlock()
+			if c != nil {
+				c.Close()
+			}
+			return
+		}
+		old := p.slots[idx]
+		p.slots[idx] = c
+		p.mu.Unlock()
+		old.Close()
+	}()
 }
 
 // Size returns the number of pooled connections.
-func (p *Pool) Size() int { return len(p.clients) }
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.slots)
+}
 
 // Close closes every pooled connection, returning the first error.
 func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	slots := append([]*Client(nil), p.slots...)
+	p.mu.Unlock()
 	var first error
-	for _, c := range p.clients {
+	for _, c := range slots {
+		if c == nil {
+			continue
+		}
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}

@@ -44,6 +44,10 @@ func decodeRequest(body []byte, req *Request) bool {
 					return false
 				}
 				req.Seq = v
+			case "req_id":
+				if !decodeString(&s, &req.ReqID) {
+					return false
+				}
 			case "cor_id":
 				if !decodeString(&s, &req.CorID) {
 					return false

@@ -205,7 +205,7 @@ func RunThroughput(addr string, state json.RawMessage, opts ThroughputOptions) (
 		}
 		cleanup = func() { pool.Close() }
 		for i := 0; i < pool.Size(); i++ {
-			c := pool.clients[i]
+			c := pool.slots[i]
 			if opts.Mode == "serial" {
 				c.SetSerial(true)
 			}

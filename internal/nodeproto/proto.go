@@ -60,6 +60,12 @@ type Request struct {
 	// Seq correlates the response on a pipelined connection; the server
 	// echoes it verbatim. 0 means a legacy one-at-a-time client.
 	Seq uint64 `json:"seq,omitempty"`
+	// ReqID, when set on a non-idempotent op, makes it at-most-once: the
+	// server records the first execution's result in a replay window keyed
+	// by this ID and answers duplicates from the record. Retry layers set
+	// it so an ambiguous transport failure — request sent, no reply — can
+	// be replayed without double-executing. Empty disables dedup (legacy).
+	ReqID string `json:"req_id,omitempty"`
 	// Cor identity and content.
 	CorID       string   `json:"cor_id,omitempty"`
 	Plaintext   string   `json:"plaintext,omitempty"`

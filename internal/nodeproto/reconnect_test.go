@@ -1,0 +1,271 @@
+package nodeproto
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tinman/internal/fault"
+	"tinman/internal/node"
+)
+
+// startServer serves svc (nil means a fresh service) on a loopback
+// listener and returns it with its address. A positive readTimeout makes
+// the server drop idle connections quickly, which restart tests rely on so
+// Close does not wait out the default five-minute idle window.
+func startServer(t *testing.T, svc *node.Service, readTimeout time.Duration) (*Server, string) {
+	t.Helper()
+	var s *Server
+	if svc != nil {
+		s = NewServerWith(svc)
+	} else {
+		s = NewServer()
+	}
+	if readTimeout > 0 {
+		s.ReadTimeout = readTimeout
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Close() })
+	return s, l.Addr().String()
+}
+
+// waitFor polls cond for up to 5s; failing that, the test dies with msg.
+func waitFor(t *testing.T, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRequestIDDedup pins the at-most-once contract at the wire level: the
+// same ReqID replays the recorded response instead of re-executing, while
+// a fresh ReqID executes for real.
+func TestRequestIDDedup(t *testing.T) {
+	c, _ := testServer(t)
+	req := &Request{Op: OpRegister, ReqID: "dup-1", CorID: "cc", Plaintext: "4111", Description: "card"}
+	if _, err := c.do(t.Context(), req); err != nil {
+		t.Fatal(err)
+	}
+	// The replay must return the original's success, not a duplicate-cor
+	// error: the server recognizes the ID and does not re-execute.
+	if _, err := c.do(t.Context(), req); err != nil {
+		t.Fatalf("replayed request re-executed: %v", err)
+	}
+	cat, err := c.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 1 {
+		t.Fatalf("catalog has %d cors after replay, want 1", len(cat))
+	}
+	// Same operation under a fresh ID is a genuine duplicate registration.
+	fresh := &Request{Op: OpRegister, ReqID: "dup-2", CorID: "cc", Plaintext: "4111", Description: "card"}
+	if _, err := c.do(t.Context(), fresh); err == nil {
+		t.Fatal("fresh ReqID should have re-executed and failed as a duplicate cor")
+	}
+}
+
+// TestReconnectAcrossServerRestart kills the node's TCP server mid-life
+// and brings a new one up (same service state, new port): the reconnect
+// client must carry a request across the gap without manual intervention.
+func TestReconnectAcrossServerRestart(t *testing.T) {
+	svc := node.New(node.Options{})
+	s1, addr1 := startServer(t, svc, 100*time.Millisecond)
+
+	var addr atomic.Value
+	addr.Store(addr1)
+	rc := NewReconnectClient(ReconnectConfig{
+		Dial:           func() (*Client, error) { return Dial(addr.Load().(string), time.Second) },
+		RequestTimeout: 2 * time.Second,
+		Backoff:        fault.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
+		Heartbeat:      -1, // no prober: the test drives every request
+	})
+	defer rc.Close()
+
+	if err := rc.Register("bank-pw", "hunter2!", "bank password"); err != nil {
+		t.Fatal(err)
+	}
+	if rc.Reconnects() != 1 {
+		t.Fatalf("Reconnects = %d after first use, want 1", rc.Reconnects())
+	}
+
+	// Restart: the old server (and its connections) go away entirely.
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, addr2 := startServer(t, svc, 0)
+	addr.Store(addr2)
+
+	cat, err := rc.Catalog()
+	if err != nil {
+		t.Fatalf("catalog across restart: %v", err)
+	}
+	if len(cat) != 1 || cat[0].ID != "bank-pw" {
+		t.Fatalf("catalog after restart = %+v", cat)
+	}
+	if rc.Reconnects() < 2 {
+		t.Fatalf("Reconnects = %d after restart, want >= 2", rc.Reconnects())
+	}
+	if rc.BreakerState() != fault.BreakerClosed {
+		t.Fatalf("breaker %s after successful recovery, want closed", rc.BreakerState())
+	}
+	// The vault survived (same service): a re-register is a duplicate.
+	if err := rc.Register("bank-pw", "x", ""); err == nil {
+		t.Fatal("duplicate register accepted after restart")
+	}
+}
+
+// TestBreakerFastFailAndRecovery drives the breaker through its lifecycle:
+// consecutive dial failures open it, open-state calls fail fast without
+// touching the network, and after the cooldown a half-open probe closes it.
+func TestBreakerFastFailAndRecovery(t *testing.T) {
+	_, addr := startServer(t, nil, 0)
+	var (
+		down  atomic.Bool
+		dials atomic.Int64
+		now   atomic.Int64 // virtual breaker clock, ns
+	)
+	down.Store(true)
+	rc := NewReconnectClient(ReconnectConfig{
+		Dial: func() (*Client, error) {
+			dials.Add(1)
+			if down.Load() {
+				return nil, errors.New("synthetic: node unreachable")
+			}
+			return Dial(addr, time.Second)
+		},
+		RequestTimeout: time.Second,
+		MaxAttempts:    1,
+		Breaker: fault.BreakerConfig{
+			Threshold: 2,
+			Cooldown:  time.Second,
+			Now:       func() time.Duration { return time.Duration(now.Load()) },
+		},
+		Heartbeat: -1,
+	})
+	defer rc.Close()
+
+	for i := 0; i < 2; i++ {
+		if err := rc.Ping(); !errors.Is(err, node.ErrNodeUnavailable) {
+			t.Fatalf("ping %d = %v, want ErrNodeUnavailable", i, err)
+		}
+	}
+	if rc.BreakerState() != fault.BreakerOpen {
+		t.Fatalf("breaker %s after %d failures, want open", rc.BreakerState(), 2)
+	}
+
+	// Open breaker: calls are refused locally, no dial attempts (no retry
+	// storm against a dead node).
+	before := dials.Load()
+	for i := 0; i < 5; i++ {
+		if err := rc.Ping(); !errors.Is(err, node.ErrNodeUnavailable) {
+			t.Fatalf("fast-fail ping = %v, want ErrNodeUnavailable", err)
+		}
+	}
+	if d := dials.Load() - before; d != 0 {
+		t.Fatalf("open breaker still dialed %d times", d)
+	}
+
+	// Node recovers; after the cooldown one half-open probe closes the
+	// breaker and traffic flows again.
+	down.Store(false)
+	now.Store(int64(2 * time.Second))
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("ping after recovery: %v", err)
+	}
+	if rc.BreakerState() != fault.BreakerClosed {
+		t.Fatalf("breaker %s after successful probe, want closed", rc.BreakerState())
+	}
+}
+
+// TestPoolSkipsDeadConnection is the regression test for the round-robin
+// pool handing out dead connections: with one pooled connection killed,
+// every subsequent checkout must still reach the node, and the dead slot
+// must be replaced in the background.
+func TestPoolSkipsDeadConnection(t *testing.T) {
+	_, addr := startServer(t, nil, 0)
+	p, err := DialPool(addr, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	victim := p.slots[1]
+	victim.conn.Close()
+	waitFor(t, "killed connection never observed dead", func() bool { return !victim.Alive() })
+	for i := 0; i < 30; i++ {
+		if err := p.Client().Ping(); err != nil {
+			t.Fatalf("checkout %d returned a dead connection: %v", i, err)
+		}
+	}
+	waitFor(t, "dead slot never replaced by background redial", func() bool {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.slots[1] != victim && p.slots[1].Alive()
+	})
+}
+
+// TestPoolAllDeadRecovery kills every pooled connection: the next checkout
+// must dial synchronously and succeed while the node is up, and once the
+// node is truly gone, checkouts return a (non-nil) dead client whose calls
+// fail fast with a classified transport error.
+func TestPoolAllDeadRecovery(t *testing.T) {
+	s, addr := startServer(t, nil, 200*time.Millisecond)
+	p, err := DialPool(addr, 2, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	kill := func() {
+		p.mu.Lock()
+		slots := append([]*Client(nil), p.slots...)
+		p.mu.Unlock()
+		for _, c := range slots {
+			c.conn.Close()
+		}
+		waitFor(t, "killed connections never observed dead", func() bool {
+			for _, c := range slots {
+				if c.Alive() {
+					return false
+				}
+			}
+			return true
+		})
+	}
+
+	kill()
+	c := p.Client()
+	if c == nil {
+		t.Fatal("Client returned nil")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("synchronous redial after total connection loss failed: %v", err)
+	}
+
+	// Node goes away for real: no live client exists, but checkouts still
+	// return promptly and fail with a typed transport error, not a hang.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	kill()
+	c = p.Client()
+	if c == nil {
+		t.Fatal("Client returned nil with node down")
+	}
+	err = c.Ping()
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("ping against dead pool = %v, want a TransportError", err)
+	}
+}

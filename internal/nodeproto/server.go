@@ -43,6 +43,12 @@ type Server struct {
 	Audit   *audit.Log
 	Malware *malware.DB
 
+	// Replays is the at-most-once window for requests carrying a ReqID: a
+	// replayed ID returns the recorded response instead of re-executing,
+	// so a client may safely resend after an ambiguous transport failure.
+	// NewServerWith installs a default; nil disables dedup.
+	Replays *node.ReplayCache
+
 	// Logf receives operational messages; nil silences them.
 	Logf func(format string, args ...any)
 
@@ -78,6 +84,7 @@ func NewServerWith(svc *node.Service) *Server {
 		Policy:  svc.Policy,
 		Audit:   svc.Audit,
 		Malware: svc.Malware,
+		Replays: node.NewReplayCache(node.ReplayCacheConfig{}),
 		closed:  make(chan struct{}),
 	}
 }
@@ -205,7 +212,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		go func() {
 			defer workers.Done()
 			for req := range reqq {
-				resp := s.handle(ctx, req)
+				resp := s.dispatch(ctx, req)
 				resp.Seq = req.Seq
 				respq <- resp
 			}
@@ -292,6 +299,39 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		reqq <- req
 	}
+}
+
+// mutating reports whether an op has side effects that must not run twice
+// when a client replays it: registrations and derived-ID minting, policy
+// changes, and reseals (which append audit entries and consume rate-limit
+// budget). Ping and the catalog/audit reads are naturally idempotent, so
+// replaying them fresh is cheaper than caching their (large) responses.
+func mutating(op Op) bool {
+	switch op {
+	case OpPing, OpCatalog, OpAudit:
+		return false
+	}
+	return true
+}
+
+// dispatch routes one request through the replay window when the client
+// tagged a non-idempotent op with a ReqID, otherwise straight to handle.
+// The stored response is copied before the caller stamps Seq onto it: two
+// replays of one ID may race on different connections, and each needs its
+// own Seq.
+func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
+	if req.ReqID == "" || s.Replays == nil || !mutating(req.Op) {
+		return s.handle(ctx, req)
+	}
+	v, _ := s.Replays.Do(req.ReqID, func() any {
+		// Detach from the connection's lifetime: if this conn dies
+		// mid-execution, the real outcome is still recorded, so the
+		// client's replay on a fresh conn gets it instead of a cached
+		// "context canceled".
+		return s.handle(context.WithoutCancel(ctx), req)
+	})
+	resp := *(v.(*Response))
+	return &resp
 }
 
 // handle dispatches one request into the service.

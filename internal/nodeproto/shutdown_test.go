@@ -1,0 +1,135 @@
+package nodeproto
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// These tests pin the shutdown/failure classification contract: a caller
+// must be able to tell "this request may have executed on the node" from
+// "this request provably never left", because only the former needs the
+// ReqID replay machinery and only the latter is trivially safe to retry.
+
+// readOneFrame consumes one length-prefixed message from the fake server.
+func readOneFrame(t *testing.T, conn net.Conn) {
+	t.Helper()
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		t.Fatalf("reading frame header: %v", err)
+	}
+	body := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(conn, body); err != nil {
+		t.Fatalf("reading frame body: %v", err)
+	}
+}
+
+func TestShutdownAmbiguousAfterSend(t *testing.T) {
+	cli, srv := net.Pipe()
+	c := NewClient(cli)
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.do(context.Background(), &Request{Op: OpPing})
+		done <- err
+	}()
+	// The server reads the whole request — so it provably reached the wire
+	// — then drops the connection without replying.
+	readOneFrame(t, srv)
+	srv.Close()
+
+	err := <-done
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+	if errors.Is(err, ErrNeverSent) {
+		t.Fatal("a sent request was classified never-sent")
+	}
+	var te *TransportError
+	if !errors.As(err, &te) || !te.Ambiguous || te.Cause == nil {
+		t.Fatalf("err = %#v, want an ambiguous TransportError with a cause", err)
+	}
+}
+
+func TestShutdownNeverSentOnDeadConnection(t *testing.T) {
+	cli, srv := net.Pipe()
+	c := NewClient(cli)
+	defer c.Close()
+
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Alive() {
+		if time.Now().After(deadline) {
+			t.Fatal("client never noticed the dead connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := c.do(context.Background(), &Request{Op: OpPing})
+	if !errors.Is(err, ErrNeverSent) {
+		t.Fatalf("err = %v, want ErrNeverSent", err)
+	}
+	if errors.Is(err, ErrAmbiguous) {
+		t.Fatal("an unsent request was classified ambiguous")
+	}
+}
+
+func TestShutdownNeverSentAfterClose(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	c := NewClient(cli)
+	c.Close()
+
+	_, err := c.do(context.Background(), &Request{Op: OpPing})
+	if !errors.Is(err, ErrNeverSent) {
+		t.Fatalf("err after Close = %v, want ErrNeverSent", err)
+	}
+}
+
+// TestShutdownConcurrentWaiters hammers a connection with concurrent
+// requests the server never answers, then kills it: every waiter must
+// resolve promptly with a classified TransportError — no hangs, no
+// misclassification — and the whole dance must be race-clean.
+func TestShutdownConcurrentWaiters(t *testing.T) {
+	cli, srv := net.Pipe()
+	c := NewClient(cli)
+	defer c.Close()
+	go io.Copy(io.Discard, srv) // swallow requests, never reply
+
+	const workers = 16
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.do(context.Background(), &Request{Op: OpPing})
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the batch reach the wire
+	srv.Close()
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiters hung after connection loss")
+	}
+	for i, err := range errs {
+		var te *TransportError
+		if !errors.As(err, &te) {
+			t.Fatalf("waiter %d: err = %v, want a TransportError", i, err)
+		}
+		// Each waiter is classified one way or the other, never both.
+		if errors.Is(err, ErrAmbiguous) == errors.Is(err, ErrNeverSent) {
+			t.Fatalf("waiter %d: ambiguous/never-sent classification inconsistent: %v", i, err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package tcpsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"tinman/internal/netsim"
@@ -223,3 +224,29 @@ func (st *Stack) sendSegment(dst string, seg *Segment) {
 
 // Conns returns the number of live connections (diagnostics).
 func (st *Stack) Conns() int { return len(st.conns) }
+
+// AbortAll resets every connection on the stack, modeling the TCP state
+// loss of a host crash or reboot: peers of established connections get a
+// RST, pending retransmission timers die with their connections.
+// Iteration is in sorted key order so simulations stay deterministic.
+func (st *Stack) AbortAll() {
+	keys := make([]connKey, 0, len(st.conns))
+	for k := range st.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.localPort != b.localPort {
+			return a.localPort < b.localPort
+		}
+		if a.remoteAddr != b.remoteAddr {
+			return a.remoteAddr < b.remoteAddr
+		}
+		return a.remotePort < b.remotePort
+	})
+	for _, k := range keys {
+		if c, ok := st.conns[k]; ok {
+			c.Abort()
+		}
+	}
+}
