@@ -7,6 +7,8 @@
 #                     the pre-commit gate
 #   make race         race-detector pass over the concurrent subsystems
 #   make chaos        deterministic fault-injection suite under -race
+#   make obs-smoke    observability gate: traced login with valid exports,
+#                     zero-alloc disabled path, Fig 13 hook-cost guard
 #   make bench-smoke  one iteration of every benchmark (a does-it-run gate,
 #                     not a measurement)
 #   make bench-json   append a machine-readable Caffeinemark run to
@@ -16,7 +18,7 @@ GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check race chaos bench-smoke bench-json clean
+.PHONY: all build vet test check race chaos obs-smoke bench-smoke bench-json clean
 
 all: build vet test
 
@@ -40,12 +42,22 @@ check:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(MAKE) chaos
+	$(MAKE) obs-smoke
 	$(MAKE) bench-smoke
 
 # The node service plus the transports that drive it concurrently get a
 # dedicated -race pass (multi-device service tests live in internal/node).
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/
+
+# Observability gate: one fully traced Wi-Fi login must attribute >= 90% of
+# its wall time with valid JSON-lines/Chrome exports and no cor plaintext;
+# the disabled path must stay allocation-free; the interpreter hook wrapper
+# must stay under the 2% Fig 13 budget.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsSmoke' ./internal/bench/
+	$(GO) test -count=1 -run 'TestObsZeroAllocDisabled|TestRedaction' ./internal/obs/
+	$(GO) test -count=1 -run 'TestFig13TracingGuard' ./internal/bench/
 
 # Deterministic fault-injection suite (see EXPERIMENTS.md "Chaos suite"):
 # scripted partitions, node crash/restart, flapping 3G and slow-node

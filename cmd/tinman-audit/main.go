@@ -9,6 +9,13 @@
 //	tinman-audit -device nexus-1 audit.jsonl    # one device's history
 //	tinman-audit -denied audit.jsonl            # denials only
 //	tinman-audit -summary audit.jsonl           # per-cor/per-device totals
+//	tinman-audit -since 2015-04-01T00:00:00Z -until 2015-04-02T00:00:00Z audit.jsonl
+//	tinman-audit -json -denied audit.jsonl      # machine-readable output
+//
+// -since/-until accept RFC 3339 timestamps or bare dates (2015-04-01,
+// midnight UTC) and select the window [since, until). -json re-emits the
+// matching entries in the persisted JSON-lines format, so output pipes back
+// into tinman-audit.
 package main
 
 import (
@@ -16,16 +23,20 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"tinman/internal/audit"
 )
 
 func main() {
 	var (
-		corID   = flag.String("cor", "", "filter by cor ID")
-		device  = flag.String("device", "", "filter by device ID")
-		denied  = flag.Bool("denied", false, "show denials only")
-		summary = flag.Bool("summary", false, "print per-cor and per-device totals")
+		corID    = flag.String("cor", "", "filter by cor ID")
+		device   = flag.String("device", "", "filter by device ID")
+		denied   = flag.Bool("denied", false, "show denials only")
+		summary  = flag.Bool("summary", false, "print per-cor and per-device totals")
+		since    = flag.String("since", "", "only entries at or after this time (RFC 3339 or YYYY-MM-DD)")
+		until    = flag.String("until", "", "only entries before this time (RFC 3339 or YYYY-MM-DD)")
+		jsonMode = flag.Bool("json", false, "emit matching entries as JSON lines (the persisted format)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -44,10 +55,30 @@ func main() {
 		d := audit.OutcomeDenied
 		q.Outcome = &d
 	}
+	var err error
+	if q.Since, err = parseTime(*since); err != nil {
+		fmt.Fprintf(os.Stderr, "tinman-audit: -since: %v\n", err)
+		os.Exit(2)
+	}
+	if q.Until, err = parseTime(*until); err != nil {
+		fmt.Fprintf(os.Stderr, "tinman-audit: -until: %v\n", err)
+		os.Exit(2)
+	}
 	entries := log.Find(q)
 
 	if *summary {
 		printSummary(entries)
+		return
+	}
+	if *jsonMode {
+		for _, e := range entries {
+			line, err := e.WireJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tinman-audit: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(line))
+		}
 		return
 	}
 	for _, e := range entries {
@@ -62,6 +93,21 @@ func main() {
 	} else {
 		fmt.Fprintln(os.Stderr, ", no anomalies")
 	}
+}
+
+// parseTime accepts RFC 3339 or a bare date (midnight UTC); "" is the zero
+// time (no bound).
+func parseTime(s string) (time.Time, error) {
+	if s == "" {
+		return time.Time{}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	if t, err := time.Parse("2006-01-02", s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("cannot parse %q (want RFC 3339 or YYYY-MM-DD)", s)
 }
 
 // printSummary aggregates outcomes per cor and per device.

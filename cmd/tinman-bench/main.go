@@ -15,6 +15,14 @@
 //
 //	tinman-bench -throughput                     # all modes, 8 clients, 2s each
 //	tinman-bench -throughput -mode pipelined -clients 16 -conns 4 -tduration 5s
+//	tinman-bench -throughput -metrics            # + Prometheus text dump after
+//
+// -spans augments Fig 14/15 with the observability subsystem's per-phase
+// span breakdown (self time per phase of each traced login, plus how much
+// of the wall time the span tree attributes). -traceout FILE additionally
+// writes the traced Wi-Fi logins as Chrome trace_event JSON
+// (chrome://tracing / Perfetto); -spansout FILE writes the raw span records
+// as JSON lines.
 //
 // -json FILE appends a machine-readable Caffeinemark run (per-kernel ns/op
 // and allocs/op under every policy, plus the unlinked reference
@@ -34,6 +42,7 @@ import (
 	"tinman/internal/bench"
 	"tinman/internal/netsim"
 	"tinman/internal/nodeproto"
+	"tinman/internal/obs"
 )
 
 func main() {
@@ -50,6 +59,11 @@ func main() {
 		conns      = flag.Int("conns", 1, "throughput: connection-pool size")
 		mode       = flag.String("mode", "", "throughput: one of pipelined, serial, seed (default: compare all)")
 		tduration  = flag.Duration("tduration", 2*time.Second, "throughput: measurement duration per mode")
+		metrics    = flag.Bool("metrics", false, "throughput: print the node's Prometheus metrics after the run")
+
+		spans    = flag.Bool("spans", false, "augment Fig 14/15 with the per-phase span breakdown")
+		traceout = flag.String("traceout", "", "write traced Wi-Fi logins as Chrome trace_event JSON to this file")
+		spansout = flag.String("spansout", "", "write traced Wi-Fi login span records as JSON lines to this file")
 
 		jsonPath   = flag.String("json", "", "append a machine-readable Caffeinemark run to this file (e.g. BENCH_vm.json) instead of the paper figures")
 		label      = flag.String("label", "", "label stored with the -json run (e.g. a commit subject)")
@@ -106,7 +120,7 @@ func main() {
 	}
 
 	if *throughput {
-		if err := runThroughput(*clients, *conns, *mode, *tduration); err != nil {
+		if err := runThroughput(*clients, *conns, *mode, *tduration, *metrics); err != nil {
 			fail(err)
 		}
 		return
@@ -128,6 +142,9 @@ func main() {
 			fail(err)
 		}
 		bench.PrintLogin(out, "Figure 14 (paper: 4.0s -> 5.95s avg; DSM 0.8s; SSL/TCP 1.2s)", rows)
+		if err := spanExtras(out, netsim.WiFi, *seed, *spans, *traceout, *spansout); err != nil {
+			fail(err)
+		}
 	}
 
 	if all || *fig == 15 {
@@ -137,6 +154,13 @@ func main() {
 			fail(err)
 		}
 		bench.PrintLogin(out, "Figure 15 (paper: 5.4s -> 8.2s avg; DSM 1.2s; other 1.6s)", rows)
+		if *spans {
+			reps, err := bench.TraceLogins(netsim.ThreeG, *seed)
+			if err != nil {
+				fail(err)
+			}
+			bench.PrintSpanBreakdown(out, reps)
+		}
 	}
 
 	if all || *table == 3 {
@@ -188,12 +212,19 @@ func main() {
 
 // runThroughput boots an in-process trusted node on loopback TCP and
 // drives it with parallel catalog+reseal loops, one line per client mode.
-func runThroughput(clients, conns int, mode string, dur time.Duration) error {
-	addr, state, shutdown, err := nodeproto.StartThroughputServer()
+// With dump set the node carries an obs metrics registry and its Prometheus
+// text exposition is printed after the runs.
+func runThroughput(clients, conns int, mode string, dur time.Duration, dump bool) error {
+	srv, addr, state, shutdown, err := nodeproto.NewThroughputServer()
 	if err != nil {
 		return err
 	}
 	defer shutdown()
+	var m *obs.Metrics
+	if dump {
+		m = obs.NewMetrics()
+		srv.SetObs(nil, m)
+	}
 
 	modes := []string{"seed", "serial", "pipelined"}
 	if mode != "" {
@@ -201,17 +232,70 @@ func runThroughput(clients, conns int, mode string, dur time.Duration) error {
 	}
 	fmt.Printf("trusted-node throughput: %d clients, %d conn(s), %v per mode, loopback %s\n",
 		clients, conns, dur, addr)
-	for _, m := range modes {
+	for _, md := range modes {
 		res, err := nodeproto.RunThroughput(addr, state, nodeproto.ThroughputOptions{
 			Workers:  clients,
 			Conns:    conns,
-			Mode:     m,
+			Mode:     md,
 			Duration: dur,
 		})
 		if err != nil {
-			return fmt.Errorf("mode %s: %v", m, err)
+			return fmt.Errorf("mode %s: %v", md, err)
 		}
-		fmt.Printf("  %-10s %v\n", m, res)
+		fmt.Printf("  %-10s %v\n", md, res)
+	}
+	if dump {
+		fmt.Println("\nnode metrics (Prometheus text format):")
+		if err := m.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanExtras renders the Wi-Fi traced-login artifacts requested on the
+// command line: the textual per-phase breakdown and/or exporter files.
+func spanExtras(out *os.File, profile netsim.Profile, seed int64, spans bool, traceout, spansout string) error {
+	if !spans && traceout == "" && spansout == "" {
+		return nil
+	}
+	reps, err := bench.TraceLogins(profile, seed)
+	if err != nil {
+		return err
+	}
+	if spans {
+		bench.PrintSpanBreakdown(out, reps)
+	}
+	var recs []obs.SpanRecord
+	for _, rep := range reps {
+		recs = append(recs, rep.Records...)
+	}
+	writeFile := func(path string, write func(*os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceout != "" {
+		if err := writeFile(traceout, func(f *os.File) error {
+			return obs.WriteChromeTrace(f, recs)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote Chrome trace (%d records) to %s\n", len(recs), traceout)
+	}
+	if spansout != "" {
+		if err := writeFile(spansout, func(f *os.File) error {
+			return obs.WriteJSONLines(f, recs)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote span JSON lines (%d records) to %s\n", len(recs), spansout)
 	}
 	return nil
 }

@@ -6,6 +6,13 @@
 //
 //	tinman-node -listen :7443
 //	tinman-node -listen :7443 -cors cors.json
+//	tinman-node -listen :7443 -admin 127.0.0.1:7780
+//
+// With -admin set the node also serves an observability endpoint:
+// GET /metrics (Prometheus text format), GET /spans (flight-recorder dump
+// as JSON lines) and GET /trace (Chrome trace_event JSON for
+// chrome://tracing or Perfetto). Exports pass through the obs redaction
+// gate, so they never carry cor plaintext or vault key material.
 //
 // The optional cors file pre-registers records:
 //
@@ -20,10 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 
 	"tinman/internal/audit"
+	"tinman/internal/node"
 	"tinman/internal/nodeproto"
+	"tinman/internal/obs"
 )
 
 // corSpec mirrors one entry of the -cors file.
@@ -42,11 +53,25 @@ func main() {
 		corsFile  = flag.String("cors", "", "JSON file of cors to pre-register")
 		vaultFile = flag.String("vault", "", "encrypted cor vault file (passphrase in TINMAN_VAULT_KEY)")
 		auditFile = flag.String("audit", "", "persist the audit log to this JSON-lines file")
+		admin     = flag.String("admin", "", "serve observability on this address (/metrics, /spans, /trace)")
 		quiet     = flag.Bool("quiet", false, "suppress operational logging")
 	)
 	flag.Parse()
 
+	// With -admin the whole stack is built instrumented: service-level
+	// collectors (vault opens, per-reason policy denials) attach at
+	// construction, transport-level ones via SetObs.
 	srv := nodeproto.NewServer()
+	if *admin != "" {
+		tr := obs.New(obs.Options{})
+		met := obs.NewMetrics()
+		srv = nodeproto.NewServerWith(node.New(node.Options{Metrics: met}))
+		srv.SetObs(tr, met)
+		if err := serveAdmin(tr, met, *admin); err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-node: admin: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if !*quiet {
 		srv.Logf = log.Printf
 	}
@@ -107,6 +132,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tinman-node: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// serveAdmin exposes the tracer and metrics registry over HTTP. It binds
+// the listener synchronously (so a bad address fails at startup) and serves
+// in the background.
+func serveAdmin(tr *obs.Tracer, m *obs.Metrics, addr string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		m.WritePrometheus(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/jsonlines")
+		obs.WriteJSONLines(w, tr.Records())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.WriteChromeTrace(w, tr.Records())
+	})
+
+	hs := &http.Server{Addr: addr, Handler: mux}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("tinman-node: observability on http://%s (/metrics /spans /trace)", ln.Addr())
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("tinman-node: admin server: %v", err)
+		}
+	}()
+	return nil
 }
 
 func loadCors(srv *nodeproto.Server, path string) error {

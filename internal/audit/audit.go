@@ -218,7 +218,10 @@ type Query struct {
 	CorID    string
 	DeviceID string
 	Outcome  *Outcome
-	Since    time.Time
+	// Since/Until bound the entry timestamps: Since is inclusive, Until is
+	// exclusive, so [Since, Until) windows tile without overlap.
+	Since time.Time
+	Until time.Time
 }
 
 // Find returns entries matching the query in Seq order.
@@ -234,6 +237,9 @@ func (l *Log) Find(q Query) []Entry {
 			return false
 		}
 		if !q.Since.IsZero() && e.Time.Before(q.Since) {
+			return false
+		}
+		if !q.Until.IsZero() && !e.Time.Before(q.Until) {
 			return false
 		}
 		return true

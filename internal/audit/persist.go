@@ -21,6 +21,15 @@ type wireEntry struct {
 	Detail   string    `json:"detail,omitempty"`
 }
 
+// WireJSON returns the entry's JSON-lines (persistence) form — the same
+// encoding WriteTo streams, for tools that emit filtered subsets.
+func (e Entry) WireJSON() ([]byte, error) {
+	return json.Marshal(wireEntry{
+		Seq: e.Seq, Time: e.Time, AppHash: e.AppHash, CorID: e.CorID,
+		DeviceID: e.DeviceID, Domain: e.Domain, Outcome: uint8(e.Outcome), Detail: e.Detail,
+	})
+}
+
 // WriteTo streams the log as JSON lines (one entry per line) — the durable
 // form the trusted node keeps for §3.4's "logged for auditing".
 func (l *Log) WriteTo(w io.Writer) (int64, error) {

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"tinman/internal/taint"
+	"tinman/internal/vm"
+)
+
+// TestFig13TracingGuard pins the observability cost on the Fig 13 hot path.
+// The tracing-disabled interpreter (Hooks zero) pays exactly one nil check
+// per Thread.Run, so its regression versus the pre-obs interpreter is
+// bounded by the cost of the whole Run wrapper. The guard measures that
+// bound in-process — interleaved min-of-N per kernel, hook engaged (no-op
+// OnRunStats) versus hook disabled — and asserts the geomean ratio stays
+// under the ISSUE's 2% budget. An A/B in one process is immune to the
+// machine-to-machine drift that makes asserting against recorded wall
+// times flaky; the drift versus BENCH_vm.json's latest run is only logged.
+func TestFig13TracingGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	const rounds = 5
+	logSum, disabledNs := 0.0, map[string]float64{}
+	for _, k := range Kernels {
+		minDisabled := time.Duration(math.MaxInt64)
+		minEnabled := time.Duration(math.MaxInt64)
+		// Round-robin the two arms so machine noise hits both alike.
+		for r := 0; r < rounds; r++ {
+			for _, hook := range []bool{false, true} {
+				machine, err := NewCaffeineVM(taint.Off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var bursts uint64
+				if hook {
+					machine.Hooks.OnRunStats = func(instrs, calls uint64, _ vm.StopReason) {
+						bursts++
+					}
+				}
+				warm := k
+				warm.Arg = k.Arg / 16
+				if _, err := RunKernel(machine, warm); err != nil {
+					t.Fatal(err)
+				}
+				machine.Heap.ClearDirty()
+				runtime.GC()
+				start := time.Now()
+				if _, err := RunKernel(machine, k); err != nil {
+					t.Fatal(err)
+				}
+				d := time.Since(start)
+				if hook {
+					if bursts == 0 {
+						t.Fatalf("%s: OnRunStats never fired", k.Name)
+					}
+					if d < minEnabled {
+						minEnabled = d
+					}
+				} else if d < minDisabled {
+					minDisabled = d
+				}
+			}
+		}
+		ratio := float64(minEnabled) / float64(minDisabled)
+		logSum += math.Log(ratio)
+		disabledNs[k.Name] = float64(minDisabled.Nanoseconds())
+		t.Logf("%-8s disabled %v, hook-engaged %v (ratio %.4f)", k.Name, minDisabled, minEnabled, ratio)
+	}
+	geomean := math.Exp(logSum / float64(len(Kernels)))
+	t.Logf("geomean hook-engaged/disabled ratio: %.4f", geomean)
+	if geomean >= 1.02 {
+		t.Errorf("obs hook wrapper costs %.1f%% on the Fig 13 geomean, budget is 2%%", 100*(geomean-1))
+	}
+
+	logDriftVsRecorded(t, disabledNs)
+}
+
+// logDriftVsRecorded reports (without asserting — recorded numbers come
+// from other machines and loads) how the tracing-disabled kernels compare
+// to the newest run in BENCH_vm.json.
+func logDriftVsRecorded(t *testing.T, disabledNs map[string]float64) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_vm.json"))
+	if err != nil {
+		t.Logf("no BENCH_vm.json to compare against: %v", err)
+		return
+	}
+	var file VMBenchFile
+	if err := json.Unmarshal(data, &file); err != nil || len(file.Runs) == 0 {
+		t.Logf("BENCH_vm.json unusable: %v", err)
+		return
+	}
+	last := file.Runs[len(file.Runs)-1]
+	logSum, n := 0.0, 0
+	for _, e := range last.Entries {
+		if e.Policy != "off" || e.NsPerOp <= 0 {
+			continue
+		}
+		if cur, ok := disabledNs[e.Kernel]; ok {
+			logSum += math.Log(cur / e.NsPerOp)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Logf("BENCH_vm.json run %q has no comparable entries", last.Label)
+		return
+	}
+	drift := math.Exp(logSum / float64(n))
+	t.Logf("geomean drift vs BENCH_vm.json run %q: %.3fx (informational)", last.Label, drift)
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tinman/internal/apps"
+	"tinman/internal/netsim"
+	"tinman/internal/obs"
+)
+
+// TestObsSmoke is the `make obs-smoke` gate: one fully traced Wi-Fi login
+// must produce a span tree that attributes >= 90% of the end-to-end wall
+// time, with every offload-lifecycle phase individually present, and both
+// exporter formats must be valid JSON that never carries cor plaintext.
+func TestObsSmoke(t *testing.T) {
+	rep, err := TraceLogin(netsim.WiFi, 42, "paypal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total <= 0 {
+		t.Fatalf("traced login has zero duration")
+	}
+	if rep.Coverage < 0.90 {
+		t.Errorf("span tree covers %.1f%% of the login, want >= 90%%", 100*rep.Coverage)
+	}
+
+	present := map[obs.Phase]bool{}
+	for _, r := range rep.Records {
+		present[r.Phase] = true
+	}
+	for _, ph := range []obs.Phase{
+		obs.PhaseDSMMigrate, obs.PhaseNodeExec, obs.PhaseSyncBack,
+		obs.PhaseTLSInject, obs.PhaseTCPReplace, obs.PhasePolicyCheck,
+	} {
+		if !present[ph] {
+			t.Errorf("phase %s missing from the traced login", ph)
+		}
+	}
+
+	var jsonl, chrome strings.Builder
+	if err := obs.WriteJSONLines(&jsonl, rep.Records); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&chrome, rep.Records); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != len(rep.Records) {
+		t.Errorf("JSON-lines dump has %d lines for %d records", len(lines), len(rep.Records))
+	}
+	for i, line := range lines {
+		var o map[string]any
+		if err := json.Unmarshal([]byte(line), &o); err != nil {
+			t.Fatalf("JSON-lines line %d invalid: %v\n%s", i, err, line)
+		}
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(chrome.String()), &events); err != nil {
+		t.Fatalf("Chrome trace is not a JSON array: %v", err)
+	}
+	if len(events) != len(rep.Records) {
+		t.Errorf("Chrome trace has %d events for %d records", len(events), len(rep.Records))
+	}
+
+	// Redaction: no catalog password may appear in either export. The specs
+	// are the ground truth for what plaintext exists in the simulated world.
+	for _, spec := range apps.LoginApps {
+		for name, out := range map[string]string{"jsonlines": jsonl.String(), "chrome": chrome.String()} {
+			if strings.Contains(out, spec.Password) {
+				t.Errorf("%s export contains the %s cor plaintext", name, spec.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"tinman/internal/apps"
+	"tinman/internal/netsim"
+	"tinman/internal/obs"
+)
+
+// SpanReport is the Fig 14/15 per-phase attribution of one traced login:
+// the flight-recorder dump of a TinMan run, reduced to a root duration,
+// descendant coverage, and per-phase self times (which partition the wall
+// time the way the paper's stacked bars do).
+type SpanReport struct {
+	App      string
+	Total    time.Duration // duration of the root login span
+	Coverage float64       // fraction of Total covered by descendants
+	Phases   []PhaseSelf   // self time per phase, largest first
+	Records  []obs.SpanRecord
+}
+
+// PhaseSelf is one phase's share of a traced login.
+type PhaseSelf struct {
+	Phase obs.Phase
+	Self  time.Duration
+}
+
+// TraceLogin runs one app's TinMan login with the span tracer attached and
+// reduces the recorded span tree. The environment is built untraced (install
+// and catalog sync are outside the measurement, as in Fig 14), then the
+// tracer is attached and a login root span wraps the run.
+func TraceLogin(profile netsim.Profile, seed int64, appName string) (*SpanReport, error) {
+	env, err := apps.NewLoginEnv(apps.EnvConfig{Profile: profile, TinMan: true, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	tr := env.World.Observe(0)
+	root := tr.StartSpan(obs.PhaseLogin, obs.App(appName))
+	_, lerr := env.Login(appName)
+	root.End()
+	if lerr != nil {
+		return nil, fmt.Errorf("bench: traced %s login: %v", appName, lerr)
+	}
+
+	recs := tr.Records()
+	var rootRec obs.SpanRecord
+	for _, r := range obs.Roots(recs) {
+		if r.Phase == obs.PhaseLogin {
+			rootRec = r
+			break
+		}
+	}
+	if rootRec.ID == 0 {
+		return nil, fmt.Errorf("bench: traced %s login recorded no root span", appName)
+	}
+	rep := &SpanReport{
+		App:      appName,
+		Total:    rootRec.Duration(),
+		Coverage: obs.Coverage(recs, rootRec),
+		Records:  recs,
+	}
+	for ph, self := range obs.SelfTimes(recs) {
+		if ph == obs.PhaseLogin || self <= 0 {
+			continue
+		}
+		rep.Phases = append(rep.Phases, PhaseSelf{Phase: ph, Self: self})
+	}
+	sort.Slice(rep.Phases, func(i, j int) bool {
+		if rep.Phases[i].Self != rep.Phases[j].Self {
+			return rep.Phases[i].Self > rep.Phases[j].Self
+		}
+		return rep.Phases[i].Phase < rep.Phases[j].Phase
+	})
+	return rep, nil
+}
+
+// TraceLogins traces every catalog app's login.
+func TraceLogins(profile netsim.Profile, seed int64) ([]*SpanReport, error) {
+	reps := make([]*SpanReport, 0, len(apps.LoginApps))
+	for _, spec := range apps.LoginApps {
+		rep, err := TraceLogin(profile, seed, spec.Name)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, rep)
+	}
+	return reps, nil
+}
+
+// PrintSpanBreakdown renders traced-login reports: one line per phase with
+// its self time and share of the login, plus the coverage the ISSUE's
+// acceptance bar asserts (>= 90% of wall time attributed).
+func PrintSpanBreakdown(w io.Writer, reps []*SpanReport) {
+	fmt.Fprintln(w, "per-phase span breakdown (self time, share of login wall time)")
+	for _, rep := range reps {
+		fmt.Fprintf(w, "%-8s  total %s, %.1f%% attributed to sub-spans\n",
+			rep.App, seconds(rep.Total), 100*rep.Coverage)
+		for _, p := range rep.Phases {
+			fmt.Fprintf(w, "  %-14s %12v  %5.1f%%\n",
+				p.Phase.String(), p.Self, 100*float64(p.Self)/float64(rep.Total))
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"tinman/internal/cor"
 	"tinman/internal/dsm"
 	"tinman/internal/node"
+	"tinman/internal/obs"
 	"tinman/internal/taint"
 	"tinman/internal/tlssim"
 	"tinman/internal/vm"
@@ -123,6 +124,9 @@ func (d *Device) InstallAppOpts(name, source string, opts InstallOpts) (*App, er
 
 	machine.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool {
 		app.lastTrigger = tag
+		if tr := d.w.Obs; tr.Enabled() {
+			tr.Event(obs.PhaseTaintTrigger, obs.TagBits(uint64(tag)))
+		}
 		return d.w.enabled
 	}
 	machine.Hooks.OnMonitorEnter = func(o *vm.Object) bool {
@@ -200,9 +204,19 @@ func (a *App) Run(class, method string, args ...vm.Value) (vm.Value, error) {
 	defer func() { a.Report.Total = a.dev.w.Net.Now() - start }()
 
 	for {
+		// One device-VM execution burst: span start to end brackets the
+		// modeled compute advance, so the burst's virtual duration is real.
+		var burst *obs.Span
+		if tr := a.dev.w.Obs; tr.Enabled() {
+			burst = tr.StartSpan(obs.PhaseDeviceExec)
+		}
 		before := a.machine.Instrs
 		stop, err := th.Run()
 		a.dev.w.advanceCompute(true, a.machine.Instrs-before)
+		if burst != nil {
+			burst.Add(obs.Count(int64(a.machine.Instrs - before)))
+			burst.End()
+		}
 		a.Report.DeviceInstrs = a.machine.Instrs
 		a.Report.DeviceCalls = a.machine.Calls
 		if err != nil {
@@ -237,12 +251,24 @@ func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value
 	w := a.dev.w
 	t0 := w.Net.Now()
 
+	// One DSM round trip is one span; the control_rpc child (and through it
+	// the node's node_exec/sync_back) nests underneath.
+	var span *obs.Span
+	if tr := w.Obs; tr.Enabled() {
+		span = tr.StartSpan(obs.PhaseDSMMigrate)
+	}
+	defer span.End()
+
 	mig, err := a.ep.CaptureMigration(th, reason)
 	if err != nil {
 		return nil, vm.Value{}, false, err
 	}
 	mig.TriggerTag = uint64(a.lastTrigger)
 	wire := mig.Encode()
+	if span != nil {
+		span.Add(obs.Bytes(len(wire)))
+		span.Add(mig.ObsFields()...)
+	}
 	// Serialization is device CPU work.
 	w.advanceDeviceWork(time.Duration(int64(len(wire)) * w.Cost.SerializeNsPerByte))
 
@@ -371,51 +397,10 @@ func (a *App) nativeHTTPSRequest(t *vm.Thread, args []vm.Value) (vm.Value, error
 
 	var rec []byte
 	if tainted {
-		t0 := w.Net.Now()
-		if reqObj.CorID == "" {
-			return vm.Value{}, fmt.Errorf("https_request: tainted request has no cor identity")
-		}
-		// Extracting session state from the SSL library and arming the
-		// filter is device work (§3.6).
-		w.advanceDeviceWork(w.Cost.SSLStateSetup)
-		// Step 1 (fig 8): ship the SSL session state to the trusted node.
-		stBytes, err := hc.sess.Export().Marshal()
+		rec, err = a.injectAndSeal(hc, reqObj)
 		if err != nil {
 			return vm.Value{}, err
 		}
-		inj := injectRequest{
-			App:        a.Name,
-			CorID:      reqObj.CorID,
-			Domain:     hc.domain,
-			ServerAddr: hc.addr,
-			ServerPort: hc.port,
-			ClientPort: hc.tcp.LocalPort(),
-			State:      stBytes,
-		}
-		payload, err := json.Marshal(inj)
-		if err != nil {
-			return vm.Value{}, err
-		}
-		reply, err := d.request(frame{Type: msgSSLInject, Payload: payload})
-		if err != nil {
-			return vm.Value{}, err
-		}
-		if reply.Type == msgDenied {
-			return vm.Value{}, fmt.Errorf("https_request: %w", node.Denied(string(reply.Payload)))
-		}
-		if reply.Type != msgSSLInjectOK {
-			return vm.Value{}, fmt.Errorf("https_request: unexpected inject reply %d", reply.Type)
-		}
-		// Steps 2–3: seal the placeholder under the mark and let the filter
-		// redirect it.
-		if err := d.ensureFilter(); err != nil {
-			return vm.Value{}, err
-		}
-		rec, err = hc.sess.Seal(tlssim.TypeMarkedCor, []byte(reqObj.Str))
-		if err != nil {
-			return vm.Value{}, err
-		}
-		a.Report.SSLTime += w.Net.Now() - t0
 	} else {
 		rec, err = hc.sess.Seal(tlssim.TypeApplicationData, []byte(reqObj.Str))
 		if err != nil {
@@ -431,10 +416,89 @@ func (a *App) nativeHTTPSRequest(t *vm.Thread, args []vm.Value) (vm.Value, error
 	}
 	w.noteDeviceTransfer(len(rec))
 
+	// While the device waits on the origin server, the egress filter may
+	// redirect the marked record through the node — tcp_replace attributes
+	// itself under this span via Tracer.Current.
+	var wait *obs.Span
+	if tr := w.Obs; tr.Enabled() {
+		wait = tr.StartSpan(obs.PhaseHTTPWait, obs.Domain(hc.domain))
+	}
 	resp, err := hc.awaitRecord(w.Net)
+	if wait != nil {
+		if err != nil {
+			wait.Add(obs.Err(obs.ErrTimeout))
+		} else {
+			wait.Add(obs.Bytes(len(resp)))
+		}
+		wait.End()
+	}
 	if err != nil {
 		return vm.Value{}, err
 	}
 	w.noteDeviceTransfer(len(resp) + 5)
 	return vm.RefVal(a.machine.NewString(string(resp))), nil
+}
+
+// injectAndSeal runs the TinMan path for a tainted request: SSL session
+// injection (§3.2, fig 8 steps 1–2) followed by sealing the placeholder
+// under the marked record type for the egress filter to redirect. The whole
+// stretch is one tls_inject span.
+func (a *App) injectAndSeal(hc *httpsConn, reqObj *vm.Object) ([]byte, error) {
+	d := a.dev
+	w := d.w
+	t0 := w.Net.Now()
+	var span *obs.Span
+	if tr := w.Obs; tr.Enabled() {
+		span = tr.StartSpan(obs.PhaseTLSInject, obs.Cor(reqObj.CorID), obs.Domain(hc.domain))
+	}
+	defer span.End()
+	if reqObj.CorID == "" {
+		return nil, fmt.Errorf("https_request: tainted request has no cor identity")
+	}
+	// Extracting session state from the SSL library and arming the
+	// filter is device work (§3.6).
+	w.advanceDeviceWork(w.Cost.SSLStateSetup)
+	// Step 1 (fig 8): ship the SSL session state to the trusted node.
+	st := hc.sess.Export()
+	if span != nil {
+		span.Add(st.ObsFields()...)
+	}
+	stBytes, err := st.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	inj := injectRequest{
+		App:        a.Name,
+		CorID:      reqObj.CorID,
+		Domain:     hc.domain,
+		ServerAddr: hc.addr,
+		ServerPort: hc.port,
+		ClientPort: hc.tcp.LocalPort(),
+		State:      stBytes,
+	}
+	payload, err := json.Marshal(inj)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := d.request(frame{Type: msgSSLInject, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == msgDenied {
+		return nil, fmt.Errorf("https_request: %w", node.Denied(string(reply.Payload)))
+	}
+	if reply.Type != msgSSLInjectOK {
+		return nil, fmt.Errorf("https_request: unexpected inject reply %d", reply.Type)
+	}
+	// Steps 2–3: seal the placeholder under the mark and let the filter
+	// redirect it.
+	if err := d.ensureFilter(); err != nil {
+		return nil, err
+	}
+	rec, err := hc.sess.Seal(tlssim.TypeMarkedCor, []byte(reqObj.Str))
+	if err != nil {
+		return nil, err
+	}
+	a.Report.SSLTime += w.Net.Now() - t0
+	return rec, nil
 }

@@ -10,6 +10,7 @@ import (
 	"tinman/internal/fault"
 	"tinman/internal/netsim"
 	"tinman/internal/node"
+	"tinman/internal/obs"
 	"tinman/internal/taint"
 	"tinman/internal/tcpsim"
 	"tinman/internal/tlssim"
@@ -222,14 +223,32 @@ func (d *Device) request(f frame) (frame, error) {
 	if !d.breaker.Allow() {
 		return frame{}, fmt.Errorf("core: device: %w (circuit breaker open)", node.ErrNodeUnavailable)
 	}
+	// The control round trip is one span; the node joins the trace via the
+	// IDs stamped into the tagged frame (msgTaggedTrace).
+	var rpc *obs.Span
+	if tr := d.w.Obs; tr.Enabled() {
+		rpc = tr.StartSpan(obs.PhaseControlRPC, obs.Msg(f.Type))
+	}
 	d.reqSeq++
-	tagged, err := encodeTagged(fmt.Sprintf("%s#%d", d.ID, d.reqSeq), f)
+	reqID := fmt.Sprintf("%s#%d", d.ID, d.reqSeq)
+	var (
+		tagged frame
+		err    error
+	)
+	if rpc != nil {
+		tagged, err = encodeTaggedTrace(reqID, rpc.Trace(), rpc.ID(), f)
+	} else {
+		tagged, err = encodeTagged(reqID, f)
+	}
 	if err != nil {
 		d.breaker.Success() // local encoding error, not a node failure
+		rpc.End()
 		return frame{}, err
 	}
 	var lastErr error
+	attempts := 0
 	for attempt := 0; attempt < d.w.Fault.MaxAttempts; attempt++ {
+		attempts = attempt
 		if attempt > 0 {
 			d.retries++
 			d.w.Net.RunFor(d.backoff.Delay(attempt - 1))
@@ -247,12 +266,14 @@ func (d *Device) request(f frame) (frame, error) {
 			if err := d.reconnectControl(); err != nil {
 				lastErr = err
 				d.breaker.Failure()
+				d.endRequestSpan(rpc, 0, err)
 				return frame{}, fmt.Errorf("core: device: %w: %w", node.ErrNodeUnavailable, lastErr)
 			}
 		}
 		reply, err := d.roundTrip(tagged, f.Type)
 		if err == nil {
 			d.breaker.Success()
+			d.endRequestSpan(rpc, attempt, nil)
 			return reply, nil
 		}
 		lastErr = err
@@ -261,7 +282,27 @@ func (d *Device) request(f frame) (frame, error) {
 			break
 		}
 	}
+	d.endRequestSpan(rpc, attempts, lastErr)
 	return frame{}, fmt.Errorf("core: device: %w: %w", node.ErrNodeUnavailable, lastErr)
+}
+
+// endRequestSpan closes a control_rpc span, recording retries beyond the
+// first attempt and the outcome's error class.
+func (d *Device) endRequestSpan(rpc *obs.Span, retries int, err error) {
+	if rpc == nil {
+		return
+	}
+	if retries > 0 {
+		rpc.Add(obs.Retries(retries))
+	}
+	if err != nil {
+		class := obs.ErrUnavailable
+		if errors.Is(err, ErrControlTimeout) {
+			class = obs.ErrTimeout
+		}
+		rpc.Add(obs.Err(class))
+	}
+	rpc.End()
 }
 
 // roundTrip writes one (tagged) request frame and steps the simulation

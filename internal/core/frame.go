@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"tinman/internal/obs"
 	"tinman/internal/tcpsim"
 )
 
@@ -39,6 +40,12 @@ const (
 	// execute at most once on the node. Payload: u8 idLen | id | u8 inner
 	// type | inner payload.
 	msgTagged
+	// msgTaggedTrace is msgTagged plus the requesting span's identity, so
+	// node-side spans join the device-minted trace. Payload: u8 idLen | id |
+	// 8B trace ID | 8B span ID | u8 inner type | inner payload. Devices emit
+	// it only while tracing is active — untraced runs keep the msgTagged
+	// wire bytes unchanged.
+	msgTaggedTrace
 )
 
 // Frame is one length-prefixed control or handshake message: u32 length |
@@ -117,6 +124,40 @@ func encodeTagged(id string, f frame) (frame, error) {
 	p = append(p, f.Type)
 	p = append(p, f.Payload...)
 	return frame{Type: msgTagged, Payload: p}, nil
+}
+
+// encodeTaggedTrace is encodeTagged carrying the requesting span's identity.
+func encodeTaggedTrace(id string, trace obs.TraceID, span obs.SpanID, f frame) (frame, error) {
+	if len(id) == 0 || len(id) > 255 {
+		return frame{}, fmt.Errorf("core: tagged request ID length %d out of range", len(id))
+	}
+	p := make([]byte, 0, 18+len(id)+len(f.Payload))
+	p = append(p, byte(len(id)))
+	p = append(p, id...)
+	var ids [16]byte
+	binary.BigEndian.PutUint64(ids[:8], uint64(trace))
+	binary.BigEndian.PutUint64(ids[8:], uint64(span))
+	p = append(p, ids[:]...)
+	p = append(p, f.Type)
+	p = append(p, f.Payload...)
+	return frame{Type: msgTaggedTrace, Payload: p}, nil
+}
+
+// decodeTaggedTrace unwraps a msgTaggedTrace payload into the request ID,
+// the propagated trace context, and the inner frame.
+func decodeTaggedTrace(payload []byte) (string, obs.TraceID, obs.SpanID, frame, error) {
+	if len(payload) < 18 {
+		return "", 0, 0, frame{}, fmt.Errorf("core: short traced tagged frame")
+	}
+	n := int(payload[0])
+	if len(payload) < 18+n {
+		return "", 0, 0, frame{}, fmt.Errorf("core: truncated traced tagged frame")
+	}
+	id := string(payload[1 : 1+n])
+	trace := obs.TraceID(binary.BigEndian.Uint64(payload[1+n:]))
+	span := obs.SpanID(binary.BigEndian.Uint64(payload[9+n:]))
+	inner := frame{Type: payload[17+n], Payload: append([]byte(nil), payload[18+n:]...)}
+	return id, trace, span, inner, nil
 }
 
 // decodeTagged unwraps a msgTagged payload into its request ID and inner

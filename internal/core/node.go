@@ -12,6 +12,7 @@ import (
 	"tinman/internal/malware"
 	"tinman/internal/netsim"
 	"tinman/internal/node"
+	"tinman/internal/obs"
 	"tinman/internal/policy"
 	"tinman/internal/tcpsim"
 )
@@ -172,11 +173,17 @@ type replyRoute struct {
 	n     *TrustedNode
 	conn  *tcpsim.Conn
 	entry *taggedEntry
+	// span is the node_op span the request runs under (nil when untraced);
+	// it ends when the reply is scheduled, at the modeled completion time.
+	span *obs.Span
 }
 
 // send schedules a reply frame after the given compute delay, modeling node
 // processing time without re-entering the event loop.
 func (r replyRoute) send(delay time.Duration, f frame) {
+	// The node's work is modeled as a scheduled delay, so the span ends at
+	// the future completion instant rather than "now".
+	r.span.EndAt(r.n.w.Net.Now() + delay)
 	r.n.w.Net.Schedule(delay, func() {
 		c := r.conn
 		if r.entry != nil {
@@ -195,26 +202,33 @@ func (r replyRoute) send(delay time.Duration, f frame) {
 func (n *TrustedNode) reply(r replyRoute, delay time.Duration, f frame) { r.send(delay, f) }
 
 func (n *TrustedNode) denied(r replyRoute, err error) {
+	r.span.Add(obs.Err(obs.ErrDenied))
 	n.reply(r, time.Millisecond, frame{Type: msgDenied, Payload: []byte(err.Error())})
 }
 
 func (n *TrustedNode) handleFrame(c *tcpsim.Conn, f frame) {
-	if f.Type == msgTagged {
-		n.handleTagged(c, f.Payload)
-		return
+	switch f.Type {
+	case msgTagged:
+		id, inner, err := decodeTagged(f.Payload)
+		n.handleTagged(c, id, inner, 0, 0, err)
+	case msgTaggedTrace:
+		id, trace, parent, inner, err := decodeTaggedTrace(f.Payload)
+		n.handleTagged(c, id, inner, trace, parent, err)
+	default:
+		n.dispatch(replyRoute{n: n, conn: c}, f)
 	}
-	n.dispatch(replyRoute{n: n, conn: c}, f)
 }
 
-// handleTagged unwraps a request-ID-tagged frame and gives it at-most-once
-// semantics: a fresh ID dispatches normally (with the reply routed through
-// the replay entry), a known ID rebinds the entry to the arrival connection
-// and — if the reply was already produced — re-sends it without touching
-// the service again.
-func (n *TrustedNode) handleTagged(c *tcpsim.Conn, payload []byte) {
-	id, inner, err := decodeTagged(payload)
-	if err != nil {
-		n.denied(replyRoute{n: n, conn: c}, err)
+// handleTagged gives an unwrapped tagged frame at-most-once semantics: a
+// fresh ID dispatches normally (with the reply routed through the replay
+// entry), a known ID rebinds the entry to the arrival connection and — if
+// the reply was already produced — re-sends it without touching the service
+// again. trace/parent carry the device's span identity when the request
+// arrived as msgTaggedTrace; the node joins the trace via StartRemote, which
+// never touches the tracer's (device-owned) span stack.
+func (n *TrustedNode) handleTagged(c *tcpsim.Conn, id string, inner frame, trace obs.TraceID, parent obs.SpanID, derr error) {
+	if derr != nil {
+		n.denied(replyRoute{n: n, conn: c}, derr)
 		return
 	}
 	if e, ok := n.replays[id]; ok {
@@ -232,7 +246,11 @@ func (n *TrustedNode) handleTagged(c *tcpsim.Conn, payload []byte) {
 	n.replays[id] = e
 	n.replayOrder = append(n.replayOrder, id)
 	n.pruneReplays()
-	n.dispatch(replyRoute{n: n, conn: c, entry: e}, inner)
+	r := replyRoute{n: n, conn: c, entry: e}
+	if tr := n.w.Obs; tr.Enabled() {
+		r.span = tr.StartRemote(obs.PhaseNodeOp, trace, parent, obs.Msg(inner.Type))
+	}
+	n.dispatch(r, inner)
 }
 
 // pruneReplays drops completed entries that have aged out of the replay
@@ -315,7 +333,8 @@ func (n *TrustedNode) handleMigration(r replyRoute, payload []byte) {
 		n.denied(r, fmt.Errorf("core: node: bad migration envelope: %v", err))
 		return
 	}
-	res, err := n.Svc.Offload(context.Background(), n.appDevice[env.App], env.App, env.Bytes)
+	res, err := n.Svc.Offload(obs.ContextWithSpan(context.Background(), r.span),
+		n.appDevice[env.App], env.App, env.Bytes)
 	if err != nil {
 		n.denied(r, err)
 		return
@@ -333,9 +352,17 @@ func (n *TrustedNode) handleMigration(r replyRoute, payload []byte) {
 		n.denied(r, err)
 		return
 	}
-	delay := time.Duration(int64(res.Executed)*n.w.Cost.NodeNsPerInstr +
-		int64(len(res.Bytes))*n.w.Cost.SerializeNsPerByte)
-	n.reply(r, delay, frame{Type: msgMigration, Payload: out})
+	execD := time.Duration(int64(res.Executed) * n.w.Cost.NodeNsPerInstr)
+	serD := time.Duration(int64(len(res.Bytes)) * n.w.Cost.SerializeNsPerByte)
+	if r.span != nil {
+		// The episode's compute and the reply serialization are modeled
+		// (scheduled) rather than elapsed, so both children are recorded over
+		// their future intervals.
+		now := n.w.Net.Now()
+		r.span.ChildAt(obs.PhaseNodeExec, now, now+execD, obs.Count(int64(res.Executed)))
+		r.span.ChildAt(obs.PhaseSyncBack, now+execD, now+execD+serD, obs.Bytes(len(res.Bytes)))
+	}
+	n.reply(r, execD+serD, frame{Type: msgMigration, Payload: out})
 }
 
 // handleCatalog serves the device-visible cor catalog (the selection-widget
@@ -362,7 +389,7 @@ func (n *TrustedNode) handleInject(r replyRoute, payload []byte) {
 		n.denied(r, fmt.Errorf("core: node: bad inject request: %v", err))
 		return
 	}
-	err := n.Svc.ArmInjection(context.Background(), node.InjectRequest{
+	err := n.Svc.ArmInjection(obs.ContextWithSpan(context.Background(), r.span), node.InjectRequest{
 		DeviceID: n.appDevice[req.App],
 		App:      req.App,
 		CorID:    req.CorID,
@@ -385,9 +412,26 @@ func (n *TrustedNode) handleInject(r replyRoute, payload []byte) {
 // rewritePayload is the payload-replacement hook (fig 8 step 4): swap the
 // placeholder-bearing marked record for the cor-bearing one.
 func (n *TrustedNode) rewritePayload(origSrc, origDst string, seg *tcpsim.Segment) ([]byte, error) {
+	// Replacement fires from packet delivery, not a control request; attach
+	// it under whatever span the (single-threaded) simulation is currently
+	// inside — during a login that is the device's http_wait span.
+	var span *obs.Span
+	if tr := n.w.Obs; tr.Enabled() {
+		trace, parent, _ := tr.Current()
+		span = tr.StartRemote(obs.PhaseTCPReplace, trace, parent, obs.Dst(origDst))
+	}
 	key := node.InjectionKey{
 		ClientAddr: origSrc, ClientPort: seg.SrcPort,
 		ServerAddr: origDst, ServerPort: seg.DstPort,
 	}
-	return n.Svc.ReplacePayload(context.Background(), key, len(seg.Payload))
+	out, err := n.Svc.ReplacePayload(obs.ContextWithSpan(context.Background(), span), key, len(seg.Payload))
+	if span != nil {
+		if err != nil {
+			span.Add(obs.Err(obs.ErrInternal))
+		} else {
+			span.Add(obs.Bytes(len(out)))
+		}
+		span.End()
+	}
+	return out, err
 }

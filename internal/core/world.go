@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tinman/internal/netsim"
+	"tinman/internal/obs"
 	"tinman/internal/power"
 	"tinman/internal/taint"
 )
@@ -146,6 +147,10 @@ type World struct {
 	Device *Device
 	Node   *TrustedNode
 
+	// Obs records the offload lifecycle as a span tree on the virtual clock.
+	// nil (the default) disables tracing at zero cost; attach with Observe.
+	Obs *obs.Tracer
+
 	// Power model components.
 	Battery *power.Battery
 	CPU     *power.Activity
@@ -223,6 +228,24 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	return w, nil
 }
+
+// Observe attaches an obs tracer running on the world's virtual clock and
+// bridges packet deliveries into it (replacing any netsim tracer attached
+// earlier), so wire traffic nests under the span that caused it. capn bounds
+// the flight recorder (0 = default). Device and node spans share the one
+// tracer: the simulation event loop is single-threaded, and the node side
+// attaches via wire-propagated trace context, never the span stack.
+func (w *World) Observe(capn int) *obs.Tracer {
+	w.Obs = obs.New(obs.Options{Now: w.Net.Now, Cap: capn})
+	w.Net.Trace(&netsim.Tracer{Cap: obsPacketCap, Obs: w.Obs})
+	// Surface the replacer's middlebox-style silent drops as instant events.
+	w.Node.Replacer.Obs = w.Obs
+	return w.Obs
+}
+
+// obsPacketCap bounds the bridging netsim tracer's own buffer; the obs
+// recorder is bounded separately.
+const obsPacketCap = 16384
 
 // TinManEnabled reports whether the offload machinery is active.
 func (w *World) TinManEnabled() bool { return w.enabled }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"tinman/internal/obs"
 	"tinman/internal/vm"
 )
 
@@ -71,6 +72,24 @@ type Migration struct {
 	// Result carries the thread result when Reason == StopDone (the thread
 	// finished remotely and only state flows back).
 	Result ValueState
+}
+
+// ObsFields summarizes a migration for span attribution: the stop reason,
+// the shipped frame/object counts, the trigger tag bits and whether this is
+// the warm-up full-heap sync. Deliberately shallow — ObjectState content can
+// embed app heap data, so object payloads and strings never become fields.
+func (m *Migration) ObsFields() []obs.Field {
+	fs := []obs.Field{
+		obs.Msg(uint8(m.Reason)),
+		obs.Count(int64(len(m.Frames) + len(m.Objects))),
+	}
+	if m.TriggerTag != 0 {
+		fs = append(fs, obs.TagBits(m.TriggerTag))
+	}
+	if m.Initial {
+		fs = append(fs, obs.Note("initial"))
+	}
+	return fs
 }
 
 // --- encoder ---

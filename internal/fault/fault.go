@@ -107,6 +107,9 @@ type BreakerConfig struct {
 	// Now is the monotonic clock the cooldown is measured on; nil uses the
 	// wall clock. Simulations pass their virtual clock's Now.
 	Now func() time.Duration
+	// OnTransition fires on every state change (metrics hook). It runs with
+	// the breaker's lock held, so it must not call back into the breaker.
+	OnTransition func(from, to BreakerState)
 }
 
 // Breaker is a consecutive-failure circuit breaker. Callers ask Allow
@@ -154,7 +157,7 @@ func (b *Breaker) Allow() bool {
 		if b.cfg.Now()-b.openedAt < b.cfg.Cooldown {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setStateLocked(BreakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open: one probe at a time
@@ -171,7 +174,7 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.setStateLocked(BreakerClosed)
 	b.failures = 0
 	b.probing = false
 }
@@ -193,10 +196,23 @@ func (b *Breaker) Failure() {
 
 // trip opens the circuit; callers hold b.mu.
 func (b *Breaker) trip() {
-	b.state = BreakerOpen
+	b.setStateLocked(BreakerOpen)
 	b.openedAt = b.cfg.Now()
 	b.failures = 0
 	b.probing = false
+}
+
+// setStateLocked changes state and fires OnTransition on a real change;
+// callers hold b.mu.
+func (b *Breaker) setStateLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
 }
 
 // State returns the breaker's current state. An open circuit whose

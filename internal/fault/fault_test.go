@@ -165,3 +165,35 @@ func TestBreakerConcurrentProbes(t *testing.T) {
 		t.Fatalf("half-open admitted %d probes, want exactly 1", n)
 	}
 }
+
+func TestBreakerOnTransition(t *testing.T) {
+	clk := &fakeClock{}
+	type hop struct{ from, to BreakerState }
+	var hops []hop
+	b := NewBreaker(BreakerConfig{
+		Threshold: 2, Cooldown: time.Second, Now: clk.Now,
+		OnTransition: func(from, to BreakerState) { hops = append(hops, hop{from, to}) },
+	})
+	b.Success() // closed -> closed: no transition
+	b.Failure()
+	b.Failure() // trips
+	clk.Advance(time.Second)
+	if !b.Allow() { // open -> half-open probe
+		t.Fatal("probe not admitted")
+	}
+	b.Success() // half-open -> closed
+
+	want := []hop{
+		{BreakerClosed, BreakerOpen},
+		{BreakerOpen, BreakerHalfOpen},
+		{BreakerHalfOpen, BreakerClosed},
+	}
+	if len(hops) != len(want) {
+		t.Fatalf("got %d transitions %v, want %v", len(hops), hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, hops[i], want[i])
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"tinman/internal/obs"
 )
 
 // TraceEvent is one recorded packet delivery.
@@ -39,20 +41,29 @@ type Tracer struct {
 	// dropped and Dropped counts them.
 	Cap     int
 	Dropped uint64
+	// Obs, when set, forwards each (post-filter) event to the obs tracer as
+	// an instant packet span attributed to the currently active span — so the
+	// Chrome export nests wire traffic under the DSM/TLS span that caused it.
+	Obs *obs.Tracer
 }
 
 // record appends an event subject to filter and cap.
 func (tr *Tracer) record(e TraceEvent) {
 	tr.mu.Lock()
-	defer tr.mu.Unlock()
 	if tr.Filter != nil && !tr.Filter(e) {
+		tr.mu.Unlock()
 		return
 	}
 	if tr.Cap > 0 && len(tr.events) >= tr.Cap {
 		tr.Dropped++
+		tr.mu.Unlock()
 		return
 	}
 	tr.events = append(tr.events, e)
+	fwd := tr.Obs
+	tr.mu.Unlock()
+	// Forward outside tr.mu: the obs tracer takes its own lock.
+	fwd.Packet(e.At, e.Src, e.Dst, e.Size, e.Note)
 }
 
 // Events returns a copy of the recorded events.

@@ -9,6 +9,7 @@ import (
 	"tinman/internal/audit"
 	"tinman/internal/dsm"
 	"tinman/internal/monitor"
+	"tinman/internal/obs"
 	"tinman/internal/policy"
 	"tinman/internal/taint"
 	"tinman/internal/tlssim"
@@ -163,16 +164,30 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 
 	// §3.4: every cor access is checked against the app binding and logged.
 	trigger := taint.Tag(mig.TriggerTag)
+	parent := obs.SpanFromContext(ctx)
 	for _, rec := range s.Cors.ByTag(trigger) {
+		var span *obs.Span
+		if parent != nil {
+			span = parent.Child(obs.PhasePolicyCheck,
+				obs.Cor(rec.ID), obs.App(app.hash))
+		}
+		s.met.policyChecks.Inc()
 		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: deviceID}
 		if perr := s.Policy.Check(acc); perr != nil {
+			s.met.policyDenials.Inc()
 			s.Audit.Append(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error())
 			if d, ok := policy.IsDenial(perr); ok {
+				span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
+				span.End()
 				return nil, denied(d)
 			}
+			span.Add(obs.Outcome(false), obs.Err(obs.ErrBadRequest))
+			span.End()
 			return nil, badRequest(perr)
 		}
 		s.Audit.Append(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access")
+		span.Add(obs.Outcome(true))
+		span.End()
 	}
 
 	app.runMu.Lock()
@@ -262,7 +277,7 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	if rec == nil {
 		return errf(ErrUnknownCor, "unknown cor %q", req.CorID)
 	}
-	checkID, err := s.checkSend(rec, app.hash, req.DeviceID, req.Domain, req.Key.ServerAddr)
+	checkID, err := s.checkSend(ctx, rec, app.hash, req.DeviceID, req.Domain, req.Key.ServerAddr)
 	if err != nil {
 		return err
 	}
@@ -306,14 +321,27 @@ func (s *Service) ReplacePayload(ctx context.Context, key InjectionKey, recordLe
 	if rec == nil {
 		return nil, errf(ErrUnknownCor, "cor %q vanished", inj.corID)
 	}
+	// vault_open brackets the only stretch where the cor plaintext is live
+	// outside the store; the span carries only the cor ID and output size.
+	var vspan *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		vspan = parent.Child(obs.PhaseVaultOpen, obs.Cor(inj.corID))
+	}
+	s.met.vaultOpens.Inc()
 	sess, err := tlssim.Resume(inj.state, nil)
 	if err != nil {
+		vspan.Add(obs.Err(obs.ErrBadRequest))
+		vspan.End()
 		return nil, badRequest(err)
 	}
 	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
 	if err != nil {
+		vspan.Add(obs.Err(obs.ErrBadRequest))
+		vspan.End()
 		return nil, badRequest(err)
 	}
+	vspan.Add(obs.Bytes(len(out)))
+	vspan.End()
 	if recordLen > 0 && len(out) != recordLen {
 		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), recordLen)
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"tinman/internal/audit"
+	"tinman/internal/obs"
 	"tinman/internal/tlssim"
 )
 
@@ -41,7 +42,7 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 	if rec == nil {
 		return nil, errf(ErrUnknownCor, "unknown cor %q", req.CorID)
 	}
-	checkID, err := s.checkSend(rec, req.AppHash, req.DeviceID, req.Domain, req.TargetIP)
+	checkID, err := s.checkSend(ctx, rec, req.AppHash, req.DeviceID, req.Domain, req.TargetIP)
 	if err != nil {
 		return nil, err
 	}
@@ -59,14 +60,29 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 		s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused")
 		return nil, errf(ErrWeakTLS, "refusing %v session: implicit-IV state sync leaks plaintext (fig 7)", st.Version)
 	}
+	// The vault_open span brackets the only stretch where cor plaintext is
+	// live outside the store; the span itself carries nothing but the cor ID
+	// and output size (typed fields — plaintext is unrepresentable).
+	var vspan *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		vspan = parent.Child(obs.PhaseVaultOpen, obs.Cor(checkID))
+		vspan.Add(st.ObsFields()...)
+	}
+	s.met.vaultOpens.Inc()
 	sess, err := tlssim.Resume(st, nil)
 	if err != nil {
+		vspan.Add(obs.Err(obs.ErrBadRequest))
+		vspan.End()
 		return nil, errf(ErrBadRequest, "resuming session: %v", err)
 	}
 	out, err := sess.Seal(tlssim.TypeApplicationData, []byte(rec.Plaintext))
 	if err != nil {
+		vspan.Add(obs.Err(obs.ErrBadRequest))
+		vspan.End()
 		return nil, errf(ErrBadRequest, "sealing: %v", err)
 	}
+	vspan.Add(obs.Bytes(len(out)))
+	vspan.End()
 	if req.RecordLen > 0 && len(out) != req.RecordLen {
 		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), req.RecordLen)
 	}

@@ -18,6 +18,7 @@ import (
 	"tinman/internal/audit"
 	"tinman/internal/cor"
 	"tinman/internal/malware"
+	"tinman/internal/obs"
 	"tinman/internal/policy"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	// 0 means the default (1000, matching the paper's hash-DB scale test),
 	// negative disables seeding.
 	MalwareSeed int
+	// Metrics, when set, counts policy checks/denials and vault opens.
+	// Spans need no option: the service attributes policy_check and
+	// vault_open children to whatever span rides in on the request context.
+	Metrics *obs.Metrics
 }
 
 // defaultCorIdleWindow matches the pre-refactor node configuration.
@@ -58,6 +63,16 @@ type Service struct {
 	derivedSeq int
 
 	states stateCache
+
+	// met holds the Options.Metrics collectors (nil-safe when unset).
+	met serviceMetrics
+}
+
+// serviceMetrics caches the service-level collectors.
+type serviceMetrics struct {
+	policyChecks  *obs.Counter
+	policyDenials *obs.Counter
+	vaultOpens    *obs.Counter
 }
 
 // New assembles a Service.
@@ -73,6 +88,16 @@ func New(opts Options) *Service {
 		corIdleWindow: opts.CorIdleWindow,
 		apps:          make(map[AppKey]*hostedApp),
 		injections:    make(map[InjectionKey]*pendingInjection),
+	}
+	if m := opts.Metrics; m != nil {
+		s.met = serviceMetrics{
+			policyChecks:  m.Counter("tinman_policy_checks_total"),
+			policyDenials: m.Counter("tinman_policy_denials_total"),
+			vaultOpens:    m.Counter("tinman_vault_opens_total"),
+		}
+		// The engine keeps its own per-reason denial counters below the
+		// service-level totals.
+		s.Policy.SetMetrics(m)
 	}
 	if opts.MalwareSeed >= 0 {
 		seed := opts.MalwareSeed
@@ -186,9 +211,16 @@ func (s *Service) lineageID(rec *cor.Record) string {
 }
 
 // checkSend runs the send-time policy check (§3.4 second binding) for a
-// cor's lineage and writes the audit entry for either outcome.
-func (s *Service) checkSend(rec *cor.Record, appHash, deviceID, domain, ip string) (checkID string, err error) {
+// cor's lineage and writes the audit entry for either outcome. The decision
+// is attributed as a policy_check child of whatever span rides on ctx.
+func (s *Service) checkSend(ctx context.Context, rec *cor.Record, appHash, deviceID, domain, ip string) (checkID string, err error) {
 	checkID = s.lineageID(rec)
+	var span *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		span = parent.Child(obs.PhasePolicyCheck,
+			obs.Cor(checkID), obs.App(appHash), obs.Domain(domain))
+	}
+	s.met.policyChecks.Inc()
 	acc := policy.Access{
 		CorID:    checkID,
 		AppHash:  appHash,
@@ -198,11 +230,18 @@ func (s *Service) checkSend(rec *cor.Record, appHash, deviceID, domain, ip strin
 		IP:       ip,
 	}
 	if perr := s.Policy.Check(acc); perr != nil {
+		s.met.policyDenials.Inc()
 		s.Audit.Append(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error())
 		if d, ok := policy.IsDenial(perr); ok {
+			span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
+			span.End()
 			return checkID, denied(d)
 		}
+		span.Add(obs.Outcome(false), obs.Err(obs.ErrBadRequest))
+		span.End()
 		return checkID, badRequest(perr)
 	}
+	span.Add(obs.Outcome(true))
+	span.End()
 	return checkID, nil
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"tinman/internal/node"
+	"tinman/internal/obs"
 	"tinman/internal/policy"
 	"tinman/internal/tlssim"
 )
@@ -114,6 +115,33 @@ type Client struct {
 	// serialMu serializes whole round trips when serial mode is on.
 	serial   atomic.Bool
 	serialMu sync.Mutex
+
+	// cm holds the collectors installed by SetMetrics (nil-safe when unset).
+	cm clientMetrics
+}
+
+// clientMetrics caches the client-side collectors.
+type clientMetrics struct {
+	inflight *obs.Gauge
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// SetMetrics installs request metrics on this client. Tracing needs no
+// setter: do() picks the caller's span out of the context and stamps its
+// IDs onto the wire request.
+func (c *Client) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		c.cm = clientMetrics{}
+		return
+	}
+	c.cm = clientMetrics{
+		inflight: m.Gauge("tinman_client_inflight_requests"),
+		requests: m.Counter("tinman_client_requests_total"),
+		errors:   m.Counter("tinman_client_request_errors_total"),
+		latency:  m.Histogram("tinman_client_request_seconds"),
+	}
 }
 
 // Dial connects to the node at addr.
@@ -394,22 +422,60 @@ func (c *Client) abandon(seq uint64, w *waiter) {
 // do performs one round trip and maps protocol-level failures to errors.
 // On failure the response is never returned: callers get (nil, err), with
 // policy refusals wrapped in an errors.As-able *DenialError.
+//
+// do is also the client's instrumentation point: when the caller's context
+// carries a span, the round trip becomes a control_rpc child whose IDs are
+// stamped onto the wire request (joining the node's span to the trace), and
+// SetMetrics collectors record in-flight/latency/errors.
 func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	if c.serial.Load() {
 		c.serialMu.Lock()
 		defer c.serialMu.Unlock()
 	}
+	var rpc *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		rpc = parent.Child(obs.PhaseControlRPC, obs.OpName(string(req.Op)))
+		req.TraceID = rpc.Trace().Hex()
+		req.SpanID = rpc.ID().Hex()
+	}
+	c.cm.requests.Inc()
+	c.cm.inflight.Inc()
+	start := time.Now()
 	resp, err := c.roundTrip(ctx, req)
+	if err == nil && !resp.OK {
+		if resp.Denial != "" {
+			err = &DenialError{Reason: resp.Denial, Message: resp.Error}
+		} else {
+			err = fmt.Errorf("nodeproto: %s", resp.Error)
+		}
+	}
+	c.cm.latency.Observe(time.Since(start))
+	c.cm.inflight.Dec()
 	if err != nil {
+		c.cm.errors.Inc()
+		rpc.Add(obs.Err(classifyErr(err)))
+		rpc.End()
 		return nil, err
 	}
-	if !resp.OK {
-		if resp.Denial != "" {
-			return nil, &DenialError{Reason: resp.Denial, Message: resp.Error}
-		}
-		return nil, fmt.Errorf("nodeproto: %s", resp.Error)
-	}
+	rpc.End()
 	return resp, nil
+}
+
+// classifyErr maps a client-visible failure onto the obs error-class
+// vocabulary (classes, never error text, reach the exporters).
+func classifyErr(err error) obs.ErrClass {
+	switch {
+	case errors.Is(err, node.ErrDenied):
+		return obs.ErrDenied
+	case errors.Is(err, context.DeadlineExceeded):
+		return obs.ErrTimeout
+	case errors.Is(err, context.Canceled):
+		return obs.ErrTimeout
+	case errors.Is(err, ErrAmbiguous), errors.Is(err, ErrNeverSent):
+		return obs.ErrTransport
+	default:
+		return obs.ErrInternal
+	}
 }
 
 // Ping checks liveness.

@@ -96,6 +96,14 @@ func decodeRequest(body []byte, req *Request) bool {
 					return false
 				}
 				req.RecordLen = v
+			case "trace_id":
+				if !decodeString(&s, &req.TraceID) {
+					return false
+				}
+			case "span_id":
+				if !decodeString(&s, &req.SpanID) {
+					return false
+				}
 			case "state":
 				// Captured verbatim; copied because the body buffer is pooled.
 				s.WS()

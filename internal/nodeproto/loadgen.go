@@ -123,19 +123,39 @@ type ThroughputOptions struct {
 	ResealEvery int
 }
 
-// ThroughputResult is one RunThroughput measurement.
+// ThroughputResult is one RunThroughput measurement. Requests counts
+// successful requests; Errors counts failed ones (each attempt counts
+// exactly once in one of the two).
 type ThroughputResult struct {
 	Requests  int
+	Errors    int
 	Elapsed   time.Duration
 	ReqPerSec float64
 	P50       time.Duration
 	P99       time.Duration
+	// FirstErr samples the first failure for diagnosis; the run itself
+	// continues past errors and reports them in the rate.
+	FirstErr error
+}
+
+// ErrorRate returns failed requests as a fraction of all attempts.
+func (r ThroughputResult) ErrorRate() float64 {
+	total := r.Requests + r.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(total)
 }
 
 func (r ThroughputResult) String() string {
-	return fmt.Sprintf("%d requests in %v: %.0f req/s, p50 %v, p99 %v",
+	s := fmt.Sprintf("%d requests in %v: %.0f req/s, p50 %v, p99 %v, errors %d (%.2f%%)",
 		r.Requests, r.Elapsed.Round(time.Millisecond), r.ReqPerSec,
-		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		r.Errors, 100*r.ErrorRate())
+	if r.FirstErr != nil {
+		s += fmt.Sprintf(" (first: %v)", r.FirstErr)
+	}
+	return s
 }
 
 // benchCor is the cor the load loop reseals.
@@ -242,6 +262,7 @@ func RunThroughput(addr string, state json.RawMessage, opts ThroughputOptions) (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		errCount int
 		lats     = make([][]time.Duration, opts.Workers)
 		deadline = time.Now().Add(opts.Duration)
 		// quota hands out request slots when a fixed count is requested.
@@ -276,12 +297,17 @@ func RunThroughput(addr string, state json.RawMessage, opts ThroughputOptions) (
 					err = is.catalog()
 				}
 				if err != nil {
+					// Count the failure and keep driving: a load generator
+					// that dies on the first error (and silently discards
+					// every latency its worker had collected) hides exactly
+					// the degraded behavior it exists to measure.
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
 					}
+					errCount++
 					mu.Unlock()
-					return
+					continue
 				}
 				mine = append(mine, time.Since(t0))
 			}
@@ -290,9 +316,6 @@ func RunThroughput(addr string, state json.RawMessage, opts ThroughputOptions) (
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	if firstErr != nil {
-		return ThroughputResult{}, firstErr
-	}
 
 	var all []time.Duration
 	for _, l := range lats {
@@ -301,7 +324,9 @@ func RunThroughput(addr string, state json.RawMessage, opts ThroughputOptions) (
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res := ThroughputResult{
 		Requests: len(all),
+		Errors:   errCount,
 		Elapsed:  elapsed,
+		FirstErr: firstErr,
 	}
 	if elapsed > 0 {
 		res.ReqPerSec = float64(len(all)) / elapsed.Seconds()
@@ -317,15 +342,24 @@ func RunThroughput(addr string, state json.RawMessage, opts ThroughputOptions) (
 // listener, primed for the throughput workload. It returns the address,
 // the marshaled device session state, and a shutdown func.
 func StartThroughputServer() (addr string, state json.RawMessage, shutdown func(), err error) {
-	srv := NewServer()
+	srv, addr, state, shutdown, err := NewThroughputServer()
+	_ = srv
+	return addr, state, shutdown, err
+}
+
+// NewThroughputServer is StartThroughputServer exposing the *Server as
+// well, so callers can install observability (SetObs) and dump its metrics
+// after the drive — tinman-bench's -metrics path.
+func NewThroughputServer() (srv *Server, addr string, state json.RawMessage, shutdown func(), err error) {
+	srv = NewServer()
 	state, err = PrepareThroughputServer(srv)
 	if err != nil {
-		return "", nil, nil, err
+		return nil, "", nil, nil, err
 	}
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, nil, err
+		return nil, "", nil, nil, err
 	}
 	go srv.Serve(l)
-	return l.Addr().String(), state, func() { srv.Close() }, nil
+	return srv, l.Addr().String(), state, func() { srv.Close() }, nil
 }

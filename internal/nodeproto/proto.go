@@ -81,6 +81,11 @@ type Request struct {
 	Domain    string          `json:"domain,omitempty"`
 	TargetIP  string          `json:"target_ip,omitempty"`
 	RecordLen int             `json:"record_len,omitempty"`
+	// TraceID/SpanID propagate the caller's obs span (hex, zero-padded) so
+	// node-side spans join the device's trace. Empty when tracing is off;
+	// old servers ignore the extra keys and old clients never send them.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // CatalogEntry is the device-visible cor metadata.

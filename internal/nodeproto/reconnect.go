@@ -11,6 +11,7 @@ import (
 
 	"tinman/internal/fault"
 	"tinman/internal/node"
+	"tinman/internal/obs"
 	"tinman/internal/tlssim"
 )
 
@@ -49,6 +50,11 @@ type ReconnectConfig struct {
 	// ClientID prefixes the request IDs minted for at-most-once replay;
 	// empty generates a process-unique value.
 	ClientID string
+	// Metrics, when set, counts breaker state transitions
+	// (tinman_breaker_transitions_total{to=...}), gauges the current state,
+	// and counts reconnects. It also installs Breaker.OnTransition unless
+	// the caller already set one.
+	Metrics *obs.Metrics
 }
 
 // ReconnectClient wraps Client with the fault tolerance a mobile device
@@ -73,6 +79,8 @@ type ReconnectClient struct {
 
 	// reconnects counts connections established, the first included.
 	reconnects atomic.Uint64
+	// reconnectCtr mirrors reconnects into the metrics registry (nil-safe).
+	reconnectCtr *obs.Counter
 
 	mu     sync.Mutex
 	cur    *Client
@@ -101,7 +109,22 @@ func NewReconnectClient(cfg ReconnectConfig) *ReconnectClient {
 	if cfg.ClientID == "" {
 		cfg.ClientID = fmt.Sprintf("rc%d-%d", clientIDSeq.Add(1), time.Now().UnixNano())
 	}
-	rc := &ReconnectClient{cfg: cfg, breaker: fault.NewBreaker(cfg.Breaker)}
+	if m := cfg.Metrics; m != nil && cfg.Breaker.OnTransition == nil {
+		transitions := map[fault.BreakerState]*obs.Counter{}
+		for _, st := range []fault.BreakerState{fault.BreakerClosed, fault.BreakerOpen, fault.BreakerHalfOpen} {
+			transitions[st] = m.Counter(fmt.Sprintf(`tinman_breaker_transitions_total{to=%q}`, st))
+		}
+		stateGauge := m.Gauge("tinman_breaker_state")
+		cfg.Breaker.OnTransition = func(_, to fault.BreakerState) {
+			transitions[to].Inc()
+			stateGauge.Set(int64(to))
+		}
+	}
+	rc := &ReconnectClient{
+		cfg:          cfg,
+		breaker:      fault.NewBreaker(cfg.Breaker),
+		reconnectCtr: cfg.Metrics.Counter("tinman_reconnects_total"),
+	}
 	if cfg.Heartbeat > 0 {
 		rc.hbStop = make(chan struct{})
 		rc.hbDone = make(chan struct{})
@@ -170,6 +193,7 @@ func (rc *ReconnectClient) client() (*Client, error) {
 	}
 	rc.cur = c
 	rc.reconnects.Add(1)
+	rc.reconnectCtr.Inc()
 	return c, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"tinman/internal/cor"
 	"tinman/internal/malware"
 	"tinman/internal/node"
+	"tinman/internal/obs"
 	"tinman/internal/policy"
 )
 
@@ -67,6 +68,46 @@ type Server struct {
 	closed   chan struct{}
 
 	catalog atomic.Pointer[catalogCache]
+
+	// obs/metrics are installed by SetObs; nil means disabled (every obs
+	// call below is nil-safe).
+	obs *obs.Tracer
+	sm  serverMetrics
+}
+
+// serverMetrics caches the server's collectors so the per-request cost is
+// atomic updates, not registry lookups.
+type serverMetrics struct {
+	inflight *obs.Gauge
+	replays  *obs.Counter
+	errors   *obs.Counter
+	requests map[Op]*obs.Counter
+	latency  map[Op]*obs.Histogram
+}
+
+// SetObs installs a tracer and metrics registry; call before Serve. Each
+// request becomes a node_op span joined to the client's trace when the
+// request carries TraceID/SpanID, and updates in-flight, per-op latency,
+// error and replay-hit collectors.
+func (s *Server) SetObs(tr *obs.Tracer, m *obs.Metrics) {
+	s.obs = tr
+	if m == nil {
+		s.sm = serverMetrics{}
+		return
+	}
+	sm := serverMetrics{
+		inflight: m.Gauge("tinman_node_inflight_requests"),
+		replays:  m.Counter("tinman_node_replay_hits_total"),
+		errors:   m.Counter("tinman_node_request_errors_total"),
+		requests: make(map[Op]*obs.Counter),
+		latency:  make(map[Op]*obs.Histogram),
+	}
+	for _, op := range []Op{OpRegister, OpGenerate, OpCatalog, OpBind, OpRevoke,
+		OpRestore, OpReseal, OpDerive, OpAudit, OpPing} {
+		sm.requests[op] = m.Counter(fmt.Sprintf(`tinman_node_requests_total{op=%q}`, op))
+		sm.latency[op] = m.Histogram(fmt.Sprintf(`tinman_node_request_seconds{op=%q}`, op))
+	}
+	s.sm = sm
 }
 
 // NewServer assembles a trusted-node server over a fresh service (with the
@@ -290,9 +331,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			return
 		}
 		// Cheap read-only ops skip the worker handoff: two channel hops and
-		// a goroutine wakeup cost more than serving a cached catalog.
+		// a goroutine wakeup cost more than serving a cached catalog. They
+		// still go through dispatch so instrumentation sees every request
+		// (dispatch never consults the replay window for them).
 		if req.Op == OpCatalog || req.Op == OpPing {
-			resp := s.handle(ctx, req)
+			resp := s.dispatch(ctx, req)
 			resp.Seq = req.Seq
 			respq <- resp
 			continue
@@ -319,19 +362,58 @@ func mutating(op Op) bool {
 // The stored response is copied before the caller stamps Seq onto it: two
 // replays of one ID may race on different connections, and each needs its
 // own Seq.
+//
+// dispatch is also the server's single instrumentation point: every request
+// (including the read-loop fast path) becomes a node_op span — joined to
+// the device's trace when the request carries TraceID/SpanID — and updates
+// the in-flight/latency/error/replay collectors. With SetObs unset all of
+// this is nil-safe no-ops.
 func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
-	if req.ReqID == "" || s.Replays == nil || !mutating(req.Op) {
-		return s.handle(ctx, req)
+	s.sm.inflight.Inc()
+	s.sm.requests[req.Op].Inc()
+	var span *obs.Span
+	start := s.obs.Now()
+	if s.obs.Enabled() {
+		span = s.obs.StartRemote(obs.PhaseNodeOp, obs.ParseTraceID(req.TraceID),
+			obs.ParseSpanID(req.SpanID), obs.OpName(string(req.Op)))
+		ctx = obs.ContextWithSpan(ctx, span)
 	}
-	v, _ := s.Replays.Do(req.ReqID, func() any {
-		// Detach from the connection's lifetime: if this conn dies
-		// mid-execution, the real outcome is still recorded, so the
-		// client's replay on a fresh conn gets it instead of a cached
-		// "context canceled".
-		return s.handle(context.WithoutCancel(ctx), req)
-	})
-	resp := *(v.(*Response))
-	return &resp
+
+	var resp *Response
+	if req.ReqID == "" || s.Replays == nil || !mutating(req.Op) {
+		resp = s.handle(ctx, req)
+	} else {
+		v, replayed := s.Replays.Do(req.ReqID, func() any {
+			// Detach from the connection's lifetime: if this conn dies
+			// mid-execution, the real outcome is still recorded, so the
+			// client's replay on a fresh conn gets it instead of a cached
+			// "context canceled".
+			return s.handle(context.WithoutCancel(ctx), req)
+		})
+		if replayed {
+			s.sm.replays.Inc()
+			if span != nil {
+				span.Add(obs.Note("replay"))
+			}
+		}
+		r := *(v.(*Response))
+		resp = &r
+	}
+
+	if !resp.OK {
+		s.sm.errors.Inc()
+		if span != nil {
+			if resp.Denial != "" {
+				span.Add(obs.Err(obs.ErrDenied), obs.Reason(resp.Denial))
+			} else {
+				span.Add(obs.Err(obs.ErrInternal))
+			}
+		}
+	}
+	span.End()
+	s.sm.latency[req.Op].Observe(s.obs.Now() - start)
+	s.sm.inflight.Dec()
+	return resp
 }
 
 // handle dispatches one request into the service.

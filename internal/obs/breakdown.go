@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+type interval struct{ start, end time.Duration }
+
+// unionLen merges intervals (mutating its argument's order) and returns the
+// total covered length.
+func unionLen(ivs []interval) time.Duration {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+	var total time.Duration
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.start <= cur.end {
+			if iv.end > cur.end {
+				cur.end = iv.end
+			}
+			continue
+		}
+		total += cur.end - cur.start
+		cur = iv
+	}
+	return total + (cur.end - cur.start)
+}
+
+// clip restricts iv to [lo, hi]; ok is false when nothing remains.
+func clip(iv interval, lo, hi time.Duration) (interval, bool) {
+	if iv.start < lo {
+		iv.start = lo
+	}
+	if iv.end > hi {
+		iv.end = hi
+	}
+	return iv, iv.end > iv.start
+}
+
+// Roots returns the parentless spans in recs, oldest first — one per trace
+// in a typical flight-recorder dump.
+func Roots(recs []SpanRecord) []SpanRecord {
+	var out []SpanRecord
+	for _, r := range recs {
+		if r.Parent == 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Coverage reports the fraction of the root span's duration covered by its
+// descendants (the union of their intervals, clipped to the root). A fully
+// attributed trace approaches 1; the Fig 14 harness asserts >= 0.90.
+func Coverage(recs []SpanRecord, root SpanRecord) float64 {
+	if root.Duration() <= 0 {
+		return 0
+	}
+	// Walk the subtree: children indexed by parent span ID (span IDs are
+	// unique across traces on one tracer).
+	children := make(map[SpanID][]SpanRecord)
+	for _, r := range recs {
+		if r.Trace == root.Trace && r.Parent != 0 {
+			children[r.Parent] = append(children[r.Parent], r)
+		}
+	}
+	var ivs []interval
+	queue := []SpanID{root.ID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		for _, c := range children[id] {
+			if iv, ok := clip(interval{c.Start, c.End}, root.Start, root.End); ok {
+				ivs = append(ivs, iv)
+			}
+			queue = append(queue, c.ID)
+		}
+	}
+	return float64(unionLen(ivs)) / float64(root.Duration())
+}
+
+// SelfTimes aggregates per-phase self time: each span's duration minus the
+// union of its direct children's intervals (clipped to the span). Summed per
+// phase, self times partition a trace's wall time the way Fig 14's stacked
+// bars partition a login.
+func SelfTimes(recs []SpanRecord) map[Phase]time.Duration {
+	children := make(map[SpanID][]interval)
+	for _, r := range recs {
+		if r.Parent != 0 {
+			children[r.Parent] = append(children[r.Parent], interval{r.Start, r.End})
+		}
+	}
+	out := make(map[Phase]time.Duration)
+	for _, r := range recs {
+		if r.Duration() <= 0 {
+			continue
+		}
+		var ivs []interval
+		for _, iv := range children[r.ID] {
+			if c, ok := clip(iv, r.Start, r.End); ok {
+				ivs = append(ivs, c)
+			}
+		}
+		self := r.Duration() - unionLen(ivs)
+		if self > 0 {
+			out[r.Phase] += self
+		}
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// ContextWithSpan attaches a span to a context so service-layer code can
+// attribute child spans without a tracer parameter in every signature.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span attached by ContextWithSpan, or nil.
+// A nil span is safe to use (all Span methods no-op), so callers never
+// need to branch.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

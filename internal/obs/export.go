@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// appendFieldsJSON renders a record's fields as JSON members. Keys come from
+// the fixed FieldKind table and string values have already passed gate (no
+// quotes, backslashes or control bytes), so no escaping pass is needed here.
+func appendFieldsJSON(b *strings.Builder, fs []Field) {
+	for _, f := range fs {
+		if f.Kind == FieldNone {
+			continue
+		}
+		b.WriteString(`,"`)
+		b.WriteString(f.Kind.Key())
+		b.WriteString(`":`)
+		if f.isStr() || f.Kind == FieldErrClass {
+			b.WriteByte('"')
+			b.WriteString(f.valueStr())
+			b.WriteByte('"')
+		} else {
+			fmt.Fprintf(b, "%d", f.Num)
+		}
+	}
+}
+
+// WriteJSONLines dumps span records as one JSON object per line, oldest
+// first — the flight-recorder dump format.
+func WriteJSONLines(w io.Writer, recs []SpanRecord) error {
+	var b strings.Builder
+	for _, r := range recs {
+		b.Reset()
+		fmt.Fprintf(&b, `{"trace":"%016x","span":"%x"`, uint64(r.Trace), uint64(r.ID))
+		if r.Parent != 0 {
+			fmt.Fprintf(&b, `,"parent":"%x"`, uint64(r.Parent))
+		}
+		b.WriteString(`,"phase":"`)
+		b.WriteString(r.Phase.String())
+		b.WriteByte('"')
+		fmt.Fprintf(&b, `,"start_ns":%d,"dur_ns":%d`, int64(r.Start), int64(r.Duration()))
+		appendFieldsJSON(&b, r.Fields)
+		b.WriteString("}\n")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace dumps span records as a Chrome trace_event JSON array
+// (load it in chrome://tracing or Perfetto). Durations become complete "X"
+// events; instants (packets, taint triggers) become "i" events. The trace ID
+// maps to the tid so each login renders as its own track, and nesting falls
+// out of timestamp containment.
+func WriteChromeTrace(w io.Writer, recs []SpanRecord) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for i, r := range recs {
+		b.Reset()
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		tsUS := float64(r.Start) / 1e3
+		durUS := float64(r.Duration()) / 1e3
+		if r.Start == r.End {
+			fmt.Fprintf(&b, `{"name":"%s","ph":"i","s":"t","ts":%.3f,"pid":1,"tid":%d`,
+				r.Phase.String(), tsUS, uint64(r.Trace))
+		} else {
+			fmt.Fprintf(&b, `{"name":"%s","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d`,
+				r.Phase.String(), tsUS, durUS, uint64(r.Trace))
+		}
+		fmt.Fprintf(&b, `,"args":{"span":"%x"`, uint64(r.ID))
+		if r.Parent != 0 {
+			fmt.Fprintf(&b, `,"parent":"%x"`, uint64(r.Parent))
+		}
+		appendFieldsJSON(&b, r.Fields)
+		b.WriteString("}}")
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

@@ -1,0 +1,226 @@
+package obs
+
+import "strings"
+
+// FieldKind enumerates the typed span attributes. The kind fixes the
+// exporter key AND the semantic class of the value: there is deliberately
+// no free-form string kind, so a call site cannot put cor plaintext, vault
+// key material or raw error text into a span — that is the structural half
+// of the redaction gate (the other half is gate, below).
+type FieldKind uint8
+
+// Field kinds.
+const (
+	FieldNone FieldKind = iota
+	// FieldCor carries a cor *ID* — never plaintext. Placeholders share the
+	// ID namespace and are also permitted (they are public by design, §3.3).
+	FieldCor
+	// FieldApp carries an app name or dex hash.
+	FieldApp
+	// FieldDevice carries a device ID.
+	FieldDevice
+	// FieldDomain carries a destination domain (whitelist vocabulary).
+	FieldDomain
+	// FieldOp carries a protocol op name (fixed vocabulary).
+	FieldOp
+	// FieldMsg carries a control-plane message type (numeric).
+	FieldMsg
+	// FieldBytes carries a byte count.
+	FieldBytes
+	// FieldCount carries a generic count (instructions, entries).
+	FieldCount
+	// FieldRetries carries a retry count.
+	FieldRetries
+	// FieldTagBits carries a taint tag bitmask.
+	FieldTagBits
+	// FieldOutcome carries a policy outcome (1 allowed / 0 denied).
+	FieldOutcome
+	// FieldErrClass carries an ErrClass — never error text.
+	FieldErrClass
+	// FieldReason carries a policy denial reason (policy.Reason's fixed
+	// vocabulary).
+	FieldReason
+	// FieldSrc and FieldDst carry simulated network addresses.
+	FieldSrc
+	FieldDst
+	// FieldNote carries a fixed-vocabulary annotation (netsim tap notes).
+	FieldNote
+	fieldKindCount
+)
+
+var fieldKeys = [fieldKindCount]string{
+	FieldNone:     "none",
+	FieldCor:      "cor",
+	FieldApp:      "app",
+	FieldDevice:   "device",
+	FieldDomain:   "domain",
+	FieldOp:       "op",
+	FieldMsg:      "msg",
+	FieldBytes:    "bytes",
+	FieldCount:    "count",
+	FieldRetries:  "retries",
+	FieldTagBits:  "tag_bits",
+	FieldOutcome:  "outcome",
+	FieldErrClass: "err",
+	FieldReason:   "reason",
+	FieldSrc:      "src",
+	FieldDst:      "dst",
+	FieldNote:     "note",
+}
+
+// Key returns the kind's fixed exporter key.
+func (k FieldKind) Key() string {
+	if k >= fieldKindCount {
+		return "none"
+	}
+	return fieldKeys[k]
+}
+
+// Field is one typed span attribute: a kind plus either a gated string or
+// a number. Construct fields only through the typed constructors below.
+type Field struct {
+	Kind FieldKind
+	Str  string
+	Num  int64
+}
+
+// maxStrField caps the gated length of any string field value.
+const maxStrField = 96
+
+// gate is the central string-redaction gate: every string that can reach an
+// exporter passes through it. It length-caps the value and replaces control
+// and non-ASCII bytes, so binary material (key blobs, ciphertext) cannot
+// ride through an identifier field, and a hostile identifier cannot smuggle
+// newlines into the JSON-lines or Prometheus text output.
+func gate(s string) string {
+	if len(s) > maxStrField {
+		s = s[:maxStrField]
+	}
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' {
+			b.WriteByte('_')
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Cor attributes a span to a cor by ID (or placeholder — never plaintext).
+func Cor(id string) Field { return Field{Kind: FieldCor, Str: gate(id)} }
+
+// App attributes a span to an app name or dex hash.
+func App(nameOrHash string) Field { return Field{Kind: FieldApp, Str: gate(nameOrHash)} }
+
+// Device attributes a span to a device ID.
+func Device(id string) Field { return Field{Kind: FieldDevice, Str: gate(id)} }
+
+// Domain attributes a span to a destination domain.
+func Domain(d string) Field { return Field{Kind: FieldDomain, Str: gate(d)} }
+
+// OpName attributes a span to a protocol operation.
+func OpName(op string) Field { return Field{Kind: FieldOp, Str: gate(op)} }
+
+// Reason attributes a span to a policy denial reason (fixed vocabulary).
+func Reason(r string) Field { return Field{Kind: FieldReason, Str: gate(r)} }
+
+// Src and Dst attribute a packet span to simulated addresses.
+func Src(addr string) Field { return Field{Kind: FieldSrc, Str: gate(addr)} }
+
+// Dst is Src's counterpart.
+func Dst(addr string) Field { return Field{Kind: FieldDst, Str: gate(addr)} }
+
+// Note carries a fixed-vocabulary annotation.
+func Note(n string) Field { return Field{Kind: FieldNote, Str: gate(n)} }
+
+// Msg records a control-plane message type.
+func Msg(t uint8) Field { return Field{Kind: FieldMsg, Num: int64(t)} }
+
+// Bytes records a byte count.
+func Bytes(n int) Field { return Field{Kind: FieldBytes, Num: int64(n)} }
+
+// Count records a generic count.
+func Count(n int64) Field { return Field{Kind: FieldCount, Num: n} }
+
+// Retries records a retry count.
+func Retries(n int) Field { return Field{Kind: FieldRetries, Num: int64(n)} }
+
+// TagBits records a taint tag bitmask.
+func TagBits(bits uint64) Field { return Field{Kind: FieldTagBits, Num: int64(bits)} }
+
+// Outcome records a policy decision: true = allowed.
+func Outcome(allowed bool) Field {
+	f := Field{Kind: FieldOutcome}
+	if allowed {
+		f.Num = 1
+	}
+	return f
+}
+
+// ErrClass classifies a failure for span attribution. Error *text* never
+// enters a span — it routinely embeds IDs, addresses and lengths that the
+// audit log may hold but a metrics endpoint must not.
+type ErrClass uint8
+
+// Error classes.
+const (
+	ErrNone ErrClass = iota
+	ErrDenied
+	ErrTimeout
+	ErrUnavailable
+	ErrTransport
+	ErrBadRequest
+	ErrInternal
+	errClassCount
+)
+
+var errClassNames = [errClassCount]string{
+	ErrNone:        "none",
+	ErrDenied:      "denied",
+	ErrTimeout:     "timeout",
+	ErrUnavailable: "unavailable",
+	ErrTransport:   "transport",
+	ErrBadRequest:  "bad_request",
+	ErrInternal:    "internal",
+}
+
+// String returns the class's fixed name.
+func (c ErrClass) String() string {
+	if c >= errClassCount {
+		return "none"
+	}
+	return errClassNames[c]
+}
+
+// Err records a failure class on a span.
+func Err(c ErrClass) Field { return Field{Kind: FieldErrClass, Num: int64(c)} }
+
+// isStr reports whether the field's value is its gated string.
+func (f Field) isStr() bool {
+	switch f.Kind {
+	case FieldCor, FieldApp, FieldDevice, FieldDomain, FieldOp, FieldReason,
+		FieldSrc, FieldDst, FieldNote:
+		return true
+	}
+	return false
+}
+
+// value returns the field's exporter representation.
+func (f Field) valueStr() string {
+	if f.Kind == FieldErrClass {
+		return ErrClass(f.Num).String()
+	}
+	return f.Str
+}

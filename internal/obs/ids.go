@@ -1,0 +1,33 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Hex renders the trace ID for wire propagation (zero-padded so exporters
+// and logs align).
+func (t TraceID) Hex() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// Hex renders the span ID for wire propagation.
+func (s SpanID) Hex() string { return fmt.Sprintf("%x", uint64(s)) }
+
+// ParseTraceID parses a wire-propagated trace ID; malformed input reads as
+// zero, which StartRemote treats as "root a fresh trace".
+func ParseTraceID(s string) TraceID {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return TraceID(v)
+}
+
+// ParseSpanID parses a wire-propagated span ID; malformed input reads as
+// zero (no parent).
+func ParseSpanID(s string) SpanID {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return SpanID(v)
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// the disabled counter: Inc/Add no-op, so instrumented code needs no guards.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add adds d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Value returns the current count (0 when disabled).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil *Gauge no-ops.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g != nil {
+		g.n.Add(1)
+	}
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.n.Add(-1)
+	}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.n.Store(v)
+	}
+}
+
+// Value returns the current value (0 when disabled).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.n.Load()
+}
+
+// histBounds are the fixed latency bucket upper bounds. Fixed buckets keep
+// Observe allocation-free and the Prometheus dump cheap; the range covers
+// sub-millisecond loopback RPCs through multi-second simulated logins.
+var histBounds = [...]time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond,
+	5 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic buckets. A nil
+// *Histogram no-ops.
+type Histogram struct {
+	buckets [len(histBounds) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for ; i < len(histBounds); i++ {
+		if d <= histBounds[i] {
+			break
+		}
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of samples (0 when disabled).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the summed samples (0 when disabled).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Metrics is a registry of named collectors. Names are call-site literals
+// in Prometheus form, optionally with a label set:
+//
+//	m.Counter(`tinman_node_requests_total{op="reseal"}`)
+//
+// Get-or-create is mutex-guarded (registration is rare: instrumented code
+// caches the returned collector); reads and updates on the collectors
+// themselves are lock-free atomics. A nil *Metrics returns nil collectors,
+// whose methods no-op, so disabled instrumentation costs one nil check.
+type Metrics struct {
+	mu       sync.Mutex
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// gateMetricName keeps metric names within the Prometheus-text character
+// repertoire; anything else becomes '_'. Metric names are call-site
+// literals, so this is belt and suspenders, not a sanitizer for data.
+func gateMetricName(name string) string {
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !isMetricNameByte(name[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		if isMetricNameByte(name[i]) {
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func isMetricNameByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_' || c == ':' || c == '{' || c == '}' || c == '=' || c == '"' ||
+		c == ',' || c == '.' || c == '-':
+		return true
+	}
+	return false
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	name = gateMetricName(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.counters[name]; ok {
+		return c
+	}
+	c := new(Counter)
+	m.counters[name] = c
+	m.order = append(m.order, name)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	name = gateMetricName(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.gauges[name]; ok {
+		return g
+	}
+	g := new(Gauge)
+	m.gauges[name] = g
+	m.order = append(m.order, name)
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (m *Metrics) Histogram(name string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	name = gateMetricName(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.hists[name]; ok {
+		return h
+	}
+	h := new(Histogram)
+	m.hists[name] = h
+	m.order = append(m.order, name)
+	return h
+}
+
+// splitLabels separates `name{labels}` into its base name and label body.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels re-assembles a metric name from a base, existing labels and an
+// extra label.
+func joinLabels(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus dumps every collector in Prometheus text exposition
+// format, in a stable order (registration order per base name, sorted).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	counters := make(map[string]*Counter, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(m.gauges))
+	for k, v := range m.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(m.hists))
+	for k, v := range m.hists {
+		hists[k] = v
+	}
+	m.mu.Unlock()
+
+	sort.Strings(names)
+	for _, name := range names {
+		if c, ok := counters[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, c.Value()); err != nil {
+				return err
+			}
+		}
+		if g, ok := gauges[name]; ok {
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, g.Value()); err != nil {
+				return err
+			}
+		}
+		if h, ok := hists[name]; ok {
+			base, labels := splitLabels(name)
+			var cum uint64
+			for i := 0; i < len(histBounds); i++ {
+				cum += h.buckets[i].Load()
+				le := fmt.Sprintf(`le="%g"`, histBounds[i].Seconds())
+				if _, err := fmt.Fprintf(w, "%s %d\n", joinLabels(base+"_bucket", labels, le), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.buckets[len(histBounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", joinLabels(base+"_bucket", labels, `le="+Inf"`), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", joinLabels(base+"_count", labels, ""), h.Count()); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %g\n", joinLabels(base+"_sum", labels, ""), h.Sum().Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsRegistryReuse(t *testing.T) {
+	m := NewMetrics()
+	if m.Counter("a") != m.Counter("a") {
+		t.Fatal("same name must return same counter")
+	}
+	m.Counter("a").Add(3)
+	if got := m.Counter("a").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	m.Gauge("g").Set(-5)
+	if got := m.Gauge("g").Value(); got != -5 {
+		t.Fatalf("gauge = %d, want -5", got)
+	}
+}
+
+func TestNilMetricsNoOp(t *testing.T) {
+	var m *Metrics
+	m.Counter("x").Inc()
+	m.Gauge("x").Set(1)
+	m.Histogram("x").Observe(time.Second)
+	if err := m.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := new(Histogram)
+	h.Observe(10 * time.Microsecond)  // first bucket
+	h.Observe(700 * time.Microsecond) // le=1ms
+	h.Observe(time.Minute)            // overflow
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	want := 10*time.Microsecond + 700*time.Microsecond + time.Minute
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.buckets[0].Load() != 1 || h.buckets[len(histBounds)].Load() != 1 {
+		t.Fatal("bucket placement wrong")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := NewMetrics()
+	m.Counter(`tinman_reqs_total{op="offload"}`).Add(7)
+	m.Gauge("tinman_inflight").Set(2)
+	m.Histogram(`tinman_latency_seconds{op="ping"}`).Observe(80 * time.Microsecond)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`tinman_reqs_total{op="offload"} 7`,
+		"tinman_inflight 2",
+		`tinman_latency_seconds_bucket{op="ping",le="0.0001"} 1`,
+		`tinman_latency_seconds_bucket{op="ping",le="+Inf"} 1`,
+		`tinman_latency_seconds_count{op="ping"} 1`,
+		`tinman_latency_seconds_sum{op="ping"} 8e-05`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative.
+	if strings.Contains(out, `le="5e-05"} 1`) {
+		// 80µs sample must not land in the 50µs bucket.
+		t.Errorf("sample miscounted in 50µs bucket:\n%s", out)
+	}
+}
+
+func TestGateMetricName(t *testing.T) {
+	if got := gateMetricName("ok_name{l=\"v\"}"); got != "ok_name{l=\"v\"}" {
+		t.Fatalf("clean name mangled: %q", got)
+	}
+	if got := gateMetricName("bad\nname é"); got != "bad_name___" {
+		t.Fatalf("dirty name = %q", got)
+	}
+}

@@ -1,0 +1,371 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// simClock is a hand-advanced clock standing in for netsim's virtual clock.
+type simClock struct{ at time.Duration }
+
+func (c *simClock) now() time.Duration { return c.at }
+
+func newSimTracer(capn int) (*Tracer, *simClock) {
+	c := &simClock{}
+	return New(Options{Now: c.now, Cap: capn}), c
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr, clk := newSimTracer(0)
+
+	login := tr.StartSpan(PhaseLogin, App("bank"))
+	clk.at = 10 * time.Millisecond
+	mig := tr.StartSpan(PhaseDSMMigrate, Bytes(4096))
+	if trace, span, ok := tr.Current(); !ok || trace != mig.Trace() || span != mig.ID() {
+		t.Fatalf("Current = (%v,%v,%v), want migrate span", trace, span, ok)
+	}
+	tr.Event(PhaseTaintTrigger, TagBits(1))
+	clk.at = 30 * time.Millisecond
+	mig.End()
+	clk.at = 50 * time.Millisecond
+	login.End()
+
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byPhase := map[Phase]SpanRecord{}
+	for _, r := range recs {
+		byPhase[r.Phase] = r
+	}
+	root := byPhase[PhaseLogin]
+	if root.Parent != 0 || root.Trace == 0 {
+		t.Fatalf("root span malformed: %+v", root)
+	}
+	if m := byPhase[PhaseDSMMigrate]; m.Parent != root.ID || m.Trace != root.Trace {
+		t.Fatalf("migrate span not child of login: %+v", m)
+	}
+	if ev := byPhase[PhaseTaintTrigger]; ev.Parent != byPhase[PhaseDSMMigrate].ID || ev.Duration() != 0 {
+		t.Fatalf("event span malformed: %+v", ev)
+	}
+	if d := byPhase[PhaseDSMMigrate].Duration(); d != 20*time.Millisecond {
+		t.Fatalf("migrate duration = %v, want 20ms", d)
+	}
+}
+
+func TestStartRemoteAndChildAt(t *testing.T) {
+	tr, clk := newSimTracer(0)
+
+	parent := tr.StartSpan(PhaseControlRPC)
+	remote := tr.StartRemote(PhaseNodeOp, parent.Trace(), parent.ID(), OpName("offload"))
+	if _, span, _ := tr.Current(); span != parent.ID() {
+		t.Fatalf("StartRemote must not touch the stack; current = %v", span)
+	}
+	remote.ChildAt(PhaseNodeExec, 5*time.Millisecond, 9*time.Millisecond, Count(1000))
+	clk.at = 12 * time.Millisecond
+	remote.EndAt(12 * time.Millisecond)
+	parent.End()
+
+	recs := tr.Records()
+	var exec, nop SpanRecord
+	for _, r := range recs {
+		switch r.Phase {
+		case PhaseNodeExec:
+			exec = r
+		case PhaseNodeOp:
+			nop = r
+		}
+	}
+	if nop.Parent != parent.ID() || nop.Trace != parent.Trace() {
+		t.Fatalf("remote span not linked to wire parent: %+v", nop)
+	}
+	if exec.Parent != nop.ID || exec.Start != 5*time.Millisecond || exec.End != 9*time.Millisecond {
+		t.Fatalf("ChildAt interval wrong: %+v", exec)
+	}
+
+	// A zero trace roots a fresh one.
+	fresh := tr.StartRemote(PhaseNodeOp, 0, 0)
+	fresh.End()
+	last := tr.Records()[len(tr.Records())-1]
+	if last.Trace == parent.Trace() || last.Parent != 0 {
+		t.Fatalf("zero-trace StartRemote should mint a fresh root: %+v", last)
+	}
+}
+
+func TestEndPopsAbandonedSpans(t *testing.T) {
+	tr, _ := newSimTracer(0)
+	outer := tr.StartSpan(PhaseLogin)
+	tr.StartSpan(PhaseDeviceExec) // abandoned (no End)
+	outer.End()
+	if _, _, ok := tr.Current(); ok {
+		t.Fatal("stack should be empty after outer.End")
+	}
+	// Double End is a no-op.
+	outer.End()
+	if n := len(tr.Records()); n != 1 {
+		t.Fatalf("got %d records, want 1", n)
+	}
+}
+
+func TestRecorderBoundAndOrder(t *testing.T) {
+	tr, clk := newSimTracer(4)
+	for i := 0; i < 7; i++ {
+		clk.at = time.Duration(i) * time.Millisecond
+		tr.Event(PhaseTaintTrigger)
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want cap 4", len(recs))
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start < recs[i-1].Start {
+			t.Fatalf("records out of order: %v then %v", recs[i-1].Start, recs[i].Start)
+		}
+	}
+	if recs[0].Start != 3*time.Millisecond {
+		t.Fatalf("oldest retained = %v, want 3ms", recs[0].Start)
+	}
+	tr.Reset()
+	if len(tr.Records()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear the recorder")
+	}
+}
+
+func TestGate(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"cor-1", "cor-1"},
+		{"has\nnewline", "has_newline"},
+		{`quote"back\slash`, "quote_back_slash"},
+		{"caf\xc3\xa9", "caf__"},
+		{"\x00\x1f\x7f", "___"},
+	}
+	for _, c := range cases {
+		if got := gate(c.in); got != c.want {
+			t.Errorf("gate(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	long := strings.Repeat("a", 200)
+	if got := gate(long); len(got) != maxStrField {
+		t.Errorf("gate long len = %d, want %d", len(got), maxStrField)
+	}
+}
+
+func TestJSONLinesValid(t *testing.T) {
+	tr, clk := newSimTracer(0)
+	s := tr.StartSpan(PhaseLogin, App("bank"), Device("dev-1"))
+	tr.Packet(0, "device", "node", 512, "mig")
+	clk.at = 7 * time.Millisecond
+	s.Add(Err(ErrTimeout), Retries(2))
+	s.End()
+
+	var buf strings.Builder
+	if err := WriteJSONLines(&buf, tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if _, ok := m["trace"].(string); !ok {
+			t.Fatalf("line missing trace: %q", line)
+		}
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["phase"] != "login" || last["err"] != "timeout" || last["retries"] != float64(2) {
+		t.Fatalf("login line fields wrong: %v", last)
+	}
+}
+
+func TestChromeTraceValid(t *testing.T) {
+	tr, clk := newSimTracer(0)
+	s := tr.StartSpan(PhaseDSMMigrate, Bytes(1024))
+	tr.Packet(time.Millisecond, "device", "node", 1024, "")
+	clk.at = 4 * time.Millisecond
+	s.End()
+
+	var buf strings.Builder
+	if err := WriteChromeTrace(&buf, tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &events); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	sawX, sawI := false, false
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			sawX = true
+			if e["name"] != "dsm_migrate" || e["dur"] != float64(4000) {
+				t.Fatalf("X event wrong: %v", e)
+			}
+		case "i":
+			sawI = true
+			if e["name"] != "packet" {
+				t.Fatalf("i event wrong: %v", e)
+			}
+		}
+	}
+	if !sawX || !sawI {
+		t.Fatalf("missing event kinds: X=%v i=%v", sawX, sawI)
+	}
+}
+
+// TestRedactionNoPlaintext proves cor plaintext cannot reach any exporter
+// even when a span is opened around vault decryption: there is no field
+// constructor that accepts it, and even abusing the ID constructors with
+// plaintext-shaped material passes the gate (length cap + byte class
+// filtering), while the legitimate call sites only ever pass the cor ID.
+func TestRedactionNoPlaintext(t *testing.T) {
+	const plaintext = "hunter2-secret-password!"
+	const keyMaterial = "\x13\x37vault-key\x00bytes\xff"
+
+	tr, clk := newSimTracer(0)
+	m := NewMetrics()
+	login := tr.StartSpan(PhaseLogin, App("bank"))
+	vault := tr.StartSpan(PhaseVaultOpen, Cor("cor-pw-1"), Bytes(len(plaintext)))
+	// Simulated vault decryption: the plaintext exists here, in scope, while
+	// the span is open — and the only things recorded are ID and length.
+	_ = plaintext
+	m.Counter("tinman_vault_opens_total").Inc()
+	m.Histogram("tinman_vault_open_seconds").Observe(40 * time.Microsecond)
+	clk.at = time.Millisecond
+	vault.End()
+	// A hostile/buggy call site shoving raw material through an ID field
+	// still cannot emit it verbatim: the gate mangles the byte classes that
+	// make key blobs key blobs.
+	tr.Event(PhaseVaultOpen, Cor(keyMaterial))
+	login.End()
+
+	var jsonl, chrome, prom strings.Builder
+	if err := WriteJSONLines(&jsonl, tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&chrome, tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{
+		"jsonlines": jsonl.String(), "chrome": chrome.String(), "prometheus": prom.String(),
+	} {
+		if strings.Contains(out, plaintext) {
+			t.Errorf("%s output contains cor plaintext:\n%s", name, out)
+		}
+		if strings.Contains(out, keyMaterial) {
+			t.Errorf("%s output contains vault key material:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(jsonl.String(), `"cor":"cor-pw-1"`) {
+		t.Error("cor ID should still be attributed")
+	}
+}
+
+// TestObsZeroAllocDisabled pins the disabled-path cost: a nil tracer and nil
+// collectors must not allocate (make obs-smoke gates on this).
+func TestObsZeroAllocDisabled(t *testing.T) {
+	var tr *Tracer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.StartSpan(PhaseLogin)
+		tr.Event(PhaseTaintTrigger)
+		tr.Packet(0, "a", "b", 1, "")
+		if tr.Enabled() {
+			t.Fatal("nil tracer enabled")
+		}
+		s.Add(Bytes(1))
+		s.End()
+		c.Inc()
+		g.Inc()
+		g.Dec()
+		h.Observe(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	tr, clk := newSimTracer(0)
+	root := tr.StartSpan(PhaseLogin)
+	clk.at = 10 * time.Millisecond
+	mig := tr.StartSpan(PhaseDSMMigrate)
+	mig.ChildAt(PhaseNodeExec, 20*time.Millisecond, 40*time.Millisecond)
+	mig.ChildAt(PhaseSyncBack, 40*time.Millisecond, 50*time.Millisecond)
+	clk.at = 60 * time.Millisecond
+	mig.End()
+	clk.at = 100 * time.Millisecond
+	root.End()
+
+	recs := tr.Records()
+	roots := Roots(recs)
+	if len(roots) != 1 || roots[0].Phase != PhaseLogin {
+		t.Fatalf("Roots = %+v", roots)
+	}
+	// Descendants cover [10,60) of a 100ms root.
+	if cov := Coverage(recs, roots[0]); cov < 0.499 || cov > 0.501 {
+		t.Fatalf("Coverage = %v, want 0.5", cov)
+	}
+	self := SelfTimes(recs)
+	if self[PhaseDSMMigrate] != 20*time.Millisecond { // 50ms minus 30ms of children
+		t.Fatalf("migrate self = %v, want 20ms", self[PhaseDSMMigrate])
+	}
+	if self[PhaseLogin] != 50*time.Millisecond {
+		t.Fatalf("login self = %v, want 50ms", self[PhaseLogin])
+	}
+	if self[PhaseNodeExec] != 20*time.Millisecond || self[PhaseSyncBack] != 10*time.Millisecond {
+		t.Fatalf("leaf selves wrong: %v", self)
+	}
+}
+
+// TestConcurrentRemoteSpans exercises the concurrent-server API under the
+// race detector: StartRemote and metrics from many goroutines.
+func TestConcurrentRemoteSpans(t *testing.T) {
+	tr := New(Options{Cap: 64})
+	m := NewMetrics()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 200; j++ {
+				s := tr.StartRemote(PhaseNodeOp, 7, 1, OpName("ping"))
+				m.Counter("reqs").Inc()
+				m.Gauge("inflight").Inc()
+				m.Histogram("lat").Observe(time.Microsecond)
+				m.Gauge("inflight").Dec()
+				s.End()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if got := m.Counter("reqs").Value(); got != 1600 {
+		t.Fatalf("reqs = %d, want 1600", got)
+	}
+	if got := m.Gauge("inflight").Value(); got != 0 {
+		t.Fatalf("inflight = %d, want 0", got)
+	}
+	if got := tr.Dropped() + uint64(len(tr.Records())); got != 1600 {
+		t.Fatalf("recorded+dropped = %d, want 1600", got)
+	}
+}

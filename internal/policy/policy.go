@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"tinman/internal/obs"
 )
 
 // Reason classifies a denial.
@@ -161,6 +163,14 @@ type Engine struct {
 	malware     func(appHash string) bool  // malware DB lookup
 
 	now func() time.Time
+
+	// met holds the engine's own decision collectors (distinct from the
+	// caller-level counters in node.Service): every collector is nil when
+	// SetMetrics was never called, and nil collectors are no-ops.
+	met struct {
+		checks  *obs.Counter
+		denials map[Reason]*obs.Counter
+	}
 }
 
 // NewEngine creates an engine reading time from now (nil means time.Now).
@@ -277,11 +287,34 @@ func (e *Engine) SetMalwareCheck(fn func(appHash string) bool) {
 	e.malware = fn
 }
 
+// SetMetrics registers the engine's decision counters — total checks and
+// per-reason denials — with an obs registry. Call before concurrent use;
+// a nil registry leaves the engine uninstrumented.
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	e.met.checks = m.Counter("tinman_policy_engine_checks_total")
+	e.met.denials = make(map[Reason]*obs.Counter, len(reasonNames))
+	for r := ReasonAppNotBound; int(r) < len(reasonNames); r++ {
+		e.met.denials[r] = m.Counter(fmt.Sprintf(`tinman_policy_engine_denials_total{reason=%q}`, r.String()))
+	}
+}
+
 // Check evaluates an access, recording it against the rate limit when
-// allowed. It returns nil or a *Denial. Check takes only the engine's
-// read lock — concurrent checks proceed in parallel; the rate counter has
-// its own lock (see rate.allow).
+// allowed. It returns nil or a *Denial with the first violated rule's
+// Reason. check takes only the engine's read lock — concurrent checks
+// proceed in parallel; the rate counter has its own lock (see rate.allow).
 func (e *Engine) Check(a Access) error {
+	err := e.check(a)
+	e.met.checks.Inc()
+	if d, ok := IsDenial(err); ok {
+		e.met.denials[d.Reason].Inc()
+	}
+	return err
+}
+
+func (e *Engine) check(a Access) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	now := e.now()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tinman/internal/netsim"
+	"tinman/internal/obs"
 )
 
 // Replacer is the trusted node's payload-replacement engine (§3.3, fig 8).
@@ -21,6 +22,10 @@ type Replacer struct {
 	// OnError observes rewrite/forward failures (they otherwise only drop
 	// the packet, as a middlebox would).
 	OnError func(error)
+	// Obs, when set, records every dropped segment as an instant
+	// tcp_replace error event — middlebox-style silent drops are the kind
+	// of failure a span tree otherwise never shows. Nil-safe.
+	Obs *obs.Tracer
 	// Replaced counts successfully reframed segments.
 	Replaced uint64
 	// next receives non-redirect packets (chained handler), letting the
@@ -48,6 +53,7 @@ func NewReplacer(host *netsim.Host, rewrite func(origSrc, origDst string, seg *S
 }
 
 func (r *Replacer) fail(err error) {
+	r.Obs.Event(obs.PhaseTCPReplace, obs.Err(obs.ErrInternal), obs.Outcome(false))
 	if r.OnError != nil {
 		r.OnError(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"tinman/internal/fastjson"
+	"tinman/internal/obs"
 )
 
 // Session is an established TLS session: two directional half-connections.
@@ -66,6 +67,20 @@ type State struct {
 	IsClient bool      `json:"is_client"`
 	Out      HalfState `json:"out"`
 	In       HalfState `json:"in"`
+}
+
+// ObsFields summarizes a session state for span attribution: negotiated
+// version, cipher suite and the write-direction sequence number. The method
+// is the only sanctioned bridge from State to the observability layer —
+// key material (MACKey, Key, RC4S, CBCLast) has no Field constructor, so a
+// span structurally cannot carry it.
+func (st *State) ObsFields() []obs.Field {
+	// One combined note: JSON-object exporters key fields by kind, so two
+	// Note fields on the same span would collide.
+	return []obs.Field{
+		obs.Note(st.Version.String() + " " + st.Suite.String()),
+		obs.Count(int64(st.Out.Seq)),
+	}
 }
 
 // Export snapshots the session. The session remains usable; the snapshot is

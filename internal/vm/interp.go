@@ -42,7 +42,7 @@ const defaultMaxInstrs = 500_000_000
 //
 // VM.Instrs and the top frame's PC are therefore exact when Run returns and
 // before any native call, but not observed mid-loop.
-func (t *Thread) Run() (StopReason, error) {
+func (t *Thread) run() (StopReason, error) {
 	v := t.VM
 	max := t.MaxInstrs
 	if max == 0 {

@@ -82,6 +82,12 @@ type Hooks struct {
 	NativeGate func(def *NativeDef) bool
 	// OnInvoke fires on every method invocation (profilers attach here).
 	OnInvoke func(m *Method)
+	// OnRunStats fires once per Thread.Run with the instruction and call
+	// deltas of that burst and the stop reason. It hangs off the single-exit
+	// Run wrapper, not the dispatch loop, so when unset the interpreter pays
+	// one nil check per Run — nothing per instruction (the Fig 13 guard
+	// pins this).
+	OnRunStats func(instrs, calls uint64, stop StopReason)
 }
 
 // Config assembles a VM.
@@ -334,6 +340,22 @@ func (t *Thread) getFrame(m *Method, tracking bool) *Frame {
 func (t *Thread) putFrame(f *Frame) {
 	f.Method = nil
 	t.framePool = append(t.framePool, f)
+}
+
+// Run executes until the thread finishes, migrates, or exhausts its budget
+// (see interp.go for the dispatch loop). The wrapper is the interpreter's
+// single exit: it reports each burst's instruction/call deltas through the
+// optional Hooks.OnRunStats without touching the ~50 early returns inside
+// the loop.
+func (t *Thread) Run() (StopReason, error) {
+	hook := t.VM.Hooks.OnRunStats
+	if hook == nil {
+		return t.run()
+	}
+	i0, c0 := t.VM.Instrs, t.VM.Calls
+	stop, err := t.run()
+	hook(t.VM.Instrs-i0, t.VM.Calls-c0, stop)
+	return stop, err
 }
 
 // Depth returns the current frame-stack depth.
