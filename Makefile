@@ -3,8 +3,10 @@
 #   make build        compile everything
 #   make vet          static checks
 #   make test         full test suite
-#   make check        formatting + vet + build + test + chaos + bench-smoke,
-#                     the pre-commit gate
+#   make check        formatting + vet + build + test + differential +
+#                     chaos + bench-smoke, the pre-commit gate
+#   make differential interpreter equivalence gate: analyzed (taint
+#                     pre-analysis fast path) vs instrumented vs reference
 #   make race         race-detector pass over the concurrent subsystems
 #   make chaos        deterministic fault-injection suite under -race
 #   make obs-smoke    observability gate: traced login with valid exports,
@@ -18,7 +20,7 @@ GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check race chaos obs-smoke bench-smoke bench-json clean
+.PHONY: all build vet test check differential race chaos obs-smoke bench-smoke bench-json clean
 
 all: build vet test
 
@@ -41,14 +43,27 @@ check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(MAKE) differential
 	$(MAKE) chaos
 	$(MAKE) obs-smoke
 	$(MAKE) bench-smoke
 
 # The node service plus the transports that drive it concurrently get a
-# dedicated -race pass (multi-device service tests live in internal/node).
+# dedicated -race pass (multi-device service tests live in internal/node);
+# internal/vm rides along since the two-loop interpreter and scheduler
+# juggle shared frames and inline caches.
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/
+
+# Interpreter equivalence gate: the analyzed interpreter (taint
+# pre-analysis fast path), the fully instrumented linked interpreter, and
+# the reference interpreter must produce bit-identical results, tags,
+# counters and migration stops over every kernel and login app under every
+# policy (internal/bench/differential_test.go), plus the vm-level deopt
+# coverage tests.
+differential:
+	$(GO) test -count=1 -run 'TestDifferential' ./internal/bench/
+	$(GO) test -count=1 -run 'TestTaintflow|TestFastPath' ./internal/vm/
 
 # Observability gate: one fully traced Wi-Fi login must attribute >= 90% of
 # its wall time with valid JSON-lines/Chrome exports and no cor plaintext;
@@ -73,9 +88,17 @@ bench-smoke:
 
 # Machine-readable Caffeinemark run appended to BENCH_vm.json: per-kernel
 # ns/op and allocs/op under every tainting policy plus the unlinked
-# reference interpreter.
+# reference interpreter. ANALYZE=off|on|both selects the taint
+# pre-analysis mode; the default appends a before/after pair so the
+# trajectory always records what partial instrumentation bought.
+ANALYZE ?= both
 bench-json:
-	$(GO) run ./cmd/tinman-bench -json BENCH_vm.json -label "$(LABEL)"
+ifeq ($(ANALYZE),both)
+	$(GO) run ./cmd/tinman-bench -json BENCH_vm.json -analyze=off -label "$(LABEL) analyze=off"
+	$(GO) run ./cmd/tinman-bench -json BENCH_vm.json -analyze=on -label "$(LABEL) analyze=on"
+else
+	$(GO) run ./cmd/tinman-bench -json BENCH_vm.json -analyze=$(ANALYZE) -label "$(LABEL) analyze=$(ANALYZE)"
+endif
 
 clean:
 	$(GO) clean ./...

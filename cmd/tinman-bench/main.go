@@ -8,6 +8,10 @@
 //	tinman-bench -table 3         # Table 3
 //	tinman-bench -short           # shortened battery runs
 //	tinman-bench -seed 7 -rounds 9
+//	tinman-bench -analyze=on      # Fig 13 / -json with the taint
+//	                              # pre-analysis fast path enabled
+//	                              # (default off = the paper's fully
+//	                              # instrumented interpreter)
 //
 // Beyond the paper's figures, -throughput measures the trusted-node
 // service itself: an in-process node on loopback TCP under parallel
@@ -53,6 +57,7 @@ func main() {
 		rounds   = flag.Int("rounds", 7, "measurement rounds for Caffeinemark")
 		short    = flag.Bool("short", false, "shorten the battery experiments")
 		ablation = flag.Bool("ablation", false, "also run the design-choice ablations")
+		analyze  = flag.String("analyze", "off", "static taint pre-analysis for Fig 13 / -json runs: off (paper's fully instrumented interpreter) or on (uninstrumented fast path for provably taint-free code)")
 
 		throughput = flag.Bool("throughput", false, "measure trusted-node service throughput instead of the paper figures")
 		clients    = flag.Int("clients", 8, "throughput: concurrent device loops")
@@ -77,6 +82,14 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "tinman-bench: %v\n", err)
 		os.Exit(1)
+	}
+	var analyzeOn bool
+	switch *analyze {
+	case "off":
+	case "on":
+		analyzeOn = true
+	default:
+		fail(fmt.Errorf("-analyze must be off or on, got %q", *analyze))
 	}
 
 	if *cpuprofile != "" {
@@ -107,7 +120,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		run, err := bench.MeasureVMBench(*label, *rounds)
+		run, err := bench.MeasureVMBench(*label, *rounds, analyzeOn)
 		if err != nil {
 			fail(err)
 		}
@@ -127,8 +140,12 @@ func main() {
 	}
 
 	if all || *fig == 13 {
-		bench.Separator(out, "Figure 13 — Caffeinemark under tainting configurations")
-		rows, err := bench.Caffeinemark(*rounds)
+		title := "Figure 13 — Caffeinemark under tainting configurations"
+		if analyzeOn {
+			title += " (taint pre-analysis on)"
+		}
+		bench.Separator(out, title)
+		rows, err := bench.CaffeinemarkMode(*rounds, analyzeOn)
 		if err != nil {
 			fail(err)
 		}

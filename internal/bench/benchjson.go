@@ -29,6 +29,10 @@ type VMBenchEntry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Score is the Caffeinemark-style work-units-per-second figure.
 	Score float64 `json:"score"`
+	// Analysis records whether the static taint pre-analysis fast path
+	// (vm/taintflow.go) was enabled for this entry: "on" or "off". The
+	// reference-interpreter baseline is always "off".
+	Analysis string `json:"analysis"`
 }
 
 // VMBenchRun is one invocation of the emitter.
@@ -50,19 +54,20 @@ type VMBenchFile struct {
 
 // measureKernel times one kernel on one VM configuration: best wall time of
 // `rounds` runs, and the allocation count of a single post-warm-up run.
-func measureKernel(k Kernel, policy taint.Policy, reference bool, rounds int) (VMBenchEntry, error) {
-	mk := NewCaffeineVM
-	if reference {
-		mk = NewReferenceCaffeineVM
-	}
+func measureKernel(k Kernel, policy taint.Policy, reference, analyze bool, rounds int) (VMBenchEntry, error) {
 	name := policy.Name()
 	if reference {
 		name += "-reference"
+		analyze = false // the reference interpreter has no fast path
+	}
+	mode := "off"
+	if analyze {
+		mode = "on"
 	}
 	best := time.Duration(math.MaxInt64)
 	var allocs uint64
 	for r := 0; r < rounds; r++ {
-		machine, err := mk(policy)
+		machine, err := newCaffeineVM(policy, reference, analyze)
 		if err != nil {
 			return VMBenchEntry{}, err
 		}
@@ -92,13 +97,15 @@ func measureKernel(k Kernel, policy taint.Policy, reference bool, rounds int) (V
 		NsPerOp:     float64(best.Nanoseconds()),
 		AllocsPerOp: float64(allocs),
 		Score:       float64(k.Arg) / best.Seconds(),
+		Analysis:    mode,
 	}, nil
 }
 
 // MeasureVMBench runs the full kernel grid: every kernel under the three
-// Fig 13 policies on the linked interpreter, plus the untainted reference
+// Fig 13 policies on the linked interpreter — with the static taint
+// pre-analysis on or off per analyze — plus the untainted reference
 // interpreter as the linking baseline.
-func MeasureVMBench(label string, rounds int) (VMBenchRun, error) {
+func MeasureVMBench(label string, rounds int, analyze bool) (VMBenchRun, error) {
 	if rounds <= 0 {
 		rounds = 5
 	}
@@ -111,7 +118,7 @@ func MeasureVMBench(label string, rounds int) (VMBenchRun, error) {
 	logOff := 0.0
 	for _, k := range Kernels {
 		for _, pol := range Fig13Policies {
-			e, err := measureKernel(k, pol, false, rounds)
+			e, err := measureKernel(k, pol, false, analyze, rounds)
 			if err != nil {
 				return run, err
 			}
@@ -120,7 +127,7 @@ func MeasureVMBench(label string, rounds int) (VMBenchRun, error) {
 				logOff += math.Log(e.NsPerOp)
 			}
 		}
-		ref, err := measureKernel(k, taint.Off, true, rounds)
+		ref, err := measureKernel(k, taint.Off, true, false, rounds)
 		if err != nil {
 			return run, err
 		}

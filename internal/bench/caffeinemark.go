@@ -187,9 +187,20 @@ var (
 )
 
 // NewCaffeineVM builds a VM loaded with the kernel suite under the given
-// policy. A fresh heap keeps allocation effects comparable across runs.
+// policy, with the taint pre-analysis fast path disabled: every instruction
+// runs fully instrumented, which is the configuration the paper's Fig 13
+// overheads describe. A fresh heap keeps allocation effects comparable
+// across runs.
 func NewCaffeineVM(policy taint.Policy) (*vm.VM, error) {
-	return newCaffeineVM(policy, false)
+	return newCaffeineVM(policy, false, false)
+}
+
+// NewAnalyzedCaffeineVM builds the same VM with the static taint
+// pre-analysis enabled (vm/taintflow.go): provably taint-free regions run
+// on the uninstrumented fast-path loop. Benchmarking it against
+// NewCaffeineVM isolates what partial instrumentation buys.
+func NewAnalyzedCaffeineVM(policy taint.Policy) (*vm.VM, error) {
+	return newCaffeineVM(policy, false, true)
 }
 
 // NewReferenceCaffeineVM builds the same VM forced through the reference
@@ -197,17 +208,23 @@ func NewCaffeineVM(policy taint.Policy) (*vm.VM, error) {
 // caches, no literal interning). Benchmarking it against NewCaffeineVM
 // isolates what the linked fast paths buy.
 func NewReferenceCaffeineVM(policy taint.Policy) (*vm.VM, error) {
-	return newCaffeineVM(policy, true)
+	return newCaffeineVM(policy, true, false)
 }
 
-func newCaffeineVM(policy taint.Policy, slowPath bool) (*vm.VM, error) {
+func newCaffeineVM(policy taint.Policy, slowPath, analyze bool) (*vm.VM, error) {
 	caffeineOnce.Do(func() {
 		caffeineProg, caffeineErr = asm.Assemble("caffeinemark", caffeineSource)
 	})
 	if caffeineErr != nil {
 		return nil, caffeineErr
 	}
-	return vm.New(vm.Config{Program: caffeineProg, Heap: vm.NewHeap(1, 2), Policy: policy, SlowPath: slowPath}), nil
+	return vm.New(vm.Config{
+		Program:    caffeineProg,
+		Heap:       vm.NewHeap(1, 2),
+		Policy:     policy,
+		SlowPath:   slowPath,
+		NoFastPath: !analyze,
+	}), nil
 }
 
 // RunKernel executes one kernel once and returns its result value.
@@ -250,8 +267,16 @@ func (r CaffeineRow) Overhead(p taint.Policy) float64 {
 // interpreter (the taint instrumentation is real code, not a model).
 // rounds > 1 reduces timer noise; the best round is scored, and every
 // measurement runs on a fresh VM with a collected heap so allocator state
-// cannot bleed between configurations.
+// cannot bleed between configurations. Analysis is off — this is the
+// paper's fully instrumented configuration; see CaffeinemarkMode.
 func Caffeinemark(rounds int) ([]CaffeineRow, error) {
+	return CaffeinemarkMode(rounds, false)
+}
+
+// CaffeinemarkMode is Caffeinemark with the static taint pre-analysis
+// switchable: analyze=true runs every configuration with the
+// uninstrumented fast-path loop enabled (`tinman-bench -analyze=on`).
+func CaffeinemarkMode(rounds int, analyze bool) ([]CaffeineRow, error) {
 	if rounds <= 0 {
 		rounds = 5
 	}
@@ -266,7 +291,7 @@ func Caffeinemark(rounds int) ([]CaffeineRow, error) {
 		// and score the fastest round of each.
 		for r := 0; r < rounds; r++ {
 			for _, pol := range Fig13Policies {
-				machine, err := NewCaffeineVM(pol)
+				machine, err := newCaffeineVM(pol, false, analyze)
 				if err != nil {
 					return nil, err
 				}

@@ -90,8 +90,9 @@ func taintedObjects(h *vm.Heap) []string {
 // diffRun executes main(args) to completion on a fresh VM and captures the
 // outcome. migrate controls the OnTaintedAccess verdict: false records the
 // trigger and continues (pure tracking), true stops at the first trigger
-// the way the device-side offload engine does.
-func diffRun(t *testing.T, prog *vm.Program, policy taint.Policy, slowPath, migrate bool,
+// the way the device-side offload engine does. analyze enables the static
+// taint pre-analysis fast path (vm/taintflow.go).
+func diffRun(t *testing.T, prog *vm.Program, policy taint.Policy, slowPath, analyze, migrate bool,
 	setup func(*vm.VM) (*vm.Thread, error)) diffOutcome {
 	t.Helper()
 	machine := vm.New(vm.Config{
@@ -100,6 +101,7 @@ func diffRun(t *testing.T, prog *vm.Program, policy taint.Policy, slowPath, migr
 		Policy:       policy,
 		CollectStats: true,
 		SlowPath:     slowPath,
+		NoFastPath:   !analyze,
 	})
 	var out diffOutcome
 	machine.Hooks.OnTaintedAccess = func(tag taint.Tag, ev taint.Event) bool {
@@ -130,14 +132,25 @@ func diffRun(t *testing.T, prog *vm.Program, policy taint.Policy, slowPath, migr
 	return out
 }
 
-// diffCompare runs a setup under every Fig 13 policy in both interpreters
-// and fails on the first divergence.
+// diffCompare runs a setup under every Fig 13 policy in all three
+// interpreter configurations — the analyzed interpreter (pre-analysis fast
+// path on), the linked interpreter (fully instrumented), and the reference
+// interpreter (SlowPath) — and fails on the first divergence. The
+// analyzed-vs-linked comparison is the partial-instrumentation soundness
+// proof: running provably taint-free regions uninstrumented must leave
+// results, tags, counters, instruction counts and migration stops
+// bit-identical.
 func diffCompare(t *testing.T, name string, prog *vm.Program, migrate bool,
 	setup func(*vm.VM) (*vm.Thread, error)) {
 	t.Helper()
 	for _, pol := range Fig13Policies {
-		fast := diffRun(t, prog, pol, false, migrate, setup)
-		slow := diffRun(t, prog, pol, true, migrate, setup)
+		analyzed := diffRun(t, prog, pol, false, true, migrate, setup)
+		fast := diffRun(t, prog, pol, false, false, migrate, setup)
+		slow := diffRun(t, prog, pol, true, false, migrate, setup)
+		if !analyzed.equal(fast) {
+			t.Errorf("%s under %s diverges:\n  analyzed: %s\n  linked:   %s",
+				name, pol.Name(), analyzed.summary(), fast.summary())
+		}
 		if !fast.equal(slow) {
 			t.Errorf("%s under %s diverges:\n  linked: %s\n  slow:   %s",
 				name, pol.Name(), fast.summary(), slow.summary())
@@ -221,7 +234,7 @@ func TestDifferentialRepeatedRuns(t *testing.T) {
 	}
 	k := Kernels[5] // String: exercises conststr interning hardest
 	run := func() diffOutcome {
-		return diffRun(t, prog, taint.Full, false, false, func(machine *vm.VM) (*vm.Thread, error) {
+		return diffRun(t, prog, taint.Full, false, true, false, func(machine *vm.VM) (*vm.Thread, error) {
 			return machine.NewThread(machine.Program.Method("Caffeine", k.Method), vm.IntVal(k.Arg/64))
 		})
 	}

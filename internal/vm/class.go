@@ -63,10 +63,23 @@ type Method struct {
 	// NRegs is the total register count of a frame.
 	NRegs int
 	Code  []Instr
+
+	// verdict and fastCode are derived state computed by Program.Analyze
+	// (see taintflow.go): the static taint-flow classification and — for
+	// fast-eligible methods — the quickened instruction stream the
+	// uninstrumented fast-path loop executes. Like the inline caches, they
+	// are never serialized, hashed, or disassembled as code; Code stays
+	// authoritative.
+	verdict  Verdict
+	fastCode []Instr
 }
 
 // FullName returns "Class.method".
 func (m *Method) FullName() string { return m.Class.Name + "." + m.Name }
+
+// Verdict returns the method's static taint-flow classification
+// (VerdictUnknown until the owning program is analyzed).
+func (m *Method) Verdict() Verdict { return m.verdict }
 
 // Program is the loaded application: the analogue of a dex file. Programs
 // are immutable once sealed and are loaded identically on the device and the
@@ -77,6 +90,9 @@ type Program struct {
 	sealed  bool
 	linked  bool
 	hash    string
+	// analysis is the taint pre-analysis result (taintflow.go), nil until
+	// Analyze runs.
+	analysis *Analysis
 }
 
 // NewProgram creates an empty program.

@@ -8,7 +8,11 @@ import (
 
 // Disassemble renders a program back into the assembler's source syntax.
 // The output round-trips through the assembler (modulo label names, which
-// come back as L<pc>), which the asm tests verify.
+// come back as L<pc>), which the asm tests verify. On an analyzed program
+// (see taintflow.go) every method is annotated with its taint pre-analysis
+// verdict, and methods whose verdict varies across basic blocks carry
+// per-region comments; the assembler strips comments, so annotated output
+// still round-trips.
 func (p *Program) Disassemble() string {
 	var b strings.Builder
 	for _, c := range p.Classes() {
@@ -22,15 +26,28 @@ func (p *Program) Disassemble() string {
 		}
 		sort.Strings(names)
 		for _, n := range names {
-			disasmMethod(&b, c.Methods[n])
+			m := c.Methods[n]
+			disasmMethod(&b, m, p.analysis.Flow(m))
 		}
 		b.WriteString("end\n")
 	}
 	return b.String()
 }
 
-func disasmMethod(b *strings.Builder, m *Method) {
+func disasmMethod(b *strings.Builder, m *Method, flow *MethodFlow) {
 	fmt.Fprintf(b, "  method %s %d %d\n", m.Name, m.NArgs, m.NRegs)
+	if flow != nil {
+		fmt.Fprintf(b, "    ; taintflow: %s\n", flow.Verdict)
+	}
+
+	// Region comments only earn their lines when the verdict varies within
+	// the method; a uniform method is fully described by its header.
+	regionAt := map[int]Region{}
+	if flow != nil && len(flow.Regions) > 1 {
+		for _, r := range flow.Regions {
+			regionAt[r.Start] = r
+		}
+	}
 
 	// Collect branch targets so the output carries labels.
 	targets := map[int64]bool{}
@@ -44,6 +61,9 @@ func disasmMethod(b *strings.Builder, m *Method) {
 	for pc, in := range m.Code {
 		if targets[int64(pc)] {
 			fmt.Fprintf(b, "  %s:\n", label(int64(pc)))
+		}
+		if r, ok := regionAt[pc]; ok {
+			fmt.Fprintf(b, "    ; region %d..%d: %s\n", r.Start, r.End-1, r.Verdict)
 		}
 		fmt.Fprintf(b, "    %s\n", disasmInstr(in, label))
 	}

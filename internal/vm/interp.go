@@ -42,6 +42,15 @@ const defaultMaxInstrs = 500_000_000
 //
 // VM.Instrs and the top frame's PC are therefore exact when Run returns and
 // before any native call, but not observed mid-loop.
+//
+// When the program's taint pre-analysis is in effect (vm.fastEnabled), run
+// alternates between two loops: runTracked below — the fully instrumented
+// interpreter — and runFast (interp_fast.go), the uninstrumented loop for
+// frames born taint-free in analysis-approved methods. Control switches at
+// frame boundaries: pushing a fast-eligible frame with clean argument tags
+// hands off to the fast loop; a deoptimization guard or a push of tracked
+// code hands back. Both loops share the one instruction budget, so
+// StopLimit lands on exactly the same instruction either way.
 func (t *Thread) run() (StopReason, error) {
 	v := t.VM
 	max := t.MaxInstrs
@@ -51,11 +60,46 @@ func (t *Thread) run() (StopReason, error) {
 	if len(t.Frames) == 0 {
 		return StopDone, nil
 	}
+	if !v.fastEnabled {
+		stop, _, _, err := t.runTracked(max)
+		return stop, err
+	}
+	var used uint64
+	for {
+		f := t.Frames[len(t.Frames)-1]
+		var stop StopReason
+		var hand bool
+		var n uint64
+		var err error
+		if f.fastOK && !f.deopted {
+			stop, hand, n, err = t.runFast(max - used)
+		} else {
+			stop, hand, n, err = t.runTracked(max - used)
+		}
+		used += n
+		if err != nil || !hand {
+			return stop, err
+		}
+	}
+}
 
-	// executed counts instructions this Run; flushed is the prefix already
-	// folded into v.Instrs. The difference is flushed at every exit and
-	// before native calls.
+// runTracked is the fully instrumented dispatch loop, bounded by budget
+// instructions. It returns the consumed instruction count and, when the
+// fast path is enabled, may return handoff=true with the thread's top
+// frame positioned for the uninstrumented loop (see run above); every
+// other return is final for this Run.
+func (t *Thread) runTracked(budget uint64) (StopReason, bool, uint64, error) {
+	v := t.VM
+	max := budget
+	if len(t.Frames) == 0 {
+		return StopDone, false, 0, nil
+	}
+
+	// executed counts instructions this burst; flushed is the prefix
+	// already folded into v.Instrs. The difference is flushed at every exit
+	// and before native calls.
 	var executed, flushed uint64
+	fastHand := v.fastEnabled
 	tracking := v.tracking
 	// observe is false only for the untainted baseline with no hooks: then
 	// heap reads skip taint observation entirely.
@@ -81,7 +125,7 @@ func (t *Thread) run() (StopReason, error) {
 		if executed >= max {
 			f.PC = pc
 			v.Instrs += executed - flushed
-			return StopLimit, nil
+			return StopLimit, false, executed, nil
 		}
 		in := &code[pc]
 		executed++
@@ -93,7 +137,7 @@ func (t *Thread) run() (StopReason, error) {
 				v.sinceTainted = 0
 				f.PC = pc
 				v.Instrs += executed - flushed
-				return StopMigrateIdle, nil
+				return StopMigrateIdle, false, executed, nil
 			}
 		}
 
@@ -344,7 +388,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -395,7 +439,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -461,7 +505,7 @@ func (t *Thread) run() (StopReason, error) {
 			if observe && t.heapCombine(tag) {
 				f.PC = pc
 				v.Instrs += executed - flushed
-				return StopMigrateTaint, nil
+				return StopMigrateTaint, false, executed, nil
 			}
 			if h2h {
 				dst.Tag = tag
@@ -496,7 +540,7 @@ func (t *Thread) run() (StopReason, error) {
 			if observe && t.heapCombine(tag) {
 				f.PC = pc
 				v.Instrs += executed - flushed
-				return StopMigrateTaint, nil
+				return StopMigrateTaint, false, executed, nil
 			}
 			if h2h {
 				dst.Tag = dst.Tag.Union(tag)
@@ -514,7 +558,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapCombine(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 			}
 			if tracking {
@@ -552,7 +596,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -574,7 +618,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -596,7 +640,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -614,7 +658,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -640,7 +684,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapCombine(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 			}
 			newTag := taint.None
@@ -681,7 +725,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapRead(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 				if h2s {
 					tags[in.A] = tag
@@ -699,7 +743,7 @@ func (t *Thread) run() (StopReason, error) {
 				if t.heapCombine(tag) {
 					f.PC = pc
 					v.Instrs += executed - flushed
-					return StopMigrateTaint, nil
+					return StopMigrateTaint, false, executed, nil
 				}
 			}
 			sum := sha256.Sum256([]byte(o.Str))
@@ -777,6 +821,24 @@ func (t *Thread) run() (StopReason, error) {
 			nf.RetReg = in.A
 			f.PC = npc
 			t.Frames = append(t.Frames, nf)
+			// Fast-path handoff: a frame born with clean argument tags in an
+			// analysis-approved method runs on the uninstrumented loop.
+			if fastHand && m.verdict.FastEligible() {
+				clean := true
+				if tracking {
+					for i := 0; i < m.NArgs; i++ {
+						if !nf.Tags[i].Empty() {
+							clean = false
+							break
+						}
+					}
+				}
+				if clean {
+					nf.fastOK = true
+					v.Instrs += executed - flushed
+					return 0, true, executed, nil
+				}
+			}
 			f = nf
 			pc = 0
 			code = m.Code
@@ -799,7 +861,7 @@ func (t *Thread) run() (StopReason, error) {
 				t.Result = ret
 				t.putFrame(f)
 				v.Instrs += executed - flushed
-				return StopDone, nil
+				return StopDone, false, executed, nil
 			}
 			done := f
 			f = t.Frames[len(t.Frames)-1]
@@ -812,6 +874,18 @@ func (t *Thread) run() (StopReason, error) {
 				tags[done.RetReg] = retTag
 			}
 			t.putFrame(done)
+			// Fast-path handoff: returning into a still-clean fast frame
+			// resumes the uninstrumented loop — unless the tracked callee
+			// returned taint, which deoptimizes the caller for good.
+			if fastHand && f.fastOK && !f.deopted {
+				if !retTag.Empty() {
+					f.deopted = true
+				} else {
+					f.PC = pc
+					v.Instrs += executed - flushed
+					return 0, true, executed, nil
+				}
+			}
 			continue
 
 		case OpMonEnter:
@@ -824,7 +898,7 @@ func (t *Thread) run() (StopReason, error) {
 				v.Instrs += executed - flushed
 				flushed = executed
 				if v.Hooks.OnMonitorEnter(o) {
-					return StopMigrateLock, nil
+					return StopMigrateLock, false, executed, nil
 				}
 			}
 		case OpMonExit:
@@ -862,7 +936,7 @@ func (t *Thread) run() (StopReason, error) {
 			v.Instrs += executed - flushed
 			flushed = executed
 			if v.Hooks.NativeGate != nil && v.Hooks.NativeGate(def) {
-				return StopMigrateNative, nil
+				return StopMigrateNative, false, executed, nil
 			}
 			var args []Value
 			if n := len(in.Args); cap(t.nativeArgs) >= n {
@@ -907,7 +981,7 @@ func (t *Thread) run() (StopReason, error) {
 			t.Result = NullVal()
 			f.PC = pc
 			v.Instrs += executed - flushed
-			return StopDone, nil
+			return StopDone, false, executed, nil
 
 		default:
 			return t.failAt(f, pc, executed-flushed, "unimplemented opcode %v", in.Op)
@@ -918,12 +992,12 @@ func (t *Thread) run() (StopReason, error) {
 }
 
 // failAt terminates Run with a positioned error, first writing back the
-// cached interpreter state (frame PC, instruction tally) that the fast
-// dispatch loop keeps in locals.
-func (t *Thread) failAt(f *Frame, pc int, pending uint64, format string, args ...any) (StopReason, error) {
+// cached interpreter state (frame PC, instruction tally) that the
+// dispatch loops keep in locals.
+func (t *Thread) failAt(f *Frame, pc int, pending uint64, format string, args ...any) (StopReason, bool, uint64, error) {
 	f.PC = pc
 	t.VM.Instrs += pending
-	return StopDone, errAt(f, format, args...)
+	return StopDone, false, 0, errAt(f, format, args...)
 }
 
 // heapRead handles the taint side of a heap→stack movement: stats, cor-idle

@@ -101,6 +101,37 @@ const (
 	numOps
 )
 
+// Fused superinstructions live in a high opcode range disjoint from the
+// architectural set. They exist only in a method's quickened fast-path copy
+// (Method.fastCode, built by quicken.go for analysis-proven taint-free
+// code): never in Method.Code, never hashed, serialized, assembled, or
+// verified. Each fuses two adjacent architectural instructions into one
+// dispatch; the original instructions stay in place at their pcs, so a
+// branch into the middle of a pair — or the tracked loop resuming there —
+// executes the unfused form. All fused ops count as two instructions.
+const (
+	// fConstArith fuses `const rA, Imm` + an integer/compare op
+	// (Op(Imm2)) writing r(B) from r(C) op r(Imm3).
+	fConstArith Op = 200 + iota
+	// fConstFArith fuses `constf rA, F` + a float op (Op(Imm2)) writing
+	// r(B) from r(C) op r(Imm3).
+	fConstFArith
+	// fArithGoto fuses an integer/compare op (Op(Imm2)) writing rA from
+	// rB op rC, + `goto Imm` — the back edge of every counted loop.
+	fArithGoto
+	// fConstAPut fuses `const rA, Imm2` + `aput rA, rB, rC`.
+	fConstAPut
+	// fAGetBranch fuses `aget rA, rB, rC` + `ifnz/ifz rA, Imm`
+	// (Imm2 = 1 for ifnz, 0 for ifz).
+	fAGetBranch
+)
+
+var fusedNames = map[Op]string{
+	fConstArith: "const+arith", fConstFArith: "constf+arithf",
+	fArithGoto: "arith+goto", fConstAPut: "const+aput",
+	fAGetBranch: "aget+branch",
+}
+
 var opNames = [...]string{
 	OpNop: "nop", OpConst: "const", OpConstF: "constf", OpConstStr: "conststr",
 	OpMove: "move",
@@ -128,6 +159,9 @@ var opNames = [...]string{
 func (o Op) String() string {
 	if int(o) < len(opNames) && opNames[o] != "" {
 		return opNames[o]
+	}
+	if n, ok := fusedNames[o]; ok {
+		return n
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -159,6 +193,12 @@ type Instr struct {
 	Sym  string  // field / method / native / string-literal symbol
 	Sym2 string  // class symbol for invoke
 	Args []int   // argument registers for invoke/native
+
+	// Imm2 and Imm3 carry the extra operands of fused superinstructions
+	// (the second op's opcode, a register index, or an immediate — see the
+	// fused-op constants). Architectural instructions leave them zero.
+	Imm2 int64
+	Imm3 int64
 
 	// Resolved operands: link-time pre-resolution (Program.Link) plus
 	// per-site monomorphic inline caches filled in by the interpreter.

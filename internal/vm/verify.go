@@ -29,8 +29,11 @@ func (p *Program) Verify() error {
 		}
 	}
 	// A verified program is about to be executed: pre-resolve its static
-	// operands so the interpreter's fast paths apply (see link.go).
+	// operands so the interpreter's fast paths apply (see link.go), then run
+	// the taint pre-analysis so provably taint-free code gets the
+	// uninstrumented fast-path loop (see taintflow.go).
 	p.Link()
+	p.Analyze()
 	return nil
 }
 

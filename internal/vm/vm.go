@@ -108,6 +108,12 @@ type Config struct {
 	// linked fast paths preserve results, taint tags, counters, and offload
 	// triggers exactly; production VMs leave it false.
 	SlowPath bool
+	// NoFastPath disables the static-analysis fast path (taintflow.go +
+	// interp_fast.go): every frame runs on the tracked loop as before the
+	// analysis existed. The differential harness compares NoFastPath
+	// against the default to pin that partial instrumentation is
+	// behavior-preserving; `tinman-bench -analyze=off` measures it.
+	NoFastPath bool
 }
 
 // VM executes programs over a heap under a taint policy. A VM is one
@@ -127,6 +133,10 @@ type VM struct {
 	// Calls counts method invocations (Table 3's offloaded-code metric).
 	Instrs uint64
 	Calls  uint64
+	// FastInstrs counts the subset of Instrs executed by the uninstrumented
+	// fast-path loop — the partial-instrumentation engagement metric
+	// (always ≤ Instrs; zero with NoFastPath or an unanalyzed program).
+	FastInstrs uint64
 
 	corIdleWindow uint64
 	sinceTainted  uint64
@@ -143,6 +153,11 @@ type VM struct {
 	tracking bool
 	// slowPath mirrors Config.SlowPath (reference interpreter).
 	slowPath bool
+	// fastEnabled gates the uninstrumented fast-path loop: the program must
+	// be analyzed, and neither SlowPath nor NoFastPath set. The trusted
+	// node's cor-idle window needs a per-instruction check the fast loop
+	// deliberately lacks, so it also disables it.
+	fastEnabled bool
 }
 
 // New creates a VM. The program must be sealed.
@@ -167,6 +182,8 @@ func New(cfg Config) *VM {
 		trackS2H:      cfg.Policy.Tracks(taint.StackToHeap),
 	}
 	v.tracking = v.trackH2H || v.trackH2S || v.trackS2S || v.trackS2H
+	v.fastEnabled = !cfg.SlowPath && !cfg.NoFastPath && cfg.CorIdleWindow == 0 &&
+		cfg.Program.Analyzed()
 	// Built-in classes exist on every VM so both endpoints resolve them
 	// identically during DSM sync.
 	v.stringClass = NewClass("java/lang/String")
@@ -234,6 +251,16 @@ type Frame struct {
 	Tags   []taint.Tag
 	// RetReg is the caller register that receives this frame's return value.
 	RetReg int
+
+	// fastOK marks a frame born taint-free in a fast-eligible method: the
+	// interpreter may run it on the uninstrumented fast-path loop, whose
+	// invariant is that every register shadow tag of such a frame is None.
+	// deopted is set the first time taint reaches the frame (a guard trip,
+	// a tainted return value); the frame then runs on the tracked loop for
+	// the rest of its life. Frames rebuilt by the DSM or rebound across
+	// endpoints leave both false — conservatively tracked.
+	fastOK  bool
+	deopted bool
 }
 
 // Tag returns register i's shadow tag (None when untracked).
@@ -284,6 +311,19 @@ func (v *VM) NewThread(m *Method, args ...Value) (*Thread, error) {
 			f.Tags[i] = a.Tag
 		}
 	}
+	// Entry guard of the fast path: externally supplied taint (a cor
+	// placeholder argument, a tainted password) forces the tracked loop no
+	// matter what the static analysis proved.
+	if v.fastEnabled && m.verdict.FastEligible() {
+		clean := true
+		for _, a := range args {
+			if !a.Tag.Empty() {
+				clean = false
+				break
+			}
+		}
+		f.fastOK = clean
+	}
 	return &Thread{VM: v, Frames: []*Frame{f}}, nil
 }
 
@@ -313,6 +353,8 @@ func (t *Thread) getFrame(m *Method, tracking bool) *Frame {
 	f.Method = m
 	f.PC = 0
 	f.RetReg = 0
+	f.fastOK = false
+	f.deopted = false
 	if cap(f.Regs) >= m.NRegs {
 		f.Regs = f.Regs[:m.NRegs]
 	} else {
@@ -379,6 +421,11 @@ func (t *Thread) Rebind(v *VM) error {
 			return fmt.Errorf("vm: rebind: method %s not found in target program", f.Method.FullName())
 		}
 		f.Method = m
+		// A migrated-in frame may carry taint the source endpoint tracked;
+		// run it on the tracked loop (the target program's analysis proves
+		// nothing about this frame's current register state).
+		f.fastOK = false
+		f.deopted = false
 	}
 	t.VM = v
 	return nil
