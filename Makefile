@@ -9,6 +9,9 @@
 #                     pre-analysis fast path) vs instrumented vs reference
 #   make race         race-detector pass over the concurrent subsystems
 #   make chaos        deterministic fault-injection suite under -race
+#   make fleet-smoke  trusted-node fleet gate: placement, drain/rebalance
+#                     handoff, crash failover, wire-level routing + merged
+#                     audit, all under -race
 #   make obs-smoke    observability gate: traced login with valid exports,
 #                     zero-alloc disabled path, Fig 13 hook-cost guard
 #   make bench-smoke  one iteration of every benchmark (a does-it-run gate,
@@ -20,7 +23,7 @@ GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check differential race chaos obs-smoke bench-smoke bench-json clean
+.PHONY: all build vet test check differential race chaos fleet-smoke obs-smoke bench-smoke bench-json clean
 
 all: build vet test
 
@@ -45,6 +48,7 @@ check:
 	$(GO) test ./...
 	$(MAKE) differential
 	$(MAKE) chaos
+	$(MAKE) fleet-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) bench-smoke
 
@@ -53,7 +57,7 @@ check:
 # internal/vm rides along since the two-loop interpreter and scheduler
 # juggle shared frames and inline caches.
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/
 
 # Interpreter equivalence gate: the analyzed interpreter (taint
 # pre-analysis fast path), the fully instrumented linked interpreter, and
@@ -78,7 +82,16 @@ obs-smoke:
 # scripted partitions, node crash/restart, flapping 3G and slow-node
 # scenarios, all on the virtual clock, run under the race detector.
 chaos:
-	$(GO) test -race -count=1 -run 'Chaos|Fault|Replay|Reconnect|Breaker|Shutdown|Pool' ./internal/core/ ./internal/netsim/ ./internal/nodeproto/ ./internal/node/ ./internal/fault/
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Replay|Reconnect|Breaker|Shutdown|Pool' ./internal/core/ ./internal/netsim/ ./internal/nodeproto/ ./internal/node/ ./internal/fault/ ./internal/fleet/
+
+# Fleet gate: deterministic placement, drain/rebalance via shard handoff,
+# crash failover on the audit watermark, and the wire layer's ownership
+# gate + redirect + merged per-device audit stream.
+fleet-smoke:
+	$(GO) test -race -count=1 ./internal/fleet/
+	$(GO) test -race -count=1 -run 'TestFleetWire|TestWireHandoff' ./internal/nodeproto/
+	$(GO) test -race -count=1 -run 'TestShard|TestHandoff' ./internal/node/ ./internal/core/
+	$(GO) test -count=1 ./cmd/tinman-audit/
 
 # One iteration of every benchmark in the tree: catches benchmarks that
 # stopped compiling or panic, without pretending to measure anything (see

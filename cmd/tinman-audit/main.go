@@ -11,11 +11,19 @@
 //	tinman-audit -summary audit.jsonl           # per-cor/per-device totals
 //	tinman-audit -since 2015-04-01T00:00:00Z -until 2015-04-02T00:00:00Z audit.jsonl
 //	tinman-audit -json -denied audit.jsonl      # machine-readable output
+//	tinman-audit -merge node-a.jsonl node-b.jsonl node-c.jsonl
 //
 // -since/-until accept RFC 3339 timestamps or bare dates (2015-04-01,
 // midnight UTC) and select the window [since, until). -json re-emits the
 // matching entries in the persisted JSON-lines format, so output pipes back
 // into tinman-audit.
+//
+// -merge interleaves several nodes' logs — the per-member files a fleet
+// writes — into one stream. Each device's entries are ordered by the
+// per-device sequence that travels with its shard (so a device's history
+// reads in true order even when it moved between nodes whose clocks and
+// global sequences disagree), and sequence gaps or duplicates are reported
+// per device on stderr. All other flags compose with -merge.
 package main
 
 import (
@@ -37,18 +45,24 @@ func main() {
 		since    = flag.String("since", "", "only entries at or after this time (RFC 3339 or YYYY-MM-DD)")
 		until    = flag.String("until", "", "only entries before this time (RFC 3339 or YYYY-MM-DD)")
 		jsonMode = flag.Bool("json", false, "emit matching entries as JSON lines (the persisted format)")
+		merge    = flag.Bool("merge", false, "interleave several nodes' logs into one per-device-ordered stream")
 	)
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 || (!*merge && flag.NArg() != 1) {
 		fmt.Fprintln(os.Stderr, "usage: tinman-audit [flags] audit.jsonl")
+		fmt.Fprintln(os.Stderr, "       tinman-audit -merge [flags] node-a.jsonl node-b.jsonl ...")
 		os.Exit(2)
 	}
 
-	log := audit.NewLog(nil)
-	if err := log.LoadFile(flag.Arg(0)); err != nil {
-		fmt.Fprintf(os.Stderr, "tinman-audit: %v\n", err)
-		os.Exit(1)
+	logs := make([]*audit.Log, flag.NArg())
+	for i, path := range flag.Args() {
+		logs[i] = audit.NewLog(nil)
+		if err := logs[i].LoadFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-audit: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	log := logs[0]
 
 	q := audit.Query{CorID: *corID, DeviceID: *device}
 	if *denied {
@@ -64,10 +78,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tinman-audit: -until: %v\n", err)
 		os.Exit(2)
 	}
-	entries := log.Find(q)
+	var entries []audit.Entry
+	var gaps []string
+	if *merge {
+		per := make([][]audit.Entry, len(logs))
+		for i, l := range logs {
+			per[i] = l.Find(q)
+		}
+		entries, gaps = mergeStreams(per)
+	} else {
+		entries = log.Find(q)
+	}
 
 	if *summary {
 		printSummary(entries)
+		if *merge {
+			reportGaps(gaps)
+		}
 		return
 	}
 	if *jsonMode {
@@ -79,12 +106,20 @@ func main() {
 			}
 			fmt.Println(string(line))
 		}
+		if *merge {
+			reportGaps(gaps)
+		}
 		return
 	}
 	for _, e := range entries {
 		fmt.Println(e.String())
 	}
 	fmt.Fprintf(os.Stderr, "%d entries", len(entries))
+	if *merge {
+		fmt.Fprintf(os.Stderr, " from %d logs\n", len(logs))
+		reportGaps(gaps)
+		return
+	}
 	if an := log.Anomalies(); len(an) > 0 {
 		fmt.Fprintf(os.Stderr, ", %d anomalies:\n", len(an))
 		for _, a := range an {
@@ -92,6 +127,100 @@ func main() {
 		}
 	} else {
 		fmt.Fprintln(os.Stderr, ", no anomalies")
+	}
+}
+
+// mergeStreams interleaves several logs' entries into one stream. Entries
+// are grouped per device and ordered by DeviceSeq — the counter that
+// travels with the device's shard across nodes — falling back to wall time
+// for device-less or pre-sharding (DeviceSeq 0) entries. Streams from
+// different devices interleave by time without ever reordering within a
+// device. The second return value lists per-device sequence problems:
+// missing ranges (an entry lost, or a log file not given) and duplicates
+// (the at-most-once guarantee violated somewhere).
+func mergeStreams(per [][]audit.Entry) (merged []audit.Entry, gaps []string) {
+	queues := map[string][]audit.Entry{}
+	total := 0
+	for _, entries := range per {
+		total += len(entries)
+		for _, e := range entries {
+			queues[e.DeviceID] = append(queues[e.DeviceID], e)
+		}
+	}
+	for dev, q := range queues {
+		sort.SliceStable(q, func(i, j int) bool {
+			if q[i].DeviceSeq != q[j].DeviceSeq {
+				// Zero (unsequenced) sorts by the time fallback below only
+				// against other zeros; against sequenced entries it leads,
+				// which keeps pre-sharding history first.
+				return q[i].DeviceSeq < q[j].DeviceSeq
+			}
+			return q[i].Time.Before(q[j].Time)
+		})
+		gaps = append(gaps, scanSeq(dev, q)...)
+	}
+	sort.Strings(gaps)
+
+	// K-way merge: repeatedly emit the queue head with the earliest
+	// timestamp. Per-device order is already fixed by the sort above; this
+	// only decides how the devices interleave.
+	devs := make([]string, 0, len(queues))
+	for dev := range queues {
+		devs = append(devs, dev)
+	}
+	sort.Strings(devs)
+	merged = make([]audit.Entry, 0, total)
+	for len(merged) < total {
+		best := ""
+		found := false
+		for _, dev := range devs {
+			q := queues[dev]
+			if len(q) == 0 {
+				continue
+			}
+			if !found || q[0].Time.Before(queues[best][0].Time) {
+				best, found = dev, true
+			}
+		}
+		merged = append(merged, queues[best][0])
+		queues[best] = queues[best][1:]
+	}
+	return merged, gaps
+}
+
+// scanSeq walks one device's DeviceSeq-ordered entries and describes every
+// missing range and duplicate. Unsequenced entries (DeviceSeq 0) are
+// skipped — they carry no ordering claim to violate.
+func scanSeq(dev string, q []audit.Entry) (gaps []string) {
+	if dev == "" {
+		return nil
+	}
+	prev := uint64(0)
+	for _, e := range q {
+		if e.DeviceSeq == 0 {
+			continue
+		}
+		switch {
+		case prev == 0 && e.DeviceSeq > 1:
+			gaps = append(gaps, fmt.Sprintf("device %s: history starts at seq %d (1-%d missing)", dev, e.DeviceSeq, e.DeviceSeq-1))
+		case prev != 0 && e.DeviceSeq == prev:
+			gaps = append(gaps, fmt.Sprintf("device %s: duplicate seq %d", dev, e.DeviceSeq))
+		case prev != 0 && e.DeviceSeq > prev+1:
+			gaps = append(gaps, fmt.Sprintf("device %s: gap after seq %d (%d-%d missing)", dev, prev, prev+1, e.DeviceSeq-1))
+		}
+		prev = e.DeviceSeq
+	}
+	return gaps
+}
+
+func reportGaps(gaps []string) {
+	if len(gaps) == 0 {
+		fmt.Fprintln(os.Stderr, "per-device sequences: gap-free")
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%d sequence problems:\n", len(gaps))
+	for _, g := range gaps {
+		fmt.Fprintln(os.Stderr, "  "+g)
 	}
 }
 

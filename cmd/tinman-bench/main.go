@@ -20,6 +20,9 @@
 //	tinman-bench -throughput                     # all modes, 8 clients, 2s each
 //	tinman-bench -throughput -mode pipelined -clients 16 -conns 4 -tduration 5s
 //	tinman-bench -throughput -metrics            # + Prometheus text dump after
+//	tinman-bench -throughput -nodes 3            # consistent-hash fleet:
+//	                                             # per-node p50/p99 plus the
+//	                                             # cost of drain + rebalance
 //
 // -spans augments Fig 14/15 with the observability subsystem's per-phase
 // span breakdown (self time per phase of each traced login, plus how much
@@ -36,6 +39,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -65,6 +69,7 @@ func main() {
 		mode       = flag.String("mode", "", "throughput: one of pipelined, serial, seed (default: compare all)")
 		tduration  = flag.Duration("tduration", 2*time.Second, "throughput: measurement duration per mode")
 		metrics    = flag.Bool("metrics", false, "throughput: print the node's Prometheus metrics after the run")
+		nodes      = flag.Int("nodes", 1, "throughput: trusted-node fleet size (>1 runs the consistent-hash fleet and reports per-node latency plus drain/rebalance cost)")
 
 		spans    = flag.Bool("spans", false, "augment Fig 14/15 with the per-phase span breakdown")
 		traceout = flag.String("traceout", "", "write traced Wi-Fi logins as Chrome trace_event JSON to this file")
@@ -133,6 +138,12 @@ func main() {
 	}
 
 	if *throughput {
+		if *nodes > 1 {
+			if err := runFleetThroughput(*nodes, *clients, *tduration); err != nil {
+				fail(err)
+			}
+			return
+		}
 		if err := runThroughput(*clients, *conns, *mode, *tduration, *metrics); err != nil {
 			fail(err)
 		}
@@ -267,6 +278,60 @@ func runThroughput(clients, conns int, mode string, dur time.Duration, dump bool
 			return err
 		}
 	}
+	return nil
+}
+
+// runFleetThroughput boots an n-member trusted-node fleet on loopback TCP
+// (one wire server per member, consistent-hash routed) and drives it with
+// the fleet client, reporting per-node latency. Afterwards it prices the
+// maintenance operations the fleet exists for: draining one member's
+// devices to the survivors and rebalancing them back after uncordon.
+func runFleetThroughput(nodes, clients int, dur time.Duration) error {
+	f, members, state, shutdown, err := nodeproto.StartFleetThroughput(nodes)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	fmt.Printf("trusted-node fleet throughput: %d nodes, %d clients, %v, loopback\n",
+		nodes, clients, dur)
+	res, err := nodeproto.RunFleetThroughput(members, state, nodeproto.ThroughputOptions{
+		Workers:  clients,
+		Duration: dur,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("  " + res.String())
+
+	ctx := context.Background()
+	drained := f.Members()[0]
+	start := time.Now()
+	moved, err := f.Drain(ctx, drained)
+	if err != nil {
+		return fmt.Errorf("drain %s: %v", drained, err)
+	}
+	drainTook := time.Since(start)
+	fmt.Printf("drain %s: %d devices in %v", drained, moved, drainTook.Round(time.Microsecond))
+	if moved > 0 {
+		fmt.Printf(" (%v/device)", (drainTook / time.Duration(moved)).Round(time.Microsecond))
+	}
+	fmt.Println()
+
+	if err := f.Uncordon(drained); err != nil {
+		return err
+	}
+	start = time.Now()
+	moved, err = f.Rebalance(ctx)
+	if err != nil {
+		return fmt.Errorf("rebalance: %v", err)
+	}
+	rebTook := time.Since(start)
+	fmt.Printf("uncordon + rebalance: %d devices in %v", moved, rebTook.Round(time.Microsecond))
+	if moved > 0 {
+		fmt.Printf(" (%v/device)", (rebTook / time.Duration(moved)).Round(time.Microsecond))
+	}
+	fmt.Println()
 	return nil
 }
 

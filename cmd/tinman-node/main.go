@@ -82,6 +82,19 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("tinman-node: audit log loaded (%d entries)", srv.Audit.Len())
+		// Floor each device's shard at the highest persisted per-device
+		// sequence, exactly as a fleet floors a failed-over device at its
+		// audit watermark: without this a restart would re-mint DeviceSeq
+		// from 1 and a later merged view of the log would see duplicates.
+		floors := map[string]uint64{}
+		for _, e := range srv.Audit.Find(audit.Query{}) {
+			if e.DeviceID != "" && e.DeviceSeq > floors[e.DeviceID] {
+				floors[e.DeviceID] = e.DeviceSeq
+			}
+		}
+		for dev, seq := range floors {
+			srv.Svc.AttachShard(dev, seq)
+		}
 		// Persist after every appended entry; the log is small and the save
 		// is atomic.
 		path := *auditFile

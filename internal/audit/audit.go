@@ -39,6 +39,13 @@ type Entry struct {
 	Domain   string
 	Outcome  Outcome
 	Detail   string
+	// DeviceSeq is the per-device sequence number, minted by the device's
+	// shard on the trusted node that owned it at append time. Unlike Seq
+	// (per-log, per-node) it survives a device moving between nodes: the
+	// counter travels with the shard, so interleaving several nodes' logs by
+	// DeviceSeq reconstructs one gap-free per-device history. 0 means the
+	// entry predates sharding (or was appended without a device).
+	DeviceSeq uint64
 }
 
 // String renders an entry as a single log line.
@@ -121,9 +128,17 @@ func (l *Log) shardFor(deviceID, corID string) *shard {
 
 // Append records an access.
 func (l *Log) Append(appHash, corID, deviceID, domain string, outcome Outcome, detail string) Entry {
+	return l.AppendDevice(appHash, corID, deviceID, domain, outcome, detail, 0)
+}
+
+// AppendDevice is Append carrying a caller-minted per-device sequence
+// number (see Entry.DeviceSeq). The trusted node's shard layer mints the
+// number so it stays monotonic for the device across node handoffs.
+func (l *Log) AppendDevice(appHash, corID, deviceID, domain string, outcome Outcome, detail string, deviceSeq uint64) Entry {
 	e := Entry{
 		Seq: l.seq.Add(1), Time: l.now(), AppHash: appHash, CorID: corID,
 		DeviceID: deviceID, Domain: domain, Outcome: outcome, Detail: detail,
+		DeviceSeq: deviceSeq,
 	}
 	sh := l.shardFor(deviceID, corID)
 	sh.mu.Lock()

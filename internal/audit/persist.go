@@ -19,6 +19,9 @@ type wireEntry struct {
 	Domain   string    `json:"domain"`
 	Outcome  uint8     `json:"outcome"`
 	Detail   string    `json:"detail,omitempty"`
+	// DeviceSeq is the per-device sequence (Entry.DeviceSeq); omitted for
+	// pre-sharding logs, which load back as DeviceSeq 0.
+	DeviceSeq uint64 `json:"device_seq,omitempty"`
 }
 
 // WireJSON returns the entry's JSON-lines (persistence) form — the same
@@ -27,6 +30,7 @@ func (e Entry) WireJSON() ([]byte, error) {
 	return json.Marshal(wireEntry{
 		Seq: e.Seq, Time: e.Time, AppHash: e.AppHash, CorID: e.CorID,
 		DeviceID: e.DeviceID, Domain: e.Domain, Outcome: uint8(e.Outcome), Detail: e.Detail,
+		DeviceSeq: e.DeviceSeq,
 	})
 }
 
@@ -40,6 +44,7 @@ func (l *Log) WriteTo(w io.Writer) (int64, error) {
 		we := wireEntry{
 			Seq: e.Seq, Time: e.Time, AppHash: e.AppHash, CorID: e.CorID,
 			DeviceID: e.DeviceID, Domain: e.Domain, Outcome: uint8(e.Outcome), Detail: e.Detail,
+			DeviceSeq: e.DeviceSeq,
 		}
 		if err := enc.Encode(&we); err != nil {
 			return n, err
@@ -70,6 +75,7 @@ func (l *Log) ReadFrom(r io.Reader) (int64, error) {
 		entries = append(entries, Entry{
 			Seq: we.Seq, Time: we.Time, AppHash: we.AppHash, CorID: we.CorID,
 			DeviceID: we.DeviceID, Domain: we.Domain, Outcome: Outcome(we.Outcome), Detail: we.Detail,
+			DeviceSeq: we.DeviceSeq,
 		})
 		if we.Seq > maxSeq {
 			maxSeq = we.Seq

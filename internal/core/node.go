@@ -144,6 +144,33 @@ func (n *TrustedNode) SetAppLocks(appName string, lt *dsm.LockTable) {
 	n.Svc.SetAppLocks(n.appDevice[appName], appName, lt)
 }
 
+// HandoffTo moves one device's hosted state — apps, armed injections,
+// derived cors, replay window and per-device audit sequence — onto another
+// trusted node via the shard export/import path (planned maintenance; crash
+// failover is the fleet's job). Registered cors are control-plane state and
+// must already be present on dst, as fleet replication guarantees. The
+// adapter-level app routing on both nodes follows the shard; on import
+// failure the export is restored onto this node.
+func (n *TrustedNode) HandoffTo(dst *TrustedNode, deviceID string) error {
+	exp, err := n.Svc.DetachShard(deviceID)
+	if err != nil {
+		return fmt.Errorf("core: detaching %s: %w", deviceID, err)
+	}
+	if err := dst.Svc.ImportShard(context.Background(), exp); err != nil {
+		if rerr := n.Svc.ImportShard(context.Background(), exp); rerr != nil {
+			return fmt.Errorf("core: importing %s failed (%v) and rollback failed: %w", deviceID, err, rerr)
+		}
+		return fmt.Errorf("core: importing %s: %w", deviceID, err)
+	}
+	for _, a := range exp.Apps {
+		if n.appDevice[a.Name] == deviceID {
+			delete(n.appDevice, a.Name)
+		}
+		dst.appDevice[a.Name] = deviceID
+	}
+	return nil
+}
+
 // --- control plane ---
 
 func (n *TrustedNode) onControlConn(c *tcpsim.Conn) {

@@ -1,0 +1,221 @@
+package fleet
+
+// Chaos test for the crash-mid-offload failover path: the deterministic
+// network simulator kills the host of the member that owns a device while
+// the device is mid-session. The device's next request must fail over to a
+// surviving member with zero cor loss and a gap-free merged per-device
+// audit sequence.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"tinman/internal/audit"
+	"tinman/internal/netsim"
+	"tinman/internal/node"
+)
+
+func TestChaosCrashMidSessionFailover(t *testing.T) {
+	ctx := context.Background()
+	net := netsim.New(7)
+	clock := func() time.Time { return time.Unix(0, 0).Add(net.Now()) }
+
+	f, err := New(Config{
+		MemberIDs:   []string{"node-a", "node-b", "node-c"},
+		NodeOptions: node.Options{Clock: clock, MalwareSeed: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each member's health is gated on its simulated host being up, so the
+	// network simulator — not the test body — decides who is alive.
+	hosts := map[string]*netsim.Host{}
+	for _, id := range f.Members() {
+		h := net.AddHost(id)
+		hosts[id] = h
+		id := id
+		if err := f.SetHealthProbe(id, func() bool { return !hosts[id].Down() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := f.RegisterCor(ctx, "pw", "hunter2!", "bank password", "bank.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	const dev = "dev-chaos"
+	svc1, owner1, err := f.ServiceFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDevHalf(t, svc1, dev)
+	hash := d.install(t, svc1)
+	if err := f.BindApp("pw", hash); err != nil {
+		t.Fatal(err)
+	}
+
+	// The device completes one offload (minting a derived cor) and executes
+	// one non-idempotent replay-tracked op on the doomed owner.
+	req1, err := d.login(t, svc1, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	executions := 0
+	svc1.ReplayDo(dev, "req-chaos-1", func() any { executions++; return "minted" })
+
+	// netsim kills the owning node at t=50ms, mid-session from the device's
+	// point of view.
+	net.ScheduleAt(50*time.Millisecond, func() {
+		hosts[owner1].SetDown(true)
+		if err := f.Crash(owner1); err != nil {
+			t.Errorf("crash %s: %v", owner1, err)
+		}
+	})
+	net.RunFor(100 * time.Millisecond)
+
+	// The device's next request routes to a surviving member; the device
+	// re-warms its DSM state against the new node (PR 4's reset path) and
+	// re-installs through the normal warm-up transfer.
+	svc2, owner2, err := f.ServiceFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner2 == owner1 {
+		t.Fatalf("device still routed to crashed member %s", owner1)
+	}
+	d2 := newDevHalf(t, svc2, dev)
+	d2.install(t, svc2)
+	req2, err := d2.login(t, svc2, "pw")
+	if err != nil {
+		t.Fatalf("offload after failover: %v", err)
+	}
+
+	// Zero cor loss: the registered cor serves on every surviving member,
+	// and the post-failover derived mint cannot collide with a pre-crash
+	// ID (the audit-watermark floor also bounds the derived counter).
+	for _, id := range f.Members() {
+		if id == owner1 {
+			continue
+		}
+		svc, _ := f.MemberService(id)
+		if svc.Cors.Get("pw") == nil {
+			t.Fatalf("member %s lost the registered cor after the crash", id)
+		}
+	}
+	if req2.CorID == req1.CorID {
+		t.Fatalf("derived cor ID %q reused across crash failover", req2.CorID)
+	}
+
+	// The ambiguous in-flight op replays against the new owner. The crashed
+	// node's window died with it, so the operation executes here — exactly
+	// once with respect to surviving state, since everything the first
+	// execution touched was discarded with the dead node.
+	val, _ := svc2.ReplayDo(dev, "req-chaos-1", func() any { executions++; return "re-minted" })
+	if executions != 2 || val != "re-minted" {
+		t.Fatalf("post-crash replay: executions=%d val=%v", executions, val)
+	}
+	// ...and a second retry dedups against the new owner's window.
+	if _, replayed := svc2.ReplayDo(dev, "req-chaos-1", func() any { executions++; return "thrice" }); !replayed || executions != 2 {
+		t.Fatalf("retry against new owner re-executed: executions=%d", executions)
+	}
+
+	// Gap-free per-device audit ordering: merging every member's log —
+	// including the dead node's, standing in for its persisted JSONL file —
+	// by DeviceSeq yields consecutive numbering with no gaps or duplicates.
+	var seqs []uint64
+	for _, id := range f.Members() {
+		svc, _ := f.MemberService(id)
+		for _, e := range svc.Audit.Find(audit.Query{DeviceID: dev}) {
+			if e.DeviceSeq == 0 {
+				t.Fatalf("device entry without DeviceSeq: %v", e)
+			}
+			seqs = append(seqs, e.DeviceSeq)
+		}
+	}
+	if len(seqs) < 2 {
+		t.Fatalf("expected audit history on both sides of the crash, got %d entries", len(seqs))
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("audit DeviceSeq not gap-free after crash: %v", seqs)
+		}
+	}
+}
+
+// TestChaosCascadingCrash drives repeated crash/recover cycles under load
+// from many devices, checking routing never lands on a down member and the
+// fleet converges back to full placement after recovery.
+func TestChaosCascadingCrash(t *testing.T) {
+	ctx := context.Background()
+	net := netsim.New(11)
+	clock := func() time.Time { return time.Unix(0, 0).Add(net.Now()) }
+	f, err := New(Config{
+		MemberIDs:   []string{"node-a", "node-b", "node-c"},
+		NodeOptions: node.Options{Clock: clock, MalwareSeed: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RegisterCor(ctx, "pw", "hunter2!", "pw", "bank.com"); err != nil {
+		t.Fatal(err)
+	}
+	state := sessionState(t)
+	reseal := func(dev string) error {
+		svc, owner, err := f.ServiceFor(dev)
+		if err != nil {
+			return err
+		}
+		if _, rerr := svc.Reseal(ctx, node.ResealRequest{
+			CorID: "pw", AppHash: "apphash-1", DeviceID: dev,
+			Domain: "bank.com", State: state,
+		}); rerr != nil {
+			return fmt.Errorf("reseal on %s: %w", owner, rerr)
+		}
+		return nil
+	}
+	if err := f.BindApp("pw", "apphash-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	const devices = 200
+	drive := func() {
+		for i := 0; i < devices; i++ {
+			if err := reseal(fmt.Sprintf("dev-%03d", i)); err != nil {
+				t.Fatalf("reseal: %v", err)
+			}
+		}
+	}
+	drive()
+	// Crash each member in turn (never two at once), driving traffic
+	// through every failover.
+	for _, victim := range f.Members() {
+		if err := f.Crash(victim); err != nil {
+			t.Fatal(err)
+		}
+		drive()
+		if err := f.Recover(victim); err != nil {
+			t.Fatal(err)
+		}
+		drive()
+	}
+	if _, err := f.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	counts := f.DeviceCount()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != devices {
+		t.Fatalf("ownership accounting drifted: %v (total %d)", counts, total)
+	}
+	for _, id := range f.Members() {
+		if counts[id] == 0 {
+			t.Fatalf("member %s hosts nothing after recovery+rebalance: %v", id, counts)
+		}
+	}
+}

@@ -41,6 +41,17 @@ var (
 	// (§5.4 connectivity) — untainted work proceeds, cor-touching work
 	// fails fast with this sentinel until the node comes back.
 	ErrNodeUnavailable = errors.New("node: trusted node unavailable")
+	// ErrShardDraining marks requests rejected because the device's shard is
+	// mid-handoff: the service quiesces the shard before export, and new
+	// work must retry against the importing node.
+	ErrShardDraining = errors.New("node: device shard draining")
+	// ErrUnknownDevice marks shard operations on a device this node does not
+	// host.
+	ErrUnknownDevice = errors.New("node: unknown device")
+	// ErrNotOwner marks device-keyed requests that reached a node the fleet
+	// placement does not route the device to; the wire layer attaches the
+	// owning member so clients can redirect.
+	ErrNotOwner = errors.New("node: not the owning node for device")
 )
 
 // Error is the service's error type: a human-readable message (kept

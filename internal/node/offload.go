@@ -29,6 +29,10 @@ type hostedApp struct {
 	key  AppKey
 	prog *vm.Program
 	hash string
+	// source and natives retain the install inputs so a shard export can
+	// re-install the app bit-identically on another node.
+	source  string
+	natives []string
 	// runMu serializes offloaded execution on the app's VM: the VM and its
 	// DSM endpoint are single-threaded state, while the Service is not.
 	runMu   sync.Mutex
@@ -58,12 +62,10 @@ type InstallResult struct {
 	CodeSize int
 }
 
-// Install assembles and verifies the app on the node and runs the malware
-// check, then provisions the per-app VM, monitor, and DSM endpoint.
-func (s *Service) Install(ctx context.Context, req InstallRequest) (*InstallResult, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// buildApp assembles, verifies and malware-checks the program, then
+// provisions the per-app VM, monitor and DSM endpoint. It is the shared
+// core of Install and ImportShard; it touches no shard state.
+func (s *Service) buildApp(req InstallRequest) (*hostedApp, error) {
 	prog, err := asm.Assemble(req.Name, req.Source)
 	if err != nil {
 		return nil, errf(ErrBadRequest, "assembling %s: %v", req.Name, err)
@@ -76,7 +78,7 @@ func (s *Service) Install(ctx context.Context, req InstallRequest) (*InstallResu
 	hash := prog.Hash()
 	if s.Malware.Contains(hash) {
 		family := s.Malware.Family(hash)
-		s.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+family)
+		s.auditAppend(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+family)
 		return nil, denied(&policy.Denial{Reason: policy.ReasonMalware, Detail: family})
 	}
 
@@ -88,26 +90,51 @@ func (s *Service) Install(ctx context.Context, req InstallRequest) (*InstallResu
 	})
 	registerNativeStubs(machine, req.NonOffloadableNatives)
 	key := AppKey{DeviceID: req.DeviceID, Name: req.Name}
-	app := &hostedApp{key: key, prog: prog, hash: hash, machine: machine}
+	app := &hostedApp{
+		key: key, prog: prog, hash: hash, machine: machine,
+		source:  req.Source,
+		natives: append([]string(nil), req.NonOffloadableNatives...),
+	}
 	app.mon = monitor.New(monitor.Config{
 		OnFinding: func(f monitor.Finding) {
-			s.Audit.Append(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
+			s.auditAppend(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
 		},
 	})
 	app.mon.Attach(machine)
-	app.ep = dsm.NewEndpoint(dsm.NodeSide, machine, &corResolver{svc: s})
+	app.ep = dsm.NewEndpoint(dsm.NodeSide, machine, &corResolver{svc: s, deviceID: req.DeviceID})
+	return app, nil
+}
 
-	s.mu.Lock()
-	s.apps[key] = app
-	s.mu.Unlock()
-	return &InstallResult{Hash: hash, CodeSize: prog.CodeSize()}, nil
+// Install assembles and verifies the app on the node and runs the malware
+// check, then hosts it in the device's shard.
+func (s *Service) Install(ctx context.Context, req InstallRequest) (*InstallResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sh, err := s.shardEnter(req.DeviceID)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.exit()
+	app, err := s.buildApp(req)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	sh.apps[req.Name] = app
+	sh.mu.Unlock()
+	return &InstallResult{Hash: app.hash, CodeSize: app.prog.CodeSize()}, nil
 }
 
 // app looks up the hosted app for (deviceID, name).
 func (s *Service) app(deviceID, name string) (*hostedApp, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if a := s.apps[AppKey{DeviceID: deviceID, Name: name}]; a != nil {
+	sh := s.lookupShard(deviceID)
+	if sh == nil {
+		return nil, errf(ErrUnknownApp, "app %q not installed", name)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if a := sh.apps[name]; a != nil {
 		return a, nil
 	}
 	return nil, errf(ErrUnknownApp, "app %q not installed", name)
@@ -153,6 +180,14 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sh := s.lookupShard(deviceID)
+	if sh == nil {
+		return nil, errf(ErrUnknownApp, "app %q not installed", appName)
+	}
+	if err := sh.enter(); err != nil {
+		return nil, err
+	}
+	defer sh.exit()
 	app, err := s.app(deviceID, appName)
 	if err != nil {
 		return nil, err
@@ -175,7 +210,7 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: deviceID}
 		if perr := s.Policy.Check(acc); perr != nil {
 			s.met.policyDenials.Inc()
-			s.Audit.Append(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error())
+			s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error())
 			if d, ok := policy.IsDenial(perr); ok {
 				span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
 				span.End()
@@ -185,7 +220,7 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 			span.End()
 			return nil, badRequest(perr)
 		}
-		s.Audit.Append(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access")
+		s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access")
 		span.Add(obs.Outcome(true))
 		span.End()
 	}
@@ -238,10 +273,10 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 
 // InjectionKey identifies the TCP flow an injection is armed for.
 type InjectionKey struct {
-	ClientAddr string
-	ClientPort uint16
-	ServerAddr string
-	ServerPort uint16
+	ClientAddr string `json:"client_addr"`
+	ClientPort uint16 `json:"client_port"`
+	ServerAddr string `json:"server_addr"`
+	ServerPort uint16 `json:"server_port"`
 }
 
 // InjectRequest arms payload replacement for an imminent marked record
@@ -261,6 +296,9 @@ type pendingInjection struct {
 	corID    string
 	domain   string
 	state    *tlssim.State
+	// raw keeps the marshaled state so a shard export can carry the armed
+	// injection to another node without re-marshaling.
+	raw json.RawMessage
 }
 
 // ArmInjection enforces the send-time policy (§3.4 second binding) and
@@ -273,6 +311,11 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	if err != nil {
 		return err
 	}
+	sh, err := s.shardEnter(req.DeviceID)
+	if err != nil {
+		return err
+	}
+	defer sh.exit()
 	rec := s.Cors.Get(req.CorID)
 	if rec == nil {
 		return errf(ErrUnknownCor, "unknown cor %q", req.CorID)
@@ -289,30 +332,44 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	// point; the node double-checks (defense in depth, §3.2).
 	if st.Version <= tlssim.TLS10 {
 		e := errf(ErrWeakTLS, "refusing session injection for %v (implicit-IV leak, fig 7)", st.Version)
-		s.Audit.Append(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error())
+		s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error())
 		return e
 	}
-	s.mu.Lock()
-	s.injections[req.Key] = &pendingInjection{
+	sh.mu.Lock()
+	sh.injections[req.Key] = &pendingInjection{
 		appHash: app.hash, deviceID: req.DeviceID,
 		corID: req.CorID, domain: req.Domain, state: st,
+		raw: append(json.RawMessage(nil), req.State...),
 	}
+	sh.mu.Unlock()
+	s.mu.Lock()
+	s.flows[req.Key] = req.DeviceID
 	s.mu.Unlock()
-	s.Audit.Append(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
+	s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
 	return nil
 }
 
 // ReplacePayload is the payload-replacement hook (fig 8 step 4): swap the
 // placeholder-bearing marked record for the cor-bearing one. The armed
-// injection is one-shot.
+// injection is one-shot. Replacement is keyed by TCP flow alone; the flow
+// index routes it to the owning device's shard.
 func (s *Service) ReplacePayload(ctx context.Context, key InjectionKey, recordLen int) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
-	inj := s.injections[key]
-	delete(s.injections, key)
+	deviceID, ok := s.flows[key]
+	delete(s.flows, key)
 	s.mu.Unlock()
+	var inj *pendingInjection
+	if ok {
+		if sh := s.lookupShard(deviceID); sh != nil {
+			sh.mu.Lock()
+			inj = sh.injections[key]
+			delete(sh.injections, key)
+			sh.mu.Unlock()
+		}
+	}
 	if inj == nil {
 		return nil, errf(ErrNoInjection, "no armed injection for %s:%d -> %s:%d",
 			key.ClientAddr, key.ClientPort, key.ServerAddr, key.ServerPort)
@@ -345,13 +402,15 @@ func (s *Service) ReplacePayload(ctx context.Context, key InjectionKey, recordLe
 	if recordLen > 0 && len(out) != recordLen {
 		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), recordLen)
 	}
-	s.Audit.Append(inj.appHash, inj.corID, inj.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced")
+	s.auditAppend(inj.appHash, inj.corID, inj.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced")
 	return out, nil
 }
 
-// corResolver adapts the cor store to the DSM resolver interface.
+// corResolver adapts the cor store to the DSM resolver interface for one
+// device's hosted apps.
 type corResolver struct {
-	svc *Service
+	svc      *Service
+	deviceID string
 }
 
 // Fill returns plaintext for the cor.
@@ -370,20 +429,25 @@ func (r *corResolver) MaskID(o *vm.Object) string {
 	if len(parents) == 0 {
 		return ""
 	}
-	id := r.svc.mintDerivedID(parents[0].ID)
+	id := r.svc.mintDerivedID(r.deviceID, parents[0].ID)
 	if _, err := r.svc.Cors.Derive(parents[0].ID, id, o.Str); err != nil {
 		return ""
 	}
 	return id
 }
 
-// mintDerivedID allocates the next derived-cor ID under the service lock.
-func (s *Service) mintDerivedID(parentID string) string {
-	s.mu.Lock()
-	s.derivedSeq++
-	n := s.derivedSeq
-	s.mu.Unlock()
-	return fmt.Sprintf("derived-%s-%d", parentID, n)
+// mintDerivedID allocates the device's next derived-cor ID under its shard
+// lock and records the lineage for shard export. The ID carries the device
+// so two devices' mints can never collide fleet-wide.
+func (s *Service) mintDerivedID(deviceID, parentID string) string {
+	sh := s.shard(deviceID)
+	sh.mu.Lock()
+	sh.derivedSeq++
+	n := sh.derivedSeq
+	id := fmt.Sprintf("derived-%s-%s-%d", parentID, deviceID, n)
+	sh.derived = append(sh.derived, derivedCor{ID: id, Parent: parentID})
+	sh.mu.Unlock()
+	return id
 }
 
 // registerNativeStubs installs non-offloadable stubs: the gate stops the

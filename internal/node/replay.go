@@ -1,6 +1,7 @@
 package node
 
 import (
+	"encoding/json"
 	"sync"
 	"time"
 )
@@ -96,6 +97,71 @@ func (c *ReplayCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// ReplayRecord is one serialized dedup-window entry, carried inside a
+// ShardExport so at-most-once holds across a handoff: an operation executed
+// on the old node replays its recorded result on the new one instead of
+// executing twice.
+type ReplayRecord struct {
+	ID  string          `json:"id"`
+	At  time.Time       `json:"at"`
+	Val json.RawMessage `json:"val,omitempty"`
+}
+
+// Export snapshots the finished entries. Results that do not survive JSON
+// (live handles, funcs) are exported with a null value: the duplicate still
+// dedups, it just replays an empty result, which clients treat as success
+// with no payload. In-flight entries are skipped — the shard is quiesced
+// before export, so there are none on the handoff path.
+func (c *ReplayCache) Export() []ReplayRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ReplayRecord, 0, len(c.order))
+	for _, id := range c.order {
+		e := c.entries[id]
+		if !e.finished() {
+			continue
+		}
+		rec := ReplayRecord{ID: id, At: e.at}
+		if e.val != nil {
+			if raw, err := json.Marshal(e.val); err == nil {
+				rec.Val = raw
+			}
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Import seeds the window from exported records. Values are retained as
+// json.RawMessage; duplicates arriving after the handoff observe them via
+// ReplayedRaw. Existing entries win — an ID that already executed here is
+// the fresher fact.
+func (c *ReplayCache) Import(recs []ReplayRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range recs {
+		if _, ok := c.entries[r.ID]; ok {
+			continue
+		}
+		e := &replayEntry{done: make(chan struct{}), at: r.At}
+		if len(r.Val) > 0 {
+			e.val = json.RawMessage(append([]byte(nil), r.Val...))
+		}
+		close(e.done)
+		c.entries[r.ID] = e
+		c.order = append(c.order, r.ID)
+	}
+	c.pruneLocked()
+}
+
+// ReplayedRaw reports whether a replayed value came from an imported record
+// rather than an in-process execution, returning the raw JSON if so.
+// Transports use it to re-encode the recorded result for the wire.
+func ReplayedRaw(v any) (json.RawMessage, bool) {
+	raw, ok := v.(json.RawMessage)
+	return raw, ok
 }
 
 // pruneLocked drops completed entries that fell out of the window, then —

@@ -42,22 +42,27 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 	if rec == nil {
 		return nil, errf(ErrUnknownCor, "unknown cor %q", req.CorID)
 	}
+	sh, err := s.shardEnter(req.DeviceID)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.exit()
 	checkID, err := s.checkSend(ctx, rec, req.AppHash, req.DeviceID, req.Domain, req.TargetIP)
 	if err != nil {
 		return nil, err
 	}
-	st, ok := s.states.get(req.State)
+	st, ok := sh.states.get(req.State)
 	if !ok {
 		st, err = tlssim.UnmarshalState(req.State)
 		if err != nil {
 			return nil, errf(ErrBadRequest, "bad session state: %v", err)
 		}
-		s.states.put(req.State, st)
+		sh.states.put(req.State, st)
 	}
 	// The modified client library refuses TLS 1.0 before ever reaching this
 	// point; the node double-checks (defense in depth, §3.2).
 	if st.Version <= tlssim.TLS10 {
-		s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused")
+		s.auditAppend(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused")
 		return nil, errf(ErrWeakTLS, "refusing %v session: implicit-IV state sync leaks plaintext (fig 7)", st.Version)
 	}
 	// The vault_open span brackets the only stretch where cor plaintext is
@@ -86,7 +91,7 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 	if req.RecordLen > 0 && len(out) != req.RecordLen {
 		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), req.RecordLen)
 	}
-	s.Audit.Append(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "record resealed")
+	s.auditAppend(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "record resealed")
 	return out, nil
 }
 
@@ -123,6 +128,14 @@ func (c *stateCache) get(raw []byte) (*tlssim.State, bool) {
 		return nil, false
 	}
 	return e.st, true
+}
+
+// len reports the number of cached states (shard introspection and the
+// detach-eviction regression test).
+func (c *stateCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }
 
 func (c *stateCache) put(raw []byte, st *tlssim.State) {

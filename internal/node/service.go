@@ -46,9 +46,11 @@ const defaultCorIdleWindow = 1_000_000
 // Service is the trusted-node brain behind every transport.
 //
 // The component fields (Cors, Policy, Audit, Malware) are themselves safe
-// for concurrent use; the Service's own mutex guards the per-device app
-// table, the armed-injection table and the derived-cor sequence — exactly
-// the state the single-transport node used to mutate unsynchronized.
+// for concurrent use. All per-device state — hosted apps, armed
+// injections, the session-state cache, the replay window, the derived-cor
+// counter and the per-device audit sequence — lives in one DeviceShard per
+// device (shard.go), the movable unit the fleet layer hands between nodes.
+// The Service's own mutex guards only the shard table and the flow index.
 type Service struct {
 	Cors    *cor.Store
 	Policy  *policy.Engine
@@ -56,13 +58,18 @@ type Service struct {
 	Malware *malware.DB
 
 	corIdleWindow uint64
+	replayCfg     ReplayCacheConfig
 
-	mu         sync.RWMutex
-	apps       map[AppKey]*hostedApp
-	injections map[InjectionKey]*pendingInjection
-	derivedSeq int
+	mu     sync.RWMutex
+	shards map[string]*DeviceShard
+	// flows maps an armed injection's TCP flow to the device whose shard
+	// holds it: payload replacement fires keyed by flow alone (fig 8), so
+	// the index routes it to the right shard.
+	flows map[InjectionKey]string
 
-	states stateCache
+	// adminReplays is the at-most-once window for operations that carry no
+	// device identity (registrations, policy administration).
+	adminReplays *ReplayCache
 
 	// met holds the Options.Metrics collectors (nil-safe when unset).
 	met serviceMetrics
@@ -80,14 +87,17 @@ func New(opts Options) *Service {
 	if opts.CorIdleWindow == 0 {
 		opts.CorIdleWindow = defaultCorIdleWindow
 	}
+	replayCfg := ReplayCacheConfig{Clock: opts.Clock}
 	s := &Service{
 		Cors:          cor.NewStore(),
 		Policy:        policy.NewEngine(opts.Clock),
 		Audit:         audit.NewLog(opts.Clock),
 		Malware:       malware.NewDB(),
 		corIdleWindow: opts.CorIdleWindow,
-		apps:          make(map[AppKey]*hostedApp),
-		injections:    make(map[InjectionKey]*pendingInjection),
+		replayCfg:     replayCfg,
+		shards:        make(map[string]*DeviceShard),
+		flows:         make(map[InjectionKey]string),
+		adminReplays:  NewReplayCache(replayCfg),
 	}
 	if m := opts.Metrics; m != nil {
 		s.met = serviceMetrics{
@@ -231,7 +241,7 @@ func (s *Service) checkSend(ctx context.Context, rec *cor.Record, appHash, devic
 	}
 	if perr := s.Policy.Check(acc); perr != nil {
 		s.met.policyDenials.Inc()
-		s.Audit.Append(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error())
+		s.auditAppend(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error())
 		if d, ok := policy.IsDenial(perr); ok {
 			span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
 			span.End()

@@ -66,6 +66,32 @@ func IsDenied(err error) (*DenialError, bool) {
 	return nil, false
 }
 
+// NotOwnerError is returned when a fleet member refused a device-keyed
+// request because the device's shard is owned by another member. Owner is
+// the redirect hint: resend the identical request (same ReqID, so the
+// at-most-once window still applies) to that member.
+type NotOwnerError struct {
+	Owner   string
+	Message string
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("nodeproto: not owner (try %s): %s", e.Owner, e.Message)
+}
+
+// Is maps the wire refusal onto node.ErrNotOwner, matching the in-process
+// error surface.
+func (e *NotOwnerError) Is(target error) bool { return target == node.ErrNotOwner }
+
+// RedirectOwner extracts the redirect hint from a not-owner refusal.
+func RedirectOwner(err error) (string, bool) {
+	var n *NotOwnerError
+	if errors.As(err, &n) {
+		return n.Owner, true
+	}
+	return "", false
+}
+
 // errClosed is the terminal error after Close.
 var errClosed = errors.New("nodeproto: client closed")
 
@@ -443,9 +469,12 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	start := time.Now()
 	resp, err := c.roundTrip(ctx, req)
 	if err == nil && !resp.OK {
-		if resp.Denial != "" {
+		switch {
+		case resp.Denial != "":
 			err = &DenialError{Reason: resp.Denial, Message: resp.Error}
-		} else {
+		case resp.Owner != "":
+			err = &NotOwnerError{Owner: resp.Owner, Message: resp.Error}
+		default:
 			err = fmt.Errorf("nodeproto: %s", resp.Error)
 		}
 	}
@@ -581,6 +610,33 @@ func (c *Client) AuditLog(corID, deviceID string) ([]AuditEntry, error) {
 		return nil, err
 	}
 	return resp.Audit, nil
+}
+
+// WhoOwns asks which fleet member owns the device's shard.
+func (c *Client) WhoOwns(ctx context.Context, deviceID string) (string, error) {
+	resp, err := c.do(ctx, &Request{Op: OpWhoOwns, DeviceID: deviceID})
+	if err != nil {
+		return "", err
+	}
+	return resp.Owner, nil
+}
+
+// HandoffExport detaches the device's shard from this node and returns its
+// marshaled export — half of a node-to-node shard move. The export carries
+// cor plaintext; only the fleet control plane calls this.
+func (c *Client) HandoffExport(ctx context.Context, deviceID string) (json.RawMessage, error) {
+	resp, err := c.do(ctx, &Request{Op: OpHandoffExport, DeviceID: deviceID})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Shard, nil
+}
+
+// HandoffImport attaches a shard export (from another node's
+// HandoffExport) onto this node.
+func (c *Client) HandoffImport(ctx context.Context, shard json.RawMessage) error {
+	_, err := c.do(ctx, &Request{Op: OpHandoffImport, Shard: shard})
+	return err
 }
 
 // Pool is a fixed-size set of pipelined connections to one node. Callers

@@ -112,6 +112,13 @@ func decodeRequest(body []byte, req *Request) bool {
 					return false
 				}
 				req.State = append(json.RawMessage(nil), s.Data[start:s.Pos]...)
+			case "shard":
+				s.WS()
+				start := s.Pos
+				if !s.SkipValue() {
+					return false
+				}
+				req.Shard = append(json.RawMessage(nil), s.Data[start:s.Pos]...)
 			default:
 				return false
 			}
@@ -164,6 +171,17 @@ func decodeResponse(body []byte, resp *Response) bool {
 				if !decodeString(&s, &resp.CorID) {
 					return false
 				}
+			case "owner":
+				if !decodeString(&s, &resp.Owner) {
+					return false
+				}
+			case "shard":
+				s.WS()
+				start := s.Pos
+				if !s.SkipValue() {
+					return false
+				}
+				resp.Shard = append(json.RawMessage(nil), s.Data[start:s.Pos]...)
 			case "record":
 				b64, ok := s.StrBytes()
 				if !ok {
@@ -318,6 +336,12 @@ func decodeAuditEntry(s *fastjson.Scanner, e *AuditEntry) bool {
 			if !decodeString(s, &e.Detail) {
 				return false
 			}
+		case "device_seq":
+			v, ok := s.UInt()
+			if !ok {
+				return false
+			}
+			e.DeviceSeq = v
 		default:
 			return false
 		}

@@ -1,6 +1,7 @@
 package nodeproto
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"encoding/binary"
@@ -12,6 +13,8 @@ import (
 	"sync"
 	"time"
 
+	"tinman/internal/fleet"
+	"tinman/internal/node"
 	"tinman/internal/tlssim"
 )
 
@@ -362,4 +365,191 @@ func NewThroughputServer() (srv *Server, addr string, state json.RawMessage, shu
 	}
 	go srv.Serve(l)
 	return srv, l.Addr().String(), state, func() { srv.Close() }, nil
+}
+
+// --- fleet throughput ---
+
+// StartFleetThroughput boots an n-member fleet, one wire server per member
+// (each gated by the shared fleet placement), primed with the throughput
+// cor replicated fleet-wide. It returns the fleet (for drain/rebalance
+// drives), the member address map for DialFleet, the marshaled device
+// session state, and a shutdown func.
+func StartFleetThroughput(n int) (f *fleet.Fleet, members map[string]string, state json.RawMessage, shutdown func(), err error) {
+	if n <= 0 {
+		n = 3
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i+1)
+	}
+	f, err = fleet.New(fleet.Config{MemberIDs: ids, NodeOptions: node.Options{}})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if err = f.RegisterCor(context.Background(), benchCor, "hunter2-benchmark!", "throughput cor", "bench.example"); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	key, err := rsa.GenerateKey(rand.Reader, 1024)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	device, _, _, err := tlssim.Handshake(
+		tlssim.ClientConfig{MinVersion: tlssim.TLS11},
+		tlssim.ServerConfig{Key: key})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	state, err = json.Marshal(device.Export())
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	members = make(map[string]string, n)
+	var servers []*Server
+	closeAll := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for _, id := range ids {
+		svc, serr := f.MemberService(id)
+		if serr != nil {
+			closeAll()
+			return nil, nil, nil, nil, serr
+		}
+		srv := NewServerWith(svc)
+		srv.SetPlacement(id, f)
+		l, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			closeAll()
+			return nil, nil, nil, nil, lerr
+		}
+		go srv.Serve(l)
+		servers = append(servers, srv)
+		members[id] = l.Addr().String()
+	}
+	return f, members, state, closeAll, nil
+}
+
+// FleetThroughputResult is one RunFleetThroughput measurement: the fleet-
+// wide aggregate plus a per-member breakdown attributed to whichever node
+// actually served each request.
+type FleetThroughputResult struct {
+	Total   ThroughputResult
+	PerNode map[string]ThroughputResult
+}
+
+func (r FleetThroughputResult) String() string {
+	s := "total: " + r.Total.String()
+	ids := make([]string, 0, len(r.PerNode))
+	for id := range r.PerNode {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		nr := r.PerNode[id]
+		s += fmt.Sprintf("\n%-10s %7d req, p50 %v, p99 %v, errors %d",
+			id, nr.Requests, nr.P50.Round(time.Microsecond), nr.P99.Round(time.Microsecond), nr.Errors)
+	}
+	return s
+}
+
+// RunFleetThroughput drives the fleet's device-keyed reseal path: each
+// worker is one device, routed by the fleet client to its owning member
+// (following redirects), with every latency sample attributed to the
+// member that served it. state comes from StartFleetThroughput.
+func RunFleetThroughput(members map[string]string, state json.RawMessage, opts ThroughputOptions) (FleetThroughputResult, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 2 * time.Second
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	fc := DialFleet(members, opts.DialTimeout, ReconnectConfig{RequestTimeout: opts.DialTimeout})
+	defer fc.Close()
+
+	type sample struct {
+		member string
+		lat    time.Duration
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		errCount int
+		samples  = make([][]sample, opts.Workers)
+		deadline = time.Now().Add(opts.Duration)
+		quota    = make(chan struct{}, opts.Requests)
+	)
+	for i := 0; i < opts.Requests; i++ {
+		quota <- struct{}{}
+	}
+	close(quota)
+
+	ctx := context.Background()
+	start := time.Now()
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dev := fmt.Sprintf("bench-dev-%d", w)
+			mine := make([]sample, 0, 1024)
+			for {
+				if opts.Requests > 0 {
+					if _, ok := <-quota; !ok {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				t0 := time.Now()
+				_, member, err := fc.Reseal(ctx, benchCor, state, "bench-app", dev, "bench.example", "", 0)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errCount++
+					mu.Unlock()
+					continue
+				}
+				mine = append(mine, sample{member: member, lat: time.Since(t0)})
+			}
+			samples[w] = mine
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	perNode := map[string][]time.Duration{}
+	var all []time.Duration
+	for _, s := range samples {
+		for _, smp := range s {
+			perNode[smp.member] = append(perNode[smp.member], smp.lat)
+			all = append(all, smp.lat)
+		}
+	}
+	summarize := func(lats []time.Duration) ThroughputResult {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		r := ThroughputResult{Requests: len(lats), Elapsed: elapsed}
+		if elapsed > 0 {
+			r.ReqPerSec = float64(len(lats)) / elapsed.Seconds()
+		}
+		if len(lats) > 0 {
+			r.P50 = lats[len(lats)/2]
+			r.P99 = lats[len(lats)*99/100]
+		}
+		return r
+	}
+	res := FleetThroughputResult{PerNode: make(map[string]ThroughputResult, len(perNode))}
+	for id, lats := range perNode {
+		res.PerNode[id] = summarize(lats)
+	}
+	res.Total = summarize(all)
+	res.Total.Errors = errCount
+	res.Total.FirstErr = firstErr
+	return res, nil
 }

@@ -51,6 +51,13 @@ const (
 	OpDerive   Op = "derive"   // register a derived cor (hash of a password)
 	OpAudit    Op = "audit"    // query the audit log
 	OpPing     Op = "ping"     // liveness
+
+	// Fleet routing and handoff (served by a node running behind a fleet
+	// router; a standalone node answers who_owns with itself and serves
+	// handoffs directly).
+	OpWhoOwns       Op = "who_owns"       // which member owns a device's shard
+	OpHandoffExport Op = "handoff_export" // detach + export a device shard
+	OpHandoffImport Op = "handoff_import" // import a device shard export
 )
 
 // Request is the envelope every client message uses. Unused fields stay
@@ -86,6 +93,10 @@ type Request struct {
 	// old servers ignore the extra keys and old clients never send them.
 	TraceID string `json:"trace_id,omitempty"`
 	SpanID  string `json:"span_id,omitempty"`
+	// Shard carries a marshaled node.ShardExport for OpHandoffImport. It
+	// travels only between trusted nodes (the export holds cor plaintext);
+	// device-facing clients never set it.
+	Shard json.RawMessage `json:"shard,omitempty"`
 }
 
 // CatalogEntry is the device-visible cor metadata.
@@ -106,6 +117,10 @@ type AuditEntry struct {
 	Domain  string `json:"domain"`
 	Outcome string `json:"outcome"`
 	Detail  string `json:"detail"`
+	// DeviceSeq is the per-device sequence minted by the owning shard; it
+	// orders one device's entries across node handoffs (0 on old entries
+	// and non-device entries).
+	DeviceSeq uint64 `json:"device_seq,omitempty"`
 }
 
 // Response is the node's reply envelope.
@@ -125,6 +140,12 @@ type Response struct {
 	CorID string `json:"cor_id,omitempty"`
 	// Audit entries for OpAudit.
 	Audit []AuditEntry `json:"audit,omitempty"`
+	// Owner names the member that owns the device's shard: the answer to
+	// OpWhoOwns, and the redirect hint on a not-owner refusal — the client
+	// resends the identical request (same ReqID) to that member.
+	Owner string `json:"owner,omitempty"`
+	// Shard is the marshaled node.ShardExport answering OpHandoffExport.
+	Shard json.RawMessage `json:"shard,omitempty"`
 }
 
 // maxMessage bounds a single protocol message.

@@ -76,6 +76,12 @@ type ReconnectClient struct {
 	cfg     ReconnectConfig
 	breaker *fault.Breaker
 	reqSeq  atomic.Uint64
+	// idNonce makes minted ReqIDs unique across client instances even when
+	// the caller supplies a stable ClientID (a device identity). The
+	// server-side replay window outlives client processes — it travels with
+	// the device's shard — so a fresh run re-minting "<id>-1" would be
+	// served the previous run's recorded responses.
+	idNonce string
 
 	// reconnects counts connections established, the first included.
 	reconnects atomic.Uint64
@@ -124,6 +130,7 @@ func NewReconnectClient(cfg ReconnectConfig) *ReconnectClient {
 		cfg:          cfg,
 		breaker:      fault.NewBreaker(cfg.Breaker),
 		reconnectCtr: cfg.Metrics.Counter("tinman_reconnects_total"),
+		idNonce:      fmt.Sprintf("%d.%d", clientIDSeq.Add(1), time.Now().UnixNano()),
 	}
 	if cfg.Heartbeat > 0 {
 		rc.hbStop = make(chan struct{})
@@ -268,7 +275,7 @@ func (rc *ReconnectClient) probe() {
 // node-level answers (denials, bad requests) are returned immediately.
 func (rc *ReconnectClient) do(ctx context.Context, req *Request) (*Response, error) {
 	if mutating(req.Op) && req.ReqID == "" {
-		req.ReqID = fmt.Sprintf("%s-%d", rc.cfg.ClientID, rc.reqSeq.Add(1))
+		req.ReqID = fmt.Sprintf("%s-%s-%d", rc.cfg.ClientID, rc.idNonce, rc.reqSeq.Add(1))
 	}
 	var lastErr error
 	for attempt := 0; attempt < rc.cfg.MaxAttempts; attempt++ {
@@ -336,6 +343,15 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-t.C:
 		return nil
 	}
+}
+
+// Do runs one raw request through the reconnect/retry/breaker machinery.
+// If the request is mutating and carries no ReqID, one is minted onto it —
+// and stays on the caller's Request, so resending the same Request to a
+// different member (a fleet redirect after a not-owner refusal or a crash)
+// dedups in the shard's replay window instead of double-executing.
+func (rc *ReconnectClient) Do(ctx context.Context, req *Request) (*Response, error) {
+	return rc.do(ctx, req)
 }
 
 // The method set mirrors Client's, so a ReconnectClient drops in wherever

@@ -75,6 +75,31 @@ func TestRequestIDDedup(t *testing.T) {
 	}
 }
 
+// TestReqIDsUniqueAcrossClientInstances pins that two client instances
+// with the same stable ClientID (a device identity survives app restarts)
+// never mint colliding ReqIDs: the server-side replay window outlives
+// client processes — it travels with the device's shard — and a collision
+// would serve the new run the old run's recorded responses.
+func TestReqIDsUniqueAcrossClientInstances(t *testing.T) {
+	_, addr := startServer(t, nil, 0)
+	mint := func() string {
+		rc := DialReconnect(addr, time.Second, ReconnectConfig{
+			ClientID: "galaxy-nexus-1", Heartbeat: -1,
+		})
+		defer rc.Close()
+		req := &Request{Op: OpRegister, CorID: "pw-" + t.Name(), Plaintext: "secret12", Description: "d"}
+		rc.do(t.Context(), req) // second instance fails (duplicate cor); the minted ID is the point
+		return req.ReqID
+	}
+	first, second := mint(), mint()
+	if first == "" || second == "" {
+		t.Fatalf("no ReqID minted: %q, %q", first, second)
+	}
+	if first == second {
+		t.Fatalf("two client instances minted the same ReqID %q", first)
+	}
+}
+
 // TestReconnectAcrossServerRestart kills the node's TCP server mid-life
 // and brings a new one up (same service state, new port): the reconnect
 // client must carry a request across the gap without manual intervention.

@@ -3,6 +3,7 @@ package nodeproto
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -62,6 +63,14 @@ type Server struct {
 	// (0 means DefaultMaxInflight).
 	MaxInflight int
 
+	// selfID and placement are installed by SetPlacement when this server
+	// is one member of a fleet: device-keyed operations for shards owned by
+	// another member are refused with a redirect hint instead of silently
+	// forking the device's state onto two nodes. Nil placement (standalone
+	// node) disables the gate.
+	selfID    string
+	placement Placement
+
 	mu       sync.Mutex
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -103,11 +112,36 @@ func (s *Server) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 		latency:  make(map[Op]*obs.Histogram),
 	}
 	for _, op := range []Op{OpRegister, OpGenerate, OpCatalog, OpBind, OpRevoke,
-		OpRestore, OpReseal, OpDerive, OpAudit, OpPing} {
+		OpRestore, OpReseal, OpDerive, OpAudit, OpPing,
+		OpWhoOwns, OpHandoffExport, OpHandoffImport} {
 		sm.requests[op] = m.Counter(fmt.Sprintf(`tinman_node_requests_total{op=%q}`, op))
 		sm.latency[op] = m.Histogram(fmt.Sprintf(`tinman_node_request_seconds{op=%q}`, op))
 	}
 	s.sm = sm
+}
+
+// Placement answers which fleet member owns a device's shard right now.
+// fleet.Fleet satisfies it; a wire deployment shares one Placement across
+// its member servers.
+type Placement interface {
+	Owner(deviceID string) (string, error)
+}
+
+// placementAccepter is the richer gate fleet.Fleet also implements: Accept
+// resolves ownership with assignment semantics (failover bookkeeping, audit
+// watermark floor on the new owner's shard), which a read-only Owner lookup
+// cannot do. The server prefers it when available.
+type placementAccepter interface {
+	Accept(deviceID, selfID string) (accept bool, owner string, err error)
+}
+
+// SetPlacement registers this server as fleet member selfID routing through
+// p. Call before Serve. Device-keyed requests (reseals) for devices owned
+// elsewhere are refused with Response.Owner naming the right member, and
+// OpWhoOwns answers from p.
+func (s *Server) SetPlacement(selfID string, p Placement) {
+	s.selfID = selfID
+	s.placement = p
 }
 
 // NewServer assembles a trusted-node server over a fresh service (with the
@@ -351,7 +385,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // replaying them fresh is cheaper than caching their (large) responses.
 func mutating(op Op) bool {
 	switch op {
-	case OpPing, OpCatalog, OpAudit:
+	case OpPing, OpCatalog, OpAudit, OpWhoOwns:
 		return false
 	}
 	return true
@@ -380,7 +414,38 @@ func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
 	}
 
 	var resp *Response
-	if req.ReqID == "" || s.Replays == nil || !mutating(req.Op) {
+	if r := s.ownershipGate(req); r != nil {
+		// Refused before the replay window sees it: a not-owner answer must
+		// not be recorded under the ReqID, or the redirected retry's result
+		// could never land in a window that moves with the shard.
+		resp = r
+	} else if req.ReqID == "" || !mutating(req.Op) {
+		resp = s.handle(ctx, req)
+	} else if req.Op == OpReseal && req.DeviceID != "" {
+		// Device-keyed mutations dedup in the device shard's own window, so
+		// at-most-once survives a drain: the window is exported with the
+		// shard and the replayed ID answers from the record on the new
+		// owner. A record that crossed a handoff comes back as raw JSON.
+		v, replayed := s.Svc.ReplayDo(req.DeviceID, req.ReqID, func() any {
+			return s.handle(context.WithoutCancel(ctx), req)
+		})
+		if replayed {
+			s.sm.replays.Inc()
+			if span != nil {
+				span.Add(obs.Note("replay"))
+			}
+		}
+		if raw, ok := node.ReplayedRaw(v); ok {
+			r := new(Response)
+			if err := json.Unmarshal(raw, r); err != nil {
+				r = fail("replayed record undecodable: %v", err)
+			}
+			resp = r
+		} else {
+			r := *(v.(*Response))
+			resp = &r
+		}
+	} else if s.Replays == nil {
 		resp = s.handle(ctx, req)
 	} else {
 		v, replayed := s.Replays.Do(req.ReqID, func() any {
@@ -414,6 +479,42 @@ func (s *Server) dispatch(ctx context.Context, req *Request) *Response {
 	s.sm.latency[req.Op].Observe(s.obs.Now() - start)
 	s.sm.inflight.Dec()
 	return resp
+}
+
+// ownershipGate refuses device-keyed data-path requests for devices whose
+// shard lives on another fleet member, naming that member in the refusal so
+// the client can follow the redirect with the identical request. Admin ops
+// (revoke, bind…) are replicated fleet-wide and pass; handoff ops target a
+// specific member by design and pass; a standalone server (no placement)
+// gates nothing.
+func (s *Server) ownershipGate(req *Request) *Response {
+	if s.placement == nil || req.Op != OpReseal || req.DeviceID == "" {
+		return nil
+	}
+	var (
+		owner string
+		err   error
+	)
+	if acc, ok := s.placement.(placementAccepter); ok {
+		var accept bool
+		accept, owner, err = acc.Accept(req.DeviceID, s.selfID)
+		if err == nil && accept {
+			return nil
+		}
+	} else {
+		owner, err = s.placement.Owner(req.DeviceID)
+	}
+	if err != nil {
+		return errResponse(err)
+	}
+	if owner != s.selfID {
+		return &Response{
+			OK:    false,
+			Error: fmt.Sprintf("%v: device %s is owned by %s", node.ErrNotOwner, req.DeviceID, owner),
+			Owner: owner,
+		}
+	}
+	return nil
 }
 
 // handle dispatches one request into the service.
@@ -488,9 +589,48 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 				Seq: e.Seq, Time: e.Time.Format(time.RFC3339), AppHash: e.AppHash,
 				CorID: e.CorID, Device: e.DeviceID, Domain: e.Domain,
 				Outcome: e.Outcome.String(), Detail: e.Detail,
+				DeviceSeq: e.DeviceSeq,
 			}
 		}
 		return &Response{OK: true, Audit: out}
+	case OpWhoOwns:
+		if req.DeviceID == "" {
+			return fail("who_owns requires device_id")
+		}
+		if s.placement == nil {
+			// Standalone node: every shard lives here.
+			return &Response{OK: true, Owner: s.selfID}
+		}
+		owner, err := s.placement.Owner(req.DeviceID)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Owner: owner}
+	case OpHandoffExport:
+		if req.DeviceID == "" {
+			return fail("handoff_export requires device_id")
+		}
+		exp, err := s.Svc.DetachShard(req.DeviceID)
+		if err != nil {
+			return errResponse(err)
+		}
+		raw, err := exp.Encode()
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, Shard: raw}
+	case OpHandoffImport:
+		if len(req.Shard) == 0 {
+			return fail("handoff_import requires shard")
+		}
+		exp, err := node.DecodeShardExport(req.Shard)
+		if err != nil {
+			return errResponse(err)
+		}
+		if err := s.Svc.ImportShard(ctx, exp); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
 	default:
 		return fail("unknown op %q", string(req.Op))
 	}
