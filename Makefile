@@ -18,12 +18,18 @@
 #                     not a measurement)
 #   make bench-json   append a machine-readable Caffeinemark run to
 #                     BENCH_vm.json (LABEL=... names the run)
+#   make bench-offload
+#                     append a warm-vs-cold offload latency run (trigger to
+#                     first node instruction per login app) to
+#                     BENCH_offload.json; its one-iteration smoke rides
+#                     `make check` via bench-smoke (BenchmarkOffload) and
+#                     the TestOffloadShape gate in the test suite
 
 GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check differential race chaos fleet-smoke obs-smoke bench-smoke bench-json clean
+.PHONY: all build vet test check differential race chaos fleet-smoke obs-smoke bench-smoke bench-json bench-offload clean
 
 all: build vet test
 
@@ -55,9 +61,11 @@ check:
 # The node service plus the transports that drive it concurrently get a
 # dedicated -race pass (multi-device service tests live in internal/node);
 # internal/vm rides along since the two-loop interpreter and scheduler
-# juggle shared frames and inline caches.
+# juggle shared frames and inline caches, and internal/dsm + internal/apps
+# because the speculative warm-up capture/apply protocol and its login
+# driver run concurrently with foreground execution.
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/ ./internal/dsm/ ./internal/apps/
 
 # Interpreter equivalence gate: the analyzed interpreter (taint
 # pre-analysis fast path), the fully instrumented linked interpreter, and
@@ -112,6 +120,13 @@ ifeq ($(ANALYZE),both)
 else
 	$(GO) run ./cmd/tinman-bench -json BENCH_vm.json -analyze=$(ANALYZE) -label "$(LABEL) analyze=$(ANALYZE)"
 endif
+
+# Warm-vs-cold speculative offload run appended to BENCH_offload.json:
+# per login app, trigger-to-first-node-instruction latency and trigger-time
+# sync bytes with warm-up disabled versus enabled, plus the background
+# stream's volume and the admission hit/miss counters.
+bench-offload:
+	$(GO) run ./cmd/tinman-bench -offload BENCH_offload.json -label "$(LABEL)"
 
 clean:
 	$(GO) clean ./...

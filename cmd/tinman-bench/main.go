@@ -75,10 +75,11 @@ func main() {
 		traceout = flag.String("traceout", "", "write traced Wi-Fi logins as Chrome trace_event JSON to this file")
 		spansout = flag.String("spansout", "", "write traced Wi-Fi login span records as JSON lines to this file")
 
-		jsonPath   = flag.String("json", "", "append a machine-readable Caffeinemark run to this file (e.g. BENCH_vm.json) instead of the paper figures")
-		label      = flag.String("label", "", "label stored with the -json run (e.g. a commit subject)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		jsonPath    = flag.String("json", "", "append a machine-readable Caffeinemark run to this file (e.g. BENCH_vm.json) instead of the paper figures")
+		offloadPath = flag.String("offload", "", "append a warm-vs-cold offload latency run (trigger to first node instruction, per login app) to this file (e.g. BENCH_offload.json) instead of the paper figures")
+		label       = flag.String("label", "", "label stored with the -json run (e.g. a commit subject)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -134,6 +135,21 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(out, "appended to %s\n", *jsonPath)
+		return
+	}
+
+	if *offloadPath != "" {
+		bench.Separator(out, "Speculative warm-up — trigger-to-first-node-instruction, cold vs warm")
+		rows, err := bench.Offload(netsim.WiFi, *seed)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintOffload(out, rows)
+		run := bench.PackOffload(*label, netsim.WiFi, *seed, rows)
+		if err := bench.AppendOffload(*offloadPath, run); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "appended to %s\n", *offloadPath)
 		return
 	}
 
@@ -272,6 +288,9 @@ func runThroughput(clients, conns int, mode string, dur time.Duration, dump bool
 		}
 		fmt.Printf("  %-10s %v\n", md, res)
 	}
+	ws := srv.Svc.WarmStats()
+	fmt.Printf("  warm-up: %d chunks applied, %d hits / %d misses, avg resume %v\n",
+		ws.Chunks, ws.Hits, ws.Misses, time.Duration(ws.AvgResumeNs).Round(time.Microsecond))
 	if dump {
 		fmt.Println("\nnode metrics (Prometheus text format):")
 		if err := m.WritePrometheus(os.Stdout); err != nil {
@@ -302,6 +321,7 @@ func runFleetThroughput(nodes, clients int, dur time.Duration) error {
 	if err != nil {
 		return err
 	}
+	res.Warm = nodeproto.FleetWarmStats(f)
 	fmt.Println("  " + res.String())
 
 	ctx := context.Background()

@@ -213,6 +213,9 @@ type EnvConfig struct {
 	// DevicePolicy overrides the device taint policy (defaults to
 	// Asymmetric when TinMan is on, Off when off).
 	DevicePolicy taint.Policy
+	// NoWarmup disables the speculative DSM warm-up pipeline — the cold
+	// column of the warm-vs-cold offload benchmark.
+	NoWarmup bool
 	// Specs defaults to LoginApps.
 	Specs []Spec
 }
@@ -241,6 +244,7 @@ func NewLoginEnv(cfg EnvConfig) (*Env, error) {
 		DevicePolicy:       pol,
 		TinManEnabled:      cfg.TinMan,
 		BaselinePlaintexts: baseline,
+		NoWarmup:           cfg.NoWarmup,
 	})
 	if err != nil {
 		return nil, err

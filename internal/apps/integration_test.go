@@ -60,8 +60,22 @@ func TestTinManLoginEndToEnd(t *testing.T) {
 	if f := rep.OffloadedFraction(); f <= 0 || f > 0.10 {
 		t.Fatalf("offloaded fraction = %.3f, want (0, 0.10]", f)
 	}
-	if rep.InitBytes == 0 {
-		t.Fatal("no initial sync recorded")
+	// The initial heap still reaches the node, but via the speculative
+	// warm-up stream: background chunks carry the full snapshot, the
+	// trigger-time migration ships only the dirty delta, and the node
+	// admits it as a warm hit.
+	if rep.WarmHits != 1 || rep.WarmMisses != 0 {
+		t.Fatalf("warm hit/miss = %d/%d, want 1/0: %+v", rep.WarmHits, rep.WarmMisses, rep)
+	}
+	if rep.WarmupBytes == 0 || rep.WarmupChunks == 0 {
+		t.Fatal("no warm-up stream recorded")
+	}
+	if rep.InitBytes != 0 {
+		t.Fatalf("warm-path login still shipped a %dB initial sync", rep.InitBytes)
+	}
+	if rep.TriggerSyncBytes == 0 || rep.TriggerSyncBytes > rep.WarmupBytes/10 {
+		t.Fatalf("trigger sync %dB should be a small delta of the %dB warm stream",
+			rep.TriggerSyncBytes, rep.WarmupBytes)
 	}
 
 	// SECURITY: no plaintext of the password (or its hash) anywhere on the

@@ -36,7 +36,9 @@ func (r LoginRow) Overhead() float64 {
 // LoginLatency reproduces Fig 14 (Wi-Fi) or Fig 15 (3G): per-app login
 // latency, original Android vs TinMan, after warm-up (install is excluded
 // from the measurement; the first post-install login, which includes the
-// initial heap sync, is what the paper times).
+// initial heap sync, is what the paper times). The speculative DSM warm-up
+// is disabled: these figures characterize the paper's unoptimized
+// pipeline — Offload in offload.go measures the speculation's effect.
 func LoginLatency(profile netsim.Profile, seed int64) ([]LoginRow, error) {
 	rows := make([]LoginRow, 0, len(apps.LoginApps))
 	for _, spec := range apps.LoginApps {
@@ -52,7 +54,7 @@ func LoginLatency(profile netsim.Profile, seed int64) ([]LoginRow, error) {
 		}
 		row.Baseline = rb.Total
 
-		tin, err := apps.NewLoginEnv(apps.EnvConfig{Profile: profile, TinMan: true, Seed: seed})
+		tin, err := apps.NewLoginEnv(apps.EnvConfig{Profile: profile, TinMan: true, Seed: seed, NoWarmup: true})
 		if err != nil {
 			return nil, err
 		}
@@ -100,9 +102,10 @@ type Table3Row struct {
 	DirtyKB float64
 }
 
-// Table3 reproduces the offload-accounting table over Wi-Fi.
+// Table3 reproduces the offload-accounting table over Wi-Fi. Warm-up is
+// disabled so the Init column measures the paper's trigger-time full sync.
 func Table3(seed int64) ([]Table3Row, error) {
-	env, err := apps.NewLoginEnv(apps.EnvConfig{Profile: netsim.WiFi, TinMan: true, Seed: seed})
+	env, err := apps.NewLoginEnv(apps.EnvConfig{Profile: netsim.WiFi, TinMan: true, Seed: seed, NoWarmup: true})
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,24 @@ type Report struct {
 	DSMTime time.Duration
 	SSLTime time.Duration
 	Total   time.Duration
+	// Speculative warm-up pipeline accounting (BENCH_offload.json): the
+	// background chunks/bytes shipped off the critical path, how many
+	// trigger-time migrations rode the warm delta path versus fell back
+	// cold, and the state the last trigger actually had to ship (on a warm
+	// hit, the dirty delta alone).
+	WarmupChunks     int
+	WarmupBytes      int
+	WarmHits         int
+	WarmMisses       int
+	TriggerSyncBytes int
+	// FirstTriggerSyncBytes pins the first offload's wire size — the full
+	// snapshot on the cold path, the dirty delta on a warm hit.
+	FirstTriggerSyncBytes int
+	// TriggerToExec is virtual time from the last offload trigger to the
+	// node's first resumed instruction; FirstTriggerToExec pins the first
+	// offload's, which is the latency speculation targets.
+	TriggerToExec      time.Duration
+	FirstTriggerToExec time.Duration
 }
 
 // OffloadedFraction returns NodeCalls / (NodeCalls + DeviceCalls).
@@ -67,6 +85,13 @@ type App struct {
 	machine *vm.VM
 	ep      *dsm.Endpoint
 	locks   *dsm.LockTable
+
+	// Speculative warm-up driver state: the cached static offload plan, and
+	// the index of the final chunk once every chunk has been emitted (-1
+	// while the stream is still running).
+	plan           *vm.OffloadPlan
+	warmStarted    bool
+	warmFinalIndex int
 
 	lastTrigger taint.Tag
 	Report      Report
@@ -202,6 +227,7 @@ func (a *App) Run(class, method string, args ...vm.Value) (vm.Value, error) {
 	}
 	start := a.dev.w.Net.Now()
 	defer func() { a.Report.Total = a.dev.w.Net.Now() - start }()
+	a.startWarmup()
 
 	for {
 		// One device-VM execution burst: span start to end brackets the
@@ -242,6 +268,129 @@ func (a *App) Run(class, method string, args ...vm.Value) (vm.Value, error) {
 	}
 }
 
+// warmupChunkObjs bounds the objects per background warm-up chunk; small
+// chunks keep each send's CPU slice short so speculation never starves
+// foreground execution.
+const warmupChunkObjs = 64
+
+// startWarmup kicks off the speculative pre-migration pipeline: if the
+// static taint analysis says this program can reach an offload boundary
+// (vm.OffloadPlan) and the initial DSM sync has not happened yet, the app
+// begins streaming its heap to the node in background chunks while the
+// device keeps executing. Every chunk send is a scheduled network event,
+// so shipping overlaps the compute advances of Run's bursts instead of
+// preceding them.
+func (a *App) startWarmup() {
+	w := a.dev.w
+	if !w.enabled || w.noWarmup || a.warmStarted || a.dev.ctrl == nil {
+		return
+	}
+	if a.plan == nil {
+		a.plan = a.prog.OffloadPlan()
+	}
+	if !a.plan.Speculative() {
+		return
+	}
+	epoch := a.ep.BeginWarmup()
+	if epoch == 0 {
+		return // the initial sync already shipped; nothing to warm
+	}
+	a.warmStarted = true
+	a.warmFinalIndex = -1
+	if tr := w.Obs; tr.Enabled() {
+		tr.Event(obs.PhaseDSMWarmup, obs.Count(int64(len(a.plan.Entries))))
+	}
+	w.Net.Schedule(0, func() { a.sendWarmupChunk(epoch) })
+}
+
+// sendWarmupChunk emits one background chunk and schedules the next. It
+// runs inside network event context, so it only notes CPU cost and pacing
+// delays — it never re-enters the event loop. Any transport trouble
+// (reconnect, open breaker, write failure) abandons the attempt: losing
+// the speculation only costs the cold path.
+func (a *App) sendWarmupChunk(epoch uint64) {
+	w := a.dev.w
+	if a.ep.WarmupEpoch() != epoch || a.ep.WarmupReady() {
+		return // aborted, superseded, or already complete
+	}
+	d := a.dev
+	if d.ctrl == nil || !d.ctrl.Established() || d.Degraded() {
+		a.ep.AbortWarmup()
+		return
+	}
+	c, err := a.ep.CaptureWarmup(warmupChunkObjs)
+	if err != nil || c == nil {
+		return // a capture error already aborted the attempt
+	}
+	f, err := encodeWarmupChunk(a.Name, c.Encode())
+	if err != nil {
+		a.ep.AbortWarmup()
+		return
+	}
+	enc := encodeFrame(f)
+	if err := d.ctrl.Write(enc); err != nil {
+		a.ep.AbortWarmup()
+		return
+	}
+	w.noteDeviceTransfer(len(enc))
+	// Chunk serialization is device CPU work, but paid concurrently: it
+	// lands as power draw and as pacing between chunks, not as a stall of
+	// the foreground burst this event interleaves with.
+	cost := time.Duration(int64(len(enc)) * w.Cost.SerializeNsPerByte)
+	w.CPU.NoteActive(w.Net.Now(), cost)
+	if tr := w.Obs; tr.Enabled() {
+		tr.Event(obs.PhaseDSMWarmup, obs.Bytes(len(enc)), obs.Count(int64(len(c.Objects))))
+	}
+	if c.Final {
+		a.warmFinalIndex = c.Index
+		return
+	}
+	w.Net.Schedule(cost, func() { a.sendWarmupChunk(epoch) })
+}
+
+// warmupAck processes one node acknowledgement, routed here by the device
+// pump. Only the final chunk's positive ack arms the warm delta path
+// (intermediate acks carry no promise the node holds the whole epoch); a
+// rejection kills the attempt.
+func (a *App) warmupAck(epoch uint64, index int, ok bool) {
+	if a.ep.WarmupEpoch() != epoch {
+		return // stale: a newer attempt, or none at all
+	}
+	if !ok {
+		a.ep.AbortWarmup()
+		return
+	}
+	if a.warmFinalIndex >= 0 && index == a.warmFinalIndex {
+		a.ep.WarmupAcked()
+	}
+}
+
+// settleWarmup decides the warm-up's fate at an offload trigger. If every
+// chunk has been emitted but the final ack is still in flight, it waits
+// one bounded RTT-scale grace for it; an attempt whose chunk stream the
+// trigger outran is abandoned immediately. Either way, after this call
+// the endpoint is unambiguously warm-ready or cold.
+func (a *App) settleWarmup() {
+	w := a.dev.w
+	if a.ep.WarmupEpoch() == 0 || a.ep.WarmupReady() {
+		return
+	}
+	if a.warmFinalIndex >= 0 {
+		grace := 2*w.profile.Latency + 25*time.Millisecond
+		deadline := w.Net.Now() + grace
+		w.Net.Schedule(grace, func() {})
+		w.Net.RunUntil(func() bool {
+			if err := a.dev.pump(); err != nil {
+				return true // the request path will surface the error
+			}
+			return a.ep.WarmupReady() || w.Net.Now() >= deadline
+		})
+	}
+	if !a.ep.WarmupReady() {
+		a.ep.AbortWarmup()
+	}
+}
+
 // offload performs one device->node->device DSM round trip. It returns the
 // continued thread, or the final result if the thread completed remotely.
 func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value, bool, error) {
@@ -259,32 +408,65 @@ func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value
 	}
 	defer span.End()
 
-	mig, err := a.ep.CaptureMigration(th, reason)
-	if err != nil {
-		return nil, vm.Value{}, false, err
-	}
-	mig.TriggerTag = uint64(a.lastTrigger)
-	wire := mig.Encode()
-	if span != nil {
-		span.Add(obs.Bytes(len(wire)))
-		span.Add(mig.ObsFields()...)
-	}
-	// Serialization is device CPU work.
-	w.advanceDeviceWork(time.Duration(int64(len(wire)) * w.Cost.SerializeNsPerByte))
+	// Let a nearly-complete warm-up finish (or die) before capturing: the
+	// capture must know definitively whether the warm delta path is armed.
+	a.settleWarmup()
 
-	env, err := json.Marshal(migrationEnvelope{App: a.Name, Bytes: wire})
-	if err != nil {
-		return nil, vm.Value{}, false, err
+	var (
+		reply frame
+		wire  []byte
+	)
+	for {
+		mig, err := a.ep.CaptureMigration(th, reason)
+		if err != nil {
+			return nil, vm.Value{}, false, err
+		}
+		mig.TriggerTag = uint64(a.lastTrigger)
+		warm := mig.WarmEpoch != 0
+		wire = mig.Encode()
+		if span != nil {
+			span.Add(obs.Bytes(len(wire)))
+			span.Add(mig.ObsFields()...)
+		}
+		// Serialization is device CPU work.
+		w.advanceDeviceWork(time.Duration(int64(len(wire)) * w.Cost.SerializeNsPerByte))
+
+		env, err := json.Marshal(migrationEnvelope{App: a.Name, Bytes: wire})
+		if err != nil {
+			return nil, vm.Value{}, false, err
+		}
+		reply, err = a.dev.request(frame{Type: msgMigration, Payload: env})
+		if err != nil {
+			// The node may never have seen this sync, or lost its copy in a
+			// crash: forget the warm-up so the next offload re-ships the full
+			// initial state instead of an incremental diff the node cannot
+			// anchor. (Re-shipping to a node that did keep it is harmless: the
+			// node's adopt path refreshes in place.)
+			a.ep.ResetWarmup()
+			return nil, vm.Value{}, false, err
+		}
+		if reply.Type == msgWarmMiss {
+			if !warm {
+				return nil, vm.Value{}, false, fmt.Errorf("core: node warm-missed a cold migration: %s", reply.Payload)
+			}
+			// The node does not hold our epoch ready (reconnect to a restarted
+			// node, shard handoff, torn warm-up): fall back to the cold path.
+			// Resetting reverts the endpoint to "initial sync pending", so the
+			// recapture ships the full snapshot under a fresh request ID — and
+			// a cold migration can never warm-miss, so the loop runs at most
+			// twice.
+			a.Report.WarmMisses++
+			a.ep.ResetWarmup()
+			continue
+		}
+		if warm {
+			a.Report.WarmHits++
+		}
+		break
 	}
-	reply, err := a.dev.request(frame{Type: msgMigration, Payload: env})
-	if err != nil {
-		// The node may never have seen this sync, or lost its copy in a
-		// crash: forget the warm-up so the next offload re-ships the full
-		// initial state instead of an incremental diff the node cannot
-		// anchor. (Re-shipping to a node that did keep it is harmless: the
-		// node's adopt path refreshes in place.)
-		a.ep.ResetWarmup()
-		return nil, vm.Value{}, false, err
+	a.Report.TriggerSyncBytes = len(wire)
+	if a.Report.FirstTriggerSyncBytes == 0 {
+		a.Report.FirstTriggerSyncBytes = len(wire)
 	}
 	if reply.Type == msgDenied {
 		return nil, vm.Value{}, false, fmt.Errorf("core: trusted node denied offload: %w", node.Denied(string(reply.Payload)))
@@ -311,12 +493,21 @@ func (a *App) offload(th *vm.Thread, reason vm.StopReason) (*vm.Thread, vm.Value
 	a.Report.Syncs = a.ep.Stats.Syncs
 	a.Report.InitBytes = a.ep.Stats.InitBytes
 	a.Report.DirtyBytes = a.ep.Stats.DirtyBytes
+	a.Report.WarmupChunks = a.ep.Stats.WarmupChunks
+	a.Report.WarmupBytes = a.ep.Stats.WarmupBytes
 	if renv.Stats != nil {
 		a.Report.NodeInstrs = renv.Stats.Instrs
 		a.Report.NodeCalls = renv.Stats.Calls
 		a.Report.Syncs += renv.Stats.Syncs
 		a.Report.InitBytes += renv.Stats.InitBytes
 		a.Report.DirtyBytes += renv.Stats.DirtyBytes
+		if renv.Stats.ExecStartNs > 0 {
+			tte := time.Duration(renv.Stats.ExecStartNs) - t0
+			a.Report.TriggerToExec = tte
+			if a.Report.FirstTriggerToExec == 0 {
+				a.Report.FirstTriggerToExec = tte
+			}
+		}
 	}
 	a.Report.DSMTime += w.Net.Now() - t0
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -347,4 +348,111 @@ func TestChaosBreakerStateExposed(t *testing.T) {
 	if w.Device.breaker.State() != fault.BreakerClosed {
 		t.Fatalf("fresh breaker state = %v", w.Device.breaker.State())
 	}
+}
+
+// slowTouchApp burns a caller-chosen amount of device compute before its
+// first tainted access, opening a wide window between the speculative
+// warm-up stream (done within a few RTTs of Run) and the offload trigger.
+const slowTouchApp = `
+class Slow
+  method work 1 6
+    const r1, 0
+  loop:
+    ifge r1, r0, done
+    const r3, 1
+    add r1, r1, r3
+    goto loop
+  done:
+    return r1
+  end
+  method slowTouch 2 6
+    invoke r2, Slow.work, r1
+    const r3, 0
+    charat r4, r0, r3
+    return r4
+  end
+end`
+
+// TestChaosNodeRestartMidWarmup reboots the node while the warm-up stream
+// is in flight. The stream dies unacked, so the device must abandon the
+// speculation and complete the login over the cold full-snapshot path —
+// with an audit log identical to an unfaulted (warm) control run, since
+// speculation may never change which operations execute.
+func TestChaosNodeRestartMidWarmup(t *testing.T) {
+	control, capp, cpw := newChaosWorld(t, Config{Seed: 37, Fault: chaosFaults()})
+	runTouch(t, control, capp, cpw)
+	// Sanity: the control run really rode the warm path, so the faulty run
+	// below exercises a genuinely different data path.
+	if capp.Report.WarmHits != 1 || capp.Report.InitBytes != 0 {
+		t.Fatalf("control run not warm: %+v", capp.Report)
+	}
+
+	w, app, pw := newChaosWorld(t, Config{Seed: 37, Fault: chaosFaults()})
+	now := w.Net.Now()
+	w.Net.ScheduleAt(now, w.CrashNode)
+	w.Net.ScheduleAt(now+1200*time.Millisecond, w.RestartNode)
+	runTouch(t, w, app, pw)
+
+	if w.Device.ControlRetries() == 0 {
+		t.Fatal("the restart never bit: no control retries recorded")
+	}
+	if app.Report.WarmHits != 0 {
+		t.Fatalf("warm hit through a crashed node: %+v", app.Report)
+	}
+	if app.Report.InitBytes == 0 {
+		t.Fatal("cold fallback shipped no full snapshot")
+	}
+	requireSameAudit(t, w, control)
+}
+
+// TestChaosWarmMissFallsBackToFullResend forces the node to lose its warm
+// state after the device's stream completed but before the trigger (a
+// shard detach/import round trip — the fleet drain path — drops warm
+// epochs by design). The trigger-time warm migration must come back as a
+// warm miss and the device's in-protocol fallback — reset, recapture the
+// full snapshot, resend under a fresh request — must complete the run.
+func TestChaosWarmMissFallsBackToFullResend(t *testing.T) {
+	w, _, _ := newChaosWorld(t, Config{Seed: 41, Fault: chaosFaults()})
+	app, err := w.Device.InstallApp("slow", slowTouchApp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Node.BindApp("pw", app.Hash())
+	pw, err := w.Device.CorArg(app, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 50k loop iterations ≈ 200k instructions ≈ 160 ms of device compute
+	// before the trigger; the warm-up stream settles within ~10 ms. Drop
+	// the node's warm state squarely between the two.
+	now := w.Net.Now()
+	w.Net.ScheduleAt(now+80*time.Millisecond, func() {
+		exp, derr := w.Node.Svc.DetachShard(w.Device.ID)
+		if derr != nil {
+			t.Errorf("detach mid-run: %v", derr)
+			return
+		}
+		if ierr := w.Node.Svc.ImportShard(context.Background(), exp); ierr != nil {
+			t.Errorf("re-import mid-run: %v", ierr)
+		}
+	})
+
+	res, err := app.Run("Slow", "slowTouch", pw, vm.IntVal(50000))
+	if err != nil {
+		t.Fatalf("slowTouch across a warm miss: %v", err)
+	}
+	if res.Int == int64('s') && res.Tag.Empty() {
+		t.Fatal("plaintext first byte returned to device untainted")
+	}
+	if app.Report.WarmMisses != 1 || app.Report.WarmHits != 0 {
+		t.Fatalf("warm miss not taken: %+v", app.Report)
+	}
+	if app.Report.WarmupBytes == 0 {
+		t.Fatal("no warm-up stream recorded; the scenario tested nothing")
+	}
+	if app.Report.InitBytes == 0 {
+		t.Fatal("fallback shipped no full snapshot")
+	}
+	requireGapFreeSeq(t, w)
 }

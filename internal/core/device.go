@@ -193,7 +193,10 @@ func (d *Device) Catalog() []cor.DeviceView {
 	return out
 }
 
-// pump drains control-connection bytes into parsed frames.
+// pump drains control-connection bytes into parsed frames. Warm-up
+// acknowledgements are routed straight to the owning app's driver rather
+// than queued: roundTrip treats the head of ctrlQueue as THE reply to the
+// in-flight request, and an out-of-band ack must never be mistaken for one.
 func (d *Device) pump() error {
 	if d.ctrl == nil || d.ctrl.Readable() == 0 {
 		return nil
@@ -207,8 +210,29 @@ func (d *Device) pump() error {
 		if !ok {
 			return nil
 		}
+		if f.Type == msgWarmupAck {
+			d.handleWarmupAck(f)
+			continue
+		}
 		d.ctrlQueue = append(d.ctrlQueue, f)
 	}
+}
+
+// handleWarmupAck delivers one out-of-band warm-up acknowledgement to the
+// app it names. Unknown apps, stale epochs, and malformed frames are
+// silently dropped — losing an ack only costs the speculation, never
+// correctness.
+func (d *Device) handleWarmupAck(f frame) {
+	app, epoch, index, ok, err := decodeWarmupAck(f.Payload)
+	if err != nil {
+		return
+	}
+	a := d.apps[app]
+	if a == nil {
+		return
+	}
+	d.w.noteDeviceTransfer(len(f.Payload) + 5)
+	a.warmupAck(epoch, index, ok)
 }
 
 // request performs a synchronous control round trip with the full §5.4

@@ -46,6 +46,21 @@ const (
 	// it only while tracing is active — untraced runs keep the msgTagged
 	// wire bytes unchanged.
 	msgTaggedTrace
+	// msgWarmupChunk ships one background dsm.WarmupChunk (the speculative
+	// pre-migration pipeline). Fire-and-forget from the device's
+	// perspective: it is never wrapped in msgTagged and never retried —
+	// losing a chunk just degrades to the cold path. Payload: u8 appLen |
+	// app name | encoded chunk.
+	msgWarmupChunk
+	// msgWarmupAck acknowledges one warm-up chunk out of band (it is not a
+	// reply to any pending tagged request; the device routes it to the
+	// warm-up driver, not the request queue). Payload: u8 appLen | app name
+	// | u64 epoch | u64 index | u8 ok.
+	msgWarmupAck
+	// msgWarmMiss rejects a warm-path migration whose epoch the node does
+	// not hold ready; the device resets its DSM warm state and resends the
+	// full snapshot. Payload: the refusal text.
+	msgWarmMiss
 )
 
 // Frame is one length-prefixed control or handshake message: u32 length |
@@ -158,6 +173,65 @@ func decodeTaggedTrace(payload []byte) (string, obs.TraceID, obs.SpanID, frame, 
 	span := obs.SpanID(binary.BigEndian.Uint64(payload[9+n:]))
 	inner := frame{Type: payload[17+n], Payload: append([]byte(nil), payload[18+n:]...)}
 	return id, trace, span, inner, nil
+}
+
+// encodeWarmupChunk builds a msgWarmupChunk frame: u8 appLen | app | chunk.
+func encodeWarmupChunk(app string, chunk []byte) (frame, error) {
+	if len(app) == 0 || len(app) > 255 {
+		return frame{}, fmt.Errorf("core: warmup app name length %d out of range", len(app))
+	}
+	p := make([]byte, 0, 1+len(app)+len(chunk))
+	p = append(p, byte(len(app)))
+	p = append(p, app...)
+	p = append(p, chunk...)
+	return frame{Type: msgWarmupChunk, Payload: p}, nil
+}
+
+// decodeWarmupChunk splits a msgWarmupChunk payload.
+func decodeWarmupChunk(payload []byte) (string, []byte, error) {
+	if len(payload) < 2 {
+		return "", nil, fmt.Errorf("core: short warmup chunk frame")
+	}
+	n := int(payload[0])
+	if n == 0 || len(payload) < 1+n {
+		return "", nil, fmt.Errorf("core: truncated warmup chunk app name")
+	}
+	app := string(payload[1 : 1+n])
+	return app, append([]byte(nil), payload[1+n:]...), nil
+}
+
+// encodeWarmupAck builds a msgWarmupAck frame: u8 appLen | app | u64 epoch |
+// u64 index | u8 ok.
+func encodeWarmupAck(app string, epoch uint64, index int, ok bool) frame {
+	p := make([]byte, 0, 18+len(app))
+	p = append(p, byte(len(app)))
+	p = append(p, app...)
+	var u [16]byte
+	binary.BigEndian.PutUint64(u[:8], epoch)
+	binary.BigEndian.PutUint64(u[8:], uint64(index))
+	p = append(p, u[:]...)
+	if ok {
+		p = append(p, 1)
+	} else {
+		p = append(p, 0)
+	}
+	return frame{Type: msgWarmupAck, Payload: p}
+}
+
+// decodeWarmupAck splits a msgWarmupAck payload.
+func decodeWarmupAck(payload []byte) (app string, epoch uint64, index int, ok bool, err error) {
+	if len(payload) < 18 {
+		return "", 0, 0, false, fmt.Errorf("core: short warmup ack frame")
+	}
+	n := int(payload[0])
+	if len(payload) != 18+n {
+		return "", 0, 0, false, fmt.Errorf("core: malformed warmup ack frame")
+	}
+	app = string(payload[1 : 1+n])
+	epoch = binary.BigEndian.Uint64(payload[1+n:])
+	index = int(binary.BigEndian.Uint64(payload[9+n:]))
+	ok = payload[17+n] != 0
+	return app, epoch, index, ok, nil
 }
 
 // decodeTagged unwraps a msgTagged payload into its request ID and inner

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -99,6 +100,10 @@ type nodeStats struct {
 	Syncs      int    `json:"syncs"`
 	InitBytes  int    `json:"init_bytes"`
 	DirtyBytes int    `json:"dirty_bytes"`
+	// ExecStartNs is the virtual instant the node began executing this
+	// episode's thread; the device subtracts its trigger time from it to get
+	// the trigger-to-first-node-instruction latency the warm-up shortens.
+	ExecStartNs int64 `json:"exec_start_ns,omitempty"`
 }
 
 func newTrustedNode(w *World, host *netsim.Host, corIdleWindow uint64) *TrustedNode {
@@ -314,9 +319,45 @@ func (n *TrustedNode) dispatch(r replyRoute, f frame) {
 		n.handleCatalog(r)
 	case msgSSLInject:
 		n.handleInject(r, f.Payload)
+	case msgWarmupChunk:
+		n.handleWarmupChunk(r, f.Payload)
 	default:
 		n.denied(r, fmt.Errorf("core: node: unknown control message %d", f.Type))
 	}
+}
+
+// handleWarmupChunk applies one background warm-up chunk and acknowledges it
+// out of band (msgWarmupAck is routed to the device's warm-up driver, never
+// into the request/reply queue). The chunk is fire-and-forget on the device
+// side, so a malformed frame is simply dropped — the warm-up degrades to the
+// cold path on its own.
+func (n *TrustedNode) handleWarmupChunk(r replyRoute, payload []byte) {
+	app, chunkBytes, err := decodeWarmupChunk(payload)
+	if err != nil {
+		return
+	}
+	c, err := dsm.DecodeWarmupChunk(chunkBytes)
+	if err != nil {
+		return
+	}
+	var span *obs.Span
+	if tr := n.w.Obs; tr.Enabled() {
+		trace, parent, _ := tr.Current()
+		span = tr.StartRemote(obs.PhaseDSMWarmup, trace, parent, obs.Bytes(len(chunkBytes)))
+	}
+	serr := n.Svc.WarmupChunk(obs.ContextWithSpan(context.Background(), span), n.appDevice[app], app, chunkBytes)
+	// Applying the chunk costs node-side deserialization time; it delays only
+	// the ack, never a foreground request (the event loop interleaves).
+	delay := time.Duration(int64(len(chunkBytes)) * n.w.Cost.SerializeNsPerByte)
+	if span != nil {
+		span.Add(obs.Outcome(serr == nil))
+		span.EndAt(n.w.Net.Now() + delay)
+	}
+	n.w.Net.Schedule(delay, func() {
+		if err := sendFrame(r.conn, encodeWarmupAck(app, c.Epoch, c.Index, serr == nil)); err != nil && r.conn.Established() {
+			r.conn.Abort()
+		}
+	})
 }
 
 // handleInstall forwards the warm-up dex transfer (§6.2) to the service and
@@ -363,6 +404,12 @@ func (n *TrustedNode) handleMigration(r replyRoute, payload []byte) {
 	res, err := n.Svc.Offload(obs.ContextWithSpan(context.Background(), r.span),
 		n.appDevice[env.App], env.App, env.Bytes)
 	if err != nil {
+		if errors.Is(err, node.ErrWarmStale) {
+			// Stale speculation is not a denial: tell the device to resend
+			// the full snapshot (the cold path) under a fresh request.
+			n.reply(r, time.Millisecond, frame{Type: msgWarmMiss, Payload: []byte(err.Error())})
+			return
+		}
 		n.denied(r, err)
 		return
 	}
@@ -372,6 +419,7 @@ func (n *TrustedNode) handleMigration(r replyRoute, payload []byte) {
 		Stats: &nodeStats{
 			Instrs: res.Stats.Instrs, Calls: res.Stats.Calls,
 			Syncs: res.Stats.Syncs, InitBytes: res.Stats.InitBytes, DirtyBytes: res.Stats.DirtyBytes,
+			ExecStartNs: int64(n.w.Net.Now()),
 		},
 	}
 	out, err := json.Marshal(reply)

@@ -136,6 +136,11 @@ type Config struct {
 	// Fault tunes the control channel's retry/deadline/breaker behavior;
 	// the zero value takes the FaultOptions defaults.
 	Fault FaultOptions
+	// NoWarmup disables the speculative DSM warm-up pipeline, forcing every
+	// first offload onto the cold full-snapshot path. Benchmarks use it for
+	// the cold column of the warm-vs-cold comparison; correctness never
+	// depends on the setting.
+	NoWarmup bool
 }
 
 // World is one simulation universe: a device, a trusted node, origin
@@ -160,6 +165,7 @@ type World struct {
 	profile       netsim.Profile
 	dns           map[string]string // domain -> address
 	enabled       bool
+	noWarmup      bool
 	corIdleWindow uint64
 	// taintFactor slows device compute under client-side tainting (the
 	// Fig 13 overhead applied to the cost model): 1.0 for Off, ~1.10 for
@@ -192,6 +198,7 @@ func NewWorld(cfg Config) (*World, error) {
 		profile:       cfg.Profile,
 		dns:           make(map[string]string),
 		enabled:       cfg.TinManEnabled,
+		noWarmup:      cfg.NoWarmup,
 		taintFactor:   1.0,
 		corIdleWindow: cfg.CorIdleWindow,
 	}

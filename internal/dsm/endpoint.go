@@ -57,6 +57,11 @@ type SyncStats struct {
 	DirtyBytes int
 	// ObjectsSent counts objects serialized across all syncs.
 	ObjectsSent int
+	// WarmupChunks/WarmupBytes count the background warm-up traffic
+	// (warmup.go): shipped off the critical path, so kept separate from the
+	// trigger-time Init/Dirty accounting.
+	WarmupChunks int
+	WarmupBytes  int
 }
 
 // SyncMode selects what each synchronization ships.
@@ -83,6 +88,12 @@ type Endpoint struct {
 
 	seq         uint64
 	initialSent bool
+
+	// Speculative warm-up state (warmup.go): warm/warmSeq on the sending
+	// side, warmRecv on the receiving side.
+	warm     *warmupSend
+	warmSeq  uint64
+	warmRecv *warmupRecv
 }
 
 // NewEndpoint wraps a VM as a DSM endpoint.
@@ -94,8 +105,12 @@ func NewEndpoint(side Side, machine *vm.VM, res Resolver) *Endpoint {
 }
 
 // ResetWarmup clears the initial-sync marker, as when a new app is loaded
-// (the dex warm-up in §6.2 happens per app).
-func (e *Endpoint) ResetWarmup() { e.initialSent = false }
+// (the dex warm-up in §6.2 happens per app), and discards any speculative
+// warm-up attempt with it — the peer's heap can no longer be assumed warm.
+func (e *Endpoint) ResetWarmup() {
+	e.initialSent = false
+	e.warm = nil
+}
 
 // InitialSent reports whether the full-heap sync has happened.
 func (e *Endpoint) InitialSent() bool { return e.initialSent }
@@ -109,11 +124,26 @@ func (e *Endpoint) CaptureMigration(t *vm.Thread, reason vm.StopReason) (*Migrat
 	m := &Migration{Seq: e.seq, Reason: reason, Result: ValueState{Kind: uint8(vm.KindRef)}}
 
 	var objs []*vm.Object
-	if !e.initialSent || e.Mode == SyncFull {
+	switch {
+	case !e.initialSent && e.Mode != SyncFull && e.WarmupReady():
+		// Warm path: the full snapshot already shipped in background chunks.
+		// Ship only objects whose Version moved past (or never entered) the
+		// shipped record — mutated since their chunk was captured, or
+		// allocated after the warm-up began. The heap never deletes, so this
+		// delta is complete.
+		m.WarmEpoch = e.warm.epoch
+		for _, o := range e.VM.Heap.Objects() {
+			if v, ok := e.warm.shipped[o.ID]; !ok || v != o.Version {
+				objs = append(objs, o)
+			}
+		}
+		e.initialSent = true
+		e.warm = nil
+	case !e.initialSent || e.Mode == SyncFull:
 		m.Initial = !e.initialSent
 		objs = e.VM.Heap.Objects()
 		e.initialSent = true
-	} else {
+	default:
 		objs = e.VM.Heap.DirtyObjects()
 	}
 	m.Objects = make([]ObjectState, 0, len(objs))
@@ -154,8 +184,9 @@ func (e *Endpoint) CaptureMigration(t *vm.Thread, reason vm.StopReason) (*Migrat
 		}
 	}
 
-	// Accounting.
-	wire := len(m.Encode())
+	// Accounting. EncodedSize avoids allocating a throwaway encode: the real
+	// wire bytes are produced by the transport's own Encode call.
+	wire := m.EncodedSize()
 	e.Stats.Syncs++
 	e.Stats.ObjectsSent += len(m.Objects)
 	if m.Initial {

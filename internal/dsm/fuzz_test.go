@@ -38,7 +38,46 @@ func FuzzDecodeMigration(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of re-encode failed: %v", err)
 		}
-		if m2.Seq != m.Seq || m2.Reason != m.Reason || len(m2.Objects) != len(m.Objects) {
+		if m2.Seq != m.Seq || m2.Reason != m.Reason || len(m2.Objects) != len(m.Objects) || m2.WarmEpoch != m.WarmEpoch {
+			t.Fatal("re-encode not stable")
+		}
+	})
+}
+
+// FuzzDecodeWarmupChunk hardens the warm-up chunk framing the same way: the
+// node decodes background chunks from possibly compromised devices, and any
+// accepted chunk feeds the ordered-epoch apply path, so both the decoder
+// and the ordering guards must hold under arbitrary bytes.
+func FuzzDecodeWarmupChunk(f *testing.F) {
+	valid := (&WarmupChunk{
+		Epoch: 2, Index: 1, Final: true,
+		Objects: []ObjectState{
+			{ID: 5, Class: "java/lang/String", IsStr: true, Str: "w", StrLen: 1},
+			{ID: 9, Class: "B", Elems: []ValueState{{Kind: uint8(vm.KindRef), RefID: 5}}},
+		},
+	}).Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])                        // truncated mid-object
+	f.Add(append(valid, 0x00, 0x01))                   // trailing bytes
+	f.Add((&WarmupChunk{Epoch: 7, Index: 3}).Encode()) // out-of-order index
+	f.Add((&WarmupChunk{Epoch: 1}).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{2})
+	f.Add([]byte{2, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeWarmupChunk(data)
+		if err != nil {
+			return
+		}
+		if c.Epoch == 0 {
+			t.Fatal("decoder accepted the cold-path sentinel epoch")
+		}
+		c2, err := DecodeWarmupChunk(c.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of re-encode failed: %v", err)
+		}
+		if c2.Epoch != c.Epoch || c2.Index != c.Index || c2.Final != c.Final || len(c2.Objects) != len(c.Objects) {
 			t.Fatal("re-encode not stable")
 		}
 	})

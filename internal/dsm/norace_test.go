@@ -1,0 +1,5 @@
+//go:build !race
+
+package dsm
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package dsm
+
+// raceEnabled lets allocation-count guards skip under the race detector,
+// whose instrumentation inflates sync.Pool allocations.
+const raceEnabled = true

@@ -13,13 +13,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"tinman/internal/obs"
 	"tinman/internal/vm"
 )
 
 // wire format version, bumped on incompatible codec changes.
-const wireVersion = 1
+// v2 added Migration.WarmEpoch (speculative warm-up protocol).
+const wireVersion = 2
 
 // ValueState is the serialized form of a vm.Value. Masked values carry only
 // their taint: the receiver keeps (or zeroes) the datum locally.
@@ -67,8 +69,13 @@ type Migration struct {
 	// StopMigrateTaint); the trusted node runs its per-cor policy checks
 	// against it before resuming the thread.
 	TriggerTag uint64
-	Frames     []FrameState
-	Objects    []ObjectState
+	// WarmEpoch, when non-zero, declares that this migration is a warm-path
+	// delta: the receiver must already hold a completed warm-up session with
+	// the same epoch (warmup.go) or reject the migration so the sender can
+	// fall back to a full snapshot. Zero means the cold path.
+	WarmEpoch uint64
+	Frames    []FrameState
+	Objects   []ObjectState
 	// Result carries the thread result when Reason == StopDone (the thread
 	// finished remotely and only state flows back).
 	Result ValueState
@@ -88,6 +95,9 @@ func (m *Migration) ObsFields() []obs.Field {
 	}
 	if m.Initial {
 		fs = append(fs, obs.Note("initial"))
+	}
+	if m.WarmEpoch != 0 {
+		fs = append(fs, obs.Note("warm"))
 	}
 	return fs
 }
@@ -166,14 +176,20 @@ func (e *encoder) frame(f *FrameState) {
 	}
 }
 
-// Encode serializes the migration to its wire form.
-func (m *Migration) Encode() []byte {
-	e := &encoder{buf: make([]byte, 0, 512)}
+// encPool recycles encoders across Encode/EncodedSize calls. A migration is
+// encoded twice on the hot path (once for accounting, once for the wire), so
+// the capacity an encoder grew to on one sync is exactly what the next one
+// needs — pooling turns the per-sync slice growth into a single exact-size
+// copy for Encode and zero allocations for EncodedSize.
+var encPool = sync.Pool{New: func() any { return &encoder{buf: make([]byte, 0, 512)} }}
+
+func (m *Migration) encodeInto(e *encoder) {
 	e.u8(wireVersion)
 	e.u64(m.Seq)
 	e.u8(uint8(m.Reason))
 	e.b(m.Initial)
 	e.u64(m.TriggerTag)
+	e.u64(m.WarmEpoch)
 	e.value(&m.Result)
 	e.u64(uint64(len(m.Frames)))
 	for i := range m.Frames {
@@ -183,7 +199,29 @@ func (m *Migration) Encode() []byte {
 	for i := range m.Objects {
 		e.object(&m.Objects[i])
 	}
-	return e.buf
+}
+
+// Encode serializes the migration to its wire form. The returned slice is
+// freshly allocated at exact size; the working buffer is pooled.
+func (m *Migration) Encode() []byte {
+	e := encPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	m.encodeInto(e)
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	encPool.Put(e)
+	return out
+}
+
+// EncodedSize returns len(m.Encode()) without allocating the result: the
+// byte-accounting path (SyncStats) only needs the size.
+func (m *Migration) EncodedSize() int {
+	e := encPool.Get().(*encoder)
+	e.buf = e.buf[:0]
+	m.encodeInto(e)
+	n := len(e.buf)
+	encPool.Put(e)
+	return n
 }
 
 // --- decoder ---
@@ -349,6 +387,7 @@ func DecodeMigration(buf []byte) (*Migration, error) {
 	m.Reason = vm.StopReason(d.u8())
 	m.Initial = d.b()
 	m.TriggerTag = d.u64()
+	m.WarmEpoch = d.u64()
 	d.value(&m.Result)
 	nf := d.u64()
 	if d.err == nil && nf > uint64(len(buf)) {

@@ -8,6 +8,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"testing"
@@ -216,6 +217,123 @@ func TestChaosCascadingCrash(t *testing.T) {
 	for _, id := range f.Members() {
 		if counts[id] == 0 {
 			t.Fatalf("member %s hosts nothing after recovery+rebalance: %v", id, counts)
+		}
+	}
+}
+
+// TestChaosCrashMidWarmup crashes the member that received a device's
+// speculative warm-up stream before the trigger fires. The failover member
+// holds no warm state, so the warm-path migration chasing the crash must be
+// rejected ErrWarmStale — never mis-admitted against a different node's
+// buffers — and the device's reset-and-resend-full fallback completes the
+// login on the survivor with a gap-free merged audit sequence.
+func TestChaosCrashMidWarmup(t *testing.T) {
+	ctx := context.Background()
+	net := netsim.New(9)
+	clock := func() time.Time { return time.Unix(0, 0).Add(net.Now()) }
+
+	f, err := New(Config{
+		MemberIDs:   []string{"node-a", "node-b", "node-c"},
+		NodeOptions: node.Options{Clock: clock, MalwareSeed: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := map[string]*netsim.Host{}
+	for _, id := range f.Members() {
+		h := net.AddHost(id)
+		hosts[id] = h
+		id := id
+		if err := f.SetHealthProbe(id, func() bool { return !hosts[id].Down() }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.RegisterCor(ctx, "pw", "hunter2!", "bank password", "bank.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	const dev = "dev-warm"
+	svc1, owner1, err := f.ServiceFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDevHalf(t, svc1, dev)
+	hash := d.install(t, svc1)
+	if err := f.BindApp("pw", hash); err != nil {
+		t.Fatal(err)
+	}
+
+	// A framework heap worth streaming, then the full warm-up round.
+	for i := 0; i < 12; i++ {
+		d.vm.NewString("framework-object-padding-padding")
+	}
+	epoch := d.warmup(t, svc1)
+	if svc1.WarmStats().Chunks == 0 {
+		t.Fatal("owner counted no warm chunks")
+	}
+
+	// The owner dies between the warm-up and the trigger.
+	net.ScheduleAt(50*time.Millisecond, func() {
+		hosts[owner1].SetDown(true)
+		if err := f.Crash(owner1); err != nil {
+			t.Errorf("crash %s: %v", owner1, err)
+		}
+	})
+	net.RunFor(100 * time.Millisecond)
+
+	svc2, owner2, err := f.ServiceFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner2 == owner1 {
+		t.Fatalf("device still routed to crashed member %s", owner1)
+	}
+	d.install(t, svc2)
+
+	// The device has no idea its warm-up died with the owner: the trigger
+	// migration still declares the epoch it streamed to the dead node.
+	th, stop, mig := d.runToTrigger(t, svc2, "pw")
+	if mig.WarmEpoch != epoch {
+		t.Fatalf("trigger migration epoch %d, want %d", mig.WarmEpoch, epoch)
+	}
+	if _, err := svc2.Offload(ctx, dev, "login", mig.Encode()); !errors.Is(err, node.ErrWarmStale) {
+		t.Fatalf("warm offload on failover member: %v, want ErrWarmStale", err)
+	}
+	if ws := svc2.WarmStats(); ws.Misses != 1 || ws.Hits != 0 {
+		t.Fatalf("failover member warm stats = %+v", ws)
+	}
+
+	// Cold fallback: reset the send state, recapture the full snapshot from
+	// the same stopped thread, and complete on the survivor.
+	d.ep.ResetWarmup()
+	mig2, err := d.ep.CaptureMigration(th, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig2.TriggerTag = mig.TriggerTag
+	if !mig2.Initial || mig2.WarmEpoch != 0 {
+		t.Fatalf("fallback migration Initial=%v WarmEpoch=%d, want full cold snapshot", mig2.Initial, mig2.WarmEpoch)
+	}
+	req, err := d.finish(t, svc2, mig2)
+	if err != nil {
+		t.Fatalf("cold fallback offload after crash: %v", err)
+	}
+	if req.CorID == "" {
+		t.Fatal("fallback result not a masked derived cor")
+	}
+
+	// Merged per-device audit ordering stays gap-free across the crash.
+	var seqs []uint64
+	for _, id := range f.Members() {
+		svc, _ := f.MemberService(id)
+		for _, e := range svc.Audit.Find(audit.Query{DeviceID: dev}) {
+			seqs = append(seqs, e.DeviceSeq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("audit DeviceSeq not gap-free after crash: %v", seqs)
 		}
 	}
 }

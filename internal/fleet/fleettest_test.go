@@ -92,6 +92,89 @@ func (d *devHalf) install(t testing.TB, svc *node.Service) string {
 	return res.Hash
 }
 
+// warmup streams the device's framework heap to svc as background warm-up
+// chunks and acks the epoch, leaving the device ready to ship only the
+// dirty delta at trigger time (the speculative pre-migration pipeline).
+func (d *devHalf) warmup(t testing.TB, svc *node.Service) uint64 {
+	t.Helper()
+	epoch := d.ep.BeginWarmup()
+	if epoch == 0 {
+		t.Fatal("BeginWarmup refused on a fresh endpoint")
+	}
+	for {
+		c, err := d.ep.CaptureWarmup(4)
+		if err != nil {
+			t.Fatalf("CaptureWarmup: %v", err)
+		}
+		if err := svc.WarmupChunk(context.Background(), d.id, "login", c.Encode()); err != nil {
+			t.Fatalf("WarmupChunk: %v", err)
+		}
+		if c.Final {
+			break
+		}
+	}
+	d.ep.WarmupAcked()
+	return epoch
+}
+
+// runToTrigger executes the login method until the tainted access stops it
+// and captures the trigger-time migration; the thread is returned so a
+// warm-miss fallback can recapture from it.
+func (d *devHalf) runToTrigger(t testing.TB, svc *node.Service, corID string) (*vm.Thread, vm.StopReason, *dsm.Migration) {
+	t.Helper()
+	var view cor.DeviceView
+	for _, v := range svc.Cors.DeviceViews() {
+		if v.ID == corID {
+			view = v
+		}
+	}
+	if view.ID == "" {
+		t.Fatalf("cor %s not in catalog", corID)
+	}
+	placeholder := d.vm.NewTaintedString(view.Placeholder, taint.Bit(view.Bit))
+	placeholder.CorID = view.ID
+	account := d.vm.NewString("alice")
+	th, err := d.vm.NewThread(d.prog.Method("Bank", "login"), vm.RefVal(account), vm.RefVal(placeholder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop, err := th.Run()
+	if err != nil || stop != vm.StopMigrateTaint {
+		t.Fatalf("device run: stop=%v err=%v", stop, err)
+	}
+	mig, err := d.ep.CaptureMigration(th, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig.TriggerTag = uint64(d.lastTrigger)
+	return th, stop, mig
+}
+
+// finish ships mig to svc and applies the reply, returning the device's
+// masked view of the result.
+func (d *devHalf) finish(t testing.TB, svc *node.Service, mig *dsm.Migration) (*vm.Object, error) {
+	t.Helper()
+	res, err := svc.Offload(context.Background(), d.id, "login", mig.Encode())
+	if err != nil {
+		return nil, err
+	}
+	back, err := dsm.DecodeMigration(res.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ep.ApplyMigration(back); err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.ep.DecodeResult(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ref == nil {
+		t.Fatal("no result object")
+	}
+	return out.Ref, nil
+}
+
 // login runs one offload round against svc and returns the device's masked
 // view of the request string.
 func (d *devHalf) login(t testing.TB, svc *node.Service, corID string) (*vm.Object, error) {

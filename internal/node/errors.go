@@ -52,6 +52,10 @@ var (
 	// placement does not route the device to; the wire layer attaches the
 	// owning member so clients can redirect.
 	ErrNotOwner = errors.New("node: not the owning node for device")
+	// ErrWarmStale marks a warm-path migration whose speculative warm-up
+	// epoch this node does not hold ready (torn warm-up, reconnect, shard
+	// handoff). The device must fall back to the cold full-snapshot path.
+	ErrWarmStale = errors.New("node: warm-up epoch stale or missing")
 )
 
 // Error is the service's error type: a human-readable message (kept

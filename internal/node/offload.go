@@ -173,6 +173,52 @@ type OffloadResult struct {
 	Stats    Stats
 }
 
+// WarmupChunk applies one background warm-up chunk to the app's node-side
+// heap (the speculative pre-migration pipeline, dsm/warmup.go). Chunks carry
+// the same masked wire form as migrations — cor IDs only, materialized from
+// the vault on this side — so pre-applying them moves no plaintext off the
+// node; the offload-time policy checks still gate any *use* of the warmed
+// state. Any ordering or apply error drops the buffered epoch and surfaces
+// to the sender, which falls back to the cold path.
+func (s *Service) WarmupChunk(ctx context.Context, deviceID, appName string, chunkBytes []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	sh := s.lookupShard(deviceID)
+	if sh == nil {
+		return errf(ErrUnknownApp, "app %q not installed", appName)
+	}
+	if err := sh.enter(); err != nil {
+		return err
+	}
+	defer sh.exit()
+	app, err := s.app(deviceID, appName)
+	if err != nil {
+		return err
+	}
+	c, err := dsm.DecodeWarmupChunk(chunkBytes)
+	if err != nil {
+		return badRequest(err)
+	}
+	var span *obs.Span
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		span = parent.Child(obs.PhaseDSMWarmup,
+			obs.App(app.hash), obs.Count(int64(len(c.Objects))), obs.Bytes(len(chunkBytes)))
+	}
+	app.runMu.Lock()
+	defer app.runMu.Unlock()
+	if err := app.ep.ApplyWarmupChunk(c); err != nil {
+		span.Add(obs.Outcome(false))
+		span.End()
+		return badRequest(err)
+	}
+	s.warm.chunks.Add(1)
+	s.met.warmChunks.Inc()
+	span.Add(obs.Outcome(true))
+	span.End()
+	return nil
+}
+
 // Offload is the offload entry point: policy-check every cor reachable from
 // the trigger tag (§3.4), apply the migration, run the thread under full
 // tainting with the behavioral monitor watching, and capture the reply.
@@ -180,6 +226,7 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	arrived := s.clock()
 	sh := s.lookupShard(deviceID)
 	if sh == nil {
 		return nil, errf(ErrUnknownApp, "app %q not installed", appName)
@@ -228,6 +275,23 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 	app.runMu.Lock()
 	defer app.runMu.Unlock()
 
+	// Warm-path admission: the migration's delta only makes sense against a
+	// ready warm-up with exactly the declared epoch; anything else (torn
+	// warm-up, reconnect, handoff to a node that never saw the chunks) is a
+	// warm miss and the device must resend the full snapshot. A cold full
+	// snapshot conversely invalidates any leftover warm state.
+	if mig.WarmEpoch != 0 {
+		if !app.ep.ConsumeWarmup(mig.WarmEpoch) {
+			s.warm.misses.Add(1)
+			s.met.warmMisses.Inc()
+			return nil, errf(ErrWarmStale, "warm epoch %d not ready for %s/%s", mig.WarmEpoch, deviceID, appName)
+		}
+		s.warm.hits.Add(1)
+		s.met.warmHits.Inc()
+	} else if mig.Initial {
+		app.ep.DropWarmup()
+	}
+
 	th, err := app.ep.ApplyMigration(mig)
 	if err != nil {
 		return nil, badRequest(err)
@@ -239,6 +303,9 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 	if th != nil {
 		app.machine.ResetIdle()
 		app.mon.BeginEpisode()
+		// Resume latency: migration arrival to first node instruction.
+		s.warm.resumeNs.Add(int64(s.clock().Sub(arrived)))
+		s.warm.resumes.Add(1)
 		before := app.machine.Instrs
 		st, runErr := th.Run()
 		executed = app.machine.Instrs - before

@@ -13,6 +13,7 @@ package node
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tinman/internal/audit"
@@ -73,6 +74,11 @@ type Service struct {
 
 	// met holds the Options.Metrics collectors (nil-safe when unset).
 	met serviceMetrics
+
+	// clock stamps warm-up resume-latency samples (Options.Clock or
+	// time.Now); warm holds the speculative warm-up counters.
+	clock func() time.Time
+	warm  warmCounters
 }
 
 // serviceMetrics caches the service-level collectors.
@@ -80,6 +86,47 @@ type serviceMetrics struct {
 	policyChecks  *obs.Counter
 	policyDenials *obs.Counter
 	vaultOpens    *obs.Counter
+	warmHits      *obs.Counter
+	warmMisses    *obs.Counter
+	warmChunks    *obs.Counter
+}
+
+// warmCounters aggregates the speculative warm-up outcomes; atomics because
+// the Service is concurrent and warm chunks arrive off the offload path.
+type warmCounters struct {
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	chunks  atomic.Uint64
+	resumes atomic.Uint64 // offloads with timed resume latency
+	// resumeNs accumulates node-side resume latency (migration decode to
+	// first executed instruction) across all offloads.
+	resumeNs atomic.Int64
+}
+
+// WarmStats is a snapshot of the node's speculative warm-up activity: how
+// many warm-path offloads were admitted (hits) vs rejected stale (misses),
+// how many background chunks were applied, and the mean node-side resume
+// latency across offloads.
+type WarmStats struct {
+	Hits   uint64
+	Misses uint64
+	Chunks uint64
+	// AvgResumeNs is the mean time from migration arrival to the first node
+	// instruction (0 when no offload ran).
+	AvgResumeNs int64
+}
+
+// WarmStats returns the current warm-up counters.
+func (s *Service) WarmStats() WarmStats {
+	ws := WarmStats{
+		Hits:   s.warm.hits.Load(),
+		Misses: s.warm.misses.Load(),
+		Chunks: s.warm.chunks.Load(),
+	}
+	if n := s.warm.resumes.Load(); n > 0 {
+		ws.AvgResumeNs = s.warm.resumeNs.Load() / int64(n)
+	}
+	return ws
 }
 
 // New assembles a Service.
@@ -98,12 +145,19 @@ func New(opts Options) *Service {
 		shards:        make(map[string]*DeviceShard),
 		flows:         make(map[InjectionKey]string),
 		adminReplays:  NewReplayCache(replayCfg),
+		clock:         opts.Clock,
+	}
+	if s.clock == nil {
+		s.clock = time.Now
 	}
 	if m := opts.Metrics; m != nil {
 		s.met = serviceMetrics{
 			policyChecks:  m.Counter("tinman_policy_checks_total"),
 			policyDenials: m.Counter("tinman_policy_denials_total"),
 			vaultOpens:    m.Counter("tinman_vault_opens_total"),
+			warmHits:      m.Counter("tinman_warm_hits_total"),
+			warmMisses:    m.Counter("tinman_warm_misses_total"),
+			warmChunks:    m.Counter("tinman_warmup_chunks_total"),
 		}
 		// The engine keeps its own per-reason denial counters below the
 		// service-level totals.

@@ -140,7 +140,12 @@ type ShardInfo struct {
 // VM heap state is deliberately not exported: apps are re-installed from
 // source on the importing node and the device's DSM re-warms on its next
 // offload (the same warm-up reset path PR 4's failed-offload handling
-// uses), so an export stays small and deterministic.
+// uses), so an export stays small and deterministic. Speculative warm-up
+// epochs (dsm/warmup.go) are likewise *explicitly dropped*, never carried:
+// a rebalanced device must not resume against another node's possibly-stale
+// warm heap, so the importing node starts with no warm state and any
+// warm-path migration that chases the handoff fails ErrWarmStale into the
+// cold-path fallback.
 type ShardExport struct {
 	DeviceID string `json:"device_id"`
 	// AuditSeq is the last minted per-device audit sequence number; the
@@ -311,6 +316,11 @@ func (s *Service) DetachShard(deviceID string) (*ShardExport, error) {
 	sort.Strings(names)
 	for _, name := range names {
 		app := sh.apps[name]
+		// Warm-up epochs never travel in an export (see ShardExport): drop
+		// them with the shard so a torn or completed warm-up can only be
+		// consumed on the node that actually received its chunks. The shard
+		// is quiesced (inflight == 0), so touching the endpoint is safe.
+		app.ep.DropWarmup()
 		exp.Apps = append(exp.Apps, AppExport{
 			Name:                  name,
 			Source:                app.source,

@@ -119,6 +119,21 @@ func decodeRequest(body []byte, req *Request) bool {
 					return false
 				}
 				req.Shard = append(json.RawMessage(nil), s.Data[start:s.Pos]...)
+			case "app":
+				if !decodeString(&s, &req.App) {
+					return false
+				}
+			case "chunk":
+				b64, ok := s.StrBytes()
+				if !ok {
+					return false
+				}
+				out := make([]byte, base64.StdEncoding.DecodedLen(len(b64)))
+				n, err := base64.StdEncoding.Decode(out, b64)
+				if err != nil {
+					return false
+				}
+				req.Chunk = out[:n]
 			default:
 				return false
 			}

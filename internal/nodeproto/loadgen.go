@@ -437,6 +437,10 @@ func StartFleetThroughput(n int) (f *fleet.Fleet, members map[string]string, sta
 type FleetThroughputResult struct {
 	Total   ThroughputResult
 	PerNode map[string]ThroughputResult
+	// Warm, when attached (FleetWarmStats), adds each member's speculative
+	// warm-up counters to the per-node columns: warm-path hits/misses and
+	// the mean migration-arrival-to-first-instruction resume latency.
+	Warm map[string]node.WarmStats
 }
 
 func (r FleetThroughputResult) String() string {
@@ -450,8 +454,33 @@ func (r FleetThroughputResult) String() string {
 		nr := r.PerNode[id]
 		s += fmt.Sprintf("\n%-10s %7d req, p50 %v, p99 %v, errors %d",
 			id, nr.Requests, nr.P50.Round(time.Microsecond), nr.P99.Round(time.Microsecond), nr.Errors)
+		if ws, ok := r.Warm[id]; ok {
+			s += ", " + formatWarm(ws)
+		}
 	}
 	return s
+}
+
+// formatWarm renders one member's warm-up counters for the loadgen tables.
+func formatWarm(ws node.WarmStats) string {
+	rate := 0.0
+	if total := ws.Hits + ws.Misses; total > 0 {
+		rate = 100 * float64(ws.Hits) / float64(total)
+	}
+	return fmt.Sprintf("warm %d/%d (%.0f%% hit), resume %v",
+		ws.Hits, ws.Misses, rate, time.Duration(ws.AvgResumeNs).Round(time.Microsecond))
+}
+
+// FleetWarmStats snapshots every member's warm-up counters for attachment
+// to a FleetThroughputResult.
+func FleetWarmStats(f *fleet.Fleet) map[string]node.WarmStats {
+	out := make(map[string]node.WarmStats, len(f.Members()))
+	for _, id := range f.Members() {
+		if svc, err := f.MemberService(id); err == nil {
+			out[id] = svc.WarmStats()
+		}
+	}
+	return out
 }
 
 // RunFleetThroughput drives the fleet's device-keyed reseal path: each

@@ -58,6 +58,13 @@ const (
 	OpWhoOwns       Op = "who_owns"       // which member owns a device's shard
 	OpHandoffExport Op = "handoff_export" // detach + export a device shard
 	OpHandoffImport Op = "handoff_import" // import a device shard export
+
+	// OpDSMWarmup ships one background warm-up chunk of the speculative
+	// pre-migration pipeline (dsm/warmup.go). Low priority by construction:
+	// chunks are idempotent-safe (the ordered-epoch protocol drops anything
+	// stale, falling back to the cold path), so clients fire them without
+	// retry budgets and never block foreground requests on them.
+	OpDSMWarmup Op = "dsm_warmup"
 )
 
 // Request is the envelope every client message uses. Unused fields stay
@@ -97,6 +104,12 @@ type Request struct {
 	// travels only between trusted nodes (the export holds cor plaintext);
 	// device-facing clients never set it.
 	Shard json.RawMessage `json:"shard,omitempty"`
+	// App names the installed app an OpDSMWarmup chunk belongs to (the
+	// device half of the AppKey; DeviceID is the other half).
+	App string `json:"app,omitempty"`
+	// Chunk is the encoded dsm.WarmupChunk for OpDSMWarmup. Like a
+	// migration, it carries cor IDs only — never plaintext.
+	Chunk []byte `json:"chunk,omitempty"`
 }
 
 // CatalogEntry is the device-visible cor metadata.

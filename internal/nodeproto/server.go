@@ -113,7 +113,7 @@ func (s *Server) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 	}
 	for _, op := range []Op{OpRegister, OpGenerate, OpCatalog, OpBind, OpRevoke,
 		OpRestore, OpReseal, OpDerive, OpAudit, OpPing,
-		OpWhoOwns, OpHandoffExport, OpHandoffImport} {
+		OpWhoOwns, OpHandoffExport, OpHandoffImport, OpDSMWarmup} {
 		sm.requests[op] = m.Counter(fmt.Sprintf(`tinman_node_requests_total{op=%q}`, op))
 		sm.latency[op] = m.Histogram(fmt.Sprintf(`tinman_node_request_seconds{op=%q}`, op))
 	}
@@ -383,9 +383,13 @@ func (s *Server) handleConn(conn net.Conn) {
 // changes, and reseals (which append audit entries and consume rate-limit
 // budget). Ping and the catalog/audit reads are naturally idempotent, so
 // replaying them fresh is cheaper than caching their (large) responses.
+// Warm-up chunks skip the window too: the dsm epoch protocol already makes
+// duplicates and reorderings safe (a stale chunk drops the warm state and
+// the offload falls back cold), and caching megabyte chunks would bloat the
+// replay window for no correctness gain.
 func mutating(op Op) bool {
 	switch op {
-	case OpPing, OpCatalog, OpAudit, OpWhoOwns:
+	case OpPing, OpCatalog, OpAudit, OpWhoOwns, OpDSMWarmup:
 		return false
 	}
 	return true
@@ -628,6 +632,17 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 			return errResponse(err)
 		}
 		if err := s.Svc.ImportShard(ctx, exp); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true}
+	case OpDSMWarmup:
+		if req.DeviceID == "" || req.App == "" {
+			return fail("dsm_warmup requires device_id and app")
+		}
+		if len(req.Chunk) == 0 {
+			return fail("dsm_warmup requires chunk")
+		}
+		if err := s.Svc.WarmupChunk(ctx, req.DeviceID, req.App, req.Chunk); err != nil {
 			return errResponse(err)
 		}
 		return &Response{OK: true}

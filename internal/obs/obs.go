@@ -83,6 +83,10 @@ const (
 	// PhasePacket is one simulated packet delivery (instant), bridged from
 	// netsim.Tracer.
 	PhasePacket
+	// PhaseDSMWarmup is one speculative warm-up chunk shipped or applied
+	// (the pre-migration pipeline overlapping the initial DSM snapshot with
+	// device execution).
+	PhaseDSMWarmup
 	phaseCount
 )
 
@@ -102,6 +106,7 @@ var phaseNames = [phaseCount]string{
 	PhaseHTTPWait:     "http_wait",
 	PhaseNodeOp:       "node_op",
 	PhasePacket:       "packet",
+	PhaseDSMWarmup:    "dsm_warmup",
 }
 
 // String returns the phase's fixed exporter name.

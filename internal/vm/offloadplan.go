@@ -1,0 +1,122 @@
+package vm
+
+import "sort"
+
+// This file derives per-program *offload plans* from the taint pre-analysis
+// (taintflow.go): the static answer to "where can a tainted cor first be
+// observed, and what heap state would a migration from that site need?".
+// The DSM warm-up driver (internal/core) uses the plan to decide whether
+// speculatively pre-shipping the initial snapshot can pay off — a program
+// with no taint-observing sites never triggers an offload, so warming it is
+// pure waste.
+//
+// Like the analysis itself, the plan is advisory: it gates when speculation
+// starts, never what the migration contains. Correctness of the warm path is
+// carried entirely by the dsm epoch protocol (internal/dsm/warmup.go).
+
+// OffloadEntry describes one boundary entry point: a method from which a
+// taint-triggered migration can originate.
+type OffloadEntry struct {
+	Class  string
+	Method string
+	// Verdict is the method's analysis verdict: VerdictTracked methods
+	// statically observe taint; VerdictBoundary methods contain guard sites
+	// where externally introduced taint (framework cor loads, DSM sync)
+	// deoptimizes into tracked execution.
+	Verdict Verdict
+	// TriggerPCs lists the instruction indices where taint can first be
+	// observed — TaintedAt sites for tracked methods, GuardAt sites for
+	// boundary methods — in ascending order.
+	TriggerPCs []int
+	// RootClasses names the classes whose instances a migration from this
+	// site may need: every class instantiated or called into by code
+	// reachable from this method, in sorted order.
+	RootClasses []string
+}
+
+// OffloadPlan is the program-wide speculation plan.
+type OffloadPlan struct {
+	// HeapMayTaint mirrors Analysis.HeapMayTaint: when set, any heap read
+	// can observe taint, so plans are necessarily coarse.
+	HeapMayTaint bool
+	// Entries lists the boundary entry points, sorted by class.method name.
+	Entries []OffloadEntry
+}
+
+// Speculative reports whether the warm-up driver should bother: a program
+// with no entry can never fire a taint trigger.
+func (p *OffloadPlan) Speculative() bool { return p != nil && len(p.Entries) > 0 }
+
+// OffloadPlan computes the program's offload plan, running the taint
+// pre-analysis first if needed.
+func (p *Program) OffloadPlan() *OffloadPlan {
+	a := p.Analyze()
+	plan := &OffloadPlan{HeapMayTaint: a.HeapMayTaint}
+	for _, m := range p.allMethods() {
+		flow := a.Flow(m)
+		if flow == nil || flow.Verdict == VerdictFast || flow.Verdict == VerdictUnknown {
+			continue
+		}
+		entry := OffloadEntry{Class: m.Class.Name, Method: m.Name, Verdict: flow.Verdict}
+		site := flow.TaintedAt
+		if flow.Verdict == VerdictBoundary {
+			site = flow.GuardAt
+		}
+		for pc, hit := range site {
+			if hit {
+				entry.TriggerPCs = append(entry.TriggerPCs, pc)
+			}
+		}
+		if len(entry.TriggerPCs) == 0 {
+			continue
+		}
+		entry.RootClasses = p.reachableClasses(m)
+		plan.Entries = append(plan.Entries, entry)
+	}
+	return plan
+}
+
+// reachableClasses walks the call graph from m and collects every class the
+// reachable code instantiates, allocates arrays of, or dispatches into —
+// the object roots a migration starting in m may reference.
+func (p *Program) reachableClasses(root *Method) []string {
+	seenM := map[*Method]bool{}
+	classes := map[string]bool{root.Class.Name: true}
+	stack := []*Method{root}
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seenM[m] {
+			continue
+		}
+		seenM[m] = true
+		classes[m.Class.Name] = true
+		for i := range m.Code {
+			in := &m.Code[i]
+			switch in.Op {
+			case OpNew, OpNewArr:
+				if in.Sym != "" {
+					classes[in.Sym] = true
+				}
+			case OpInvoke:
+				if t := p.Method(in.Sym2, in.Sym); t != nil {
+					stack = append(stack, t)
+				}
+			case OpInvokeV:
+				// Receivers are untyped statically: join over every
+				// same-name method, like the analysis does.
+				for _, c := range p.Classes() {
+					if t := c.Methods[in.Sym]; t != nil {
+						stack = append(stack, t)
+					}
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(classes))
+	for c := range classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
