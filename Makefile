@@ -9,6 +9,11 @@
 #                     pre-analysis fast path) vs instrumented vs reference
 #   make race         race-detector pass over the concurrent subsystems
 #   make chaos        deterministic fault-injection suite under -race
+#   make crash-chaos  storage-engine kill-and-recover suite: exhaustive
+#                     crash-point sweeps over the WAL + snapshot engine and
+#                     the durable node/fleet stack on the torn-write crash
+#                     FS (no cor loss, no audit Seq gap, no plaintext on
+#                     disk), under -race
 #   make fleet-smoke  trusted-node fleet gate: placement, drain/rebalance
 #                     handoff, crash failover, wire-level routing + merged
 #                     audit, all under -race
@@ -24,12 +29,15 @@
 #                     BENCH_offload.json; its one-iteration smoke rides
 #                     `make check` via bench-smoke (BenchmarkOffload) and
 #                     the TestOffloadShape gate in the test suite
+#   make bench-store  append a storage-engine run (WAL append throughput vs
+#                     the in-memory sharded log, recovery time vs log size)
+#                     to BENCH_store.json
 
 GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check differential race chaos fleet-smoke obs-smoke bench-smoke bench-json bench-offload clean
+.PHONY: all build vet test check differential race chaos crash-chaos fleet-smoke obs-smoke bench-smoke bench-json bench-offload bench-store clean
 
 all: build vet test
 
@@ -54,6 +62,7 @@ check:
 	$(GO) test ./...
 	$(MAKE) differential
 	$(MAKE) chaos
+	$(MAKE) crash-chaos
 	$(MAKE) fleet-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) bench-smoke
@@ -65,7 +74,7 @@ check:
 # because the speculative warm-up capture/apply protocol and its login
 # driver run concurrently with foreground execution.
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/ ./internal/dsm/ ./internal/apps/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/ ./internal/dsm/ ./internal/apps/ ./internal/store/
 
 # Interpreter equivalence gate: the analyzed interpreter (taint
 # pre-analysis fast path), the fully instrumented linked interpreter, and
@@ -91,6 +100,16 @@ obs-smoke:
 # scenarios, all on the virtual clock, run under the race detector.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Replay|Reconnect|Breaker|Shutdown|Pool' ./internal/core/ ./internal/netsim/ ./internal/nodeproto/ ./internal/node/ ./internal/fault/ ./internal/fleet/
+
+# Storage-engine crash gate: every store chaos sweep (kill at every
+# filesystem operation, crash during snapshot, double-crash during
+# recovery, recovered-state equivalence) plus the durable node, fleet
+# failover and full-world restart suites. The invariants: acknowledged
+# records survive, audit Seq stays gap-free, recovery is idempotent, and
+# cor plaintext never appears in WAL or snapshot bytes.
+crash-chaos:
+	$(GO) test -race -count=1 ./internal/store/
+	$(GO) test -race -count=1 -run 'TestDurable' ./internal/node/ ./internal/fleet/ ./internal/core/
 
 # Fleet gate: deterministic placement, drain/rebalance via shard handoff,
 # crash failover on the audit watermark, and the wire layer's ownership
@@ -127,6 +146,12 @@ endif
 # stream's volume and the admission hit/miss counters.
 bench-offload:
 	$(GO) run ./cmd/tinman-bench -offload BENCH_offload.json -label "$(LABEL)"
+
+# Storage-engine run appended to BENCH_store.json: WAL append throughput
+# (serial, group-commit, pipelined) against the in-memory sharded audit
+# log, and recovery time vs log size with and without snapshots.
+bench-store:
+	$(GO) run ./cmd/tinman-bench -store BENCH_store.json -label "$(LABEL)"
 
 clean:
 	$(GO) clean ./...

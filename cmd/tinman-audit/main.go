@@ -12,6 +12,13 @@
 //	tinman-audit -since 2015-04-01T00:00:00Z -until 2015-04-02T00:00:00Z audit.jsonl
 //	tinman-audit -json -denied audit.jsonl      # machine-readable output
 //	tinman-audit -merge node-a.jsonl node-b.jsonl node-c.jsonl
+//	tinman-audit -store /var/lib/tinman         # offline store query
+//
+// -store opens a tinman-node crash-safe store directory read-only and
+// queries the audit log recovered from its snapshot + WAL — works while
+// the node is down (or crashed mid-write; recovery tolerates a torn tail)
+// and needs no vault passphrase, since only sealed vault records require
+// one. All filter flags compose with -store.
 //
 // -since/-until accept RFC 3339 timestamps or bare dates (2015-04-01,
 // midnight UTC) and select the window [since, until). -json re-emits the
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"tinman/internal/audit"
+	"tinman/internal/store"
 )
 
 func main() {
@@ -46,20 +54,40 @@ func main() {
 		until    = flag.String("until", "", "only entries before this time (RFC 3339 or YYYY-MM-DD)")
 		jsonMode = flag.Bool("json", false, "emit matching entries as JSON lines (the persisted format)")
 		merge    = flag.Bool("merge", false, "interleave several nodes' logs into one per-device-ordered stream")
+		storeDir = flag.String("store", "", "read the audit log from a tinman-node crash-safe store directory (offline, read-only)")
 	)
 	flag.Parse()
-	if flag.NArg() < 1 || (!*merge && flag.NArg() != 1) {
+	switch {
+	case *storeDir != "":
+		if flag.NArg() != 0 || *merge {
+			fmt.Fprintln(os.Stderr, "usage: tinman-audit -store <dir> [filter flags]")
+			os.Exit(2)
+		}
+	case flag.NArg() < 1, !*merge && flag.NArg() != 1:
 		fmt.Fprintln(os.Stderr, "usage: tinman-audit [flags] audit.jsonl")
 		fmt.Fprintln(os.Stderr, "       tinman-audit -merge [flags] node-a.jsonl node-b.jsonl ...")
+		fmt.Fprintln(os.Stderr, "       tinman-audit -store <dir> [filter flags]")
 		os.Exit(2)
 	}
 
-	logs := make([]*audit.Log, flag.NArg())
-	for i, path := range flag.Args() {
-		logs[i] = audit.NewLog(nil)
-		if err := logs[i].LoadFile(path); err != nil {
-			fmt.Fprintf(os.Stderr, "tinman-audit: %v\n", err)
+	var logs []*audit.Log
+	if *storeDir != "" {
+		st, err := store.Open(store.Options{Dir: *storeDir, ReadOnly: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-audit: opening store: %v\n", err)
 			os.Exit(1)
+		}
+		l := audit.NewLog(nil)
+		l.Restore(st.State().Audit)
+		logs = []*audit.Log{l}
+	} else {
+		logs = make([]*audit.Log, flag.NArg())
+		for i, path := range flag.Args() {
+			logs[i] = audit.NewLog(nil)
+			if err := logs[i].LoadFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "tinman-audit: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 	log := logs[0]

@@ -76,6 +76,7 @@ func main() {
 		spansout = flag.String("spansout", "", "write traced Wi-Fi login span records as JSON lines to this file")
 
 		jsonPath    = flag.String("json", "", "append a machine-readable Caffeinemark run to this file (e.g. BENCH_vm.json) instead of the paper figures")
+		storePath   = flag.String("store", "", "append a storage-engine run (WAL append throughput vs the in-memory log, recovery time vs log size) to this file (e.g. BENCH_store.json) instead of the paper figures")
 		offloadPath = flag.String("offload", "", "append a warm-vs-cold offload latency run (trigger to first node instruction, per login app) to this file (e.g. BENCH_offload.json) instead of the paper figures")
 		label       = flag.String("label", "", "label stored with the -json run (e.g. a commit subject)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -135,6 +136,20 @@ func main() {
 			fail(err)
 		}
 		fmt.Fprintf(out, "appended to %s\n", *jsonPath)
+		return
+	}
+
+	if *storePath != "" {
+		bench.Separator(out, "Storage engine — WAL group commit vs in-memory log; recovery vs log size")
+		run, err := bench.MeasureStoreBench(*label)
+		if err != nil {
+			fail(err)
+		}
+		bench.PrintStoreBenchRun(out, run)
+		if err := bench.AppendStoreBench(*storePath, run); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(out, "appended to %s\n", *storePath)
 		return
 	}
 

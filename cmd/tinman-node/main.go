@@ -6,7 +6,16 @@
 //
 //	tinman-node -listen :7443
 //	tinman-node -listen :7443 -cors cors.json
+//	tinman-node -listen :7443 -store /var/lib/tinman
 //	tinman-node -listen :7443 -admin 127.0.0.1:7780
+//
+// With -store set the node runs on the crash-safe storage engine
+// (internal/store): every vault mutation, audit append and policy change is
+// WAL-logged and fsynced before it is acknowledged, and on boot the node
+// recovers from the latest snapshot plus WAL replay — kill -9 at any point
+// loses nothing that was acknowledged. Vault records are sealed at rest
+// with the passphrase in TINMAN_STORE_KEY. -store supersedes the legacy
+// -audit/-vault whole-file persistence flags.
 //
 // With -admin set the node also serves an observability endpoint:
 // GET /metrics (Prometheus text format), GET /spans (flight-recorder dump
@@ -23,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +45,7 @@ import (
 	"tinman/internal/node"
 	"tinman/internal/nodeproto"
 	"tinman/internal/obs"
+	"tinman/internal/store"
 )
 
 // corSpec mirrors one entry of the -cors file.
@@ -53,6 +64,7 @@ func main() {
 		corsFile  = flag.String("cors", "", "JSON file of cors to pre-register")
 		vaultFile = flag.String("vault", "", "encrypted cor vault file (passphrase in TINMAN_VAULT_KEY)")
 		auditFile = flag.String("audit", "", "persist the audit log to this JSON-lines file")
+		storeDir  = flag.String("store", "", "crash-safe store directory: WAL+snapshot persistence for vault, audit and policy (passphrase in TINMAN_STORE_KEY)")
 		admin     = flag.String("admin", "", "serve observability on this address (/metrics, /spans, /trace)")
 		quiet     = flag.Bool("quiet", false, "suppress operational logging")
 	)
@@ -74,6 +86,31 @@ func main() {
 	}
 	if !*quiet {
 		srv.Logf = log.Printf
+	}
+
+	if *storeDir != "" {
+		if *auditFile != "" || *vaultFile != "" {
+			fmt.Fprintln(os.Stderr, "tinman-node: -store supersedes -audit/-vault; use one persistence mode")
+			os.Exit(1)
+		}
+		pass := os.Getenv("TINMAN_STORE_KEY")
+		if pass == "" {
+			fmt.Fprintln(os.Stderr, "tinman-node: -store requires TINMAN_STORE_KEY in the environment")
+			os.Exit(1)
+		}
+		st, err := store.Open(store.Options{Dir: *storeDir, Passphrase: pass})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-node: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		if err := srv.Svc.AttachStore(context.Background(), st); err != nil {
+			fmt.Fprintf(os.Stderr, "tinman-node: attaching store: %v\n", err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		log.Printf("tinman-node: store recovered (%d cors, %d audit entries, LSN %d, snapshot LSN %d)",
+			srv.Cors.Len(), srv.Audit.Len(), stats.LastLSN, stats.SnapLSN)
 	}
 
 	if *auditFile != "" {
@@ -189,15 +226,21 @@ func loadCors(srv *nodeproto.Server, path string) error {
 		return fmt.Errorf("parsing %s: %v", path, err)
 	}
 	for _, sp := range specs {
-		rec, err := srv.Cors.Register(sp.ID, sp.Plaintext, sp.Description, sp.Whitelist...)
+		// Skip records a durable store already recovered, so a -cors file
+		// stays usable across restarts.
+		if srv.Cors.Get(sp.ID) != nil {
+			log.Printf("tinman-node: cor %s already recovered, skipping", sp.ID)
+			continue
+		}
+		// Registration goes through the Service so an attached store logs it.
+		rec, err := srv.Svc.RegisterCor(context.Background(), sp.ID, sp.Plaintext, sp.Description, sp.Whitelist...)
 		if err != nil {
 			return err
 		}
-		if sp.Whitelist != nil {
-			srv.Policy.SetWhitelist(rec.ID, sp.Whitelist)
-		}
 		for _, h := range sp.Bind {
-			srv.Policy.BindApp(rec.ID, h)
+			if err := srv.Svc.BindApp(rec.ID, h); err != nil {
+				return err
+			}
 		}
 		log.Printf("tinman-node: pre-registered cor %s", rec.ID)
 	}

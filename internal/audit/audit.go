@@ -287,6 +287,22 @@ func (l *Log) replace(entries []Entry, maxSeq uint64) {
 	l.seq.Store(maxSeq)
 }
 
+// Restore swaps in a recovered entry set (e.g. replayed from a durable
+// store's snapshot + WAL): entries are redistributed to their shards, the
+// sequence counter resumes after the highest restored Seq, and anomaly
+// detection is rescanned so the log is indistinguishable from one that
+// never crashed.
+func (l *Log) Restore(entries []Entry) {
+	var maxSeq uint64
+	for _, e := range entries {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+	}
+	l.replace(entries, maxSeq)
+	l.RescanAnomalies()
+}
+
 // RescanAnomalies replays anomaly detection over the current entries —
 // needed after loading a persisted log, where detection did not run at
 // append time.

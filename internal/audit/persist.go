@@ -2,11 +2,17 @@ package audit
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
+	"path/filepath"
 	"time"
+
+	"tinman/internal/fault"
 )
 
 // wireEntry is the JSON-lines form of an Entry.
@@ -86,23 +92,49 @@ func (l *Log) ReadFrom(r io.Reader) (int64, error) {
 	return int64(len(entries)), nil
 }
 
-// SaveFile persists the log to path (atomically via a temp file).
+// SaveFile persists the log to path (atomically via a temp file). The temp
+// file is fsynced before the rename and the parent directory after it, so a
+// crash at any point leaves either the old log or the complete new one —
+// never a truncated file under the final name.
 func (l *Log) SaveFile(path string) error {
+	return l.SaveFileFS(fault.OS, path)
+}
+
+// SaveFileFS is SaveFile through an explicit filesystem — the crash
+// simulator in tests, the real OS in production.
+func (l *Log) SaveFileFS(fsys fault.FS, path string) error {
+	var buf bytes.Buffer
+	if _, err := l.WriteTo(&buf); err != nil {
+		return err
+	}
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return err
 	}
-	if _, err := l.WriteTo(f); err != nil {
+	if _, err := f.Write(buf.Bytes()); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
+		return err
+	}
+	// Content must be durable before the rename publishes the name: a
+	// rename-then-crash with an unsynced temp file leaves an empty or torn
+	// log under the final path (the pre-fix SaveFile bug).
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	// And the rename itself is only durable once the directory is synced.
+	return fsys.SyncDir(filepath.Dir(path))
 }
 
 // LoadFile restores the log from path; a missing file leaves the log empty
@@ -117,5 +149,18 @@ func (l *Log) LoadFile(path string) error {
 	}
 	defer f.Close()
 	_, err = l.ReadFrom(f)
+	return err
+}
+
+// LoadFileFS is LoadFile through an explicit filesystem.
+func (l *Log) LoadFileFS(fsys fault.FS, path string) error {
+	blob, err := fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, iofs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	_, err = l.ReadFrom(bytes.NewReader(blob))
 	return err
 }

@@ -1,0 +1,86 @@
+package cor
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrVaultCorrupt is the sentinel every unreadable-vault error wraps:
+// truncated or torn files, bad magic, ciphertext tampering, and wrong
+// passphrases all match it under errors.Is (AES-GCM cannot distinguish a
+// wrong key from a flipped bit, so neither can we).
+var ErrVaultCorrupt = errors.New("cor: vault corrupt or wrong passphrase")
+
+// Sealer encrypts and decrypts blobs under a passphrase-derived AES-256-GCM
+// key. Deriving the key runs the deliberately slow KDF once; the sealer
+// then seals/opens individual records cheaply — the shape the storage
+// engine needs, where every cor WAL record and snapshot section is
+// encrypted at rest but appends must stay on a hot path.
+//
+// The salt must be stored alongside the sealed data (it is not secret) and
+// fed back to NewSealer to open it again. A Sealer is safe for concurrent
+// use.
+type Sealer struct {
+	aead cipher.AEAD
+}
+
+// SaltLen is the salt size NewSealerSalt mints.
+const SaltLen = vaultSaltLen
+
+// NewSealerSalt returns a fresh random salt for a new Sealer.
+func NewSealerSalt() ([]byte, error) {
+	salt := make([]byte, SaltLen)
+	if _, err := io.ReadFull(rand.Reader, salt); err != nil {
+		return nil, err
+	}
+	return salt, nil
+}
+
+// NewSealer derives the sealing key from the passphrase and salt (the same
+// KDF the vault file format uses).
+func NewSealer(passphrase string, salt []byte) (*Sealer, error) {
+	if passphrase == "" {
+		return nil, fmt.Errorf("cor: sealer passphrase must not be empty")
+	}
+	if len(salt) == 0 {
+		return nil, fmt.Errorf("cor: sealer salt must not be empty")
+	}
+	block, err := aes.NewCipher(deriveKey(passphrase, salt))
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Sealer{aead: aead}, nil
+}
+
+// Seal encrypts plaintext, binding it to the additional data; the result is
+// nonce || ciphertext.
+func (s *Sealer) Seal(plaintext, additional []byte) ([]byte, error) {
+	nonce := make([]byte, vaultNonceLen)
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+s.aead.Overhead())
+	out = append(out, nonce...)
+	return s.aead.Seal(out, nonce, plaintext, additional), nil
+}
+
+// Open decrypts a Seal output. Truncated or tampered blobs (and wrong
+// passphrases) fail with an error wrapping ErrVaultCorrupt.
+func (s *Sealer) Open(blob, additional []byte) ([]byte, error) {
+	if len(blob) < vaultNonceLen {
+		return nil, fmt.Errorf("cor: sealed blob truncated (%d bytes): %w", len(blob), ErrVaultCorrupt)
+	}
+	pt, err := s.aead.Open(nil, blob[:vaultNonceLen], blob[vaultNonceLen:], additional)
+	if err != nil {
+		return nil, fmt.Errorf("cor: opening sealed blob: %w", ErrVaultCorrupt)
+	}
+	return pt, nil
+}

@@ -1,0 +1,141 @@
+package cor
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// saveTestVault writes a vault with a few records and returns its path.
+func saveTestVault(t *testing.T, passphrase string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vault.bin")
+	s := NewStore()
+	s.Register("citi-pw", "hunter2!", "citi", "citi.com")
+	s.Derive("citi-pw", "citi-pw-hash", "deadbeefcafe")
+	if err := s.SaveVault(path, passphrase); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenVaultFileTypedErrors(t *testing.T) {
+	path := saveTestVault(t, "right")
+
+	// Wrong passphrase.
+	if _, err := OpenVaultFile(path, "wrong"); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("wrong passphrase: %v, want ErrVaultCorrupt", err)
+	}
+
+	// Short magic: a file shorter than the magic itself.
+	short := filepath.Join(t.TempDir(), "short")
+	os.WriteFile(short, []byte("TINMAN"), 0o600)
+	if _, err := OpenVaultFile(short, "right"); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("short magic: %v, want ErrVaultCorrupt", err)
+	}
+
+	// Bad magic at full header length.
+	bad := filepath.Join(t.TempDir(), "bad")
+	os.WriteFile(bad, bytes.Repeat([]byte("x"), 64), 0o600)
+	if _, err := OpenVaultFile(bad, "right"); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("bad magic: %v, want ErrVaultCorrupt", err)
+	}
+
+	// Mid-record truncation: cut the ciphertext in half.
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc")
+	os.WriteFile(trunc, blob[:len(blob)/2], 0o600)
+	if _, err := OpenVaultFile(trunc, "right"); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("mid-record truncation: %v, want ErrVaultCorrupt", err)
+	}
+
+	// Truncation inside the framing header (before the ciphertext).
+	hdr := filepath.Join(t.TempDir(), "hdr")
+	os.WriteFile(hdr, blob[:len(vaultMagic)+4], 0o600)
+	if _, err := OpenVaultFile(hdr, "right"); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("header truncation: %v, want ErrVaultCorrupt", err)
+	}
+
+	// A missing file is NOT ErrVaultCorrupt — "no vault yet" stays
+	// distinguishable from "vault destroyed".
+	_, err = OpenVaultFile(filepath.Join(t.TempDir(), "absent"), "right")
+	if err == nil || errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("missing file: %v, want plain os error", err)
+	}
+	if !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v, want IsNotExist", err)
+	}
+
+	// The happy path still returns records with recomputed placeholders.
+	recs, err := OpenVaultFile(path, "right")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Placeholder == "" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestLoadVaultWrapsErrVaultCorrupt(t *testing.T) {
+	path := saveTestVault(t, "right")
+	if err := NewStore().LoadVault(path, "wrong"); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("LoadVault wrong passphrase: %v, want ErrVaultCorrupt", err)
+	}
+}
+
+func TestSealerRoundTrip(t *testing.T) {
+	salt, err := NewSealerSalt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(salt) != SaltLen {
+		t.Fatalf("salt length %d", len(salt))
+	}
+	s, err := NewSealer("pass", salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := []byte("role")
+	blob, err := s.Seal([]byte("payload"), ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(blob, []byte("payload")) {
+		t.Fatal("sealed blob contains plaintext")
+	}
+	got, err := s.Open(blob, ad)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("open: %q %v", got, err)
+	}
+
+	// Wrong additional data, tampering, truncation, wrong key: all
+	// ErrVaultCorrupt.
+	if _, err := s.Open(blob, []byte("other-role")); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("wrong AD: %v", err)
+	}
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-1] ^= 1
+	if _, err := s.Open(mut, ad); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("tampered: %v", err)
+	}
+	if _, err := s.Open(blob[:4], ad); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("truncated: %v", err)
+	}
+	s2, _ := NewSealer("pass2", salt)
+	if _, err := s2.Open(blob, ad); !errors.Is(err, ErrVaultCorrupt) {
+		t.Fatalf("wrong key: %v", err)
+	}
+
+	// Config validation.
+	if _, err := NewSealer("", salt); err == nil {
+		t.Fatal("empty passphrase accepted")
+	}
+	if _, err := NewSealer("p", nil); err == nil {
+		t.Fatal("empty salt accepted")
+	}
+}

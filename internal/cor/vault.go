@@ -72,11 +72,16 @@ func sealVault(plaintext []byte, passphrase string) ([]byte, error) {
 	return out, nil
 }
 
-// openVault decrypts a vault blob.
+// openVault decrypts a vault blob. Every failure mode — short or missing
+// magic, truncated framing, ciphertext truncation or tampering, wrong
+// passphrase — wraps ErrVaultCorrupt so callers branch with errors.Is.
 func openVault(blob []byte, passphrase string) ([]byte, error) {
 	min := len(vaultMagic) + vaultSaltLen + vaultNonceLen
-	if len(blob) < min || string(blob[:len(vaultMagic)]) != string(vaultMagic) {
-		return nil, fmt.Errorf("cor: not a vault file")
+	if len(blob) < min {
+		return nil, fmt.Errorf("cor: vault file truncated (%d bytes, want at least %d): %w", len(blob), min, ErrVaultCorrupt)
+	}
+	if string(blob[:len(vaultMagic)]) != string(vaultMagic) {
+		return nil, fmt.Errorf("cor: not a vault file (bad magic): %w", ErrVaultCorrupt)
 	}
 	blob = blob[len(vaultMagic):]
 	salt, blob := blob[:vaultSaltLen], blob[vaultSaltLen:]
@@ -91,9 +96,39 @@ func openVault(blob []byte, passphrase string) ([]byte, error) {
 	}
 	pt, err := gcm.Open(nil, nonce, ct, vaultMagic)
 	if err != nil {
-		return nil, fmt.Errorf("cor: vault authentication failed (wrong passphrase or corrupted file)")
+		return nil, fmt.Errorf("cor: vault authentication failed (wrong passphrase or corrupted file): %w", ErrVaultCorrupt)
 	}
 	return pt, nil
+}
+
+// OpenVaultFile reads and decrypts a vault file, returning its records in
+// stored order. Unreadable files — truncated before or inside the sealed
+// region, bad magic, mid-record tampering, wrong passphrase, or a JSON body
+// mangled some other way — fail with an error wrapping ErrVaultCorrupt;
+// a missing file surfaces the os error unwrapped so callers can still
+// distinguish "no vault yet" from "vault destroyed".
+func OpenVaultFile(path, passphrase string) ([]Record, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := openVault(blob, passphrase)
+	if err != nil {
+		return nil, err
+	}
+	var recs []vaultRecord
+	if err := json.Unmarshal(plain, &recs); err != nil {
+		return nil, fmt.Errorf("cor: vault contents unparsable: %v: %w", err, ErrVaultCorrupt)
+	}
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = Record{
+			ID: r.ID, Plaintext: r.Plaintext,
+			Placeholder: makePlaceholder(r.ID, len(r.Plaintext)),
+			Description: r.Description, Whitelist: r.Whitelist, Bit: r.Bit,
+		}
+	}
+	return out, nil
 }
 
 // SaveVault persists every record — plaintexts included — encrypted under
@@ -129,17 +164,9 @@ func (s *Store) SaveVault(path, passphrase string) error {
 // record order; derived records (which share a parent's bit) are re-derived
 // by registering parents first.
 func (s *Store) LoadVault(path, passphrase string) error {
-	blob, err := os.ReadFile(path)
+	recs, err := OpenVaultFile(path, passphrase)
 	if err != nil {
 		return err
-	}
-	plain, err := openVault(blob, passphrase)
-	if err != nil {
-		return err
-	}
-	var recs []vaultRecord
-	if err := json.Unmarshal(plain, &recs); err != nil {
-		return fmt.Errorf("cor: vault contents corrupt: %v", err)
 	}
 	s.mu.Lock()
 	if len(s.byID) != 0 {
@@ -152,7 +179,7 @@ func (s *Store) LoadVault(path, passphrase string) error {
 	// sequential re-registration reproduces the original bit assignment —
 	// device placeholders in the field are tainted with those bits.
 	seen := map[int]bool{}
-	var primaries []vaultRecord
+	var primaries []Record
 	for _, r := range recs {
 		if !seen[r.Bit] {
 			seen[r.Bit] = true

@@ -15,6 +15,7 @@ import (
 	"tinman/internal/node"
 	"tinman/internal/obs"
 	"tinman/internal/policy"
+	"tinman/internal/store"
 	"tinman/internal/tcpsim"
 )
 
@@ -140,8 +141,16 @@ func (n *TrustedNode) RegisterCor(id, plaintext, description string, whitelist .
 	return n.Svc.RegisterCor(context.Background(), id, plaintext, description, whitelist...)
 }
 
+// AttachStore wires a recovered crash-safe store under the node (see
+// node.Service.AttachStore): state is restored into the fresh Service, and
+// every subsequent vault/audit/policy mutation is fsynced before being
+// acknowledged. Call it right after NewWorld, before registering cors.
+func (n *TrustedNode) AttachStore(st *store.Store) error {
+	return n.Svc.AttachStore(context.Background(), st)
+}
+
 // BindApp restricts a cor to an app hash (§3.4 first binding).
-func (n *TrustedNode) BindApp(corID, appHash string) { n.Svc.BindApp(corID, appHash) }
+func (n *TrustedNode) BindApp(corID, appHash string) error { return n.Svc.BindApp(corID, appHash) }
 
 // SetAppLocks shares the endpoint-pair lock table with the node side (the
 // in-process World wires both halves to one table).

@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestFaultFSSyncSemantics(t *testing.T) {
+	fs := NewCrashFS(1)
+	f, err := fs.OpenFile("a.log", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-tail-never-synced")); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashNow()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write after crash: %v", err)
+	}
+	fs.Restart()
+	got, err := fs.ReadFile("a.log")
+	if err != nil {
+		t.Fatalf("read after restart: %v", err)
+	}
+	if !bytes.HasPrefix(got, []byte("durable")) {
+		t.Fatalf("synced prefix lost: %q", got)
+	}
+	if !bytes.HasPrefix([]byte("durable-tail-never-synced"), got) {
+		t.Fatalf("restart invented bytes: %q", got)
+	}
+	// The stale handle stays dead after restart.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle after restart: %v", err)
+	}
+}
+
+func TestFaultFSRenameNeedsDirSync(t *testing.T) {
+	// Without SyncDir the rename rolls back on crash...
+	fs := NewCrashFS(2)
+	writeSynced := func(fs *CrashFS, name, content string) {
+		f, err := fs.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	writeSynced(fs, "log", "old")
+	if err := fs.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	writeSynced(fs, "log.tmp", "new")
+	if err := fs.Rename("log.tmp", "log"); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashNow()
+	fs.Restart()
+	if got, _ := fs.ReadFile("log"); string(got) != "old" {
+		t.Fatalf("rename survived crash without dir sync: %q", got)
+	}
+
+	// ...and with SyncDir it sticks.
+	fs2 := NewCrashFS(2)
+	writeSynced(fs2, "log", "old")
+	fs2.SyncDir(".")
+	writeSynced(fs2, "log.tmp", "new")
+	if err := fs2.Rename("log.tmp", "log"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.SyncDir("."); err != nil {
+		t.Fatal(err)
+	}
+	fs2.CrashNow()
+	fs2.Restart()
+	if got, _ := fs2.ReadFile("log"); string(got) != "new" {
+		t.Fatalf("dir-synced rename lost: %q", got)
+	}
+}
+
+func TestFaultFSCrashAfterDeterminism(t *testing.T) {
+	run := func() map[string][]byte {
+		fs := NewCrashFS(7)
+		fs.CrashAfter(9)
+		f, _ := fs.OpenFile("a", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+		for i := 0; i < 20; i++ {
+			if _, err := f.Write([]byte("0123456789")); err != nil {
+				break
+			}
+			if err := f.Sync(); err != nil {
+				break
+			}
+		}
+		fs.SyncDir(".")
+		fs.Restart()
+		return fs.DiskBytes()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("same seed + same ops produced different post-crash disks")
+	}
+}
+
+func TestFaultFSScanForPlaintext(t *testing.T) {
+	disk := map[string][]byte{
+		"clean":  []byte("nothing to see"),
+		"leaky":  []byte("prefix hunter2 suffix"),
+		"binary": {0x00, 0x01, 'h', 'u', 'n', 't', 'e', 'r', '2'},
+	}
+	hits := ScanForPlaintext(disk, []string{"hunter2"})
+	if len(hits) != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits := ScanForPlaintext(disk, []string{"absent"}); len(hits) != 0 {
+		t.Fatalf("false positives: %v", hits)
+	}
+}

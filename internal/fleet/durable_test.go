@@ -1,0 +1,170 @@
+package fleet
+
+// Durable-fleet interop: each member owns a crash-safe store
+// (internal/store) attached through Config.NewService. A member crash then
+// loses nothing — not even its per-device audit history, which pre-store
+// fleets could only approximate with watermarks — and recovery brings the
+// member back from its own disk, with the admin-log replay topping up
+// idempotently.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tinman/internal/audit"
+	"tinman/internal/cor"
+	"tinman/internal/fault"
+	"tinman/internal/node"
+	"tinman/internal/store"
+)
+
+var fleetTestSealer = func() *cor.Sealer {
+	s, err := cor.NewSealer("fleet-store-pass", bytes.Repeat([]byte{0x6b}, cor.SaltLen))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}()
+
+func TestDurableFleetCrashFailoverRecover(t *testing.T) {
+	ctx := context.Background()
+	var tick atomic.Int64
+	clock := func() time.Time { return time.Unix(0, tick.Add(int64(time.Millisecond))) }
+
+	// One simulated disk per member; the factory recovers a Service from it.
+	disks := map[string]*fault.CrashFS{}
+	for _, id := range []string{"node-a", "node-b", "node-c"} {
+		disks[id] = fault.NewCrashFS(23)
+	}
+	newService := func(memberID string) (*node.Service, error) {
+		st, err := store.Open(store.Options{Dir: "store", FS: disks[memberID], Sealer: fleetTestSealer})
+		if err != nil {
+			return nil, fmt.Errorf("opening %s store: %w", memberID, err)
+		}
+		svc := node.New(node.Options{Clock: clock, MalwareSeed: -1})
+		if err := svc.AttachStore(context.Background(), st); err != nil {
+			return nil, err
+		}
+		return svc, nil
+	}
+
+	f, err := New(Config{
+		MemberIDs:   []string{"node-a", "node-b", "node-c"},
+		NodeOptions: node.Options{Clock: clock, MalwareSeed: -1},
+		NewService:  newService,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.RegisterCor(ctx, "pw", "hunter2!", "bank password", "bank.com"); err != nil {
+		t.Fatal(err)
+	}
+
+	const dev = "dev-durable"
+	svc1, owner1, err := f.ServiceFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := newDevHalf(t, svc1, dev)
+	hash := d.install(t, svc1)
+	if err := f.BindApp("pw", hash); err != nil {
+		t.Fatal(err)
+	}
+	req1, err := d.login(t, svc1, "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived1 := svc1.Cors.Get(req1.CorID)
+	if derived1 == nil {
+		t.Fatalf("derived cor %q missing on owner", req1.CorID)
+	}
+	preCrashAudit := len(svc1.Audit.Find(audit.Query{DeviceID: dev}))
+	if preCrashAudit == 0 {
+		t.Fatal("owner has no device audit entries before the crash")
+	}
+
+	// Kill the owner: fleet-level crash plus its disk losing the un-synced
+	// tail. Everything acknowledged above was fsynced first.
+	if err := f.Crash(owner1); err != nil {
+		t.Fatal(err)
+	}
+	disks[owner1].CrashNow()
+	disks[owner1].Restart()
+
+	// Failover: the device's next request lands on a survivor.
+	svc2, owner2, err := f.ServiceFor(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner2 == owner1 {
+		t.Fatalf("device still routed to crashed member %s", owner1)
+	}
+	d2 := newDevHalf(t, svc2, dev)
+	d2.install(t, svc2)
+	req2, err := d2.login(t, svc2, "pw")
+	if err != nil {
+		t.Fatalf("offload after failover: %v", err)
+	}
+	if req2.CorID == req1.CorID {
+		t.Fatalf("derived cor ID %q reused across crash failover", req2.CorID)
+	}
+
+	// Recover the crashed member: the factory reopens its store, so the
+	// member rejoins with its own durable state — pre-crash derived cor,
+	// plaintext intact, and its full share of the device's audit history —
+	// and the admin-log replay tops up without tripping on what recovery
+	// already restored.
+	if err := f.Recover(owner1); err != nil {
+		t.Fatal(err)
+	}
+	rsvc, err := f.MemberService(owner1)
+	if err != nil {
+		t.Fatalf("recovered member %s: %v", owner1, err)
+	}
+	if rsvc.Cors.Get("pw") == nil {
+		t.Fatalf("recovered member %s lost the registered cor", owner1)
+	}
+	rec := rsvc.Cors.Get(req1.CorID)
+	if rec == nil {
+		t.Fatalf("recovered member %s lost derived cor %q", owner1, req1.CorID)
+	}
+	if rec.Plaintext != derived1.Plaintext {
+		t.Fatalf("derived cor plaintext diverged after recovery")
+	}
+	if got := len(rsvc.Audit.Find(audit.Query{DeviceID: dev})); got != preCrashAudit {
+		t.Fatalf("recovered member has %d device audit entries, want %d", got, preCrashAudit)
+	}
+
+	// The merged per-device audit stream — recovered durable history plus
+	// the failover member's live log — is gap-free and duplicate-free.
+	var seqs []uint64
+	for _, id := range f.Members() {
+		svc, _ := f.MemberService(id)
+		for _, e := range svc.Audit.Find(audit.Query{DeviceID: dev}) {
+			seqs = append(seqs, e.DeviceSeq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("merged audit DeviceSeq not gap-free: %v", seqs)
+		}
+	}
+
+	// The recovered member keeps serving durable mutations, and no member's
+	// disk holds cor plaintext.
+	if err := f.Restore("dev-none"); err != nil {
+		t.Fatalf("post-recovery admin op: %v", err)
+	}
+	secrets := []string{"hunter2!", derived1.Plaintext, svc2.Cors.Get(req2.CorID).Plaintext}
+	for id, disk := range disks {
+		if hits := fault.ScanForPlaintext(disk.DiskBytes(), secrets); len(hits) != 0 {
+			t.Fatalf("member %s has cor plaintext on disk: %v", id, hits)
+		}
+	}
+}

@@ -34,6 +34,13 @@ type Config struct {
 	NodeOptions node.Options
 	// Vnodes is the virtual-node count per member (default 64).
 	Vnodes int
+	// NewService, when set, constructs each member's Service — the hook for
+	// durable deployments, where the factory opens the member's crash-safe
+	// store and attaches it (node.Service.AttachStore) before the fleet
+	// replays the admin log. Recover calls it again for the restarted
+	// member, so a member rejoins with its own durable state instead of an
+	// empty Service. Nil falls back to node.New(NodeOptions).
+	NewService func(memberID string) (*node.Service, error)
 	// Metrics, when set, receives the fleet-level collectors (handoffs,
 	// failovers, per-member device gauges and request counters).
 	Metrics *obs.Metrics
@@ -69,8 +76,9 @@ type adminOp func(*node.Service) error
 // and after failover/drain, but a healthy member keeps its shards until an
 // explicit Drain or Rebalance — routing never silently moves live state.
 type Fleet struct {
-	nodeOpts node.Options
-	vnodes   int
+	nodeOpts   node.Options
+	vnodes     int
+	newService func(memberID string) (*node.Service, error)
 
 	mu      sync.RWMutex
 	members map[string]*member
@@ -102,9 +110,13 @@ func New(cfg Config) (*Fleet, error) {
 	f := &Fleet{
 		nodeOpts:   opts,
 		vnodes:     cfg.Vnodes,
+		newService: cfg.NewService,
 		members:    make(map[string]*member),
 		owners:     make(map[string]string),
 		watermarks: make(map[string]uint64),
+	}
+	if f.newService == nil {
+		f.newService = func(string) (*node.Service, error) { return node.New(opts), nil }
 	}
 	if m := cfg.Metrics; m != nil {
 		f.handoffs = m.Counter("tinman_fleet_handoffs_total")
@@ -114,7 +126,11 @@ func New(cfg Config) (*Fleet, error) {
 		if _, dup := f.members[id]; dup {
 			return nil, fmt.Errorf("fleet: duplicate member %q", id)
 		}
-		mem := &member{id: id, svc: node.New(opts)}
+		svc, err := f.newService(id)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: building member %q: %w", id, err)
+		}
+		mem := &member{id: id, svc: svc}
 		if m := cfg.Metrics; m != nil {
 			mem.devices = m.Gauge("tinman_fleet_member_" + metricName(id) + "_devices")
 			mem.requests = m.Counter("tinman_fleet_member_" + metricName(id) + "_requests_total")
@@ -310,9 +326,17 @@ func (f *Fleet) Recover(id string) error {
 		f.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownMember, id)
 	}
-	svc := node.New(f.nodeOpts)
 	log := append([]adminOp(nil), f.adminLog...)
 	f.mu.Unlock()
+
+	// A durable member restarts from its own store (cfg.NewService recovers
+	// and attaches it); the admin-log replay below then tops up whatever the
+	// member missed while down. Replay must therefore be idempotent against
+	// already-recovered state.
+	svc, err := f.newService(id)
+	if err != nil {
+		return fmt.Errorf("fleet: rebuilding member %q: %w", id, err)
+	}
 
 	for _, op := range log {
 		if err := op(svc); err != nil {
@@ -500,6 +524,9 @@ func (f *Fleet) applyAdmin(op adminOp) error {
 // cor.
 func (f *Fleet) RegisterCor(ctx context.Context, id, plaintext, description string, whitelist ...string) error {
 	return f.applyAdmin(func(svc *node.Service) error {
+		if svc.Cors.Get(id) != nil {
+			return nil // already present: durable recovery beat the replay
+		}
 		_, err := svc.RegisterCor(ctx, id, plaintext, description, whitelist...)
 		return err
 	})
@@ -541,8 +568,7 @@ func (f *Fleet) GenerateCor(ctx context.Context, id, description string, n int, 
 // BindApp replicates an app binding fleet-wide.
 func (f *Fleet) BindApp(corID, appHash string) error {
 	return f.applyAdmin(func(svc *node.Service) error {
-		svc.BindApp(corID, appHash)
-		return nil
+		return svc.BindApp(corID, appHash)
 	})
 }
 
@@ -550,15 +576,13 @@ func (f *Fleet) BindApp(corID, appHash string) error {
 // cut off no matter which member its requests reach.
 func (f *Fleet) Revoke(deviceID string) error {
 	return f.applyAdmin(func(svc *node.Service) error {
-		svc.Revoke(deviceID)
-		return nil
+		return svc.Revoke(deviceID)
 	})
 }
 
 // Restore replicates re-enabling a device.
 func (f *Fleet) Restore(deviceID string) error {
 	return f.applyAdmin(func(svc *node.Service) error {
-		svc.Restore(deviceID)
-		return nil
+		return svc.Restore(deviceID)
 	})
 }

@@ -1,0 +1,178 @@
+package node
+
+import (
+	"context"
+	"sort"
+
+	"tinman/internal/audit"
+	"tinman/internal/store"
+)
+
+// This file wires the crash-safe storage engine (internal/store) under the
+// Service: once a store is attached, every vault mutation, audit append,
+// and policy change is written to the WAL and fsynced before the operation
+// is acknowledged, and AttachStore itself restores a freshly recovered
+// store's state into an empty Service — the trusted node's boot path after
+// kill -9.
+//
+// Ordering invariant: the node's audit Seq order must equal the WAL's LSN
+// order, so that a torn WAL tail only ever truncates a suffix of the audit
+// log and can never create a Seq gap. durMu serializes "mint Seq + append
+// to the in-memory log + enqueue to the WAL" as one atomic step; the fsync
+// wait happens outside the lock, so concurrent appends still share group
+// commits.
+
+// AttachStore restores st's recovered state into the Service and enables
+// durable logging. The Service must be fresh (no cors, no audit entries):
+// restore replays the vault in original bit order so placeholder taint
+// bits in the field keep matching, replays policy ops, restores the audit
+// log (with anomaly rescan), and re-attaches device shards at their
+// per-device audit sequence floors.
+func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if st == nil {
+		return errf(ErrBadRequest, "nil store")
+	}
+	if st.ReadOnly() {
+		return errf(ErrBadRequest, "cannot attach a read-only store")
+	}
+	if s.Cors.Len() != 0 || s.Audit.Len() != 0 {
+		return errf(ErrBadRequest, "AttachStore requires a fresh service (have %d cors, %d audit entries)",
+			s.Cors.Len(), s.Audit.Len())
+	}
+	state := st.State()
+
+	// Vault: primaries first (the first record seen per bit — parents are
+	// always logged before their deriveds), in ascending bit order so
+	// sequential re-registration reproduces the original bit assignment.
+	seen := map[int]bool{}
+	var primaries []store.VaultRecord
+	for _, r := range state.Vault {
+		if !seen[r.Bit] {
+			seen[r.Bit] = true
+			primaries = append(primaries, r)
+		}
+	}
+	sort.Slice(primaries, func(i, j int) bool { return primaries[i].Bit < primaries[j].Bit })
+	for _, r := range primaries {
+		if _, err := s.Cors.Register(r.ID, r.Plaintext, r.Description, r.Whitelist...); err != nil {
+			return errf(ErrBadRequest, "restoring cor %s: %v", r.ID, err)
+		}
+		if r.Whitelist != nil {
+			s.Policy.SetWhitelist(r.ID, r.Whitelist)
+		}
+	}
+	for _, r := range state.Vault {
+		if s.Cors.Get(r.ID) != nil {
+			continue // restored as a primary
+		}
+		parent := s.Cors.ByBit(r.Bit)
+		if parent == nil {
+			return errf(ErrBadRequest, "restoring derived cor %s: no parent with bit %d", r.ID, r.Bit)
+		}
+		if _, err := s.Cors.Derive(parent.ID, r.ID, r.Plaintext); err != nil {
+			return errf(ErrBadRequest, "restoring derived cor %s: %v", r.ID, err)
+		}
+	}
+
+	// Policy ops, in original order.
+	for _, op := range state.Policy {
+		switch op.Op {
+		case store.PolicyBind:
+			s.Policy.BindApp(op.CorID, op.AppHash)
+		case store.PolicyRevoke:
+			s.Policy.Revoke(op.DeviceID)
+		case store.PolicyRestore:
+			s.Policy.Restore(op.DeviceID)
+		default:
+			return errf(ErrBadRequest, "unknown durable policy op %q", op.Op)
+		}
+	}
+
+	// Audit log, then shards at their per-device sequence floors so the
+	// next minted DeviceSeq continues gap-free.
+	s.Audit.Restore(state.Audit)
+	floors := map[string]uint64{}
+	for _, e := range state.Audit {
+		if e.DeviceID != "" && e.DeviceSeq > floors[e.DeviceID] {
+			floors[e.DeviceID] = e.DeviceSeq
+		}
+	}
+	for dev, floor := range floors {
+		s.AttachShard(dev, floor)
+	}
+
+	s.durMu.Lock()
+	s.dur = st
+	s.durMu.Unlock()
+	return nil
+}
+
+// DurableStore returns the attached store (nil when the service runs
+// in-memory only).
+func (s *Service) DurableStore() *store.Store {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	return s.dur
+}
+
+// durStore reads the attached store.
+func (s *Service) durStore() *store.Store {
+	s.durMu.Lock()
+	defer s.durMu.Unlock()
+	return s.dur
+}
+
+// durVaultRec logs a vault mutation and waits for its fsync. Callers hold
+// no Service locks.
+func (s *Service) durVaultRec(id string) error {
+	st := s.durStore()
+	if st == nil {
+		return nil
+	}
+	rec := s.Cors.Get(id)
+	if rec == nil {
+		return errf(ErrUnknownCor, "cor %q vanished before durable log", id)
+	}
+	tk := st.AppendVault(store.VaultRecord{
+		ID: rec.ID, Plaintext: rec.Plaintext, Description: rec.Description,
+		Whitelist: rec.Whitelist, Bit: rec.Bit,
+	})
+	if err := tk.Wait(context.Background()); err != nil {
+		return errf(ErrNotDurable, "cor %s not durable: %v", id, err)
+	}
+	return nil
+}
+
+// durPolicy logs a policy mutation and waits for its fsync.
+func (s *Service) durPolicy(op store.PolicyOp) error {
+	st := s.durStore()
+	if st == nil {
+		return nil
+	}
+	if err := st.AppendPolicy(op).Wait(context.Background()); err != nil {
+		return errf(ErrNotDurable, "policy %s not durable: %v", op.Op, err)
+	}
+	return nil
+}
+
+// auditAppendDurable is the durable half of Service.auditAppend: mint the
+// per-device sequence, append to the in-memory log, and enqueue to the WAL
+// as one durMu-serialized step (Seq order == LSN order), then wait for the
+// group commit outside the lock.
+func (s *Service) auditAppendDurable(st *store.Store, appHash, corID, deviceID, domain string, outcome audit.Outcome, detail string) error {
+	s.durMu.Lock()
+	var dseq uint64
+	if deviceID != "" {
+		dseq = s.shard(deviceID).nextAuditSeq()
+	}
+	e := s.Audit.AppendDevice(appHash, corID, deviceID, domain, outcome, detail, dseq)
+	tk := st.AppendAudit(e)
+	s.durMu.Unlock()
+	if err := tk.Wait(context.Background()); err != nil {
+		return errf(ErrNotDurable, "audit entry %d not durable: %v", e.Seq, err)
+	}
+	return nil
+}

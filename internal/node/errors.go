@@ -56,6 +56,12 @@ var (
 	// epoch this node does not hold ready (torn warm-up, reconnect, shard
 	// handoff). The device must fall back to the cold full-snapshot path.
 	ErrWarmStale = errors.New("node: warm-up epoch stale or missing")
+	// ErrNotDurable marks a mutation the attached storage engine failed to
+	// commit: the WAL append or its fsync errored, so the change was never
+	// acknowledged as durable. The store fails sticky, so the node must be
+	// restarted (recovering from the last durable state) before it accepts
+	// further mutations.
+	ErrNotDurable = errors.New("node: mutation not durable")
 )
 
 // Error is the service's error type: a human-readable message (kept

@@ -78,7 +78,9 @@ func (s *Service) buildApp(req InstallRequest) (*hostedApp, error) {
 	hash := prog.Hash()
 	if s.Malware.Contains(hash) {
 		family := s.Malware.Family(hash)
-		s.auditAppend(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+family)
+		if aerr := s.auditAppend(hash, "", req.DeviceID, "", audit.OutcomeDenied, "malware: "+family); aerr != nil {
+			return nil, aerr
+		}
 		return nil, denied(&policy.Denial{Reason: policy.ReasonMalware, Detail: family})
 	}
 
@@ -97,7 +99,10 @@ func (s *Service) buildApp(req InstallRequest) (*hostedApp, error) {
 	}
 	app.mon = monitor.New(monitor.Config{
 		OnFinding: func(f monitor.Finding) {
-			s.auditAppend(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
+			// Findings fire mid-execution with no caller to fail; a durable
+			// store failure is sticky and surfaces on the next acknowledged
+			// operation instead.
+			_ = s.auditAppend(hash, "", req.DeviceID, "", audit.OutcomeDenied, "monitor: "+f.String())
 		},
 	})
 	app.mon.Attach(machine)
@@ -257,7 +262,10 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: deviceID}
 		if perr := s.Policy.Check(acc); perr != nil {
 			s.met.policyDenials.Inc()
-			s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error())
+			if aerr := s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error()); aerr != nil {
+				span.End()
+				return nil, aerr
+			}
 			if d, ok := policy.IsDenial(perr); ok {
 				span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
 				span.End()
@@ -267,7 +275,10 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 			span.End()
 			return nil, badRequest(perr)
 		}
-		s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access")
+		if aerr := s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access"); aerr != nil {
+			span.End()
+			return nil, aerr
+		}
 		span.Add(obs.Outcome(true))
 		span.End()
 	}
@@ -399,7 +410,9 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	// point; the node double-checks (defense in depth, §3.2).
 	if st.Version <= tlssim.TLS10 {
 		e := errf(ErrWeakTLS, "refusing session injection for %v (implicit-IV leak, fig 7)", st.Version)
-		s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error())
+		if aerr := s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error()); aerr != nil {
+			return aerr
+		}
 		return e
 	}
 	sh.mu.Lock()
@@ -412,8 +425,7 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	s.mu.Lock()
 	s.flows[req.Key] = req.DeviceID
 	s.mu.Unlock()
-	s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
-	return nil
+	return s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
 }
 
 // ReplacePayload is the payload-replacement hook (fig 8 step 4): swap the
@@ -469,7 +481,9 @@ func (s *Service) ReplacePayload(ctx context.Context, key InjectionKey, recordLe
 	if recordLen > 0 && len(out) != recordLen {
 		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), recordLen)
 	}
-	s.auditAppend(inj.appHash, inj.corID, inj.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced")
+	if aerr := s.auditAppend(inj.appHash, inj.corID, inj.deviceID, inj.domain, audit.OutcomeAllowed, "payload replaced"); aerr != nil {
+		return nil, aerr
+	}
 	return out, nil
 }
 
@@ -498,6 +512,12 @@ func (r *corResolver) MaskID(o *vm.Object) string {
 	}
 	id := r.svc.mintDerivedID(r.deviceID, parents[0].ID)
 	if _, err := r.svc.Cors.Derive(parents[0].ID, id, o.Str); err != nil {
+		return ""
+	}
+	// The resolver interface cannot surface an error; an unmasked string
+	// ("" here) keeps the derived cor out of circulation when it could not
+	// be made durable.
+	if err := r.svc.durVaultRec(id); err != nil {
 		return ""
 	}
 	return id

@@ -21,6 +21,7 @@ import (
 	"tinman/internal/malware"
 	"tinman/internal/obs"
 	"tinman/internal/policy"
+	"tinman/internal/store"
 )
 
 // Options configures a Service.
@@ -79,6 +80,13 @@ type Service struct {
 	// time.Now); warm holds the speculative warm-up counters.
 	clock func() time.Time
 	warm  warmCounters
+
+	// dur, when set by AttachStore, is the crash-safe storage engine every
+	// vault/audit/policy mutation must reach before being acknowledged.
+	// durMu guards the pointer and serializes audit Seq minting with WAL
+	// enqueue so Seq order equals LSN order (durable.go).
+	durMu sync.Mutex
+	dur   *store.Store
 }
 
 // serviceMetrics caches the service-level collectors.
@@ -189,6 +197,9 @@ func (s *Service) RegisterCor(ctx context.Context, id, plaintext, description st
 	if whitelist != nil {
 		s.Policy.SetWhitelist(rec.ID, whitelist)
 	}
+	if err := s.durVaultRec(rec.ID); err != nil {
+		return nil, err
+	}
 	return rec, nil
 }
 
@@ -204,6 +215,9 @@ func (s *Service) GenerateCor(ctx context.Context, id, description string, n int
 	}
 	if whitelist != nil {
 		s.Policy.SetWhitelist(rec.ID, whitelist)
+	}
+	if err := s.durVaultRec(rec.ID); err != nil {
+		return nil, err
 	}
 	return rec, nil
 }
@@ -230,6 +244,9 @@ func (s *Service) DeriveNamed(ctx context.Context, parentID, newID, derivation s
 	if err != nil {
 		return nil, badRequest(err)
 	}
+	if err := s.durVaultRec(rec.ID); err != nil {
+		return nil, err
+	}
 	return rec, nil
 }
 
@@ -245,14 +262,24 @@ func (s *Service) Catalog(ctx context.Context) ([]cor.DeviceView, error) {
 
 // --- policy administration ---
 
-// BindApp restricts a cor to an app hash (§3.4 first binding).
-func (s *Service) BindApp(corID, appHash string) { s.Policy.BindApp(corID, appHash) }
+// BindApp restricts a cor to an app hash (§3.4 first binding). With a
+// store attached, the binding is fsynced before it is acknowledged.
+func (s *Service) BindApp(corID, appHash string) error {
+	s.Policy.BindApp(corID, appHash)
+	return s.durPolicy(store.PolicyOp{Op: store.PolicyBind, CorID: corID, AppHash: appHash})
+}
 
 // Revoke cuts off a device ("if a user realizes her phone is stolen", §3.4).
-func (s *Service) Revoke(deviceID string) { s.Policy.Revoke(deviceID) }
+func (s *Service) Revoke(deviceID string) error {
+	s.Policy.Revoke(deviceID)
+	return s.durPolicy(store.PolicyOp{Op: store.PolicyRevoke, DeviceID: deviceID})
+}
 
 // Restore re-enables a device.
-func (s *Service) Restore(deviceID string) { s.Policy.Restore(deviceID) }
+func (s *Service) Restore(deviceID string) error {
+	s.Policy.Restore(deviceID)
+	return s.durPolicy(store.PolicyOp{Op: store.PolicyRestore, DeviceID: deviceID})
+}
 
 // --- audit ---
 
@@ -295,7 +322,10 @@ func (s *Service) checkSend(ctx context.Context, rec *cor.Record, appHash, devic
 	}
 	if perr := s.Policy.Check(acc); perr != nil {
 		s.met.policyDenials.Inc()
-		s.auditAppend(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error())
+		if aerr := s.auditAppend(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error()); aerr != nil {
+			span.End()
+			return checkID, aerr
+		}
 		if d, ok := policy.IsDenial(perr); ok {
 			span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
 			span.End()

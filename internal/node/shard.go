@@ -384,6 +384,9 @@ func (s *Service) ImportShard(ctx context.Context, exp *ShardExport) error {
 		if _, err := s.Cors.Derive(d.Parent, d.ID, d.Plaintext); err != nil {
 			return errf(ErrBadRequest, "importing derived cor %s: %v", d.ID, err)
 		}
+		if err := s.durVaultRec(d.ID); err != nil {
+			return err
+		}
 		sh.derived = append(sh.derived, derivedCor{ID: d.ID, Parent: d.Parent})
 	}
 	for _, a := range exp.Apps {
@@ -469,13 +472,19 @@ func (s *Service) ReplayDo(deviceID, reqID string, fn func() any) (val any, repl
 }
 
 // auditAppend writes an audit entry stamped with the device's next
-// per-device sequence number (0 when the entry has no device).
-func (s *Service) auditAppend(appHash, corID, deviceID, domain string, outcome audit.Outcome, detail string) {
+// per-device sequence number (0 when the entry has no device). With a
+// store attached, the entry is WAL-logged and fsynced before auditAppend
+// returns, so operations acknowledge only durable audit trail.
+func (s *Service) auditAppend(appHash, corID, deviceID, domain string, outcome audit.Outcome, detail string) error {
+	if st := s.durStore(); st != nil {
+		return s.auditAppendDurable(st, appHash, corID, deviceID, domain, outcome, detail)
+	}
 	var dseq uint64
 	if deviceID != "" {
 		dseq = s.shard(deviceID).nextAuditSeq()
 	}
 	s.Audit.AppendDevice(appHash, corID, deviceID, domain, outcome, detail, dseq)
+	return nil
 }
 
 // injectionKeyLess orders injection keys for deterministic exports.

@@ -548,19 +548,25 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		if req.CorID == "" || req.AppHash == "" {
 			return fail("bind requires cor_id and app_hash")
 		}
-		s.Svc.BindApp(req.CorID, req.AppHash)
+		if err := s.Svc.BindApp(req.CorID, req.AppHash); err != nil {
+			return errResponse(err)
+		}
 		return &Response{OK: true, CorID: req.CorID}
 	case OpRevoke:
 		if req.DeviceID == "" {
 			return fail("revoke requires device_id")
 		}
-		s.Svc.Revoke(req.DeviceID)
+		if err := s.Svc.Revoke(req.DeviceID); err != nil {
+			return errResponse(err)
+		}
 		return &Response{OK: true}
 	case OpRestore:
 		if req.DeviceID == "" {
 			return fail("restore requires device_id")
 		}
-		s.Svc.Restore(req.DeviceID)
+		if err := s.Svc.Restore(req.DeviceID); err != nil {
+			return errResponse(err)
+		}
 		return &Response{OK: true}
 	case OpDerive:
 		if req.ParentID == "" || req.CorID == "" {
