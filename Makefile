@@ -17,6 +17,10 @@
 #   make fleet-smoke  trusted-node fleet gate: placement, drain/rebalance
 #                     handoff, crash failover, wire-level routing + merged
 #                     audit, all under -race
+#   make guardrail    leak-guardrail gate: a full loadgen run's exporter
+#                     output (spans, trace, metrics, audit) swept for every
+#                     fingerprinted secret — must find the seeded canary
+#                     and nothing else
 #   make obs-smoke    observability gate: traced login with valid exports,
 #                     zero-alloc disabled path, Fig 13 hook-cost guard
 #   make bench-smoke  one iteration of every benchmark (a does-it-run gate,
@@ -37,7 +41,7 @@ GO ?= go
 GOFMT ?= gofmt
 LABEL ?= $(shell git log -1 --format=%h 2>/dev/null || echo manual)
 
-.PHONY: all build vet test check differential race chaos crash-chaos fleet-smoke obs-smoke bench-smoke bench-json bench-offload bench-store clean
+.PHONY: all build vet test check differential race chaos crash-chaos fleet-smoke obs-smoke guardrail bench-smoke bench-json bench-offload bench-store clean
 
 all: build vet test
 
@@ -65,6 +69,7 @@ check:
 	$(MAKE) crash-chaos
 	$(MAKE) fleet-smoke
 	$(MAKE) obs-smoke
+	$(MAKE) guardrail
 	$(MAKE) bench-smoke
 
 # The node service plus the transports that drive it concurrently get a
@@ -74,7 +79,7 @@ check:
 # because the speculative warm-up capture/apply protocol and its login
 # driver run concurrently with foreground execution.
 race:
-	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/ ./internal/dsm/ ./internal/apps/ ./internal/store/
+	$(GO) test -race -count=1 ./internal/node/ ./internal/nodeproto/ ./internal/fleet/ ./internal/policy/ ./internal/audit/ ./internal/fault/ ./internal/netsim/ ./internal/core/ ./internal/obs/ ./internal/vm/ ./internal/dsm/ ./internal/apps/ ./internal/store/ ./internal/ctl/...
 
 # Interpreter equivalence gate: the analyzed interpreter (taint
 # pre-analysis fast path), the fully instrumented linked interpreter, and
@@ -119,6 +124,15 @@ fleet-smoke:
 	$(GO) test -race -count=1 -run 'TestFleetWire|TestWireHandoff' ./internal/nodeproto/
 	$(GO) test -race -count=1 -run 'TestShard|TestHandoff' ./internal/node/ ./internal/core/
 	$(GO) test -count=1 ./cmd/tinman-audit/
+
+# Leak-guardrail gate: fingerprint the benchmark cor's plaintext and all
+# four TLS session keys, drive a full loadgen run against an instrumented
+# node, and sweep every exporter surface. The clean run must report zero
+# findings; the deliberately seeded canary span must be caught (a silent
+# scanner would make the zero indistinguishable from blindness).
+guardrail:
+	$(GO) test -count=1 -run 'TestGuardrailLoadgen' ./internal/ctl/guardrail/
+	$(GO) test -count=1 -run 'TestSweeperCanary|TestScanner' ./internal/ctl/guardrail/
 
 # One iteration of every benchmark in the tree: catches benchmarks that
 # stopped compiling or panic, without pretending to measure anything (see

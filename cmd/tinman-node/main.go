@@ -17,11 +17,20 @@
 // with the passphrase in TINMAN_STORE_KEY. -store supersedes the legacy
 // -audit/-vault whole-file persistence flags.
 //
-// With -admin set the node also serves an observability endpoint:
-// GET /metrics (Prometheus text format), GET /spans (flight-recorder dump
-// as JSON lines) and GET /trace (Chrome trace_event JSON for
-// chrome://tracing or Perfetto). Exports pass through the obs redaction
-// gate, so they never carry cor plaintext or vault key material.
+// With -admin set the node also serves the control-plane endpoint. The
+// read-only half needs no credentials: GET /metrics (Prometheus text
+// format), GET /spans (flight-recorder dump as JSON lines), GET /trace
+// (Chrome trace_event JSON for chrome://tracing or Perfetto),
+// GET /policy/version and GET /policy. The mutating half — POST /policy
+// (hot-reload a policy snapshot), POST /revoke, POST /restore and
+// POST /class — requires the bearer token in TINMAN_ADMIN_TOKEN; with no
+// token in the environment every mutation is refused (fail closed).
+// Exports pass through the obs redaction gate, so they never carry cor
+// plaintext or vault key material — and the guardrail sweeper continuously
+// re-verifies that: every vault plaintext is fingerprinted (raw, hex,
+// base64) and every exporter surface plus the audit log and the store
+// directory is swept for hits, which are logged and counted in
+// guardrail_findings_total.
 //
 // The optional cors file pre-registers records:
 //
@@ -41,7 +50,12 @@ import (
 	"net/http"
 	"os"
 
+	"time"
+
 	"tinman/internal/audit"
+	"tinman/internal/cor"
+	"tinman/internal/ctl"
+	"tinman/internal/ctl/guardrail"
 	"tinman/internal/node"
 	"tinman/internal/nodeproto"
 	"tinman/internal/obs"
@@ -56,6 +70,9 @@ type corSpec struct {
 	Whitelist   []string `json:"whitelist"`
 	// Bind lists app hashes allowed to use the cor.
 	Bind []string `json:"bind"`
+	// Class is the sensitivity class: "public", "sensitive" (the default)
+	// or "server-only" (never ships in DSM payloads).
+	Class string `json:"class"`
 }
 
 func main() {
@@ -79,7 +96,7 @@ func main() {
 		met := obs.NewMetrics()
 		srv = nodeproto.NewServerWith(node.New(node.Options{Metrics: met}))
 		srv.SetObs(tr, met)
-		if err := serveAdmin(tr, met, *admin); err != nil {
+		if err := serveAdmin(srv, tr, met, *admin, *storeDir); err != nil {
 			fmt.Fprintf(os.Stderr, "tinman-node: admin: %v\n", err)
 			os.Exit(1)
 		}
@@ -184,36 +201,82 @@ func main() {
 	}
 }
 
-// serveAdmin exposes the tracer and metrics registry over HTTP. It binds
-// the listener synchronously (so a bad address fails at startup) and serves
-// in the background.
-func serveAdmin(tr *obs.Tracer, m *obs.Metrics, addr string) error {
+// serveAdmin exposes the control plane over HTTP: the read-only
+// observability and policy-version endpoints plus the token-gated mutating
+// half. It binds the listener synchronously (so a bad address fails at
+// startup), serves in the background, and starts the guardrail sweeper.
+func serveAdmin(srv *nodeproto.Server, tr *obs.Tracer, m *obs.Metrics, addr, storeDir string) error {
+	token := os.Getenv("TINMAN_ADMIN_TOKEN")
+	plane, err := ctl.New(ctl.Config{
+		Target: srv.Svc,
+		Stamp:  srv.Policy.Stamp,
+		Export: srv.Policy.Export,
+		Audit:  srv.Audit,
+		Token:  token,
+		Logf:   log.Printf,
+	})
+	if err != nil {
+		return err
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		m.WritePrometheus(w)
-	})
-	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/jsonlines")
-		obs.WriteJSONLines(w, tr.Records())
-	})
-	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		obs.WriteChromeTrace(w, tr.Records())
-	})
+	plane.Routes(mux, tr, m)
 
 	hs := &http.Server{Addr: addr, Handler: mux}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("tinman-node: observability on http://%s (/metrics /spans /trace)", ln.Addr())
+	log.Printf("tinman-node: control plane on http://%s (/metrics /spans /trace /policy /revoke)", ln.Addr())
+	if token == "" {
+		log.Printf("tinman-node: TINMAN_ADMIN_TOKEN not set; mutating admin endpoints disabled")
+	}
 	go func() {
 		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
 			log.Printf("tinman-node: admin server: %v", err)
 		}
 	}()
+	startGuardrail(srv, tr, m, storeDir)
 	return nil
+}
+
+// guardrailInterval paces the background leak sweep: frequent enough that
+// a leak is caught within seconds, cheap enough (string scans over bounded
+// render buffers) to be noise next to request handling.
+const guardrailInterval = 5 * time.Second
+
+// startGuardrail runs the leak scanner in the background: every vault
+// plaintext is fingerprinted before each sweep (so cors registered at
+// runtime are covered), and every exporter surface plus the audit log and
+// the store directory is swept. A finding is a redaction failure — it is
+// logged loudly and counted in guardrail_findings_total.
+func startGuardrail(srv *nodeproto.Server, tr *obs.Tracer, m *obs.Metrics, storeDir string) {
+	sc := guardrail.New()
+	sw := &guardrail.Sweeper{
+		Scanner:  sc,
+		Tracer:   tr,
+		Metrics:  m,
+		Audit:    srv.Audit,
+		Findings: m.Counter("guardrail_findings_total"),
+	}
+	if storeDir != "" {
+		sw.Dirs = []string{storeDir}
+	}
+	go func() {
+		for {
+			time.Sleep(guardrailInterval)
+			for _, rec := range srv.Cors.List() {
+				sc.AddSecret(rec.ID, []byte(rec.Plaintext))
+			}
+			findings, err := sw.SweepOnce()
+			if err != nil {
+				log.Printf("tinman-node: guardrail sweep: %v", err)
+				continue
+			}
+			for _, f := range findings {
+				log.Printf("tinman-node: GUARDRAIL: %s", f)
+			}
+		}
+	}()
 }
 
 func loadCors(srv *nodeproto.Server, path string) error {
@@ -236,6 +299,15 @@ func loadCors(srv *nodeproto.Server, path string) error {
 		rec, err := srv.Svc.RegisterCor(context.Background(), sp.ID, sp.Plaintext, sp.Description, sp.Whitelist...)
 		if err != nil {
 			return err
+		}
+		if sp.Class != "" {
+			class, err := cor.ParseClass(sp.Class)
+			if err != nil {
+				return fmt.Errorf("cor %s: %v", sp.ID, err)
+			}
+			if err := srv.Svc.SetCorClass(context.Background(), rec.ID, class); err != nil {
+				return err
+			}
 		}
 		for _, h := range sp.Bind {
 			if err := srv.Svc.BindApp(rec.ID, h); err != nil {

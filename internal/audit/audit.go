@@ -46,12 +46,22 @@ type Entry struct {
 	// DeviceSeq reconstructs one gap-free per-device history. 0 means the
 	// entry predates sharding (or was appended without a device).
 	DeviceSeq uint64
+	// PolicyVersion and PolicyHash stamp the exact policy ruleset the
+	// decision was made under (policy.Stamp): during a hot-reload, entries
+	// show which checks ran against the old document and which against the
+	// new. Zero/empty on entries that predate policy versioning.
+	PolicyVersion uint64
+	PolicyHash    string
 }
 
 // String renders an entry as a single log line.
 func (e Entry) String() string {
-	return fmt.Sprintf("#%d %s app=%s cor=%s dev=%s domain=%s %s %s",
+	s := fmt.Sprintf("#%d %s app=%s cor=%s dev=%s domain=%s %s %s",
 		e.Seq, e.Time.Format(time.RFC3339), short(e.AppHash), e.CorID, e.DeviceID, e.Domain, e.Outcome, e.Detail)
+	if e.PolicyVersion != 0 || e.PolicyHash != "" {
+		s += fmt.Sprintf(" policy=v%d/%s", e.PolicyVersion, e.PolicyHash)
+	}
+	return s
 }
 
 // numShards stripes the log so concurrent appends from many connections
@@ -135,12 +145,21 @@ func (l *Log) Append(appHash, corID, deviceID, domain string, outcome Outcome, d
 // number (see Entry.DeviceSeq). The trusted node's shard layer mints the
 // number so it stays monotonic for the device across node handoffs.
 func (l *Log) AppendDevice(appHash, corID, deviceID, domain string, outcome Outcome, detail string, deviceSeq uint64) Entry {
-	e := Entry{
-		Seq: l.seq.Add(1), Time: l.now(), AppHash: appHash, CorID: corID,
+	return l.AppendEntry(Entry{
+		AppHash: appHash, CorID: corID,
 		DeviceID: deviceID, Domain: domain, Outcome: outcome, Detail: detail,
 		DeviceSeq: deviceSeq,
-	}
-	sh := l.shardFor(deviceID, corID)
+	})
+}
+
+// AppendEntry records a caller-built entry, minting its Seq and Time (any
+// caller-supplied values for those two fields are overwritten). It is the
+// funnel for appends that carry extra context — e.g. the policy
+// version/hash stamp — without growing the positional Append signatures.
+func (l *Log) AppendEntry(e Entry) Entry {
+	e.Seq = l.seq.Add(1)
+	e.Time = l.now()
+	sh := l.shardFor(e.DeviceID, e.CorID)
 	sh.mu.Lock()
 	sh.entries = append(sh.entries, e)
 	l.detectAnomalyLocked(sh, e)

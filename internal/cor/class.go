@@ -1,0 +1,104 @@
+// Sensitivity classes: every cor carries a tier that scales the policy
+// applied to it, modeled on REP-style data classification. The class rides
+// the catalog (devices see it), the vault records (it survives restarts)
+// and the policy engine (class-specific rate budgets and denial metrics).
+package cor
+
+import (
+	"fmt"
+
+	"tinman/internal/taint"
+)
+
+// Class is a cor's sensitivity tier.
+type Class string
+
+const (
+	// ClassPublic marks low-value records: no class rate budget, free to
+	// ship in DSM payloads (still placeholder-masked like everything else).
+	ClassPublic Class = "public"
+	// ClassSensitive is the default tier: ordinary cors (passwords, account
+	// numbers) subject to whatever class rate budget the policy sets.
+	ClassSensitive Class = "sensitive"
+	// ClassServerOnly marks records that must never ship in DSM warm-up or
+	// migration payloads, even masked — private keys whose very object
+	// identity should stay on the trusted node. Egress via injection is
+	// still governed by the whitelist (usually empty for this tier).
+	ClassServerOnly Class = "server-only"
+)
+
+// DefaultClass is applied when a registration names no class.
+const DefaultClass = ClassSensitive
+
+// Classes lists every valid class, in increasing sensitivity order.
+func Classes() []Class { return []Class{ClassPublic, ClassSensitive, ClassServerOnly} }
+
+// Valid reports whether c is one of the defined tiers.
+func (c Class) Valid() bool {
+	switch c {
+	case ClassPublic, ClassSensitive, ClassServerOnly:
+		return true
+	}
+	return false
+}
+
+// ParseClass maps the wire/JSON form to a Class. The empty string selects
+// the default tier so pre-class records and payloads keep working.
+func ParseClass(s string) (Class, error) {
+	if s == "" {
+		return DefaultClass, nil
+	}
+	c := Class(s)
+	if !c.Valid() {
+		return "", fmt.Errorf("cor: unknown sensitivity class %q", s)
+	}
+	return c, nil
+}
+
+// SetClass reassigns a cor's sensitivity tier. Derived records sharing the
+// parent's taint bit are reclassified together: the restricted mask is
+// per-bit, so one lineage cannot be half server-only.
+func (s *Store) SetClass(id string, c Class) error {
+	if !c.Valid() {
+		return fmt.Errorf("cor: unknown sensitivity class %q", c)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.byID[id]
+	if r == nil {
+		return fmt.Errorf("cor: set class: unknown cor %s", id)
+	}
+	for _, rec := range s.byID {
+		if rec.Bit == r.Bit {
+			rec.Class = c
+		}
+	}
+	s.views.Store(nil)
+	return nil
+}
+
+// Class returns the cor's sensitivity tier (the default for unknown IDs, so
+// policy checks on lazily-registered cors degrade safely).
+func (s *Store) Class(id string) Class {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r := s.byID[id]; r != nil {
+		return r.Class
+	}
+	return DefaultClass
+}
+
+// RestrictedMask returns the taint tag covering every server-only cor: the
+// DSM layer withholds any object or register carrying one of these bits
+// from warm-up and migration payloads.
+func (s *Store) RestrictedMask() taint.Tag {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var t taint.Tag
+	for _, r := range s.byID {
+		if r.Class == ClassServerOnly {
+			t = t.Union(taint.Bit(r.Bit))
+		}
+	}
+	return t
+}

@@ -37,6 +37,8 @@ type Record struct {
 	Whitelist []string
 	// Bit is the taint bit assigned at registration.
 	Bit int
+	// Class is the sensitivity tier (public / sensitive / server-only).
+	Class Class
 }
 
 // Tag returns the record's taint tag.
@@ -88,6 +90,7 @@ func (s *Store) Register(id, plaintext, description string, whitelist ...string)
 		Description: description,
 		Whitelist:   append([]string(nil), whitelist...),
 		Bit:         s.nextBit,
+		Class:       DefaultClass,
 	}
 	s.nextBit++
 	s.byID[id] = r
@@ -164,6 +167,7 @@ func (s *Store) Derive(parentID, newID, plaintext string) (*Record, error) {
 		Description: "derived from " + parent.ID,
 		Whitelist:   append([]string(nil), parent.Whitelist...),
 		Bit:         parent.Bit,
+		Class:       parent.Class,
 	}
 	s.byID[newID] = r
 	s.views.Store(nil)
@@ -198,6 +202,7 @@ type DeviceView struct {
 	Placeholder string
 	Description string
 	Bit         int
+	Class       Class
 }
 
 // DeviceViews exports the device-visible catalog. The returned slice is a
@@ -214,7 +219,7 @@ func (s *Store) DeviceViews() []DeviceView {
 	defer s.mu.RUnlock()
 	out := make([]DeviceView, 0, len(s.byID))
 	for _, r := range s.byID {
-		out = append(out, DeviceView{ID: r.ID, Placeholder: r.Placeholder, Description: r.Description, Bit: r.Bit})
+		out = append(out, DeviceView{ID: r.ID, Placeholder: r.Placeholder, Description: r.Description, Bit: r.Bit, Class: r.Class})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	s.views.Store(&out)

@@ -144,6 +144,7 @@ func (d *Device) InstallAppOpts(name, source string, opts InstallOpts) (*App, er
 	machine := vm.New(vm.Config{Program: prog, Heap: vm.NewHeap(1, 2), Policy: pol})
 	app := &App{Name: name, dev: d, prog: prog, hash: prog.Hash(), machine: machine}
 	app.ep = dsm.NewEndpoint(dsm.DeviceSide, machine, &deviceResolver{dev: d})
+	app.ep.Restricted = d.restrictedMask()
 	app.locks = dsm.NewLockTable()
 	registerDeviceNatives(app)
 

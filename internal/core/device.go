@@ -181,7 +181,28 @@ func (d *Device) RefreshCatalog() error {
 	for _, v := range views {
 		d.catalog[v.ID] = v
 	}
+	// Class changes ride the catalog: refresh every app endpoint's
+	// server-only mask so the next capture honors them.
+	mask := d.restrictedMask()
+	for _, a := range d.apps {
+		a.ep.Restricted = mask
+	}
 	return nil
+}
+
+// restrictedMask mirrors cor.Store.RestrictedMask from the device's view of
+// the catalog: the union of taint bits whose cors are server-only. Objects
+// carrying these bits never ship in DSM payloads from this side either —
+// the placeholder is worthless to an attacker, but a symmetric filter keeps
+// the wire invariant simple: restricted state does not travel, period.
+func (d *Device) restrictedMask() taint.Tag {
+	var t taint.Tag
+	for _, v := range d.catalog {
+		if v.Class == cor.ClassServerOnly {
+			t = t.Union(taint.Bit(v.Bit))
+		}
+	}
+	return t
 }
 
 // Catalog lists the cor descriptions the selection widget shows (§4.1).

@@ -1,0 +1,88 @@
+package ctl_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"tinman/internal/ctl"
+	"tinman/internal/node"
+	"tinman/internal/policy"
+)
+
+// BenchmarkHotSwap measures one validate-then-swap policy install through
+// the control plane against a standalone node: the latency an operator's
+// POST /policy pays excluding HTTP. The snapshot carries a realistic rule
+// surface (8 cors' whitelists, a revocation set, rate limits).
+func BenchmarkHotSwap(b *testing.B) {
+	svc := node.New(node.Options{MalwareSeed: -1})
+	p, err := ctl.New(ctl.Config{Target: svc, Stamp: svc.Policy.Stamp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := benchSnapshot()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.InstallPolicy(ctx, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotSwapUnderChecks is the same install racing 4 goroutines of
+// continuous policy checks — the production shape: a reload lands while
+// devices hammer the engine.
+func BenchmarkHotSwapUnderChecks(b *testing.B) {
+	svc := node.New(node.Options{MalwareSeed: -1})
+	p, err := ctl.New(ctl.Config{Target: svc, Stamp: svc.Policy.Stamp})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := benchSnapshot()
+	ctx := context.Background()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(dev int) {
+			defer func() { done <- struct{}{} }()
+			a := policy.Access{CorID: "cor-0", DeviceID: fmt.Sprintf("dev-%d", dev), Domain: "host-0.example", Send: true}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					svc.Policy.Check(a)
+				}
+			}
+		}(g)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.InstallPolicy(ctx, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+// benchSnapshot builds a reload-sized rule surface.
+func benchSnapshot() *policy.Snapshot {
+	snap := &policy.Snapshot{
+		Whitelist: map[string][]string{},
+		Revoked:   []string{"stolen-1", "stolen-2", "stolen-3"},
+		Rates:     map[string]policy.RateSpec{},
+	}
+	for i := 0; i < 8; i++ {
+		id := fmt.Sprintf("cor-%d", i)
+		snap.Whitelist[id] = []string{fmt.Sprintf("host-%d.example", i), "backup.example"}
+		snap.Rates[id] = policy.RateSpec{Max: 100, Per: 1e9}
+	}
+	return snap
+}

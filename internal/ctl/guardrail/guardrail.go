@@ -1,0 +1,227 @@
+// Package guardrail is TinMan's leak scanner: the last line of defense
+// verifying, continuously, that no secret the trusted node holds ever
+// appears in a byte stream that leaves the process. The redaction gates in
+// obs and the masking rules in dsm are the mechanisms; the guardrail is
+// the check that they worked.
+//
+// Every vault plaintext and TLS session key registers as a fingerprint
+// set — the raw bytes plus their hex and base64 spellings, so a leak is
+// caught even after one layer of re-encoding — and the sweeper scans each
+// exporter surface (flight-recorder JSONL, Chrome trace, Prometheus text),
+// the audit log and any persistence directory for a hit. Findings name
+// the secret and where it surfaced, never its value.
+package guardrail
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"tinman/internal/audit"
+	"tinman/internal/obs"
+)
+
+// minSecretLen guards against useless fingerprints: a 1–3 byte "secret"
+// matches everywhere and means the registration, not the export, is wrong.
+const minSecretLen = 4
+
+// Finding is one leak hit. It deliberately carries no secret bytes — a
+// finding travels through logs and CI output, exactly the channels the
+// guardrail polices.
+type Finding struct {
+	// Source names the swept surface: "spans", "trace", "metrics",
+	// "audit", or a file path.
+	Source string
+	// Secret is the registered name of the leaked secret.
+	Secret string
+	// Encoding says which spelling matched: "raw", "hex" or "base64".
+	Encoding string
+	// Offset is the byte offset of the first match in the surface.
+	Offset int
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("guardrail: secret %q leaked into %s (%s encoding, offset %d)",
+		f.Secret, f.Source, f.Encoding, f.Offset)
+}
+
+// needle is one searchable spelling of a registered secret.
+type needle struct {
+	secret   string
+	encoding string
+	pat      []byte
+}
+
+// Scanner holds the fingerprint set. Safe for concurrent use: sweeps run
+// in the background while new cors register.
+type Scanner struct {
+	mu      sync.RWMutex
+	needles []needle
+	names   map[string]bool
+}
+
+// New builds an empty scanner.
+func New() *Scanner {
+	return &Scanner{names: make(map[string]bool)}
+}
+
+// AddSecret registers value under name with its raw, hex (both cases) and
+// base64 (std and raw-URL) spellings. Values shorter than 4 bytes are
+// ignored — they would match everything and drown real findings.
+func (s *Scanner) AddSecret(name string, value []byte) {
+	if len(value) < minSecretLen {
+		return
+	}
+	lower := hex.EncodeToString(value)
+	pats := []needle{
+		{name, "raw", append([]byte(nil), value...)},
+		{name, "hex", []byte(lower)},
+		{name, "hex", []byte(strings.ToUpper(lower))},
+		{name, "base64", []byte(base64.StdEncoding.EncodeToString(value))},
+		{name, "base64", []byte(base64.RawURLEncoding.EncodeToString(value))},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.names[name] {
+		// Re-registration replaces: a regenerated cor must not leave stale
+		// fingerprints that fire on unrelated data.
+		kept := s.needles[:0]
+		for _, n := range s.needles {
+			if n.secret != name {
+				kept = append(kept, n)
+			}
+		}
+		s.needles = kept
+	}
+	s.names[name] = true
+	s.needles = append(s.needles, pats...)
+}
+
+// Secrets reports how many distinct secrets are registered.
+func (s *Scanner) Secrets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
+
+// Scan searches one surface for every registered fingerprint, reporting at
+// most one finding per (secret, encoding) — the sweep wants "what leaked
+// where", not every occurrence.
+func (s *Scanner) Scan(source string, data []byte) []Finding {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Finding
+	for _, n := range s.needles {
+		if i := bytes.Index(data, n.pat); i >= 0 {
+			out = append(out, Finding{Source: source, Secret: n.secret, Encoding: n.encoding, Offset: i})
+		}
+	}
+	return dedupe(out)
+}
+
+// dedupe keeps the first finding per (source, secret, encoding).
+func dedupe(fs []Finding) []Finding {
+	if len(fs) < 2 {
+		return fs
+	}
+	seen := make(map[string]bool, len(fs))
+	kept := fs[:0]
+	for _, f := range fs {
+		k := f.Source + "\x00" + f.Secret + "\x00" + f.Encoding
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// Sweeper drives the scanner over every surface a secret could leak
+// through. Wire the surfaces that exist in the deployment; nil fields are
+// skipped.
+type Sweeper struct {
+	Scanner *Scanner
+	// Tracer's flight recorder is rendered through BOTH exporters (JSONL
+	// and Chrome trace) and swept — the render is what leaves the process,
+	// so the render is what is scanned.
+	Tracer *obs.Tracer
+	// Metrics is swept as the Prometheus text a scrape would receive.
+	Metrics *obs.Metrics
+	// Audit sweeps every entry's detail text (the free-form field; the
+	// structured fields carry IDs, not plaintext).
+	Audit *audit.Log
+	// Dirs are persistence directories (the crash-safe store) swept
+	// file-by-file; their content is sealed, so a hit means sealing broke.
+	Dirs []string
+
+	// Findings, when set, counts total findings across sweeps (a metric
+	// the operator alerts on: it must stay 0).
+	Findings *obs.Counter
+}
+
+// SweepOnce scans every wired surface and returns all findings, sorted by
+// source for stable output.
+func (sw *Sweeper) SweepOnce() ([]Finding, error) {
+	var out []Finding
+	if sw.Tracer != nil {
+		recs := sw.Tracer.Records()
+		var buf bytes.Buffer
+		if err := obs.WriteJSONLines(&buf, recs); err != nil {
+			return nil, fmt.Errorf("guardrail: rendering spans: %w", err)
+		}
+		out = append(out, sw.Scanner.Scan("spans", buf.Bytes())...)
+		buf.Reset()
+		if err := obs.WriteChromeTrace(&buf, recs); err != nil {
+			return nil, fmt.Errorf("guardrail: rendering trace: %w", err)
+		}
+		out = append(out, sw.Scanner.Scan("trace", buf.Bytes())...)
+	}
+	if sw.Metrics != nil {
+		var buf bytes.Buffer
+		if err := sw.Metrics.WritePrometheus(&buf); err != nil {
+			return nil, fmt.Errorf("guardrail: rendering metrics: %w", err)
+		}
+		out = append(out, sw.Scanner.Scan("metrics", buf.Bytes())...)
+	}
+	if sw.Audit != nil {
+		var buf bytes.Buffer
+		for _, e := range sw.Audit.Entries() {
+			buf.WriteString(e.Detail)
+			buf.WriteByte('\n')
+		}
+		out = append(out, sw.Scanner.Scan("audit", buf.Bytes())...)
+	}
+	for _, dir := range sw.Dirs {
+		if err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			out = append(out, sw.Scanner.Scan(path, data)...)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("guardrail: sweeping %s: %w", dir, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Secret < out[j].Secret
+	})
+	if sw.Findings != nil {
+		sw.Findings.Add(uint64(len(out)))
+	}
+	return out, nil
+}

@@ -1,11 +1,20 @@
 package dsm
 
 import (
+	"errors"
 	"fmt"
 
 	"tinman/internal/taint"
 	"tinman/internal/vm"
 )
+
+// ErrRestricted reports that a DSM operation touched state tainted by a
+// server-only cor (cor.ClassServerOnly): such state never ships in a warm-up
+// or migration payload, in either direction. Captures fail with this error
+// when live frame state carries a restricted bit; applies fail with it when
+// a peer tries to push restricted state in (node admission / device defense
+// in depth). Callers match with errors.Is.
+var ErrRestricted = errors.New("server-only tainted state may not ship in DSM payloads")
 
 // Side identifies an endpoint of the DSM pair.
 type Side uint8
@@ -57,6 +66,9 @@ type SyncStats struct {
 	DirtyBytes int
 	// ObjectsSent counts objects serialized across all syncs.
 	ObjectsSent int
+	// Withheld counts heap objects excluded from outbound payloads because
+	// they carry server-only (Restricted) taint.
+	Withheld int
 	// WarmupChunks/WarmupBytes count the background warm-up traffic
 	// (warmup.go): shipped off the critical path, so kept separate from the
 	// trigger-time Init/Dirty accounting.
@@ -85,6 +97,15 @@ type Endpoint struct {
 	Stats    SyncStats
 	// Mode selects dirty-tracking (default) or the full-sync ablation.
 	Mode SyncMode
+	// Restricted is the union of taint bits belonging to server-only cors
+	// (cor.Store.RestrictedMask on the node; derived from catalog classes on
+	// the device). Heap objects carrying any of these bits are silently
+	// withheld from every outbound payload — warm-up chunk, initial sync,
+	// dirty delta — and inbound payloads carrying them are refused with
+	// ErrRestricted. A live frame register (or result) carrying a restricted
+	// bit fails the capture itself: execution over server-only data cannot
+	// migrate off the node.
+	Restricted taint.Tag
 
 	seq         uint64
 	initialSent bool
@@ -103,6 +124,9 @@ func NewEndpoint(side Side, machine *vm.VM, res Resolver) *Endpoint {
 	}
 	return &Endpoint{Side: side, VM: machine, Resolver: res}
 }
+
+// restricted reports whether the tag carries any server-only bit.
+func (e *Endpoint) restricted(t taint.Tag) bool { return t.Overlaps(e.Restricted) }
 
 // ResetWarmup clears the initial-sync marker, as when a new app is loaded
 // (the dex warm-up in §6.2 happens per app), and discards any speculative
@@ -148,6 +172,14 @@ func (e *Endpoint) CaptureMigration(t *vm.Thread, reason vm.StopReason) (*Migrat
 	}
 	m.Objects = make([]ObjectState, 0, len(objs))
 	for _, o := range objs {
+		if e.restricted(o.Tag) {
+			// Server-only tainted objects stay home: not even the masked
+			// shell ships. This runs after every selection path, so warm
+			// deltas (where a withheld object looks "never shipped") are
+			// filtered too.
+			e.Stats.Withheld++
+			continue
+		}
 		os, err := e.encodeObject(o)
 		if err != nil {
 			return nil, err
@@ -158,6 +190,10 @@ func (e *Endpoint) CaptureMigration(t *vm.Thread, reason vm.StopReason) (*Migrat
 
 	if t != nil {
 		if reason == vm.StopDone {
+			if e.restricted(t.Result.Tag) {
+				return nil, fmt.Errorf("dsm: %s: %w: result value carries restricted taint %v",
+					e.Side, ErrRestricted, t.Result.Tag)
+			}
 			rs, err := e.encodeValue(t.Result, t.Result.Tag)
 			if err != nil {
 				return nil, err
@@ -174,6 +210,18 @@ func (e *Endpoint) CaptureMigration(t *vm.Thread, reason vm.StopReason) (*Migrat
 				Regs:   make([]ValueState, len(f.Regs)),
 			}
 			for j, r := range f.Regs {
+				// Unlike heap objects, live frame state cannot be silently
+				// withheld — the frame would be torn — so a restricted bit in
+				// a register (or in the object it references) fails the whole
+				// capture. The node maps this to a server-only policy denial.
+				if tg := f.Tag(j); e.restricted(tg) {
+					return nil, fmt.Errorf("dsm: %s: %w: frame %d %s.%s reg %d carries restricted taint %v",
+						e.Side, ErrRestricted, i, fs.Class, fs.Method, j, tg)
+				}
+				if r.Kind == vm.KindRef && r.Ref != nil && e.restricted(r.Ref.Tag) {
+					return nil, fmt.Errorf("dsm: %s: %w: frame %d %s.%s reg %d references withheld object #%d",
+						e.Side, ErrRestricted, i, fs.Class, fs.Method, j, r.Ref.ID)
+				}
 				vs, err := e.encodeValue(r, f.Tag(j))
 				if err != nil {
 					return nil, err
@@ -276,6 +324,9 @@ func (e *Endpoint) encodeObject(o *vm.Object) (ObjectState, error) {
 // the migration carries frames, rebuilds the thread against the local VM.
 // The returned thread is nil for pure state syncs.
 func (e *Endpoint) ApplyMigration(m *Migration) (*vm.Thread, error) {
+	if err := e.screenMigration(m); err != nil {
+		return nil, err
+	}
 	// Pass 1: materialize or update objects so references resolve.
 	for i := range m.Objects {
 		if err := e.adoptObject(&m.Objects[i]); err != nil {
@@ -323,6 +374,57 @@ func (e *Endpoint) ApplyMigration(m *Migration) (*vm.Thread, error) {
 		th.Frames[i] = f
 	}
 	return th, nil
+}
+
+// screenMigration rejects an inbound migration carrying server-only taint
+// anywhere — object tags, slot tags, frame register tags, or the result —
+// before any of it is adopted into the local heap. The sender's own capture
+// filter makes this unreachable for honest peers; keeping it on the apply
+// side is the node-admission check (and protects devices from a compromised
+// node pushing restricted state out).
+func (e *Endpoint) screenMigration(m *Migration) error {
+	if e.Restricted.Empty() {
+		return nil
+	}
+	for i := range m.Objects {
+		if err := e.screenObject(&m.Objects[i]); err != nil {
+			return err
+		}
+	}
+	for i := range m.Frames {
+		for j := range m.Frames[i].Regs {
+			if tg := taint.Tag(m.Frames[i].Regs[j].Tag); e.restricted(tg) {
+				return fmt.Errorf("dsm: %s: %w: inbound frame %d reg %d carries restricted taint %v",
+					e.Side, ErrRestricted, i, j, tg)
+			}
+		}
+	}
+	if tg := taint.Tag(m.Result.Tag); e.restricted(tg) {
+		return fmt.Errorf("dsm: %s: %w: inbound result carries restricted taint %v", e.Side, ErrRestricted, tg)
+	}
+	return nil
+}
+
+// screenObject rejects one inbound object state carrying server-only taint
+// on the object itself or any element/field slot.
+func (e *Endpoint) screenObject(os *ObjectState) error {
+	if tg := taint.Tag(os.Tag); e.restricted(tg) {
+		return fmt.Errorf("dsm: %s: %w: inbound object #%d carries restricted taint %v",
+			e.Side, ErrRestricted, os.ID, tg)
+	}
+	for i := range os.Elems {
+		if tg := taint.Tag(os.Elems[i].Tag); e.restricted(tg) {
+			return fmt.Errorf("dsm: %s: %w: inbound object #%d elem %d carries restricted taint %v",
+				e.Side, ErrRestricted, os.ID, i, tg)
+		}
+	}
+	for i := range os.Fields {
+		if tg := taint.Tag(os.Fields[i].Tag); e.restricted(tg) {
+			return fmt.Errorf("dsm: %s: %w: inbound object #%d field %d carries restricted taint %v",
+				e.Side, ErrRestricted, os.ID, i, tg)
+		}
+	}
+	return nil
 }
 
 // DecodeResult converts a migration's result slot to a local value.

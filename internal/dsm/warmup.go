@@ -168,6 +168,14 @@ func (e *Endpoint) CaptureWarmup(maxObjs int) (*WarmupChunk, error) {
 	}
 	c := &WarmupChunk{Epoch: w.epoch, Index: w.next, Objects: make([]ObjectState, 0, n)}
 	for _, o := range w.pending[:n] {
+		if e.restricted(o.Tag) {
+			// Server-only tainted objects never ship. Deliberately not
+			// recorded in shipped either, so the trigger-time delta sees
+			// them again and CaptureMigration's own filter withholds them —
+			// the two filters stay consistent without coordination.
+			e.Stats.Withheld++
+			continue
+		}
 		os, err := e.encodeObject(o)
 		if err != nil {
 			e.AbortWarmup()
@@ -230,6 +238,14 @@ func (e *Endpoint) ApplyWarmupChunk(c *WarmupChunk) error {
 	if r == nil || r.epoch != c.Epoch || r.ready || r.next != c.Index {
 		e.warmRecv = nil
 		return fmt.Errorf("dsm: %s: warmup chunk epoch %d index %d out of order", e.Side, c.Epoch, c.Index)
+	}
+	if !e.Restricted.Empty() {
+		for i := range c.Objects {
+			if err := e.screenObject(&c.Objects[i]); err != nil {
+				e.warmRecv = nil
+				return err
+			}
+		}
 	}
 	r.objs = append(r.objs, c.Objects...)
 	r.next++

@@ -11,6 +11,7 @@ import (
 	"tinman/internal/cor"
 	"tinman/internal/node"
 	"tinman/internal/obs"
+	"tinman/internal/policy"
 )
 
 // Fleet-level error taxonomy.
@@ -95,6 +96,14 @@ type Fleet struct {
 	// node's shard (and its counter) is gone.
 	wmMu       sync.Mutex
 	watermarks map[string]uint64
+
+	// Policy push state (policy.go): the latest accepted snapshot, its
+	// fleet-assigned version, and the version each member has applied.
+	// Guarded by polMu, never f.mu — pushes run member installs without
+	// blocking routing.
+	polMu      sync.Mutex
+	lastSnap   *policy.Snapshot
+	policyVers map[string]uint64
 
 	handoffs  *obs.Counter
 	failovers *obs.Counter
@@ -344,6 +353,18 @@ func (f *Fleet) Recover(id string) error {
 		}
 	}
 	f.subscribeWatermarks(svc)
+
+	// The replay just installed the last accepted policy (or the member's
+	// durable store already held it and the replay was a stale no-op), so
+	// the member is up to date — record that.
+	f.polMu.Lock()
+	if f.lastSnap != nil {
+		if f.policyVers == nil {
+			f.policyVers = make(map[string]uint64)
+		}
+		f.policyVers[id] = f.lastSnap.Version
+	}
+	f.polMu.Unlock()
 
 	f.mu.Lock()
 	m.svc = svc

@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tinman/internal/cor"
+	"tinman/internal/node"
+	"tinman/internal/policy"
+)
+
+// Fleet-wide policy propagation: a snapshot pushed at any member reaches
+// every member, and members that were unreachable during the push are
+// brought up to date later (RetryPolicy for transient unreachability,
+// Recover's admin-log replay for crashes). Unlike applyAdmin — which aborts
+// on the first error because cor registrations must not half-exist — a
+// policy push keeps going past failed members: the fleet converging on the
+// new policy everywhere it can reach beats blocking the whole push on one
+// straggler, and the stale-version guard makes the eventual top-up safe.
+
+// InstallPolicy pushes one validated snapshot fleet-wide and returns the
+// stamp every member converges on. The first healthy member installs the
+// snapshot and assigns the fleet version (its engine picks
+// max(local next, snapshot.Version)); the same snapshot re-stamped with that
+// exact version then goes to every other member, so all members agree on
+// (version, hash). Per-member applied versions are tracked for
+// PolicyVersions/RetryPolicy, and an idempotent install lands in the admin
+// log so a recovered member replays it.
+func (f *Fleet) InstallPolicy(ctx context.Context, snap *policy.Snapshot) (policy.Stamp, error) {
+	if err := snap.Validate(); err != nil {
+		return policy.Stamp{}, err
+	}
+	f.polMu.Lock()
+	defer f.polMu.Unlock()
+
+	type target struct {
+		id      string
+		svc     *node.Service
+		healthy bool
+	}
+	f.mu.RLock()
+	targets := make([]target, 0, len(f.order))
+	for _, id := range f.order {
+		targets = append(targets, target{id, f.members[id].svc, f.healthyLocked(id)})
+	}
+	f.mu.RUnlock()
+
+	// First healthy member assigns the fleet version.
+	var stamp policy.Stamp
+	first := ""
+	for _, t := range targets {
+		if !t.healthy {
+			continue
+		}
+		st, err := t.svc.InstallPolicy(ctx, snap)
+		if err != nil {
+			// The assigning member rejecting (stale version, validation) means
+			// the push as a whole is rejected — nothing has changed anywhere.
+			return policy.Stamp{}, err
+		}
+		stamp, first = st, t.id
+		break
+	}
+	if first == "" {
+		return policy.Stamp{}, ErrNoHealthyMembers
+	}
+
+	// Push the version-stamped snapshot to everyone else, collecting
+	// failures instead of aborting.
+	versioned := *snap
+	versioned.Version = stamp.Version
+	applied := map[string]bool{first: true}
+	var errs []string
+	for _, t := range targets {
+		if t.id == first {
+			continue
+		}
+		if !t.healthy {
+			errs = append(errs, fmt.Sprintf("%s: %v", t.id, ErrMemberDown))
+			continue
+		}
+		if _, err := t.svc.InstallPolicy(ctx, &versioned); err != nil && !errors.Is(err, policy.ErrStaleSnapshot) {
+			errs = append(errs, fmt.Sprintf("%s: %v", t.id, err))
+			continue
+		}
+		applied[t.id] = true
+	}
+
+	if f.policyVers == nil {
+		f.policyVers = make(map[string]uint64)
+	}
+	for id := range applied {
+		if stamp.Version > f.policyVers[id] {
+			f.policyVers[id] = stamp.Version
+		}
+	}
+	f.lastSnap = &versioned
+
+	// Admin-log entry for future recoveries. A durable member restarting
+	// with this version (or newer) already in its store replays this as a
+	// stale no-op — that is exactly what ErrStaleSnapshot is for.
+	push := versioned
+	f.mu.Lock()
+	f.adminLog = append(f.adminLog, func(svc *node.Service) error {
+		if _, err := svc.InstallPolicy(context.Background(), &push); err != nil && !errors.Is(err, policy.ErrStaleSnapshot) {
+			return err
+		}
+		return nil
+	})
+	f.mu.Unlock()
+
+	if len(errs) > 0 {
+		return stamp, fmt.Errorf("fleet: policy v%d applied to %d/%d members: %s",
+			stamp.Version, len(applied), len(targets), strings.Join(errs, "; "))
+	}
+	return stamp, nil
+}
+
+// RetryPolicy re-pushes the last accepted snapshot to every healthy member
+// whose applied version is behind it — the top-up pass after a partial
+// push. Returns the IDs of members brought up to date this call.
+func (f *Fleet) RetryPolicy(ctx context.Context) ([]string, error) {
+	f.polMu.Lock()
+	defer f.polMu.Unlock()
+	if f.lastSnap == nil {
+		return nil, nil
+	}
+	want := f.lastSnap.Version
+
+	f.mu.RLock()
+	type target struct {
+		id  string
+		svc *node.Service
+	}
+	var behind []target
+	for _, id := range f.order {
+		if f.policyVers[id] >= want || !f.healthyLocked(id) {
+			continue
+		}
+		behind = append(behind, target{id, f.members[id].svc})
+	}
+	f.mu.RUnlock()
+
+	var caught []string
+	var errs []string
+	for _, t := range behind {
+		if _, err := t.svc.InstallPolicy(ctx, f.lastSnap); err != nil && !errors.Is(err, policy.ErrStaleSnapshot) {
+			errs = append(errs, fmt.Sprintf("%s: %v", t.id, err))
+			continue
+		}
+		f.policyVers[t.id] = want
+		caught = append(caught, t.id)
+	}
+	sort.Strings(caught)
+	if len(errs) > 0 {
+		return caught, fmt.Errorf("fleet: policy retry: %s", strings.Join(errs, "; "))
+	}
+	return caught, nil
+}
+
+// PolicyVersions reports the last policy snapshot version each member is
+// known to have applied (0 for a member that has never applied one).
+func (f *Fleet) PolicyVersions() map[string]uint64 {
+	f.polMu.Lock()
+	defer f.polMu.Unlock()
+	out := make(map[string]uint64, len(f.policyVers))
+	for id, v := range f.policyVers {
+		out[id] = v
+	}
+	return out
+}
+
+// PolicySnapshot returns a copy of the last accepted snapshot (nil if no
+// push has happened) — what an admin GET serves fleet-wide.
+func (f *Fleet) PolicySnapshot() *policy.Snapshot {
+	f.polMu.Lock()
+	defer f.polMu.Unlock()
+	if f.lastSnap == nil {
+		return nil
+	}
+	snap := *f.lastSnap
+	return &snap
+}
+
+// SetCorClass replicates a sensitivity reclassification fleet-wide, so
+// class-gated sync rules and rate budgets agree on every member.
+func (f *Fleet) SetCorClass(ctx context.Context, corID string, class cor.Class) error {
+	return f.applyAdmin(func(svc *node.Service) error {
+		return svc.SetCorClass(ctx, corID, class)
+	})
+}

@@ -2,9 +2,12 @@ package node
 
 import (
 	"context"
+	"encoding/json"
 	"sort"
 
 	"tinman/internal/audit"
+	"tinman/internal/cor"
+	"tinman/internal/policy"
 	"tinman/internal/store"
 )
 
@@ -63,6 +66,15 @@ func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
 		if r.Whitelist != nil {
 			s.Policy.SetWhitelist(r.ID, r.Whitelist)
 		}
+		cls, err := cor.ParseClass(r.Class)
+		if err != nil {
+			return errf(ErrBadRequest, "restoring cor %s: %v", r.ID, err)
+		}
+		if cls != cor.DefaultClass {
+			if err := s.Cors.SetClass(r.ID, cls); err != nil {
+				return errf(ErrBadRequest, "restoring cor %s class: %v", r.ID, err)
+			}
+		}
 	}
 	for _, r := range state.Vault {
 		if s.Cors.Get(r.ID) != nil {
@@ -77,7 +89,9 @@ func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
 		}
 	}
 
-	// Policy ops, in original order.
+	// Policy ops, in original order. Snapshot installs replay exactly as
+	// they were accepted, so after the loop the engine holds the last
+	// accepted document plus any later per-op mutations.
 	for _, op := range state.Policy {
 		switch op.Op {
 		case store.PolicyBind:
@@ -86,6 +100,14 @@ func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
 			s.Policy.Revoke(op.DeviceID)
 		case store.PolicyRestore:
 			s.Policy.Restore(op.DeviceID)
+		case store.PolicySnapshot:
+			var snap policy.Snapshot
+			if err := json.Unmarshal(op.Snapshot, &snap); err != nil {
+				return errf(ErrBadRequest, "decoding durable policy snapshot v%d: %v", op.Version, err)
+			}
+			if _, err := s.Policy.Install(&snap); err != nil {
+				return errf(ErrBadRequest, "replaying durable policy snapshot v%d: %v", op.Version, err)
+			}
 		default:
 			return errf(ErrBadRequest, "unknown durable policy op %q", op.Op)
 		}
@@ -138,7 +160,7 @@ func (s *Service) durVaultRec(id string) error {
 	}
 	tk := st.AppendVault(store.VaultRecord{
 		ID: rec.ID, Plaintext: rec.Plaintext, Description: rec.Description,
-		Whitelist: rec.Whitelist, Bit: rec.Bit,
+		Whitelist: rec.Whitelist, Bit: rec.Bit, Class: string(rec.Class),
 	})
 	if err := tk.Wait(context.Background()); err != nil {
 		return errf(ErrNotDurable, "cor %s not durable: %v", id, err)
@@ -161,14 +183,14 @@ func (s *Service) durPolicy(op store.PolicyOp) error {
 // auditAppendDurable is the durable half of Service.auditAppend: mint the
 // per-device sequence, append to the in-memory log, and enqueue to the WAL
 // as one durMu-serialized step (Seq order == LSN order), then wait for the
-// group commit outside the lock.
-func (s *Service) auditAppendDurable(st *store.Store, appHash, corID, deviceID, domain string, outcome audit.Outcome, detail string) error {
+// group commit outside the lock. The caller builds the entry (including the
+// policy stamp); Seq/Time/DeviceSeq are minted here.
+func (s *Service) auditAppendDurable(st *store.Store, e audit.Entry) error {
 	s.durMu.Lock()
-	var dseq uint64
-	if deviceID != "" {
-		dseq = s.shard(deviceID).nextAuditSeq()
+	if e.DeviceID != "" {
+		e.DeviceSeq = s.shard(e.DeviceID).nextAuditSeq()
 	}
-	e := s.Audit.AppendDevice(appHash, corID, deviceID, domain, outcome, detail, dseq)
+	e = s.Audit.AppendEntry(e)
 	tk := st.AppendAudit(e)
 	s.durMu.Unlock()
 	if err := tk.Wait(context.Background()); err != nil {

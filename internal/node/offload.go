@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -107,7 +108,21 @@ func (s *Service) buildApp(req InstallRequest) (*hostedApp, error) {
 	})
 	app.mon.Attach(machine)
 	app.ep = dsm.NewEndpoint(dsm.NodeSide, machine, &corResolver{svc: s, deviceID: req.DeviceID})
+	app.ep.Restricted = s.Cors.RestrictedMask()
 	return app, nil
+}
+
+// denyRestricted maps a dsm.ErrRestricted violation (server-only tainted
+// state in a DSM payload) to the corresponding policy denial, with an audit
+// entry; any other error surfaces as a plain bad request.
+func (s *Service) denyRestricted(err error, appHash, deviceID string) error {
+	if !errors.Is(err, dsm.ErrRestricted) {
+		return badRequest(err)
+	}
+	if aerr := s.auditAppend(appHash, "", deviceID, "", audit.OutcomeDenied, err.Error()); aerr != nil {
+		return aerr
+	}
+	return denied(&policy.Denial{Reason: policy.ReasonServerOnlyClass, Detail: err.Error()})
 }
 
 // Install assembles and verifies the app on the node and runs the malware
@@ -212,10 +227,13 @@ func (s *Service) WarmupChunk(ctx context.Context, deviceID, appName string, chu
 	}
 	app.runMu.Lock()
 	defer app.runMu.Unlock()
+	// Refresh the server-only mask: a class change since install must take
+	// effect on the very next chunk.
+	app.ep.Restricted = s.Cors.RestrictedMask()
 	if err := app.ep.ApplyWarmupChunk(c); err != nil {
 		span.Add(obs.Outcome(false))
 		span.End()
-		return badRequest(err)
+		return s.denyRestricted(err, app.hash, deviceID)
 	}
 	s.warm.chunks.Add(1)
 	s.met.warmChunks.Inc()
@@ -259,10 +277,11 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 				obs.Cor(rec.ID), obs.App(app.hash))
 		}
 		s.met.policyChecks.Inc()
-		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: deviceID}
-		if perr := s.Policy.Check(acc); perr != nil {
+		acc := policy.Access{CorID: rec.ID, AppHash: app.hash, DeviceID: deviceID, Class: rec.Class}
+		stamp, perr := s.Policy.CheckStamped(acc)
+		if perr != nil {
 			s.met.policyDenials.Inc()
-			if aerr := s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error()); aerr != nil {
+			if aerr := s.auditAppendStamped(stamp, app.hash, rec.ID, deviceID, "", audit.OutcomeDenied, perr.Error()); aerr != nil {
 				span.End()
 				return nil, aerr
 			}
@@ -275,7 +294,7 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 			span.End()
 			return nil, badRequest(perr)
 		}
-		if aerr := s.auditAppend(app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access"); aerr != nil {
+		if aerr := s.auditAppendStamped(stamp, app.hash, rec.ID, deviceID, "", audit.OutcomeAllowed, "offloaded access"); aerr != nil {
 			span.End()
 			return nil, aerr
 		}
@@ -285,6 +304,8 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 
 	app.runMu.Lock()
 	defer app.runMu.Unlock()
+	// Refresh the server-only mask before admitting or capturing state.
+	app.ep.Restricted = s.Cors.RestrictedMask()
 
 	// Warm-path admission: the migration's delta only makes sense against a
 	// ready warm-up with exactly the declared epoch; anything else (torn
@@ -305,7 +326,7 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 
 	th, err := app.ep.ApplyMigration(mig)
 	if err != nil {
-		return nil, badRequest(err)
+		return nil, s.denyRestricted(err, app.hash, deviceID)
 	}
 	var (
 		stop     = vm.StopDone
@@ -332,7 +353,7 @@ func (s *Service) Offload(ctx context.Context, deviceID, appName string, migByte
 	// th == nil is a pure state sync: ack with an empty node sync.
 	reply, err := app.ep.CaptureMigration(th, stop)
 	if err != nil {
-		return nil, badRequest(err)
+		return nil, s.denyRestricted(err, app.hash, deviceID)
 	}
 	return &OffloadResult{
 		Bytes:    reply.Encode(),
@@ -398,7 +419,7 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	if rec == nil {
 		return errf(ErrUnknownCor, "unknown cor %q", req.CorID)
 	}
-	checkID, err := s.checkSend(ctx, rec, app.hash, req.DeviceID, req.Domain, req.Key.ServerAddr)
+	checkID, stamp, err := s.checkSend(ctx, rec, app.hash, req.DeviceID, req.Domain, req.Key.ServerAddr)
 	if err != nil {
 		return err
 	}
@@ -410,7 +431,7 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	// point; the node double-checks (defense in depth, §3.2).
 	if st.Version <= tlssim.TLS10 {
 		e := errf(ErrWeakTLS, "refusing session injection for %v (implicit-IV leak, fig 7)", st.Version)
-		if aerr := s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error()); aerr != nil {
+		if aerr := s.auditAppendStamped(stamp, app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, e.Error()); aerr != nil {
 			return aerr
 		}
 		return e
@@ -425,7 +446,7 @@ func (s *Service) ArmInjection(ctx context.Context, req InjectRequest) error {
 	s.mu.Lock()
 	s.flows[req.Key] = req.DeviceID
 	s.mu.Unlock()
-	return s.auditAppend(app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
+	return s.auditAppendStamped(stamp, app.hash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "ssl session injected")
 }
 
 // ReplacePayload is the payload-replacement hook (fig 8 step 4): swap the

@@ -47,7 +47,7 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 		return nil, err
 	}
 	defer sh.exit()
-	checkID, err := s.checkSend(ctx, rec, req.AppHash, req.DeviceID, req.Domain, req.TargetIP)
+	checkID, stamp, err := s.checkSend(ctx, rec, req.AppHash, req.DeviceID, req.Domain, req.TargetIP)
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 	// The modified client library refuses TLS 1.0 before ever reaching this
 	// point; the node double-checks (defense in depth, §3.2).
 	if st.Version <= tlssim.TLS10 {
-		if aerr := s.auditAppend(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused"); aerr != nil {
+		if aerr := s.auditAppendStamped(stamp, req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeDenied, "TLS1.0 session refused"); aerr != nil {
 			return nil, aerr
 		}
 		return nil, errf(ErrWeakTLS, "refusing %v session: implicit-IV state sync leaks plaintext (fig 7)", st.Version)
@@ -93,7 +93,7 @@ func (s *Service) Reseal(ctx context.Context, req ResealRequest) ([]byte, error)
 	if req.RecordLen > 0 && len(out) != req.RecordLen {
 		return nil, errf(ErrRecordLength, "resealed record %dB != placeholder record %dB (would desynchronize TCP)", len(out), req.RecordLen)
 	}
-	if aerr := s.auditAppend(req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "record resealed"); aerr != nil {
+	if aerr := s.auditAppendStamped(stamp, req.AppHash, checkID, req.DeviceID, req.Domain, audit.OutcomeAllowed, "record resealed"); aerr != nil {
 		return nil, aerr
 	}
 	return out, nil

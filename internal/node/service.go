@@ -12,6 +12,7 @@ package node
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -281,6 +282,44 @@ func (s *Service) Restore(deviceID string) error {
 	return s.durPolicy(store.PolicyOp{Op: store.PolicyRestore, DeviceID: deviceID})
 }
 
+// InstallPolicy validates and atomically installs a whole-policy snapshot
+// (the control plane's hot-reload). With a store attached, the accepted
+// document is WAL-logged and fsynced before the new stamp is returned, so
+// a restart recovers the last accepted version.
+func (s *Service) InstallPolicy(ctx context.Context, snap *policy.Snapshot) (policy.Stamp, error) {
+	if err := ctx.Err(); err != nil {
+		return policy.Stamp{}, err
+	}
+	if snap == nil {
+		return policy.Stamp{}, errf(ErrBadRequest, "nil policy snapshot")
+	}
+	stamp, err := s.Policy.Install(snap)
+	if err != nil {
+		return policy.Stamp{}, badRequest(err)
+	}
+	raw, merr := json.Marshal(snap)
+	if merr != nil {
+		return policy.Stamp{}, errf(ErrBadRequest, "encoding policy snapshot: %v", merr)
+	}
+	if derr := s.durPolicy(store.PolicyOp{Op: store.PolicySnapshot, Version: snap.Version, Snapshot: raw}); derr != nil {
+		return policy.Stamp{}, derr
+	}
+	return stamp, nil
+}
+
+// SetCorClass reassigns a cor's sensitivity tier. With a store attached the
+// reclassified record is re-logged (vault records are upserts), so the
+// class survives restarts.
+func (s *Service) SetCorClass(ctx context.Context, corID string, class cor.Class) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := s.Cors.SetClass(corID, class); err != nil {
+		return badRequest(err)
+	}
+	return s.durVaultRec(corID)
+}
+
 // --- audit ---
 
 // AuditQuery returns matching audit entries.
@@ -302,9 +341,12 @@ func (s *Service) lineageID(rec *cor.Record) string {
 }
 
 // checkSend runs the send-time policy check (§3.4 second binding) for a
-// cor's lineage and writes the audit entry for either outcome. The decision
-// is attributed as a policy_check child of whatever span rides on ctx.
-func (s *Service) checkSend(ctx context.Context, rec *cor.Record, appHash, deviceID, domain, ip string) (checkID string, err error) {
+// cor's lineage and writes the audit entry for a denial. The decision is
+// attributed as a policy_check child of whatever span rides on ctx. The
+// returned stamp names the exact policy version consulted; callers pass it
+// to auditAppendStamped so the allowed-path entry carries the same version
+// even if a hot-reload lands in between.
+func (s *Service) checkSend(ctx context.Context, rec *cor.Record, appHash, deviceID, domain, ip string) (checkID string, stamp policy.Stamp, err error) {
 	checkID = s.lineageID(rec)
 	var span *obs.Span
 	if parent := obs.SpanFromContext(ctx); parent != nil {
@@ -316,26 +358,28 @@ func (s *Service) checkSend(ctx context.Context, rec *cor.Record, appHash, devic
 		CorID:    checkID,
 		AppHash:  appHash,
 		DeviceID: deviceID,
+		Class:    rec.Class,
 		Send:     true,
 		Domain:   domain,
 		IP:       ip,
 	}
-	if perr := s.Policy.Check(acc); perr != nil {
+	stamp, perr := s.Policy.CheckStamped(acc)
+	if perr != nil {
 		s.met.policyDenials.Inc()
-		if aerr := s.auditAppend(appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error()); aerr != nil {
+		if aerr := s.auditAppendStamped(stamp, appHash, checkID, deviceID, domain, audit.OutcomeDenied, perr.Error()); aerr != nil {
 			span.End()
-			return checkID, aerr
+			return checkID, stamp, aerr
 		}
 		if d, ok := policy.IsDenial(perr); ok {
 			span.Add(obs.Outcome(false), obs.Reason(d.Reason.String()))
 			span.End()
-			return checkID, denied(d)
+			return checkID, stamp, denied(d)
 		}
 		span.Add(obs.Outcome(false), obs.Err(obs.ErrBadRequest))
 		span.End()
-		return checkID, badRequest(perr)
+		return checkID, stamp, badRequest(perr)
 	}
 	span.Add(obs.Outcome(true))
 	span.End()
-	return checkID, nil
+	return checkID, stamp, nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"tinman/internal/audit"
+	"tinman/internal/policy"
 	"tinman/internal/tlssim"
 )
 
@@ -472,18 +473,31 @@ func (s *Service) ReplayDo(deviceID, reqID string, fn func() any) (val any, repl
 }
 
 // auditAppend writes an audit entry stamped with the device's next
-// per-device sequence number (0 when the entry has no device). With a
-// store attached, the entry is WAL-logged and fsynced before auditAppend
-// returns, so operations acknowledge only durable audit trail.
+// per-device sequence number (0 when the entry has no device) and the
+// engine's current policy version/hash. With a store attached, the entry is
+// WAL-logged and fsynced before auditAppend returns, so operations
+// acknowledge only durable audit trail.
 func (s *Service) auditAppend(appHash, corID, deviceID, domain string, outcome audit.Outcome, detail string) error {
-	if st := s.durStore(); st != nil {
-		return s.auditAppendDurable(st, appHash, corID, deviceID, domain, outcome, detail)
+	return s.auditAppendStamped(s.Policy.Stamp(), appHash, corID, deviceID, domain, outcome, detail)
+}
+
+// auditAppendStamped is auditAppend carrying the exact policy stamp the
+// decision was made under. Paths that ran a check pass the stamp
+// CheckStamped returned, so during a hot-reload the entry names the version
+// actually consulted, not whichever one is current at append time.
+func (s *Service) auditAppendStamped(st policy.Stamp, appHash, corID, deviceID, domain string, outcome audit.Outcome, detail string) error {
+	e := audit.Entry{
+		AppHash: appHash, CorID: corID, DeviceID: deviceID, Domain: domain,
+		Outcome: outcome, Detail: detail,
+		PolicyVersion: st.Version, PolicyHash: st.Hash,
 	}
-	var dseq uint64
+	if dur := s.durStore(); dur != nil {
+		return s.auditAppendDurable(dur, e)
+	}
 	if deviceID != "" {
-		dseq = s.shard(deviceID).nextAuditSeq()
+		e.DeviceSeq = s.shard(deviceID).nextAuditSeq()
 	}
-	s.Audit.AppendDevice(appHash, corID, deviceID, domain, outcome, detail, dseq)
+	s.Audit.AppendEntry(e)
 	return nil
 }
 

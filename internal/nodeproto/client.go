@@ -36,6 +36,10 @@ func apps256(s string) string {
 type DenialError struct {
 	// Reason is the machine-readable policy reason (policy.Reason.String()).
 	Reason string
+	// Code is the stable numeric reason (policy.Reason.Code()), decoded from
+	// the wire when the server sent one; -1 against a pre-code server, in
+	// which case Reason's text is the only signal.
+	Code int
 	// Message is the node's full error text.
 	Message string
 }
@@ -47,9 +51,14 @@ func (e *DenialError) Error() string {
 // Is maps a wire denial onto the node package's sentinels, so
 // errors.Is(err, node.ErrDenied) — or node.ErrRevoked, node.ErrMalware —
 // behaves identically whether the denial happened in-process or over TCP.
+// The numeric code resolves the reason in O(1); the text scan survives only
+// as the fallback for pre-code servers.
 func (e *DenialError) Is(target error) bool {
 	if target == node.ErrDenied {
 		return true
+	}
+	if r, ok := policy.ReasonFromCode(e.Code); ok {
+		return target == node.SentinelForReason(r)
 	}
 	if r, ok := policy.ReasonFromString(e.Reason); ok {
 		return target == node.SentinelForReason(r)
@@ -471,7 +480,7 @@ func (c *Client) do(ctx context.Context, req *Request) (*Response, error) {
 	if err == nil && !resp.OK {
 		switch {
 		case resp.Denial != "":
-			err = &DenialError{Reason: resp.Denial, Message: resp.Error}
+			err = &DenialError{Reason: resp.Denial, Code: resp.DenialCode - 1, Message: resp.Error}
 		case resp.Owner != "":
 			err = &NotOwnerError{Owner: resp.Owner, Message: resp.Error}
 		default:
@@ -636,6 +645,37 @@ func (c *Client) HandoffExport(ctx context.Context, deviceID string) (json.RawMe
 // HandoffExport) onto this node.
 func (c *Client) HandoffImport(ctx context.Context, shard json.RawMessage) error {
 	_, err := c.do(ctx, &Request{Op: OpHandoffImport, Shard: shard})
+	return err
+}
+
+// InstallPolicy pushes a policy snapshot for validate-then-swap hot
+// reload. Against a fleet-fronting node the push propagates to every
+// member. Returns the stamp the node (or fleet) now runs.
+func (c *Client) InstallPolicy(ctx context.Context, snap *policy.Snapshot) (version uint64, hash string, err error) {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return 0, "", err
+	}
+	resp, err := c.do(ctx, &Request{Op: OpPolicyInstall, Policy: raw})
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.PolicyVersion, resp.PolicyHash, nil
+}
+
+// PolicyVersion reports the policy stamp the node currently runs.
+func (c *Client) PolicyVersion(ctx context.Context) (version uint64, hash string, err error) {
+	resp, err := c.do(ctx, &Request{Op: OpPolicyVersion})
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.PolicyVersion, resp.PolicyHash, nil
+}
+
+// SetClass reclassifies a cor's sensitivity ("public", "sensitive",
+// "server-only"); fleet-fronting nodes replicate it to every member.
+func (c *Client) SetClass(ctx context.Context, corID, class string) error {
+	_, err := c.do(ctx, &Request{Op: OpSetClass, CorID: corID, Class: class})
 	return err
 }
 

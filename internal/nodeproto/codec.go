@@ -123,6 +123,17 @@ func decodeRequest(body []byte, req *Request) bool {
 				if !decodeString(&s, &req.App) {
 					return false
 				}
+			case "class":
+				if !decodeString(&s, &req.Class) {
+					return false
+				}
+			case "policy":
+				s.WS()
+				start := s.Pos
+				if !s.SkipValue() {
+					return false
+				}
+				req.Policy = append(json.RawMessage(nil), s.Data[start:s.Pos]...)
 			case "chunk":
 				b64, ok := s.StrBytes()
 				if !ok {
@@ -180,6 +191,22 @@ func decodeResponse(body []byte, resp *Response) bool {
 				}
 			case "denial":
 				if !decodeString(&s, &resp.Denial) {
+					return false
+				}
+			case "denial_code":
+				v, ok := s.Int()
+				if !ok {
+					return false
+				}
+				resp.DenialCode = v
+			case "policy_version":
+				v, ok := s.UInt()
+				if !ok {
+					return false
+				}
+				resp.PolicyVersion = v
+			case "policy_hash":
+				if !decodeString(&s, &resp.PolicyHash) {
 					return false
 				}
 			case "cor_id":
@@ -294,6 +321,10 @@ func decodeCatalogEntry(s *fastjson.Scanner, e *CatalogEntry) bool {
 				return false
 			}
 			e.Bit = v
+		case "class":
+			if !decodeString(s, &e.Class) {
+				return false
+			}
 		default:
 			return false
 		}
@@ -357,6 +388,16 @@ func decodeAuditEntry(s *fastjson.Scanner, e *AuditEntry) bool {
 				return false
 			}
 			e.DeviceSeq = v
+		case "policy_version":
+			v, ok := s.UInt()
+			if !ok {
+				return false
+			}
+			e.PolicyVersion = v
+		case "policy_hash":
+			if !decodeString(s, &e.PolicyHash) {
+				return false
+			}
 		default:
 			return false
 		}

@@ -29,6 +29,10 @@ var requestCases = []Request{
 	{Op: OpRegister, CorID: "q", Description: "a<b&c>d"},
 	{Op: OpReseal, CorID: "pw", State: json.RawMessage(`"opaque-string-state"`)},
 	{Op: OpReseal, CorID: "pw", State: json.RawMessage(`[1,2,{"x":"]"}]`)},
+	{Op: OpRegister, CorID: "pw", Plaintext: "hunter2", Class: "server-only"},
+	{Op: OpSetClass, CorID: "pw", Class: "public"},
+	{Op: OpPolicyInstall, Policy: json.RawMessage(`{"version":7,"revoked":["dev-1"],"rates":{"pw":{"max":3,"per":1000000000}}}`)},
+	{Op: OpPolicyVersion, Seq: 9},
 }
 
 var responseCases = []Response{
@@ -44,6 +48,13 @@ var responseCases = []Response{
 	}},
 	{OK: true, Audit: []AuditEntry{
 		{Seq: 1, Time: "2015-04-21T10:00:00Z", AppHash: "h", CorID: "pw", Device: "d", Domain: "x.example", Outcome: "allowed", Detail: "record resealed"},
+	}},
+	{OK: false, Error: "denied: device revoked", Denial: "revoked", DenialCode: 3},
+	{OK: true, PolicyVersion: 12, PolicyHash: "abcdef012345"},
+	{OK: true, Catalog: []CatalogEntry{{ID: "pw", Placeholder: "p", Description: "d", Bit: 1, Class: "server-only"}}},
+	{OK: true, Audit: []AuditEntry{
+		{Seq: 2, Time: "2015-04-21T10:00:01Z", Outcome: "denied", Detail: "revoked",
+			DeviceSeq: 4, PolicyVersion: 12, PolicyHash: "abcdef012345"},
 	}},
 }
 

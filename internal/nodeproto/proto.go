@@ -65,6 +65,13 @@ const (
 	// stale, falling back to the cold path), so clients fire them without
 	// retry budgets and never block foreground requests on them.
 	OpDSMWarmup Op = "dsm_warmup"
+
+	// Control plane (internal/ctl): versioned policy administration. A node
+	// wired to a fleet control plane fans these out to every member, exactly
+	// like OpRevoke/OpRestore.
+	OpPolicyInstall Op = "policy_install" // admin: install a policy snapshot (hot swap)
+	OpPolicyVersion Op = "policy_version" // read-only: current policy version + hash
+	OpSetClass      Op = "set_class"      // admin: reclassify a cor's sensitivity
 )
 
 // Request is the envelope every client message uses. Unused fields stay
@@ -110,6 +117,12 @@ type Request struct {
 	// Chunk is the encoded dsm.WarmupChunk for OpDSMWarmup. Like a
 	// migration, it carries cor IDs only — never plaintext.
 	Chunk []byte `json:"chunk,omitempty"`
+	// Class is the cor sensitivity class ("public", "sensitive",
+	// "server-only") for OpRegister/OpGenerate/OpSetClass. Empty keeps the
+	// default (sensitive).
+	Class string `json:"class,omitempty"`
+	// Policy carries a marshaled policy.Snapshot for OpPolicyInstall.
+	Policy json.RawMessage `json:"policy,omitempty"`
 }
 
 // CatalogEntry is the device-visible cor metadata.
@@ -118,6 +131,9 @@ type CatalogEntry struct {
 	Placeholder string `json:"placeholder"`
 	Description string `json:"description"`
 	Bit         int    `json:"bit"`
+	// Class is the cor's sensitivity class; empty means the default
+	// (sensitive) on entries from pre-class servers.
+	Class string `json:"class,omitempty"`
 }
 
 // AuditEntry mirrors audit.Entry for the wire.
@@ -134,6 +150,10 @@ type AuditEntry struct {
 	// orders one device's entries across node handoffs (0 on old entries
 	// and non-device entries).
 	DeviceSeq uint64 `json:"device_seq,omitempty"`
+	// PolicyVersion/PolicyHash identify the policy snapshot the entry's
+	// decision was checked against (0/"" on pre-versioning entries).
+	PolicyVersion uint64 `json:"policy_version,omitempty"`
+	PolicyHash    string `json:"policy_hash,omitempty"`
 }
 
 // Response is the node's reply envelope.
@@ -145,6 +165,14 @@ type Response struct {
 	// Denial is set (with Error) when policy refused the operation; it
 	// carries the machine-readable reason.
 	Denial string `json:"denial,omitempty"`
+	// DenialCode is the stable numeric form of Denial: policy.Reason.Code()
+	// biased by +1 so 0 means "absent" (a pre-code server). Clients prefer
+	// it over scanning the text; the text stays for humans.
+	DenialCode int `json:"denial_code,omitempty"`
+	// PolicyVersion/PolicyHash answer OpPolicyVersion and acknowledge
+	// OpPolicyInstall with the stamp the engine now runs.
+	PolicyVersion uint64 `json:"policy_version,omitempty"`
+	PolicyHash    string `json:"policy_hash,omitempty"`
 	// Catalog for OpCatalog.
 	Catalog []CatalogEntry `json:"catalog,omitempty"`
 	// Record is the resealed wire record for OpReseal.

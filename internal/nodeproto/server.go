@@ -71,6 +71,12 @@ type Server struct {
 	selfID    string
 	placement Placement
 
+	// ctl is installed by SetControlPlane when this server fronts a fleet:
+	// control-plane mutations (revoke/restore, policy installs, class
+	// changes) fan out to every member instead of mutating only the local
+	// service. Nil (standalone node) applies them locally.
+	ctl ControlPlane
+
 	mu       sync.Mutex
 	listener net.Listener
 	wg       sync.WaitGroup
@@ -113,7 +119,8 @@ func (s *Server) SetObs(tr *obs.Tracer, m *obs.Metrics) {
 	}
 	for _, op := range []Op{OpRegister, OpGenerate, OpCatalog, OpBind, OpRevoke,
 		OpRestore, OpReseal, OpDerive, OpAudit, OpPing,
-		OpWhoOwns, OpHandoffExport, OpHandoffImport, OpDSMWarmup} {
+		OpWhoOwns, OpHandoffExport, OpHandoffImport, OpDSMWarmup,
+		OpPolicyInstall, OpPolicyVersion, OpSetClass} {
 		sm.requests[op] = m.Counter(fmt.Sprintf(`tinman_node_requests_total{op=%q}`, op))
 		sm.latency[op] = m.Histogram(fmt.Sprintf(`tinman_node_request_seconds{op=%q}`, op))
 	}
@@ -142,6 +149,22 @@ type placementAccepter interface {
 func (s *Server) SetPlacement(selfID string, p Placement) {
 	s.selfID = selfID
 	s.placement = p
+}
+
+// ControlPlane propagates control-plane mutations fleet-wide: a revocation
+// or policy install arriving at any member must take effect on all of them.
+// fleet.Fleet satisfies it.
+type ControlPlane interface {
+	InstallPolicy(ctx context.Context, snap *policy.Snapshot) (policy.Stamp, error)
+	Revoke(deviceID string) error
+	Restore(deviceID string) error
+	SetCorClass(ctx context.Context, corID string, class cor.Class) error
+}
+
+// SetControlPlane routes OpRevoke/OpRestore/OpPolicyInstall/OpSetClass
+// through cp instead of the local service. Call before Serve.
+func (s *Server) SetControlPlane(cp ControlPlane) {
+	s.ctl = cp
 }
 
 // NewServer assembles a trusted-node server over a fresh service (with the
@@ -261,6 +284,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		select {
 		case <-s.closed:
 			cancel()
+			// Unblock the read loop: without this an idle connection
+			// would hold Close for a full read-timeout window.
+			conn.SetReadDeadline(time.Now())
 		case <-ctx.Done():
 		}
 	}()
@@ -389,7 +415,7 @@ func (s *Server) handleConn(conn net.Conn) {
 // replay window for no correctness gain.
 func mutating(op Op) bool {
 	switch op {
-	case OpPing, OpCatalog, OpAudit, OpWhoOwns, OpDSMWarmup:
+	case OpPing, OpCatalog, OpAudit, OpWhoOwns, OpDSMWarmup, OpPolicyVersion:
 		return false
 	}
 	return true
@@ -531,6 +557,9 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		if err != nil {
 			return errResponse(err)
 		}
+		if err := s.applyClass(ctx, rec.ID, req.Class); err != nil {
+			return errResponse(err)
+		}
 		s.logf("tinman-node: registered cor %s (%d bytes)", rec.ID, len(rec.Plaintext))
 		return &Response{OK: true, CorID: rec.ID}
 	case OpGenerate:
@@ -539,6 +568,9 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		}
 		rec, err := s.Svc.GenerateCor(ctx, req.CorID, req.Description, req.Length, req.Whitelist...)
 		if err != nil {
+			return errResponse(err)
+		}
+		if err := s.applyClass(ctx, rec.ID, req.Class); err != nil {
 			return errResponse(err)
 		}
 		return &Response{OK: true, CorID: rec.ID}
@@ -556,7 +588,11 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		if req.DeviceID == "" {
 			return fail("revoke requires device_id")
 		}
-		if err := s.Svc.Revoke(req.DeviceID); err != nil {
+		revoke := s.Svc.Revoke
+		if s.ctl != nil {
+			revoke = s.ctl.Revoke
+		}
+		if err := revoke(req.DeviceID); err != nil {
 			return errResponse(err)
 		}
 		return &Response{OK: true}
@@ -564,7 +600,11 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 		if req.DeviceID == "" {
 			return fail("restore requires device_id")
 		}
-		if err := s.Svc.Restore(req.DeviceID); err != nil {
+		restore := s.Svc.Restore
+		if s.ctl != nil {
+			restore = s.ctl.Restore
+		}
+		if err := restore(req.DeviceID); err != nil {
 			return errResponse(err)
 		}
 		return &Response{OK: true}
@@ -599,7 +639,8 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 				Seq: e.Seq, Time: e.Time.Format(time.RFC3339), AppHash: e.AppHash,
 				CorID: e.CorID, Device: e.DeviceID, Domain: e.Domain,
 				Outcome: e.Outcome.String(), Detail: e.Detail,
-				DeviceSeq: e.DeviceSeq,
+				DeviceSeq:     e.DeviceSeq,
+				PolicyVersion: e.PolicyVersion, PolicyHash: e.PolicyHash,
 			}
 		}
 		return &Response{OK: true, Audit: out}
@@ -652,6 +693,42 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 			return errResponse(err)
 		}
 		return &Response{OK: true}
+	case OpPolicyInstall:
+		if len(req.Policy) == 0 {
+			return fail("policy_install requires policy")
+		}
+		snap := new(policy.Snapshot)
+		if err := json.Unmarshal(req.Policy, snap); err != nil {
+			return fail("policy_install: undecodable snapshot: %v", err)
+		}
+		install := s.Svc.InstallPolicy
+		if s.ctl != nil {
+			install = s.ctl.InstallPolicy
+		}
+		stamp, err := install(ctx, snap)
+		if err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, PolicyVersion: stamp.Version, PolicyHash: stamp.Hash}
+	case OpPolicyVersion:
+		stamp := s.Policy.Stamp()
+		return &Response{OK: true, PolicyVersion: stamp.Version, PolicyHash: stamp.Hash}
+	case OpSetClass:
+		if req.CorID == "" {
+			return fail("set_class requires cor_id")
+		}
+		class, err := cor.ParseClass(req.Class)
+		if err != nil {
+			return errResponse(err)
+		}
+		setClass := s.Svc.SetCorClass
+		if s.ctl != nil {
+			setClass = s.ctl.SetCorClass
+		}
+		if err := setClass(ctx, req.CorID, class); err != nil {
+			return errResponse(err)
+		}
+		return &Response{OK: true, CorID: req.CorID}
 	default:
 		return fail("unknown op %q", string(req.Op))
 	}
@@ -661,13 +738,29 @@ func fail(format string, args ...any) *Response {
 	return &Response{OK: false, Error: fmt.Sprintf(format, args...)}
 }
 
+// applyClass tags a freshly registered cor with the request's sensitivity
+// class. Registration through the wire server is local to this member, so
+// the class stays local too (fleet replication of registrations happens at
+// the fleet layer, which carries the class with it).
+func (s *Server) applyClass(ctx context.Context, corID, class string) error {
+	if class == "" {
+		return nil
+	}
+	c, err := cor.ParseClass(class)
+	if err != nil {
+		return err
+	}
+	return s.Svc.SetCorClass(ctx, corID, c)
+}
+
 // errResponse converts a service error into the wire envelope: policy
 // refusals carry the machine-readable reason in Denial; everything else is
 // a plain error string, byte-identical to the service's message.
 func errResponse(err error) *Response {
 	var d *policy.Denial
 	if errors.As(err, &d) {
-		return &Response{OK: false, Error: d.Error(), Denial: d.Reason.String()}
+		return &Response{OK: false, Error: d.Error(), Denial: d.Reason.String(),
+			DenialCode: d.Reason.Code() + 1}
 	}
 	return &Response{OK: false, Error: err.Error()}
 }
@@ -691,7 +784,8 @@ func (s *Server) handleCatalog(ctx context.Context) *Response {
 	}
 	out := make([]CatalogEntry, len(views))
 	for i, v := range views {
-		out[i] = CatalogEntry{ID: v.ID, Placeholder: v.Placeholder, Description: v.Description, Bit: v.Bit}
+		out[i] = CatalogEntry{ID: v.ID, Placeholder: v.Placeholder,
+			Description: v.Description, Bit: v.Bit, Class: string(v.Class)}
 	}
 	s.catalog.Store(&catalogCache{views: views, entries: out})
 	return &Response{OK: true, Catalog: out}

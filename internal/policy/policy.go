@@ -1,20 +1,31 @@
 // Package policy implements the trusted node's security enforcement (§3.4):
 // the two bindings — application↔cor (by dex hash) and cor↔domain (with
-// auth-endpoint IP narrowing) — plus revocation, time windows and rate
-// limits (§4.2). Every cor access on the trusted node passes through an
-// Engine before the cor is released to offloaded code or the network.
+// auth-endpoint IP narrowing) — plus revocation, time windows, rate limits
+// (§4.2) and per-class rate budgets. Every cor access on the trusted node
+// passes through an Engine before the cor is released to offloaded code or
+// the network.
+//
+// The Engine is a versioned, hot-swappable ruleset: all rules live in one
+// immutable snapshot behind an atomic pointer, every mutation (a single
+// admin call or a whole-snapshot Install) publishes a fresh copy under a
+// new version, and each Check runs start-to-finish against the version it
+// loaded — an in-flight check never observes a half-applied change, and
+// the (version, hash) stamp it ran under is reported for audit.
 package policy
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"tinman/internal/cor"
 	"tinman/internal/obs"
 )
 
-// Reason classifies a denial.
+// Reason classifies a denial. The numeric value is the stable wire code
+// (see Code/ReasonFromCode): new reasons are appended, never reordered.
 type Reason uint8
 
 const (
@@ -33,13 +44,19 @@ const (
 	// ReasonOutsideTimeWindow: the access falls outside the allowed hours
 	// (§4.2).
 	ReasonOutsideTimeWindow
-	// ReasonRateLimited: the access frequency limit was exceeded (§4.2).
+	// ReasonRateLimited: the access frequency limit was exceeded (§4.2) —
+	// either the cor's own budget or its sensitivity class's shared budget.
 	ReasonRateLimited
 	// ReasonMalware: the app hash is in the malware database.
 	ReasonMalware
 	// ReasonNeverSend: the cor has an empty whitelist and may never be sent
 	// anywhere ("the private key of bitcoin cannot be sent out", §3.4).
 	ReasonNeverSend
+	// ReasonServerOnlyClass: a server-only cor would have shipped in a DSM
+	// warm-up or migration payload. Enforced by the dsm layer and at node
+	// admission rather than in check(), but carried as a policy reason so
+	// denials audit and cross the wire uniformly.
+	ReasonServerOnlyClass
 )
 
 var reasonNames = [...]string{
@@ -51,6 +68,7 @@ var reasonNames = [...]string{
 	ReasonRateLimited:       "access rate limit exceeded",
 	ReasonMalware:           "application is known malware",
 	ReasonNeverSend:         "cor may never leave the trusted node",
+	ReasonServerOnlyClass:   "server-only cor may not ship in DSM payloads",
 }
 
 func (r Reason) String() string {
@@ -60,8 +78,26 @@ func (r Reason) String() string {
 	return fmt.Sprintf("Reason(%d)", uint8(r))
 }
 
+// Code returns the stable numeric wire code for the reason. Codes are the
+// iota values above and survive renames of the display text.
+func (r Reason) Code() int { return int(r) }
+
+// ReasonFromCode is the inverse of Code, used when a denial crosses the
+// wire numerically. It rejects codes this build does not know.
+func ReasonFromCode(c int) (Reason, bool) {
+	if c < 0 || c >= len(reasonNames) {
+		return 0, false
+	}
+	return Reason(c), true
+}
+
+// NumReasons reports how many reasons are defined — the wire round-trip
+// test iterates them.
+func NumReasons() int { return len(reasonNames) }
+
 // ReasonFromString maps a Reason's String() form back to the Reason —
-// the inverse used when a denial crosses a wire as text.
+// the legacy inverse used when a denial crosses a wire as text only
+// (pre-code peers). New code should prefer ReasonFromCode.
 func ReasonFromString(s string) (Reason, bool) {
 	for r, name := range reasonNames {
 		if name == s {
@@ -107,6 +143,9 @@ type Access struct {
 	CorID    string
 	AppHash  string
 	DeviceID string
+	// Class is the cor's sensitivity tier; the zero value skips class
+	// budgets (callers that know the cor pass its class from the vault).
+	Class cor.Class
 	// Send marks a network egress attempt; Domain/IP are the destination.
 	// Non-send accesses (hashing a password inside offloaded code) check
 	// only bindings, revocation, window and rate.
@@ -118,7 +157,8 @@ type Access struct {
 // Window is an allowed daily time range [From, To) in hours; e.g. 10–22 for
 // "10:00 am to 10:00 pm" (§4.2). From == To means always allowed.
 type Window struct {
-	From, To int
+	From int `json:"from"`
+	To   int `json:"to"`
 }
 
 // contains checks an instant against the window, handling overnight ranges.
@@ -133,131 +173,15 @@ func (w Window) contains(t time.Time) bool {
 	return h >= w.From || h < w.To
 }
 
-// rate tracks a sliding-window access count. Its own mutex keeps the
-// counter update off the engine's write lock: Check mutates events while
-// holding only the engine's read lock plus this mutex.
+// rate tracks a sliding-window access count. It is the one mutable cell
+// inside an otherwise immutable ruleset: its own mutex keeps counter
+// updates off the swap path, and rulesets that keep the same (max, per)
+// spec share the *rate pointer so consumed budget survives hot-swaps.
 type rate struct {
 	mu     sync.Mutex
 	max    int
 	per    time.Duration
 	events []time.Time
-}
-
-// Engine evaluates accesses. The clock is injectable so virtual-time
-// simulations enforce windows and rates on simulated time.
-//
-// The maps are read-mostly: administration (BindApp, SetWhitelist, Revoke,
-// …) takes the write lock, while the hot Check path — every reseal on a
-// loaded trusted node — runs under the read lock so concurrent checks
-// never serialize on each other.
-type Engine struct {
-	mu sync.RWMutex
-
-	appBindings map[string]map[string]bool // cor -> allowed app hashes
-	whitelist   map[string][]string        // cor -> domains (nil = unrestricted send, empty non-nil = never send)
-	authIPs     map[string][]string        // domain -> authentication endpoint IPs
-	authOnly    map[string]bool            // cor -> restrict to auth IPs
-	revoked     map[string]bool            // device -> revoked
-	windows     map[string]Window          // cor -> daily window
-	rates       map[string]*rate           // cor -> rate limit
-	malware     func(appHash string) bool  // malware DB lookup
-
-	now func() time.Time
-
-	// met holds the engine's own decision collectors (distinct from the
-	// caller-level counters in node.Service): every collector is nil when
-	// SetMetrics was never called, and nil collectors are no-ops.
-	met struct {
-		checks  *obs.Counter
-		denials map[Reason]*obs.Counter
-	}
-}
-
-// NewEngine creates an engine reading time from now (nil means time.Now).
-func NewEngine(now func() time.Time) *Engine {
-	if now == nil {
-		now = time.Now
-	}
-	return &Engine{
-		appBindings: make(map[string]map[string]bool),
-		whitelist:   make(map[string][]string),
-		authIPs:     make(map[string][]string),
-		authOnly:    make(map[string]bool),
-		revoked:     make(map[string]bool),
-		windows:     make(map[string]Window),
-		rates:       make(map[string]*rate),
-		now:         now,
-	}
-}
-
-// BindApp allows the app with the given dex hash to access the cor.
-func (e *Engine) BindApp(corID, appHash string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	m := e.appBindings[corID]
-	if m == nil {
-		m = make(map[string]bool)
-		e.appBindings[corID] = m
-	}
-	m[appHash] = true
-}
-
-// SetWhitelist replaces the cor's domain whitelist. A nil slice removes the
-// restriction; an empty non-nil slice means the cor may never be sent.
-func (e *Engine) SetWhitelist(corID string, domains []string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if domains == nil {
-		delete(e.whitelist, corID)
-		return
-	}
-	e.whitelist[corID] = append([]string(nil), domains...)
-}
-
-// SetAuthIPs records a domain's dedicated authentication endpoints; the
-// trusted node updates this list periodically (§3.4).
-func (e *Engine) SetAuthIPs(domain string, ips []string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.authIPs[domain] = append([]string(nil), ips...)
-}
-
-// RequireAuthEndpoint narrows the cor's whitelist to authentication IPs
-// only — the defense against posting a password to an attacker's page
-// within the whitelisted domain (§3.4).
-func (e *Engine) RequireAuthEndpoint(corID string, on bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.authOnly[corID] = on
-}
-
-// Revoke cuts off a device ("if a user realizes her phone is stolen", §3.4).
-func (e *Engine) Revoke(deviceID string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.revoked[deviceID] = true
-}
-
-// Restore re-enables a device.
-func (e *Engine) Restore(deviceID string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.revoked, deviceID)
-}
-
-// SetWindow constrains the cor to a daily time window (§4.2).
-func (e *Engine) SetWindow(corID string, w Window) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.windows[corID] = w
-}
-
-// SetRateLimit constrains the cor to max accesses per period (§4.2, "four
-// times per day").
-func (e *Engine) SetRateLimit(corID string, max int, per time.Duration) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.rates[corID] = &rate{max: max, per: per}
 }
 
 // allow consumes one unit of rate budget at instant now, reporting how
@@ -280,16 +204,241 @@ func (r *rate) allow(now time.Time) (ok bool, live int) {
 	return true, 0
 }
 
-// SetMalwareCheck installs the malware-database lookup.
-func (e *Engine) SetMalwareCheck(fn func(appHash string) bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.malware = fn
+// sameSpec reports whether the limit's shape matches, making the live
+// counter reusable across an Install.
+func (r *rate) sameSpec(max int, per time.Duration) bool {
+	return r != nil && r.max == max && r.per == per
 }
 
-// SetMetrics registers the engine's decision counters — total checks and
-// per-reason denials — with an obs registry. Call before concurrent use;
-// a nil registry leaves the engine uninstrumented.
+// ruleset is one immutable policy version. After publication nothing in it
+// is written again (the *rate cells self-synchronize), so readers navigate
+// it without any lock.
+type ruleset struct {
+	// version increases by at least one on every published mutation.
+	version uint64
+	// snapVersion is the version of the last installed Snapshot (0 before
+	// any Install) — the number fleet members compare for staleness.
+	snapVersion uint64
+	// hash is a short content hash of the ruleset (version excluded), so
+	// two members holding identical rules agree on it regardless of how
+	// many local mutations produced them.
+	hash string
+
+	appBindings map[string]map[string]bool // cor -> allowed app hashes
+	whitelist   map[string][]string        // cor -> domains (nil = unrestricted send, empty non-nil = never send)
+	authIPs     map[string][]string        // domain -> authentication endpoint IPs
+	authOnly    map[string]bool            // cor -> restrict to auth IPs
+	revoked     map[string]bool            // device -> revoked
+	windows     map[string]Window          // cor -> daily window
+	rates       map[string]*rate           // cor -> rate limit
+	classRates  map[cor.Class]*rate        // class -> shared rate budget
+	malware     func(appHash string) bool  // malware DB lookup (not part of the hash)
+}
+
+// clone shallow-copies every map: values (slices, inner maps, *rate cells)
+// are shared with the parent, and any mutator that edits an inner structure
+// must replace it rather than write through.
+func (rs *ruleset) clone() *ruleset {
+	next := &ruleset{
+		version:     rs.version,
+		snapVersion: rs.snapVersion,
+		appBindings: make(map[string]map[string]bool, len(rs.appBindings)),
+		whitelist:   make(map[string][]string, len(rs.whitelist)),
+		authIPs:     make(map[string][]string, len(rs.authIPs)),
+		authOnly:    make(map[string]bool, len(rs.authOnly)),
+		revoked:     make(map[string]bool, len(rs.revoked)),
+		windows:     make(map[string]Window, len(rs.windows)),
+		rates:       make(map[string]*rate, len(rs.rates)),
+		classRates:  make(map[cor.Class]*rate, len(rs.classRates)),
+		malware:     rs.malware,
+	}
+	for k, v := range rs.appBindings {
+		next.appBindings[k] = v
+	}
+	for k, v := range rs.whitelist {
+		next.whitelist[k] = v
+	}
+	for k, v := range rs.authIPs {
+		next.authIPs[k] = v
+	}
+	for k, v := range rs.authOnly {
+		next.authOnly[k] = v
+	}
+	for k, v := range rs.revoked {
+		next.revoked[k] = v
+	}
+	for k, v := range rs.windows {
+		next.windows[k] = v
+	}
+	for k, v := range rs.rates {
+		next.rates[k] = v
+	}
+	for k, v := range rs.classRates {
+		next.classRates[k] = v
+	}
+	return next
+}
+
+func emptyRuleset() *ruleset {
+	return &ruleset{
+		appBindings: make(map[string]map[string]bool),
+		whitelist:   make(map[string][]string),
+		authIPs:     make(map[string][]string),
+		authOnly:    make(map[string]bool),
+		revoked:     make(map[string]bool),
+		windows:     make(map[string]Window),
+		rates:       make(map[string]*rate),
+		classRates:  make(map[cor.Class]*rate),
+	}
+}
+
+// Stamp identifies the exact policy a decision was made under: the
+// monotonic version plus the content hash. Both ride every audit entry.
+type Stamp struct {
+	Version uint64
+	Hash    string
+}
+
+// Engine evaluates accesses. The clock is injectable so virtual-time
+// simulations enforce windows and rates on simulated time.
+//
+// Administration (BindApp, SetWhitelist, Revoke, Install, …) serializes on
+// writeMu, copies the current ruleset, applies the change and publishes the
+// copy with one atomic store. The hot Check path — every reseal on a loaded
+// trusted node — loads the pointer once and runs lock-free against that
+// version; concurrent checks never serialize on each other or on a swap.
+type Engine struct {
+	writeMu sync.Mutex
+	cur     atomic.Pointer[ruleset]
+
+	now func() time.Time
+
+	// met holds the engine's own decision collectors (distinct from the
+	// caller-level counters in node.Service): every collector is nil when
+	// SetMetrics was never called, and nil collectors are no-ops.
+	met struct {
+		checks       *obs.Counter
+		denials      map[Reason]*obs.Counter
+		classDenials map[cor.Class]*obs.Counter
+	}
+}
+
+// NewEngine creates an engine reading time from now (nil means time.Now).
+func NewEngine(now func() time.Time) *Engine {
+	if now == nil {
+		now = time.Now
+	}
+	e := &Engine{now: now}
+	rs := emptyRuleset()
+	rs.hash = rulesetHash(rs)
+	e.cur.Store(rs)
+	return e
+}
+
+// mutate publishes one copy-on-write change: version bumps, hash is
+// recomputed, readers switch atomically.
+func (e *Engine) mutate(fn func(rs *ruleset)) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	next := e.cur.Load().clone()
+	fn(next)
+	next.version++
+	next.hash = rulesetHash(next)
+	e.cur.Store(next)
+}
+
+// BindApp allows the app with the given dex hash to access the cor.
+func (e *Engine) BindApp(corID, appHash string) {
+	e.mutate(func(rs *ruleset) {
+		m := make(map[string]bool, len(rs.appBindings[corID])+1)
+		for k, v := range rs.appBindings[corID] {
+			m[k] = v
+		}
+		m[appHash] = true
+		rs.appBindings[corID] = m
+	})
+}
+
+// SetWhitelist replaces the cor's domain whitelist. A nil slice removes the
+// restriction; an empty non-nil slice means the cor may never be sent.
+func (e *Engine) SetWhitelist(corID string, domains []string) {
+	e.mutate(func(rs *ruleset) {
+		if domains == nil {
+			delete(rs.whitelist, corID)
+			return
+		}
+		rs.whitelist[corID] = append([]string(nil), domains...)
+	})
+}
+
+// SetAuthIPs records a domain's dedicated authentication endpoints; the
+// trusted node updates this list periodically (§3.4).
+func (e *Engine) SetAuthIPs(domain string, ips []string) {
+	e.mutate(func(rs *ruleset) {
+		rs.authIPs[domain] = append([]string(nil), ips...)
+	})
+}
+
+// RequireAuthEndpoint narrows the cor's whitelist to authentication IPs
+// only — the defense against posting a password to an attacker's page
+// within the whitelisted domain (§3.4).
+func (e *Engine) RequireAuthEndpoint(corID string, on bool) {
+	e.mutate(func(rs *ruleset) {
+		rs.authOnly[corID] = on
+	})
+}
+
+// Revoke cuts off a device ("if a user realizes her phone is stolen", §3.4).
+func (e *Engine) Revoke(deviceID string) {
+	e.mutate(func(rs *ruleset) {
+		rs.revoked[deviceID] = true
+	})
+}
+
+// Restore re-enables a device.
+func (e *Engine) Restore(deviceID string) {
+	e.mutate(func(rs *ruleset) {
+		delete(rs.revoked, deviceID)
+	})
+}
+
+// SetWindow constrains the cor to a daily time window (§4.2).
+func (e *Engine) SetWindow(corID string, w Window) {
+	e.mutate(func(rs *ruleset) {
+		rs.windows[corID] = w
+	})
+}
+
+// SetRateLimit constrains the cor to max accesses per period (§4.2, "four
+// times per day"). The budget resets: a fresh counter replaces any prior
+// limit for the cor.
+func (e *Engine) SetRateLimit(corID string, max int, per time.Duration) {
+	e.mutate(func(rs *ruleset) {
+		rs.rates[corID] = &rate{max: max, per: per}
+	})
+}
+
+// SetClassRateLimit constrains every send of a cor in the class against one
+// shared budget — the class-tier defense: even if each record stays under
+// its own limit, the tier as a whole cannot be drained.
+func (e *Engine) SetClassRateLimit(c cor.Class, max int, per time.Duration) {
+	e.mutate(func(rs *ruleset) {
+		rs.classRates[c] = &rate{max: max, per: per}
+	})
+}
+
+// SetMalwareCheck installs the malware-database lookup. The function rides
+// the ruleset (so checks see one consistent pair of rules + lookup) but is
+// code, not data: Install carries it forward unchanged.
+func (e *Engine) SetMalwareCheck(fn func(appHash string) bool) {
+	e.mutate(func(rs *ruleset) {
+		rs.malware = fn
+	})
+}
+
+// SetMetrics registers the engine's decision counters — total checks,
+// per-reason and per-class denials — with an obs registry. Call before
+// concurrent use; a nil registry leaves the engine uninstrumented.
 func (e *Engine) SetMetrics(m *obs.Metrics) {
 	if m == nil {
 		return
@@ -299,42 +448,71 @@ func (e *Engine) SetMetrics(m *obs.Metrics) {
 	for r := ReasonAppNotBound; int(r) < len(reasonNames); r++ {
 		e.met.denials[r] = m.Counter(fmt.Sprintf(`tinman_policy_engine_denials_total{reason=%q}`, r.String()))
 	}
+	e.met.classDenials = make(map[cor.Class]*obs.Counter, 3)
+	for _, c := range cor.Classes() {
+		e.met.classDenials[c] = m.Counter(fmt.Sprintf(`tinman_policy_engine_class_denials_total{class=%q}`, string(c)))
+	}
 }
+
+// Stamp returns the current policy version and content hash without
+// evaluating anything — what an admin or audit path records when no single
+// check is in play.
+func (e *Engine) Stamp() Stamp {
+	rs := e.cur.Load()
+	return Stamp{Version: rs.version, Hash: rs.hash}
+}
+
+// Version returns the current policy version (monotonic across every
+// mutation and install).
+func (e *Engine) Version() uint64 { return e.cur.Load().version }
+
+// SnapVersion returns the version of the last installed snapshot (0 before
+// any Install) — what fleet members compare when deciding whether a member
+// lags the control plane.
+func (e *Engine) SnapVersion() uint64 { return e.cur.Load().snapVersion }
 
 // Check evaluates an access, recording it against the rate limit when
 // allowed. It returns nil or a *Denial with the first violated rule's
-// Reason. check takes only the engine's read lock — concurrent checks
-// proceed in parallel; the rate counter has its own lock (see rate.allow).
+// Reason.
 func (e *Engine) Check(a Access) error {
-	err := e.check(a)
-	e.met.checks.Inc()
-	if d, ok := IsDenial(err); ok {
-		e.met.denials[d.Reason].Inc()
-	}
+	_, err := e.CheckStamped(a)
 	return err
 }
 
-func (e *Engine) check(a Access) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	now := e.now()
+// CheckStamped evaluates an access and reports the exact policy version it
+// was decided under. The ruleset pointer is loaded once: a concurrent
+// Install or admin mutation never tears the rules mid-check, and the
+// returned Stamp is precisely the version the verdict belongs to.
+func (e *Engine) CheckStamped(a Access) (Stamp, error) {
+	rs := e.cur.Load()
+	err := rs.check(a, e.now())
+	e.met.checks.Inc()
+	if d, ok := IsDenial(err); ok {
+		e.met.denials[d.Reason].Inc()
+		if a.Class != "" {
+			e.met.classDenials[a.Class].Inc()
+		}
+	}
+	return Stamp{Version: rs.version, Hash: rs.hash}, err
+}
 
-	if e.malware != nil && e.malware(a.AppHash) {
+func (rs *ruleset) check(a Access, now time.Time) error {
+	if rs.malware != nil && rs.malware(a.AppHash) {
 		return &Denial{Reason: ReasonMalware, CorID: a.CorID, Detail: "hash " + short(a.AppHash)}
 	}
-	if e.revoked[a.DeviceID] {
+	if rs.revoked[a.DeviceID] {
 		return &Denial{Reason: ReasonRevoked, CorID: a.CorID, Detail: "device " + a.DeviceID}
 	}
-	if m, bound := e.appBindings[a.CorID]; bound && !m[a.AppHash] {
+	if m, bound := rs.appBindings[a.CorID]; bound && !m[a.AppHash] {
 		return &Denial{Reason: ReasonAppNotBound, CorID: a.CorID, Detail: "hash " + short(a.AppHash)}
 	}
-	if w, ok := e.windows[a.CorID]; ok && !w.contains(now) {
+	if w, ok := rs.windows[a.CorID]; ok && !w.contains(now) {
 		return &Denial{Reason: ReasonOutsideTimeWindow, CorID: a.CorID,
 			Detail: fmt.Sprintf("hour %d not in [%d,%d)", now.Hour(), w.From, w.To)}
 	}
 
 	if a.Send {
-		if wl, ok := e.whitelist[a.CorID]; ok {
+		if wl, ok := rs.whitelist[a.CorID]; ok {
 			if len(wl) == 0 {
 				return &Denial{Reason: ReasonNeverSend, CorID: a.CorID}
 			}
@@ -349,8 +527,8 @@ func (e *Engine) check(a Access) error {
 				return &Denial{Reason: ReasonDomainNotAllowed, CorID: a.CorID, Detail: a.Domain}
 			}
 		}
-		if e.authOnly[a.CorID] {
-			ips := e.authIPs[a.Domain]
+		if rs.authOnly[a.CorID] {
+			ips := rs.authIPs[a.Domain]
 			found := false
 			for _, ip := range ips {
 				if ip == a.IP {
@@ -365,13 +543,23 @@ func (e *Engine) check(a Access) error {
 		}
 	}
 
-	// The frequency limit counts egress uses ("the access frequency could
+	// The frequency limits count egress uses ("the access frequency could
 	// not exceed a preset limitation", §4.2): local offloaded computation
-	// over the cor does not consume budget, sending it out does.
-	if r, ok := e.rates[a.CorID]; ok && a.Send {
-		if ok, live := r.allow(now); !ok {
-			return &Denial{Reason: ReasonRateLimited, CorID: a.CorID,
-				Detail: fmt.Sprintf("%d accesses in %v", live, r.per)}
+	// over the cor does not consume budget, sending it out does. The class
+	// budget is consumed first — a cor-level refusal after that burns one
+	// unit of the shared class budget, which errs on the safe side.
+	if a.Send {
+		if r, ok := rs.classRates[a.Class]; ok && a.Class != "" {
+			if ok, live := r.allow(now); !ok {
+				return &Denial{Reason: ReasonRateLimited, CorID: a.CorID,
+					Detail: fmt.Sprintf("class %s: %d accesses in %v", a.Class, live, r.per)}
+			}
+		}
+		if r, ok := rs.rates[a.CorID]; ok {
+			if ok, live := r.allow(now); !ok {
+				return &Denial{Reason: ReasonRateLimited, CorID: a.CorID,
+					Detail: fmt.Sprintf("%d accesses in %v", live, r.per)}
+			}
 		}
 	}
 	return nil

@@ -24,15 +24,24 @@ type VaultRecord struct {
 	Description string   `json:"description,omitempty"`
 	Whitelist   []string `json:"whitelist,omitempty"`
 	Bit         int      `json:"bit"`
+	// Class is the sensitivity tier (empty on pre-class records: the
+	// default class applies on replay).
+	Class string `json:"class,omitempty"`
 }
 
 // PolicyOp is one durable policy mutation, replayed in order on recovery.
 type PolicyOp struct {
-	// Op is one of "bind", "revoke", "restore".
+	// Op is one of "bind", "revoke", "restore", "snapshot".
 	Op       string `json:"op"`
 	CorID    string `json:"cor_id,omitempty"`
 	AppHash  string `json:"app_hash,omitempty"`
 	DeviceID string `json:"device_id,omitempty"`
+	// Version and Snapshot carry a whole-policy install (Op ==
+	// PolicySnapshot): Snapshot is the canonical policy.Snapshot JSON and
+	// Version its control-plane number, so a restart recovers the last
+	// accepted document by replaying installs in order.
+	Version  uint64          `json:"version,omitempty"`
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
 }
 
 // vaultAD/policy op names bind sealed blobs to their role so a vault blob
@@ -41,9 +50,10 @@ var vaultAD = []byte("tinman-store-vault")
 
 // Policy op names.
 const (
-	PolicyBind    = "bind"
-	PolicyRevoke  = "revoke"
-	PolicyRestore = "restore"
+	PolicyBind     = "bind"
+	PolicyRevoke   = "revoke"
+	PolicyRestore  = "restore"
+	PolicySnapshot = "snapshot"
 )
 
 // appendUvarint / appendString are the primitive encoders.
@@ -69,6 +79,11 @@ func encodeAudit(dst []byte, e audit.Entry) []byte {
 	dst = append(dst, byte(e.Outcome))
 	dst = appendString(dst, e.Detail)
 	dst = appendUvarint(dst, e.DeviceSeq)
+	// Policy stamp fields append at the tail: decodeAudit reads them only
+	// when bytes remain, so records written before policy versioning (no
+	// tail) still decode.
+	dst = appendUvarint(dst, e.PolicyVersion)
+	dst = appendString(dst, e.PolicyHash)
 	return dst
 }
 
@@ -133,6 +148,11 @@ func decodeAudit(p []byte) (audit.Entry, error) {
 	e.Outcome = audit.Outcome(d.byte())
 	e.Detail = d.string()
 	e.DeviceSeq = d.uvarint()
+	if d.err == nil && d.off < len(p) {
+		// Tail present: the record was written with a policy stamp.
+		e.PolicyVersion = d.uvarint()
+		e.PolicyHash = d.string()
+	}
 	if d.err != nil {
 		return audit.Entry{}, d.err
 	}
